@@ -1,0 +1,83 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Every binary prints the paper-shaped rows first (so `./bench_x` with no
+// arguments reproduces the experiment), then runs its registered
+// google-benchmark timing loops.
+#ifndef SERENITY_BENCH_BENCH_COMMON_H_
+#define SERENITY_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "alloc/arena_planner.h"
+#include "core/pipeline.h"
+#include "graph/graph.h"
+#include "models/zoo.h"
+#include "sched/baselines.h"
+#include "sched/schedule.h"
+
+namespace serenity::bench {
+
+inline double Kb(std::int64_t bytes) {
+  return static_cast<double>(bytes) / 1024.0;
+}
+
+// The three configurations of Figures 10/11/12/13/15.
+struct CellMeasurement {
+  models::BenchmarkCell cell;
+  graph::Graph graph;
+
+  // TensorFlow Lite baseline: declaration order + greedy first-fit arena.
+  sched::Schedule tflite_schedule;
+  std::int64_t tflite_peak = 0;        // liveness-sum footprint
+  std::int64_t tflite_arena = 0;       // with the memory allocator
+
+  // Dynamic programming only (graph unchanged).
+  core::PipelineResult dp;
+  std::int64_t dp_arena = 0;
+
+  // Dynamic programming + identity graph rewriting.
+  core::PipelineResult dp_rw;
+  std::int64_t dp_rw_arena = 0;
+};
+
+inline CellMeasurement MeasureCell(const models::BenchmarkCell& cell) {
+  CellMeasurement m;
+  m.cell = cell;
+  m.graph = cell.factory();
+
+  m.tflite_schedule = sched::TfLiteOrderSchedule(m.graph);
+  m.tflite_peak = sched::PeakFootprint(m.graph, m.tflite_schedule);
+  m.tflite_arena =
+      alloc::PlanArena(m.graph, m.tflite_schedule).arena_bytes;
+
+  core::PipelineOptions dp_only;
+  dp_only.enable_rewriting = false;
+  m.dp = core::Pipeline(dp_only).Run(m.graph);
+  if (m.dp.success) {
+    m.dp_arena =
+        alloc::PlanArena(m.dp.scheduled_graph, m.dp.schedule).arena_bytes;
+  }
+
+  m.dp_rw = core::Pipeline().Run(m.graph);
+  if (m.dp_rw.success) {
+    m.dp_rw_arena =
+        alloc::PlanArena(m.dp_rw.scheduled_graph, m.dp_rw.schedule)
+            .arena_bytes;
+  }
+  return m;
+}
+
+inline std::string CellLabel(const models::BenchmarkCell& cell) {
+  return cell.group + " / " + cell.name;
+}
+
+inline void PrintRule(int width = 110) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace serenity::bench
+
+#endif  // SERENITY_BENCH_BENCH_COMMON_H_

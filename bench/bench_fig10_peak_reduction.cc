@@ -1,0 +1,82 @@
+// Figure 10 — reduction in peak memory footprint of SERENITY against
+// TensorFlow Lite (no memory hierarchy), with the memory allocator applied
+// to both systems, for all nine benchmark cells plus the geometric mean.
+//
+// Two SERENITY configurations, as in the paper:
+//   DP   = dynamic-programming scheduler + memory allocator
+//   DP+GR = + identity graph rewriting
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace serenity;
+
+void PrintFigure() {
+  std::printf("Figure 10: peak-memory reduction vs TensorFlow Lite "
+              "(greedy arena allocator applied to every configuration)\n\n");
+  std::printf("%-32s %10s %10s %10s  %7s %7s   %7s %7s\n", "cell",
+              "TFLite KB", "DP KB", "DP+GR KB", "DP x", "paper", "DP+GR x",
+              "paper");
+  bench::PrintRule();
+  std::vector<double> dp_ratios, rw_ratios, paper_dp, paper_rw;
+  for (const models::BenchmarkCell& cell : models::AllBenchmarkCells()) {
+    const bench::CellMeasurement m = bench::MeasureCell(cell);
+    if (!m.dp.success || !m.dp_rw.success) {
+      std::printf("%-32s  scheduling failed\n",
+                  bench::CellLabel(cell).c_str());
+      continue;
+    }
+    const double dp_ratio = static_cast<double>(m.tflite_arena) /
+                            static_cast<double>(m.dp_arena);
+    const double rw_ratio = static_cast<double>(m.tflite_arena) /
+                            static_cast<double>(m.dp_rw_arena);
+    dp_ratios.push_back(dp_ratio);
+    rw_ratios.push_back(rw_ratio);
+    paper_dp.push_back(cell.paper_tflite_kb / cell.paper_dp_kb);
+    paper_rw.push_back(cell.paper_tflite_kb / cell.paper_dp_rw_kb);
+    std::printf("%-32s %10.1f %10.1f %10.1f  %6.2fx %6.2fx   %6.2fx %6.2fx\n",
+                bench::CellLabel(cell).c_str(), bench::Kb(m.tflite_arena),
+                bench::Kb(m.dp_arena), bench::Kb(m.dp_rw_arena), dp_ratio,
+                paper_dp.back(), rw_ratio, paper_rw.back());
+  }
+  bench::PrintRule();
+  std::printf("%-32s %10s %10s %10s  %6.2fx %6.2fx   %6.2fx %6.2fx\n",
+              "geomean", "", "", "", util::GeometricMean(dp_ratios),
+              util::GeometricMean(paper_dp), util::GeometricMean(rw_ratios),
+              util::GeometricMean(paper_rw));
+  std::printf("\npaper geomeans: 1.68x (DP), 1.86x (DP+GR)\n\n");
+}
+
+void BM_FullPipelineSwiftNetCellA(benchmark::State& state) {
+  const graph::Graph g =
+      models::FindBenchmarkCell("SwiftNet HPD", "Cell A").factory();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Pipeline().Run(g).peak_bytes);
+  }
+}
+BENCHMARK(BM_FullPipelineSwiftNetCellA)->Unit(benchmark::kMillisecond);
+
+void BM_ArenaPlanSwiftNetCellA(benchmark::State& state) {
+  const graph::Graph g =
+      models::FindBenchmarkCell("SwiftNet HPD", "Cell A").factory();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::PlanArena(g, s).arena_bytes);
+  }
+}
+BENCHMARK(BM_ArenaPlanSwiftNetCellA);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 15 (appendix B) — raw peak memory footprint of every benchmark
+// cell under TensorFlow Lite and the two SERENITY configurations, with the
+// memory allocator applied (the absolute-number companion to Figure 10).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace serenity;
+
+void PrintFigure() {
+  std::printf("Figure 15: raw peak memory footprint (KB), smaller is "
+              "better\n");
+  std::printf("(ours = synthetic cells with the published topologies; "
+              "paper = the authors' checkpoints)\n\n");
+  std::printf("%-32s | %9s %9s | %9s %9s | %9s %9s\n", "cell", "TFLite",
+              "paper", "DP", "paper", "DP+GR", "paper");
+  bench::PrintRule();
+  for (const models::BenchmarkCell& cell : models::AllBenchmarkCells()) {
+    const bench::CellMeasurement m = bench::MeasureCell(cell);
+    std::printf("%-32s | %9.1f %9.0f | %9.1f %9.0f | %9.1f %9.0f\n",
+                bench::CellLabel(cell).c_str(), bench::Kb(m.tflite_arena),
+                cell.paper_tflite_kb, bench::Kb(m.dp_arena),
+                cell.paper_dp_kb, bench::Kb(m.dp_rw_arena),
+                cell.paper_dp_rw_kb);
+  }
+  std::printf("\n");
+}
+
+void BM_MeasureCellEndToEnd(benchmark::State& state) {
+  const models::BenchmarkCell& cell =
+      models::AllBenchmarkCells()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MeasureCell(cell).dp_rw_arena);
+  }
+  state.SetLabel(cell.group + "/" + cell.name);
+}
+BENCHMARK(BM_MeasureCellEndToEnd)->Arg(1)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Scalability study (not a paper figure): how the exact DP, the soft-
+// budgeted DP, the beam fallback and the greedy heuristic scale with graph
+// size on synthetic irregular networks — the practical guidance a user
+// needs when importing arbitrary graphs (DESIGN.md §3.6).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dp_scheduler.h"
+#include "core/soft_budget.h"
+#include "models/random_cell.h"
+#include "sched/beam.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace serenity;
+
+graph::Graph NetworkOfSize(int cells, int intermediates) {
+  models::RandomCellParams p;
+  p.seed = 97;
+  p.num_cells = cells;
+  p.num_intermediates = intermediates;
+  p.concat_branches = 4;
+  p.spatial = 8;
+  p.name = "scale_net";
+  return models::MakeRandomCellNetwork(p);
+}
+
+void PrintStudy() {
+  std::printf("Scheduling scalability on synthetic irregular networks\n\n");
+  std::printf("%8s %8s | %12s %12s | %12s | %12s %9s\n", "nodes", "edges",
+              "DP (ms)", "states", "soft (ms)", "beam64 (ms)", "beam/DP");
+  bench::PrintRule();
+  for (const auto& [cells, intermediates] :
+       {std::pair{1, 6}, {1, 10}, {2, 10}, {3, 12}, {5, 12}, {8, 14}}) {
+    const graph::Graph g = NetworkOfSize(cells, intermediates);
+
+    util::Stopwatch dp_clock;
+    const core::DpResult dp = core::ScheduleDp(g);
+    const double dp_ms = dp_clock.ElapsedMillis();
+    if (dp.status != core::DpStatus::kSolution) continue;
+
+    util::Stopwatch sb_clock;
+    const core::SoftBudgetResult sb = core::ScheduleWithSoftBudget(g);
+    const double sb_ms = sb_clock.ElapsedMillis();
+
+    util::Stopwatch beam_clock;
+    sched::BeamOptions options;
+    options.width = 64;
+    const sched::BeamResult beam = sched::ScheduleBeam(g, options);
+    const double beam_ms = beam_clock.ElapsedMillis();
+
+    std::printf("%8d %8d | %12.2f %12llu | %12.2f | %12.2f %8.3fx\n",
+                g.num_nodes(), g.num_edges(), dp_ms,
+                static_cast<unsigned long long>(dp.states_expanded), sb_ms,
+                beam_ms,
+                static_cast<double>(beam.peak_bytes) /
+                    static_cast<double>(dp.peak_bytes));
+    (void)sb;
+  }
+  std::printf("\nbeam/DP is the beam's peak relative to the exact optimum "
+              "(1.000x = optimal).\n\n");
+}
+
+void BM_DpByGraphSize(benchmark::State& state) {
+  const graph::Graph g =
+      NetworkOfSize(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ScheduleDp(g).states_expanded);
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+BENCHMARK(BM_DpByGraphSize)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BeamByGraphSize(benchmark::State& state) {
+  const graph::Graph g =
+      NetworkOfSize(static_cast<int>(state.range(0)), 10);
+  sched::BeamOptions options;
+  options.width = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::ScheduleBeam(g, options).peak_bytes);
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+BENCHMARK(BM_BeamByGraphSize)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "alloc/arena_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace serenity::alloc {
+
+namespace {
+
+std::int64_t AlignUp(std::int64_t value, std::int64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+struct Lifetime {
+  int first_step = -1;  // first write
+  int last_step = -1;   // last use; schedule end for sinks
+  bool used = false;
+};
+
+std::vector<Lifetime> ComputeLifetimes(const graph::Graph& graph,
+                                       const graph::BufferUseTable& table,
+                                       const sched::Schedule& schedule) {
+  std::vector<Lifetime> lifetimes(table.buffers.size());
+  for (std::size_t step = 0; step < schedule.size(); ++step) {
+    const graph::NodeId id = schedule[step];
+    for (const graph::BufferId b :
+         table.touched_buffers[static_cast<std::size_t>(id)]) {
+      Lifetime& life = lifetimes[static_cast<std::size_t>(b)];
+      const bool writes = graph.node(id).buffer == b;
+      if (writes && life.first_step < 0) {
+        life.first_step = static_cast<int>(step);
+        life.used = true;
+      }
+      life.last_step = static_cast<int>(step);
+    }
+  }
+  const int last = static_cast<int>(schedule.size()) - 1;
+  for (std::size_t b = 0; b < table.buffers.size(); ++b) {
+    if (lifetimes[b].used && table.buffers[b].is_sink) {
+      lifetimes[b].last_step = last;  // outputs persist to inference end
+    }
+  }
+  return lifetimes;
+}
+
+}  // namespace
+
+ArenaPlan PlanArena(const graph::Graph& graph,
+                    const graph::BufferUseTable& table,
+                    const sched::Schedule& schedule, FitStrategy strategy,
+                    std::int64_t alignment) {
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph, schedule));
+  SERENITY_CHECK_GT(alignment, 0);
+  const std::vector<Lifetime> lifetimes =
+      ComputeLifetimes(graph, table, schedule);
+
+  // Placement order: TFLite's greedy-by-size plans the largest tensors
+  // first (ties broken by first use); the first-use strategies replay
+  // allocation-time order instead.
+  std::vector<graph::BufferId> order;
+  for (std::size_t b = 0; b < lifetimes.size(); ++b) {
+    if (lifetimes[b].used) order.push_back(static_cast<graph::BufferId>(b));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::BufferId a, graph::BufferId b) {
+                     const Lifetime& la = lifetimes[static_cast<std::size_t>(a)];
+                     const Lifetime& lb = lifetimes[static_cast<std::size_t>(b)];
+                     const std::int64_t sa =
+                         table.buffers[static_cast<std::size_t>(a)].size_bytes;
+                     const std::int64_t sb =
+                         table.buffers[static_cast<std::size_t>(b)].size_bytes;
+                     if (strategy == FitStrategy::kGreedyBySize) {
+                       if (sa != sb) return sa > sb;
+                       return la.first_step < lb.first_step;
+                     }
+                     if (la.first_step != lb.first_step) {
+                       return la.first_step < lb.first_step;
+                     }
+                     return sa > sb;
+                   });
+
+  ArenaPlan plan;
+  plan.placements.reserve(order.size());
+  for (const graph::BufferId b : order) {
+    const Lifetime& life = lifetimes[static_cast<std::size_t>(b)];
+    const std::int64_t size =
+        std::max<std::int64_t>(table.buffers[static_cast<std::size_t>(b)]
+                                   .size_bytes,
+                               1);
+    // Collect already placed buffers whose lifetimes overlap this one,
+    // sorted by offset, then scan the gaps.
+    std::vector<const BufferPlacement*> conflicts;
+    for (const BufferPlacement& p : plan.placements) {
+      if (p.first_step <= life.last_step && life.first_step <= p.last_step) {
+        conflicts.push_back(&p);
+      }
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const BufferPlacement* a, const BufferPlacement* b) {
+                return a->offset < b->offset;
+              });
+    std::int64_t best_offset = -1;
+    std::int64_t best_gap = std::numeric_limits<std::int64_t>::max();
+    std::int64_t cursor = 0;
+    const auto consider = [&](std::int64_t gap_start, std::int64_t gap_end) {
+      const std::int64_t start = AlignUp(gap_start, alignment);
+      if (gap_end - start < size) return;
+      if (strategy == FitStrategy::kBestFit) {
+        if (gap_end - start < best_gap) {
+          best_gap = gap_end - start;
+          best_offset = start;
+        }
+      } else if (best_offset < 0) {
+        best_offset = start;  // lowest feasible offset
+      }
+    };
+    for (const BufferPlacement* p : conflicts) {
+      if (p->offset > cursor) consider(cursor, p->offset);
+      cursor = std::max(cursor, p->offset + p->size);
+    }
+    // Open-ended gap above the last conflict.
+    const std::int64_t open_start = AlignUp(cursor, alignment);
+    if (best_offset < 0 ||
+        (strategy == FitStrategy::kBestFit &&
+         best_gap == std::numeric_limits<std::int64_t>::max())) {
+      best_offset = open_start;
+    }
+    plan.placements.push_back(BufferPlacement{
+        b, best_offset, size, life.first_step, life.last_step});
+    plan.arena_bytes = std::max(plan.arena_bytes, best_offset + size);
+  }
+
+  plan.highwater_at_step.assign(schedule.size(), 0);
+  for (const BufferPlacement& p : plan.placements) {
+    for (int step = p.first_step; step <= p.last_step; ++step) {
+      auto& hw = plan.highwater_at_step[static_cast<std::size_t>(step)];
+      hw = std::max(hw, p.offset + p.size);
+    }
+  }
+  return plan;
+}
+
+ArenaPlan PlanArena(const graph::Graph& graph,
+                    const sched::Schedule& schedule, FitStrategy strategy,
+                    std::int64_t alignment) {
+  return PlanArena(graph, graph::BufferUseTable::Build(graph), schedule,
+                   strategy, alignment);
+}
+
+bool ValidatePlacements(const ArenaPlan& plan) {
+  for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+    const BufferPlacement& a = plan.placements[i];
+    if (a.offset < 0 || a.size <= 0) return false;
+    if (a.offset + a.size > plan.arena_bytes) return false;
+    for (std::size_t j = i + 1; j < plan.placements.size(); ++j) {
+      const BufferPlacement& b = plan.placements[j];
+      const bool time_overlap =
+          a.first_step <= b.last_step && b.first_step <= a.last_step;
+      const bool space_overlap =
+          a.offset < b.offset + b.size && b.offset < a.offset + a.size;
+      if (time_overlap && space_overlap) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace serenity::alloc

@@ -1,0 +1,68 @@
+// Linear memory arena planner.
+//
+// TensorFlow Lite's "simple memory arena" assigns every tensor an offset in
+// one flat arena with a greedy first-fit scan over the tensors alive at the
+// same time (the allocator the paper uses for both systems — §4.1 footnote).
+// Given a schedule, the planner derives each buffer's lifetime from the
+// liveness model, places buffers in order of first use, and reports the
+// arena high-water mark — the "with memory allocator" footprint numbers of
+// Figures 10/12(a)/15. Fragmentation makes this an upper bound on the pure
+// sum-of-live-activations footprint of Figure 12(b).
+#ifndef SERENITY_ALLOC_ARENA_PLANNER_H_
+#define SERENITY_ALLOC_ARENA_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/analysis.h"
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace serenity::alloc {
+
+enum class FitStrategy {
+  // TFLite's ArenaPlanner ("greedy by size"): place tensors in decreasing
+  // size order, each at the lowest offset free across its lifetime. The
+  // default, matching the allocator the paper uses for both systems.
+  kGreedyBySize,
+  kFirstFit,  // first-use order, lowest offset that fits
+  kBestFit,   // first-use order, tightest gap that fits
+};
+
+struct BufferPlacement {
+  graph::BufferId buffer = graph::kInvalidBuffer;
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+  int first_step = 0;  // step allocating the buffer (its first write)
+  int last_step = 0;   // step of its last use (end of schedule for sinks)
+};
+
+struct ArenaPlan {
+  std::vector<BufferPlacement> placements;  // buffers actually used
+  std::int64_t arena_bytes = 0;             // max(offset + size)
+  // Arena bytes in use at each schedule step: max over live placements of
+  // offset+size. This is the allocator-view footprint trace (Fig. 12(a)).
+  std::vector<std::int64_t> highwater_at_step;
+};
+
+// Plans the arena for `schedule`. `alignment` rounds every offset up
+// (TFLite uses 64-byte alignment by default).
+ArenaPlan PlanArena(const graph::Graph& graph,
+                    const graph::BufferUseTable& table,
+                    const sched::Schedule& schedule,
+                    FitStrategy strategy = FitStrategy::kGreedyBySize,
+                    std::int64_t alignment = 64);
+
+// Convenience overload building the use table internally.
+ArenaPlan PlanArena(const graph::Graph& graph,
+                    const sched::Schedule& schedule,
+                    FitStrategy strategy = FitStrategy::kGreedyBySize,
+                    std::int64_t alignment = 64);
+
+// True if no two placements with overlapping lifetimes overlap in address
+// range — the allocator's safety invariant (exercised by tests).
+bool ValidatePlacements(const ArenaPlan& plan);
+
+}  // namespace serenity::alloc
+
+#endif  // SERENITY_ALLOC_ARENA_PLANNER_H_

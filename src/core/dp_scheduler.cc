@@ -1,0 +1,215 @@
+#include "core/dp_scheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/analysis.h"
+#include "util/bitset.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace serenity::core {
+
+const char* ToString(DpStatus status) {
+  switch (status) {
+    case DpStatus::kSolution:
+      return "solution";
+    case DpStatus::kNoSolution:
+      return "no solution";
+    case DpStatus::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// One memoized state within a level. The signature (scheduled-node bitset)
+// is the key of the level's hash map; the entry stores everything needed to
+// extend and later reconstruct the schedule.
+struct StateEntry {
+  std::int64_t footprint = 0;   // µ — a function of the signature alone
+  std::int64_t peak_bytes = 0;  // best µpeak reaching this signature
+  std::int32_t prev_index = -1;  // index into the previous level's entries
+  graph::NodeId last_node = graph::kInvalidNode;
+};
+
+struct Level {
+  std::vector<util::Bitset64> keys;
+  std::vector<StateEntry> entries;
+  std::unordered_map<util::Bitset64, std::int32_t, util::Bitset64Hash> index;
+
+  std::size_t size() const { return entries.size(); }
+};
+
+class DpRunner {
+ public:
+  DpRunner(const graph::Graph& graph, const DpOptions& options)
+      : graph_(graph),
+        options_(options),
+        table_(graph::BufferUseTable::Build(graph)),
+        adjacency_(graph::BuildAdjacency(graph)),
+        num_nodes_(static_cast<std::size_t>(graph.num_nodes())) {}
+
+  DpResult Run() {
+    util::Stopwatch total_clock;
+    DpResult result;
+    levels_.resize(num_nodes_ + 1);
+
+    // Level 0: the empty schedule (Algorithm 1 line 4-5).
+    util::Bitset64 empty(num_nodes_);
+    levels_[0].keys.push_back(empty);
+    levels_[0].entries.push_back(StateEntry{});
+    levels_[0].index.emplace(std::move(empty), 0);
+
+    for (std::size_t i = 0; i < num_nodes_; ++i) {
+      util::Stopwatch level_clock;
+      Level& current = levels_[i];
+      Level& next = levels_[i + 1];
+      if (current.size() == 0) {
+        // Every prefix of length i was pruned: the budget is below µ*.
+        result.status = DpStatus::kNoSolution;
+        result.levels_completed = static_cast<int>(i);
+        result.states_expanded = states_expanded_;
+        result.transitions = transitions_;
+        result.seconds = total_clock.ElapsedSeconds();
+        return result;
+      }
+      for (std::size_t s = 0; s < current.size(); ++s) {
+        ExpandState(current, static_cast<std::int32_t>(s), next);
+        if ((s & 0x3f) == 0 &&
+            level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+          return Abort(DpStatus::kTimeout, i, total_clock);
+        }
+        if (states_expanded_ > options_.max_states) {
+          return Abort(DpStatus::kTimeout, i, total_clock);
+        }
+      }
+      // The hash index of the completed level is only needed while merging
+      // into it; free it early, keeping keys/entries for reconstruction.
+      next.index = {};
+      result.levels_completed = static_cast<int>(i) + 1;
+      if (level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+        return Abort(DpStatus::kTimeout, i, total_clock);
+      }
+    }
+
+    Level& last = levels_[num_nodes_];
+    if (last.size() == 0) {
+      result.status = DpStatus::kNoSolution;
+    } else {
+      // A DAG has exactly one full signature (Algorithm 1 line 27).
+      SERENITY_CHECK_EQ(last.size(), 1u);
+      result.status = DpStatus::kSolution;
+      result.peak_bytes = last.entries[0].peak_bytes;
+      result.schedule = Reconstruct();
+    }
+    result.states_expanded = states_expanded_;
+    result.transitions = transitions_;
+    result.seconds = total_clock.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  DpResult Abort(DpStatus status, std::size_t level,
+                 const util::Stopwatch& clock) {
+    DpResult result;
+    result.status = status;
+    result.levels_completed = static_cast<int>(level);
+    result.states_expanded = states_expanded_;
+    result.transitions = transitions_;
+    result.seconds = clock.ElapsedSeconds();
+    return result;
+  }
+
+  // Expands one memoized prefix by every schedulable node (Algorithm 1
+  // lines 9-24).
+  void ExpandState(Level& current, std::int32_t state_index, Level& next) {
+    const util::Bitset64& scheduled = current.keys[
+        static_cast<std::size_t>(state_index)];
+    const StateEntry entry = current.entries[
+        static_cast<std::size_t>(state_index)];
+    for (std::size_t u = 0; u < num_nodes_; ++u) {
+      if (scheduled.Test(u)) continue;
+      if (!adjacency_.preds[u].IsSubsetOf(scheduled)) continue;  // not ready
+      ++transitions_;
+      const graph::NodeId id = static_cast<graph::NodeId>(u);
+      const graph::Node& node = graph_.node(id);
+      const std::size_t own = static_cast<std::size_t>(node.buffer);
+
+      // Allocate the output on first write (Algorithm 1 line 13).
+      std::int64_t footprint = entry.footprint;
+      if (!table_.WriterScheduled(node.buffer, scheduled)) {
+        footprint += table_.buffers[own].size_bytes;
+      }
+      const std::int64_t step_peak = footprint;
+      if (step_peak > options_.budget_bytes) continue;  // prune (§3.2)
+      const std::int64_t peak = std::max(entry.peak_bytes, step_peak);
+
+      // Deallocate buffers whose last use is this node (lines 15-19).
+      for (const graph::BufferId b :
+           table_.touched_buffers[u]) {
+        const auto& use = table_.buffers[static_cast<std::size_t>(b)];
+        if (use.is_sink) continue;
+        // Freed iff every toucher is in scheduled ∪ {u}.
+        bool all_done = true;
+        use.touchers.ForEachSetBit([&](std::size_t t) {
+          if (t != u && !scheduled.Test(t)) all_done = false;
+        });
+        if (all_done) footprint -= use.size_bytes;
+      }
+
+      util::Bitset64 next_key = scheduled;
+      next_key.Set(u);
+      auto [it, inserted] = next.index.try_emplace(
+          std::move(next_key), static_cast<std::int32_t>(next.size()));
+      if (inserted) {
+        ++states_expanded_;
+        next.keys.push_back(it->first);
+        next.entries.push_back(
+            StateEntry{footprint, peak, state_index, id});
+      } else {
+        StateEntry& existing =
+            next.entries[static_cast<std::size_t>(it->second)];
+        // Same signature ⇒ same µ; keep the better peak (line 21-22).
+        SERENITY_CHECK_EQ(existing.footprint, footprint);
+        if (peak < existing.peak_bytes) {
+          existing.peak_bytes = peak;
+          existing.prev_index = state_index;
+          existing.last_node = id;
+        }
+      }
+    }
+  }
+
+  sched::Schedule Reconstruct() const {
+    sched::Schedule schedule(num_nodes_, graph::kInvalidNode);
+    std::int32_t index = 0;
+    for (std::size_t i = num_nodes_; i > 0; --i) {
+      const StateEntry& entry =
+          levels_[i].entries[static_cast<std::size_t>(index)];
+      schedule[i - 1] = entry.last_node;
+      index = entry.prev_index;
+    }
+    return schedule;
+  }
+
+  const graph::Graph& graph_;
+  const DpOptions options_;
+  const graph::BufferUseTable table_;
+  const graph::AdjacencyBitsets adjacency_;
+  const std::size_t num_nodes_;
+  std::vector<Level> levels_;
+  std::uint64_t states_expanded_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace
+
+DpResult ScheduleDp(const graph::Graph& graph, const DpOptions& options) {
+  SERENITY_CHECK_GT(graph.num_nodes(), 0) << "cannot schedule an empty graph";
+  return DpRunner(graph, options).Run();
+}
+
+}  // namespace serenity::core

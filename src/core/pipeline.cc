@@ -1,0 +1,91 @@
+#include "core/pipeline.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace serenity::core {
+
+PipelineResult Pipeline::Run(const graph::Graph& graph) const {
+  util::Stopwatch total_clock;
+  PipelineResult result;
+
+  // Stage 1: identity graph rewriting.
+  util::Stopwatch stage_clock;
+  if (options_.enable_rewriting) {
+    rewrite::RewriteResult rewritten =
+        rewrite::RewriteGraph(graph, options_.rewrite);
+    result.scheduled_graph = std::move(rewritten.graph);
+    result.rewrite_report = rewritten.report;
+  } else {
+    result.scheduled_graph = graph;
+    result.rewrite_report.nodes_before = graph.num_nodes();
+    result.rewrite_report.nodes_after = graph.num_nodes();
+  }
+  result.rewrite_seconds = stage_clock.ElapsedSeconds();
+
+  // Stage 2: divide and conquer.
+  stage_clock.Restart();
+  Partition partition;
+  if (options_.enable_partitioning) {
+    partition = PartitionAtCuts(result.scheduled_graph, options_.partition);
+  } else {
+    // One segment: the whole graph.
+    Segment whole;
+    whole.subgraph = result.scheduled_graph;
+    whole.orig_ids.resize(
+        static_cast<std::size_t>(result.scheduled_graph.num_nodes()));
+    for (graph::NodeId id = 0; id < result.scheduled_graph.num_nodes();
+         ++id) {
+      whole.orig_ids[static_cast<std::size_t>(id)] = id;
+    }
+    partition.segments.push_back(std::move(whole));
+  }
+  result.segment_sizes = partition.SegmentSizes();
+  result.partition_seconds = stage_clock.ElapsedSeconds();
+
+  // Stage 3: schedule each segment (conquer), then combine.
+  stage_clock.Restart();
+  std::vector<sched::Schedule> segment_schedules;
+  segment_schedules.reserve(partition.segments.size());
+  for (const Segment& segment : partition.segments) {
+    if (options_.enable_soft_budgeting) {
+      SoftBudgetResult sb =
+          ScheduleWithSoftBudget(segment.subgraph, options_.soft_budget);
+      result.states_expanded += sb.TotalStates();
+      if (sb.status != DpStatus::kSolution) {
+        result.failure_reason = "segment '" + segment.subgraph.name() +
+                                "' did not converge: " + ToString(sb.status);
+        result.schedule_seconds = stage_clock.ElapsedSeconds();
+        result.total_seconds = total_clock.ElapsedSeconds();
+        return result;
+      }
+      segment_schedules.push_back(std::move(sb.schedule));
+    } else {
+      const DpResult dp = ScheduleDp(segment.subgraph, options_.dp);
+      result.states_expanded += dp.states_expanded;
+      if (dp.status != DpStatus::kSolution) {
+        result.failure_reason = "segment '" + segment.subgraph.name() +
+                                "' failed: " + ToString(dp.status);
+        result.schedule_seconds = stage_clock.ElapsedSeconds();
+        result.total_seconds = total_clock.ElapsedSeconds();
+        return result;
+      }
+      segment_schedules.push_back(dp.schedule);
+    }
+  }
+  result.schedule = CombineSegmentSchedules(partition, segment_schedules);
+  result.schedule_seconds = stage_clock.ElapsedSeconds();
+
+  SERENITY_CHECK(
+      sched::IsTopologicalOrder(result.scheduled_graph, result.schedule))
+      << "combined schedule is not a valid topological order";
+  result.peak_bytes =
+      sched::PeakFootprint(result.scheduled_graph, result.schedule);
+  result.success = true;
+  result.total_seconds = total_clock.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace serenity::core

@@ -1,0 +1,68 @@
+// The end-to-end SERENITY pipeline (paper Fig. 4):
+//
+//   G --IdentityGraphRewriter--> G' --divide&conquer--> segments
+//     --DP + adaptive soft budgeting--> per-segment schedules --combine--> s*
+//
+// Pipeline::Run is the one-call public entry point used by the examples and
+// benches; each stage can be toggled for the ablations in Table 2/Figure 13.
+#ifndef SERENITY_CORE_PIPELINE_H_
+#define SERENITY_CORE_PIPELINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dp_scheduler.h"
+#include "core/partitioner.h"
+#include "core/soft_budget.h"
+#include "graph/graph.h"
+#include "rewrite/rewriter.h"
+#include "sched/schedule.h"
+
+namespace serenity::core {
+
+struct PipelineOptions {
+  // Stage toggles. All on = full SERENITY; rewrite off = the paper's
+  // "Dynamic Programming + Memory Allocator" configuration.
+  bool enable_rewriting = true;
+  bool enable_partitioning = true;
+  bool enable_soft_budgeting = true;
+
+  rewrite::RewriteOptions rewrite;
+  PartitionOptions partition;
+  SoftBudgetOptions soft_budget;
+  // Used when soft budgeting is disabled (plain Algorithm 1 per segment).
+  DpOptions dp;
+};
+
+struct PipelineResult {
+  bool success = false;        // false iff some segment hit kTimeout
+  std::string failure_reason;  // human-readable, set when !success
+
+  graph::Graph scheduled_graph;  // the (possibly rewritten) graph s* indexes
+  sched::Schedule schedule;      // s*, over scheduled_graph's node ids
+  std::int64_t peak_bytes = -1;  // µpeak of s* on scheduled_graph
+
+  rewrite::RewriteReport rewrite_report;  // zeros when rewriting disabled
+  std::vector<int> segment_sizes;         // Table 2's "{21, 19, 22}"
+  std::uint64_t states_expanded = 0;      // summed across segments/attempts
+  double rewrite_seconds = 0.0;
+  double partition_seconds = 0.0;
+  double schedule_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {})
+      : options_(std::move(options)) {}
+
+  PipelineResult Run(const graph::Graph& graph) const;
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace serenity::core
+
+#endif  // SERENITY_CORE_PIPELINE_H_

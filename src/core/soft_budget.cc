@@ -1,0 +1,82 @@
+#include "core/soft_budget.h"
+
+#include <algorithm>
+
+#include "sched/baselines.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace serenity::core {
+
+SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
+                                        const SoftBudgetOptions& options) {
+  util::Stopwatch clock;
+  SoftBudgetResult result;
+
+  // Hard budget τmax: the peak of Kahn's schedule (Algorithm 2 line 3).
+  // Any τ ≥ τmax admits at least that schedule, so τmax is always feasible.
+  const sched::Schedule kahn = sched::KahnFifoSchedule(graph);
+  result.tau_max = sched::PeakFootprint(graph, kahn);
+
+  // Binary-search window: µ* lies in (lo, hi]. lo rises on 'no solution'
+  // (τ < µ*), hi falls on... nothing — a timeout says nothing about µ*, only
+  // that this τ explores too slowly, so it bounds the *search* from above.
+  std::int64_t lo = 0;
+  std::int64_t hi = result.tau_max;
+  std::int64_t tau = result.tau_max;
+
+  DpOptions dp_options;
+  dp_options.step_timeout_seconds = options.step_timeout_seconds;
+  dp_options.max_states = options.max_states_per_attempt;
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    dp_options.budget_bytes = tau;
+    const DpResult attempt = ScheduleDp(graph, dp_options);
+    result.attempts.push_back(BudgetAttempt{tau, attempt.status,
+                                            attempt.states_expanded,
+                                            attempt.seconds});
+    if (attempt.status == DpStatus::kSolution) {
+      result.status = DpStatus::kSolution;
+      result.schedule = attempt.schedule;
+      result.peak_bytes = attempt.peak_bytes;
+      result.tau_final = tau;
+      result.total_seconds = clock.ElapsedSeconds();
+      return result;
+    }
+    if (attempt.status == DpStatus::kTimeout) {
+      // Too many surviving paths: tighten the budget (Algorithm 2 line 11).
+      hi = tau;
+      tau = lo + (tau - lo) / 2;
+    } else {  // kNoSolution: pruned the optimum away (line 14)
+      lo = tau;
+      tau = tau + (hi - tau) / 2;
+    }
+    if (tau <= lo || tau >= hi) break;  // window degenerated
+  }
+
+  // Fallback: one untimed run at τmax, the only budget known feasible
+  // (timeouts say nothing about feasibility, and every 'no solution' τ is
+  // infeasible). The state cap is kept as a memory guard — if even this run
+  // exceeds it, the graph is genuinely intractable at this granularity and
+  // the caller sees kTimeout (the paper's "N/A: infeasible within practical
+  // time").
+  result.used_fallback = true;
+  DpOptions fallback;
+  fallback.budget_bytes = result.tau_max;
+  fallback.max_states = std::max<std::uint64_t>(
+      options.max_states_per_attempt * 4, 4'000'000);
+  const DpResult final_run = ScheduleDp(graph, fallback);
+  result.attempts.push_back(BudgetAttempt{result.tau_max, final_run.status,
+                                          final_run.states_expanded,
+                                          final_run.seconds});
+  result.status = final_run.status;
+  if (final_run.status == DpStatus::kSolution) {
+    result.schedule = final_run.schedule;
+    result.peak_bytes = final_run.peak_bytes;
+    result.tau_final = result.tau_max;
+  }
+  result.total_seconds = clock.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace serenity::core

@@ -1,0 +1,68 @@
+// Adaptive soft budgeting — the paper's Algorithm 2 (§3.2, Fig. 8).
+//
+// The DP scheduler prunes transitions above a soft budget τ. The right τ is
+// unknown a priori: too small prunes away every path ('no solution'), too
+// large explores too many states ('timeout'). The meta-search starts from
+// the hard budget τmax — the peak footprint of Kahn's O(|V|+|E|) schedule,
+// always feasible — and binary-searches τ: halve on timeout, move halfway
+// back up toward the last known-too-slow value on no-solution, stop at the
+// first solution.
+//
+// Engineering clarifications over the paper's pseudocode (documented in
+// DESIGN.md §3.3): the search window [lo, hi] is explicit (lo = largest τ
+// that returned no-solution, hi = smallest τ that returned timeout), and if
+// the window degenerates without a solution the scheduler falls back to one
+// uncapped run at τmax, which is guaranteed to terminate with the optimal
+// schedule (it is plain Algorithm 1 with a feasible budget).
+#ifndef SERENITY_CORE_SOFT_BUDGET_H_
+#define SERENITY_CORE_SOFT_BUDGET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dp_scheduler.h"
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace serenity::core {
+
+struct SoftBudgetOptions {
+  // The paper's per-search-step limit T. Applied to each DP level.
+  double step_timeout_seconds = 1.0;
+  // State cap per DP attempt; exceeding it counts as a timeout signal.
+  std::uint64_t max_states_per_attempt = 2'000'000;
+  // Hard cap on meta-search iterations (binary search halves the byte range,
+  // so convergence is well under this in practice).
+  int max_iterations = 64;
+};
+
+struct BudgetAttempt {
+  std::int64_t budget_bytes = 0;
+  DpStatus status = DpStatus::kTimeout;
+  std::uint64_t states_expanded = 0;
+  double seconds = 0.0;
+};
+
+struct SoftBudgetResult {
+  DpStatus status = DpStatus::kTimeout;  // kSolution unless the graph is empty
+  sched::Schedule schedule;
+  std::int64_t peak_bytes = -1;
+  std::int64_t tau_max = 0;    // hard budget from Kahn's schedule
+  std::int64_t tau_final = 0;  // budget that produced the solution
+  bool used_fallback = false;  // degenerated to the uncapped τmax run
+  std::vector<BudgetAttempt> attempts;
+  double total_seconds = 0.0;
+
+  std::uint64_t TotalStates() const {
+    std::uint64_t total = 0;
+    for (const BudgetAttempt& a : attempts) total += a.states_expanded;
+    return total;
+  }
+};
+
+SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
+                                        const SoftBudgetOptions& options = {});
+
+}  // namespace serenity::core
+
+#endif  // SERENITY_CORE_SOFT_BUDGET_H_

@@ -1,0 +1,242 @@
+#include "graph/builder.h"
+
+#include <functional>
+
+namespace serenity::graph {
+
+GraphBuilder::GraphBuilder(std::string graph_name, DataType dtype)
+    : graph_(std::move(graph_name)), dtype_(dtype) {}
+
+std::string GraphBuilder::AutoName(const char* stem) {
+  return std::string(stem) + "_" + std::to_string(anon_counter_++);
+}
+
+std::uint64_t GraphBuilder::NextWeightSeed() {
+  // Mix the graph name into the seed stream so two different models do not
+  // share weights, while keeping the stream reproducible per model.
+  const std::uint64_t base = std::hash<std::string>{}(graph_.name());
+  return base ^ (0x9e3779b97f4a7c15ull * ++seed_counter_);
+}
+
+NodeId GraphBuilder::AddOp(Node node) {
+  if (node.name.empty()) node.name = AutoName(ToString(node.kind));
+  node.dtype = dtype_;
+  return graph_.AddNode(std::move(node));
+}
+
+NodeId GraphBuilder::Input(const TensorShape& shape, const std::string& name) {
+  Node n;
+  n.kind = OpKind::kInput;
+  n.shape = shape;
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::Conv2d(NodeId input, int out_channels, int kernel,
+                            int stride, Padding padding, int dilation,
+                            const std::string& name) {
+  const TensorShape in_shape = shape(input);
+  Node n;
+  n.kind = OpKind::kConv2d;
+  n.conv = ConvAttrs{kernel, kernel, stride, dilation, padding};
+  n.shape = InferConv2dShape(in_shape, n.conv, out_channels);
+  n.inputs = {input};
+  n.name = name;
+  n.weight_seed = NextWeightSeed();
+  n.weight_in_channels = in_shape.c;
+  n.weight_count = static_cast<std::int64_t>(kernel) * kernel * in_shape.c *
+                       out_channels +
+                   out_channels;  // + bias
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::DepthwiseConv2d(NodeId input, int kernel, int stride,
+                                     Padding padding, int dilation,
+                                     const std::string& name) {
+  const TensorShape in_shape = shape(input);
+  Node n;
+  n.kind = OpKind::kDepthwiseConv2d;
+  n.conv = ConvAttrs{kernel, kernel, stride, dilation, padding};
+  n.shape = InferDepthwiseShape(in_shape, n.conv);
+  n.inputs = {input};
+  n.name = name;
+  n.weight_seed = NextWeightSeed();
+  n.weight_in_channels = in_shape.c;
+  n.weight_count =
+      static_cast<std::int64_t>(kernel) * kernel * in_shape.c + in_shape.c;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::Conv1x1(NodeId input, int out_channels,
+                             const std::string& name) {
+  return Conv2d(input, out_channels, /*kernel=*/1, /*stride=*/1,
+                Padding::kSame, /*dilation=*/1, name);
+}
+
+NodeId GraphBuilder::Concat(const std::vector<NodeId>& inputs,
+                            const std::string& name) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  TensorShape out = shape(inputs[0]);
+  out.c = 0;
+  for (NodeId input : inputs) out.c += shape(input).c;
+  Node n;
+  n.kind = OpKind::kConcat;
+  n.shape = out;
+  n.inputs = inputs;
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::Add(const std::vector<NodeId>& inputs,
+                         const std::string& name) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  Node n;
+  n.kind = OpKind::kAdd;
+  n.shape = shape(inputs[0]);
+  n.inputs = inputs;
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::Mul(const std::vector<NodeId>& inputs,
+                         const std::string& name) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  Node n;
+  n.kind = OpKind::kMul;
+  n.shape = shape(inputs[0]);
+  n.inputs = inputs;
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::Relu(NodeId input, const std::string& name) {
+  Node n;
+  n.kind = OpKind::kRelu;
+  n.shape = shape(input);
+  n.inputs = {input};
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::BatchNorm(NodeId input, const std::string& name) {
+  Node n;
+  n.kind = OpKind::kBatchNorm;
+  n.shape = shape(input);
+  n.inputs = {input};
+  n.name = name;
+  n.weight_seed = NextWeightSeed();
+  n.weight_count = 2 * static_cast<std::int64_t>(n.shape.c);
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::Identity(NodeId input, const std::string& name) {
+  Node n;
+  n.kind = OpKind::kIdentity;
+  n.shape = shape(input);
+  n.inputs = {input};
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::MaxPool2d(NodeId input, int kernel, int stride,
+                               Padding padding, const std::string& name) {
+  Node n;
+  n.kind = OpKind::kMaxPool2d;
+  n.conv = ConvAttrs{kernel, kernel, stride, /*dilation=*/1, padding};
+  n.shape = InferPoolShape(shape(input), n.conv);
+  n.inputs = {input};
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::AvgPool2d(NodeId input, int kernel, int stride,
+                               Padding padding, const std::string& name) {
+  Node n;
+  n.kind = OpKind::kAvgPool2d;
+  n.conv = ConvAttrs{kernel, kernel, stride, /*dilation=*/1, padding};
+  n.shape = InferPoolShape(shape(input), n.conv);
+  n.inputs = {input};
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::GlobalAvgPool2d(NodeId input, const std::string& name) {
+  const TensorShape in_shape = shape(input);
+  Node n;
+  n.kind = OpKind::kGlobalAvgPool2d;
+  n.shape = TensorShape{in_shape.n, 1, 1, in_shape.c};
+  n.inputs = {input};
+  n.name = name;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::Dense(NodeId input, int units, const std::string& name) {
+  const TensorShape in_shape = shape(input);
+  Node n;
+  n.kind = OpKind::kDense;
+  n.shape = TensorShape{in_shape.n, 1, 1, units};
+  n.inputs = {input};
+  n.name = name;
+  n.weight_seed = NextWeightSeed();
+  n.weight_in_channels = static_cast<int>(in_shape.NumElements());
+  n.weight_count = in_shape.NumElements() * units + units;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::FusedCell(const std::vector<NodeId>& inputs,
+                               int out_channels, int stride,
+                               const std::string& name) {
+  SERENITY_CHECK(!inputs.empty());
+  const TensorShape in_shape = shape(inputs[0]);
+  Node n;
+  n.kind = OpKind::kFusedCell;
+  n.conv = ConvAttrs{3, 3, stride, /*dilation=*/1, Padding::kSame};
+  n.shape = InferConv2dShape(in_shape, n.conv, out_channels);
+  n.inputs = inputs;
+  n.name = name;
+  n.weight_seed = NextWeightSeed();
+  n.weight_in_channels = in_shape.c;
+  // depthwise 3x3 + pointwise in_c x out_c + BN.
+  n.weight_count = 9LL * in_shape.c + in_shape.c +
+                   static_cast<std::int64_t>(in_shape.c) * out_channels +
+                   out_channels + 2LL * out_channels;
+  return AddOp(std::move(n));
+}
+
+NodeId GraphBuilder::ReluConvBn(NodeId input, int out_channels, int kernel,
+                                int stride, const std::string& prefix) {
+  const std::string p = prefix.empty() ? AutoName("rcb") : prefix;
+  NodeId x = Relu(input, p + "/relu");
+  x = Conv2d(x, out_channels, kernel, stride, Padding::kSame, 1, p + "/conv");
+  return BatchNorm(x, p + "/bn");
+}
+
+NodeId GraphBuilder::SepConv(NodeId input, int out_channels, int kernel,
+                             int stride, const std::string& prefix) {
+  const std::string p = prefix.empty() ? AutoName("sep") : prefix;
+  NodeId x = Relu(input, p + "/relu1");
+  x = DepthwiseConv2d(x, kernel, stride, Padding::kSame, 1, p + "/dw1");
+  x = Conv1x1(x, out_channels, p + "/pw1");
+  x = BatchNorm(x, p + "/bn1");
+  x = Relu(x, p + "/relu2");
+  x = DepthwiseConv2d(x, kernel, /*stride=*/1, Padding::kSame, 1, p + "/dw2");
+  x = Conv1x1(x, out_channels, p + "/pw2");
+  return BatchNorm(x, p + "/bn2");
+}
+
+NodeId GraphBuilder::DilConv(NodeId input, int out_channels, int kernel,
+                             int stride, const std::string& prefix) {
+  const std::string p = prefix.empty() ? AutoName("dil") : prefix;
+  NodeId x = Relu(input, p + "/relu");
+  x = DepthwiseConv2d(x, kernel, stride, Padding::kSame, /*dilation=*/2,
+                      p + "/dw");
+  x = Conv1x1(x, out_channels, p + "/pw");
+  return BatchNorm(x, p + "/bn");
+}
+
+Graph GraphBuilder::Build() && {
+  graph_.ValidateOrDie();
+  return std::move(graph_);
+}
+
+}  // namespace serenity::graph

@@ -1,0 +1,87 @@
+// Fluent construction API for SERENITY graphs.
+//
+// GraphBuilder performs shape inference, assigns deterministic weight seeds
+// (so the reference runtime can materialize identical synthetic weights for
+// a graph and its rewritten twin), and computes per-op parameter counts.
+// All model generators (src/models/) and most tests build graphs through it.
+#ifndef SERENITY_GRAPH_BUILDER_H_
+#define SERENITY_GRAPH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace serenity::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string graph_name,
+                        DataType dtype = DataType::kFloat32);
+
+  // --- Op constructors. Each returns the new node's id. ---
+  NodeId Input(const TensorShape& shape, const std::string& name = "");
+
+  NodeId Conv2d(NodeId input, int out_channels, int kernel, int stride = 1,
+                Padding padding = Padding::kSame, int dilation = 1,
+                const std::string& name = "");
+  NodeId DepthwiseConv2d(NodeId input, int kernel, int stride = 1,
+                         Padding padding = Padding::kSame, int dilation = 1,
+                         const std::string& name = "");
+  // Pointwise conv (1x1); common enough to deserve a shorthand.
+  NodeId Conv1x1(NodeId input, int out_channels,
+                 const std::string& name = "");
+
+  NodeId Concat(const std::vector<NodeId>& inputs,
+                const std::string& name = "");
+  NodeId Add(const std::vector<NodeId>& inputs, const std::string& name = "");
+  NodeId Mul(const std::vector<NodeId>& inputs, const std::string& name = "");
+  NodeId Relu(NodeId input, const std::string& name = "");
+  NodeId BatchNorm(NodeId input, const std::string& name = "");
+  NodeId Identity(NodeId input, const std::string& name = "");
+  NodeId MaxPool2d(NodeId input, int kernel, int stride = 1,
+                   Padding padding = Padding::kSame,
+                   const std::string& name = "");
+  NodeId AvgPool2d(NodeId input, int kernel, int stride = 1,
+                   Padding padding = Padding::kSame,
+                   const std::string& name = "");
+  NodeId GlobalAvgPool2d(NodeId input, const std::string& name = "");
+  NodeId Dense(NodeId input, int units, const std::string& name = "");
+
+  // RandWire macro node: sum(inputs) -> ReLU -> separable 3x3 conv -> BN,
+  // fused into a single schedulable unit with one output activation
+  // (matching the node granularity the paper schedules RandWire at).
+  NodeId FusedCell(const std::vector<NodeId>& inputs, int out_channels,
+                   int stride = 1, const std::string& name = "");
+
+  // --- Composite helpers used by the model zoo ---
+  // ReLU -> conv -> BN (a ConvBNReLU in pre-activation order, as in DARTS).
+  NodeId ReluConvBn(NodeId input, int out_channels, int kernel,
+                    int stride = 1, const std::string& prefix = "");
+  // DARTS separable conv: (ReLU -> DW(k, stride) -> PW -> BN) x 2.
+  NodeId SepConv(NodeId input, int out_channels, int kernel, int stride = 1,
+                 const std::string& prefix = "");
+  // DARTS dilated separable conv: ReLU -> DW(k, dilation 2) -> PW -> BN.
+  NodeId DilConv(NodeId input, int out_channels, int kernel, int stride = 1,
+                 const std::string& prefix = "");
+
+  const Graph& graph() const { return graph_; }
+  const TensorShape& shape(NodeId id) const { return graph_.node(id).shape; }
+
+  // Validates and returns the finished graph.
+  Graph Build() &&;
+
+ private:
+  NodeId AddOp(Node node);
+  std::uint64_t NextWeightSeed();
+
+  Graph graph_;
+  DataType dtype_;
+  std::uint64_t seed_counter_ = 0;
+  int anon_counter_ = 0;
+  std::string AutoName(const char* stem);
+};
+
+}  // namespace serenity::graph
+
+#endif  // SERENITY_GRAPH_BUILDER_H_

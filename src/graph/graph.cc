@@ -1,0 +1,278 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace serenity::graph {
+
+NodeId AddNodeImplCheck(const Node& node, int num_nodes) {
+  for (NodeId input : node.inputs) {
+    SERENITY_CHECK_GE(input, 0) << "node '" << node.name << "' has invalid input";
+    SERENITY_CHECK_LT(input, num_nodes)
+        << "node '" << node.name << "' references future node " << input
+        << "; graphs are built in topological insertion order";
+  }
+  return static_cast<NodeId>(num_nodes);
+}
+
+NodeId Graph::AddNode(Node node) {
+  node.id = AddNodeImplCheck(node, num_nodes());
+  if (node.buffer == kInvalidBuffer) {
+    SERENITY_CHECK(!MayAliasBuffer(node.kind))
+        << "aliasing op '" << node.name << "' must be given an explicit buffer";
+    node.buffer = AddBuffer(node.OutputBytes());
+  } else {
+    SERENITY_CHECK_GE(node.buffer, 0);
+    SERENITY_CHECK_LT(node.buffer, num_buffers());
+  }
+  num_edges_ += static_cast<int>(node.inputs.size());
+  for (NodeId input : node.inputs) {
+    auto& list = consumers_[static_cast<std::size_t>(input)];
+    if (std::find(list.begin(), list.end(), node.id) == list.end()) {
+      list.push_back(node.id);
+    }
+  }
+  consumers_.emplace_back();
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+BufferId Graph::AddBuffer(std::int64_t size_bytes) {
+  SERENITY_CHECK_GE(size_bytes, 0);
+  buffers_.push_back(Buffer{size_bytes});
+  return static_cast<BufferId>(buffers_.size() - 1);
+}
+
+std::vector<NodeId> Graph::Sources() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.inputs.empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::Sinks() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (consumers(n.id).empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+namespace {
+
+void ValidateNodeShapes(const Graph& graph, const Node& node,
+                        std::vector<std::string>& problems) {
+  const auto problem = [&](const std::string& msg) {
+    std::ostringstream os;
+    os << "node " << node.id << " ('" << node.name << "', "
+       << ToString(node.kind) << "): " << msg;
+    problems.push_back(os.str());
+  };
+  const auto in_shape = [&](std::size_t i) {
+    return graph.node(node.inputs[i]).shape;
+  };
+  switch (node.kind) {
+    case OpKind::kInput:
+      if (!node.inputs.empty()) problem("input op must have no operands");
+      break;
+    case OpKind::kConv2d:
+    case OpKind::kPartialConv2d:
+      if (node.inputs.size() != 1) problem("expects exactly one operand");
+      break;
+    case OpKind::kPartialConv2dAccum:
+      // Operand 0 is the running accumulator, operand 1 the input slice.
+      if (node.inputs.size() != 2) problem("expects accumulator + input");
+      if (node.inputs.size() == 2 &&
+          graph.node(node.inputs[0]).buffer != node.buffer) {
+        problem("accumulator operand must share the output buffer");
+      }
+      if (node.inputs.size() == 2 && !(in_shape(0) == node.shape)) {
+        problem("accumulator shape must equal output shape");
+      }
+      break;
+    case OpKind::kDepthwiseConv2d:
+    case OpKind::kPartialDepthwiseConv2d:
+      if (node.inputs.size() != 1) problem("expects exactly one operand");
+      break;
+    case OpKind::kConcat:
+    case OpKind::kConcatView: {
+      if (node.inputs.size() < 2) {
+        problem("expects at least two operands");
+        break;
+      }
+      int channel_sum = 0;
+      for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+        const TensorShape s = in_shape(i);
+        channel_sum += s.c;
+        if (s.n != node.shape.n || s.h != node.shape.h ||
+            s.w != node.shape.w) {
+          problem("operand spatial dims mismatch concat output");
+        }
+      }
+      if (channel_sum != node.shape.c) {
+        problem("operand channels do not sum to output channels");
+      }
+      if (node.kind == OpKind::kConcatView) {
+        for (NodeId input : node.inputs) {
+          if (graph.node(input).buffer != node.buffer) {
+            problem("concat-view operand must live in the shared buffer");
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kAdd:
+    case OpKind::kMul:
+      if (node.inputs.size() < 2) problem("expects at least two operands");
+      for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+        if (!(in_shape(i) == node.shape)) {
+          problem("elementwise operand shape mismatch");
+        }
+      }
+      break;
+    case OpKind::kRelu:
+    case OpKind::kBatchNorm:
+    case OpKind::kIdentity:
+      if (node.inputs.size() != 1) problem("expects exactly one operand");
+      if (!node.inputs.empty() && !(in_shape(0) == node.shape)) {
+        problem("unary elementwise op must preserve shape");
+      }
+      break;
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+      if (node.inputs.size() != 1) problem("expects exactly one operand");
+      if (!node.inputs.empty() && in_shape(0).c != node.shape.c) {
+        problem("pooling must preserve channels");
+      }
+      break;
+    case OpKind::kGlobalAvgPool2d:
+      if (node.inputs.size() != 1) problem("expects exactly one operand");
+      if (node.shape.h != 1 || node.shape.w != 1) {
+        problem("global pool output must be 1x1 spatial");
+      }
+      break;
+    case OpKind::kDense:
+      if (node.inputs.size() != 1) problem("expects exactly one operand");
+      break;
+    case OpKind::kFusedCell:
+      if (node.inputs.empty()) problem("expects at least one operand");
+      for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+        if (!(in_shape(i) == in_shape(0))) {
+          problem("fused-cell operands must agree in shape");
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> Graph::Validate() const {
+  std::vector<std::string> problems;
+  // Referential integrity and acyclicity. AddNode enforces inputs < id, which
+  // makes insertion order a topological order; verify the invariant held.
+  for (const Node& n : nodes_) {
+    for (NodeId input : n.inputs) {
+      if (input < 0 || input >= num_nodes()) {
+        problems.push_back("node " + std::to_string(n.id) +
+                           " has out-of-range input");
+      } else if (input >= n.id) {
+        problems.push_back("node " + std::to_string(n.id) +
+                           " breaks topological insertion order");
+      }
+    }
+    if (n.buffer < 0 || n.buffer >= num_buffers()) {
+      problems.push_back("node " + std::to_string(n.id) +
+                         " has out-of-range buffer");
+      continue;
+    }
+    const std::int64_t buffer_bytes = buffer(n.buffer).size_bytes;
+    // A value must fit inside its buffer (equality for non-aliasing ops).
+    const std::int64_t value_bytes = n.OutputBytes();
+    if (MayAliasBuffer(n.kind) || n.kind == OpKind::kPartialConv2d) {
+      if (value_bytes > buffer_bytes) {
+        problems.push_back("node " + std::to_string(n.id) +
+                           " value exceeds its shared buffer");
+      }
+      if (n.buffer_channel_offset < 0) {
+        problems.push_back("node " + std::to_string(n.id) +
+                           " negative buffer channel offset");
+      }
+    } else if (value_bytes != buffer_bytes) {
+      problems.push_back("node " + std::to_string(n.id) +
+                         " buffer size mismatch: value " +
+                         std::to_string(value_bytes) + "B vs buffer " +
+                         std::to_string(buffer_bytes) + "B");
+    }
+    if (n.shape.n <= 0 || n.shape.h <= 0 || n.shape.w <= 0 || n.shape.c <= 0) {
+      problems.push_back("node " + std::to_string(n.id) +
+                         " has non-positive shape dimension");
+    }
+  }
+  if (!problems.empty()) return problems;  // shape checks need valid refs
+  for (const Node& n : nodes_) {
+    ValidateNodeShapes(*this, n, problems);
+  }
+  return problems;
+}
+
+void Graph::ValidateOrDie() const {
+  const std::vector<std::string> problems = Validate();
+  if (problems.empty()) return;
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "graph '%s': %s\n", name_.c_str(), p.c_str());
+  }
+  SERENITY_CHECK(false) << "graph validation failed with " << problems.size()
+                        << " problem(s)";
+}
+
+std::int64_t NodeMacs(const Node& node, const Graph& graph) {
+  const std::int64_t out_elems = node.shape.NumElements();
+  switch (node.kind) {
+    case OpKind::kConv2d:
+      return out_elems * node.conv.kernel_h * node.conv.kernel_w *
+             graph.node(node.inputs[0]).shape.c;
+    case OpKind::kPartialConv2d:
+      return out_elems * node.conv.kernel_h * node.conv.kernel_w *
+             graph.node(node.inputs[0]).shape.c;
+    case OpKind::kPartialConv2dAccum:
+      // Operand 1 is the input slice; operand 0 is the accumulator.
+      return out_elems * node.conv.kernel_h * node.conv.kernel_w *
+             graph.node(node.inputs[1]).shape.c;
+    case OpKind::kDepthwiseConv2d:
+    case OpKind::kPartialDepthwiseConv2d:
+      return out_elems * node.conv.kernel_h * node.conv.kernel_w;
+    case OpKind::kFusedCell: {
+      // sum of inputs + relu are free-ish; count the separable conv:
+      // depthwise 3x3 plus pointwise 1x1.
+      const int in_c = graph.node(node.inputs[0]).shape.c;
+      return out_elems * node.conv.kernel_h * node.conv.kernel_w +
+             out_elems * in_c;
+    }
+    case OpKind::kDense:
+      return graph.node(node.inputs[0]).shape.NumElements() * node.shape.c;
+    case OpKind::kAdd:
+    case OpKind::kMul:
+      return out_elems * static_cast<std::int64_t>(node.inputs.size() - 1);
+    case OpKind::kBatchNorm:
+      return out_elems;
+    default:
+      return 0;
+  }
+}
+
+std::int64_t CountMacs(const Graph& graph) {
+  std::int64_t total = 0;
+  for (const Node& n : graph.nodes()) total += NodeMacs(n, graph);
+  return total;
+}
+
+std::int64_t CountWeights(const Graph& graph) {
+  std::int64_t total = 0;
+  for (const Node& n : graph.nodes()) total += n.weight_count;
+  return total;
+}
+
+}  // namespace serenity::graph

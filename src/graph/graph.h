@@ -1,0 +1,129 @@
+// The SERENITY intermediate representation: a DAG of operator nodes whose
+// output values map onto activation buffers.
+//
+// Values vs. buffers (DESIGN.md §3.1): every node defines one value; by
+// default each value owns a fresh buffer sized to its output tensor. The
+// identity graph rewriter introduces ops whose value lives inside an
+// existing buffer (in-place accumulation, concat views), which is how the
+// paper's µpeak = max_i(|x_i| + |y|) memory behaviour is expressed without
+// special-casing the scheduler.
+#ifndef SERENITY_GRAPH_GRAPH_H_
+#define SERENITY_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace serenity::graph {
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  OpKind kind = OpKind::kIdentity;
+  DataType dtype = DataType::kFloat32;
+  TensorShape shape;            // output tensor shape
+  std::vector<NodeId> inputs;   // data dependencies, in operand order
+  ConvAttrs conv;               // meaningful iff IsConvLike(kind)
+  int concat_axis = 3;          // channel axis for concat/concat-view
+
+  // Output buffer. kInvalidBuffer at AddNode time means "allocate a fresh
+  // buffer sized to `shape`".
+  BufferId buffer = kInvalidBuffer;
+  // Channel offset of this value inside its buffer (used by partial
+  // depthwise convolutions writing into a slice of the shared output).
+  int buffer_channel_offset = 0;
+
+  // Identity-preservation metadata for the reference runtime: partial ops
+  // must read the same (virtual) weight tensor as the op they replaced.
+  std::uint64_t weight_seed = 0;
+  int in_channel_offset = 0;  // slice origin into the virtual weight tensor
+  int weight_in_channels = 0;  // in-channels of the virtual weight tensor
+
+  std::int64_t weight_count = 0;  // parameter count (Table 1)
+
+  std::int64_t OutputBytes() const {
+    return shape.NumElements() *
+           static_cast<std::int64_t>(SizeOf(dtype));
+  }
+};
+
+struct Buffer {
+  std::int64_t size_bytes = 0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  // Appends a node. `node.inputs` must reference existing nodes. Assigns the
+  // node id; creates a dedicated buffer when node.buffer is kInvalidBuffer.
+  // Returns the id.
+  NodeId AddNode(Node node);
+
+  // Creates a standalone buffer (for rewriter-shared accumulators/views).
+  BufferId AddBuffer(std::int64_t size_bytes);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_buffers() const { return static_cast<int>(buffers_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  const Node& node(NodeId id) const {
+    SERENITY_CHECK_GE(id, 0);
+    SERENITY_CHECK_LT(id, num_nodes());
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  Node& mutable_node(NodeId id) {
+    return const_cast<Node&>(static_cast<const Graph*>(this)->node(id));
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  const Buffer& buffer(BufferId id) const {
+    SERENITY_CHECK_GE(id, 0);
+    SERENITY_CHECK_LT(id, num_buffers());
+    return buffers_[static_cast<std::size_t>(id)];
+  }
+
+  // Nodes that consume `id`'s value, in insertion order (with duplicates for
+  // multi-operand reads collapsed).
+  const std::vector<NodeId>& consumers(NodeId id) const {
+    SERENITY_CHECK_GE(id, 0);
+    SERENITY_CHECK_LT(id, num_nodes());
+    return consumers_[static_cast<std::size_t>(id)];
+  }
+
+  std::vector<NodeId> Sources() const;  // nodes with no inputs
+  std::vector<NodeId> Sinks() const;    // nodes with no consumers
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Structural validation: referenced ids in range, acyclicity (AddNode's
+  // append-only discipline guarantees it, re-checked defensively), shape
+  // consistency per op kind, aliasing metadata sanity. Returns a list of
+  // human-readable problems; empty means valid.
+  std::vector<std::string> Validate() const;
+  void ValidateOrDie() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Buffer> buffers_;
+  std::vector<std::vector<NodeId>> consumers_;
+  int num_edges_ = 0;
+};
+
+// Total multiply-accumulate operations of the graph (Table 1 "# MAC").
+std::int64_t CountMacs(const Graph& graph);
+
+// Total parameter count of the graph (Table 1 "# WEIGHT").
+std::int64_t CountWeights(const Graph& graph);
+
+// MACs contributed by a single node.
+std::int64_t NodeMacs(const Node& node, const Graph& graph);
+
+}  // namespace serenity::graph
+
+#endif  // SERENITY_GRAPH_GRAPH_H_

@@ -1,0 +1,150 @@
+#include "graph/types.h"
+
+#include <sstream>
+
+namespace serenity::graph {
+
+std::size_t SizeOf(DataType dtype) {
+  switch (dtype) {
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kFloat16:
+      return 2;
+    case DataType::kInt8:
+    case DataType::kUInt8:
+      return 1;
+    case DataType::kInt32:
+      return 4;
+  }
+  SERENITY_CHECK(false) << "unknown dtype";
+  return 0;
+}
+
+const char* ToString(DataType dtype) {
+  switch (dtype) {
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kFloat16:
+      return "float16";
+    case DataType::kInt8:
+      return "int8";
+    case DataType::kUInt8:
+      return "uint8";
+    case DataType::kInt32:
+      return "int32";
+  }
+  return "unknown";
+}
+
+std::string TensorShape::ToString() const {
+  std::ostringstream os;
+  os << "[" << n << "," << h << "," << w << "," << c << "]";
+  return os.str();
+}
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return "input";
+    case OpKind::kConv2d:
+      return "conv2d";
+    case OpKind::kDepthwiseConv2d:
+      return "depthwise_conv2d";
+    case OpKind::kConcat:
+      return "concat";
+    case OpKind::kAdd:
+      return "add";
+    case OpKind::kMul:
+      return "mul";
+    case OpKind::kRelu:
+      return "relu";
+    case OpKind::kBatchNorm:
+      return "batch_norm";
+    case OpKind::kMaxPool2d:
+      return "max_pool2d";
+    case OpKind::kAvgPool2d:
+      return "avg_pool2d";
+    case OpKind::kGlobalAvgPool2d:
+      return "global_avg_pool2d";
+    case OpKind::kDense:
+      return "dense";
+    case OpKind::kIdentity:
+      return "identity";
+    case OpKind::kFusedCell:
+      return "fused_cell";
+    case OpKind::kPartialConv2d:
+      return "partial_conv2d";
+    case OpKind::kPartialConv2dAccum:
+      return "partial_conv2d_accum";
+    case OpKind::kPartialDepthwiseConv2d:
+      return "partial_depthwise_conv2d";
+    case OpKind::kConcatView:
+      return "concat_view";
+  }
+  return "unknown";
+}
+
+bool IsConvLike(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2d:
+    case OpKind::kDepthwiseConv2d:
+    case OpKind::kFusedCell:
+    case OpKind::kPartialConv2d:
+    case OpKind::kPartialConv2dAccum:
+    case OpKind::kPartialDepthwiseConv2d:
+    case OpKind::kMaxPool2d:
+    case OpKind::kAvgPool2d:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool MayAliasBuffer(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPartialConv2dAccum:
+    case OpKind::kPartialDepthwiseConv2d:
+    case OpKind::kConcatView:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int ConvOutputExtent(int input, int kernel, int stride, int dilation,
+                     Padding padding) {
+  SERENITY_CHECK_GT(input, 0);
+  SERENITY_CHECK_GT(kernel, 0);
+  SERENITY_CHECK_GT(stride, 0);
+  SERENITY_CHECK_GT(dilation, 0);
+  const int effective_kernel = dilation * (kernel - 1) + 1;
+  if (padding == Padding::kSame) {
+    return (input + stride - 1) / stride;
+  }
+  SERENITY_CHECK_GE(input, effective_kernel)
+      << "valid padding with kernel larger than input";
+  return (input - effective_kernel) / stride + 1;
+}
+
+TensorShape InferConv2dShape(const TensorShape& in, const ConvAttrs& attrs,
+                             int out_channels) {
+  SERENITY_CHECK_GT(out_channels, 0);
+  return TensorShape{
+      in.n,
+      ConvOutputExtent(in.h, attrs.kernel_h, attrs.stride, attrs.dilation,
+                       attrs.padding),
+      ConvOutputExtent(in.w, attrs.kernel_w, attrs.stride, attrs.dilation,
+                       attrs.padding),
+      out_channels};
+}
+
+TensorShape InferDepthwiseShape(const TensorShape& in,
+                                const ConvAttrs& attrs) {
+  return InferConv2dShape(in, attrs, in.c);
+}
+
+TensorShape InferPoolShape(const TensorShape& in, const ConvAttrs& attrs) {
+  return InferConv2dShape(in, attrs, in.c);
+}
+
+}  // namespace serenity::graph

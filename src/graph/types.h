@@ -1,0 +1,112 @@
+// Core IR value types: data types, NHWC tensor shapes, operator kinds and
+// convolution attributes.
+//
+// The IR deliberately mirrors what the paper's scheduler needs (§3): a DAG of
+// operators annotated with output shapes (hence activation byte sizes) plus
+// the aliasing metadata introduced by identity graph rewriting (§3.3).
+#ifndef SERENITY_GRAPH_TYPES_H_
+#define SERENITY_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/logging.h"
+
+namespace serenity::graph {
+
+using NodeId = std::int32_t;
+using BufferId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr BufferId kInvalidBuffer = -1;
+
+enum class DataType : std::uint8_t {
+  kFloat32,
+  kFloat16,
+  kInt8,
+  kUInt8,
+  kInt32,
+};
+
+std::size_t SizeOf(DataType dtype);
+const char* ToString(DataType dtype);
+
+// Activation tensor shape in NHWC layout (TFLite's native layout). The
+// paper's footprint model is the product of the dimensions times the element
+// size ("Size of ui is product of ui.shape", §3.1).
+struct TensorShape {
+  int n = 1;
+  int h = 1;
+  int w = 1;
+  int c = 1;
+
+  std::int64_t NumElements() const {
+    return static_cast<std::int64_t>(n) * h * w * c;
+  }
+
+  bool operator==(const TensorShape&) const = default;
+
+  std::string ToString() const;
+};
+
+enum class OpKind : std::uint8_t {
+  kInput,            // graph input; allocates its buffer at schedule start
+  kConv2d,           // dense convolution
+  kDepthwiseConv2d,  // depthwise convolution (channel multiplier 1)
+  kConcat,           // materializing concatenation along channels
+  kAdd,              // n-ary elementwise addition
+  kMul,              // elementwise multiplication
+  kRelu,
+  kBatchNorm,        // folded scale+shift
+  kMaxPool2d,
+  kAvgPool2d,
+  kGlobalAvgPool2d,
+  kDense,            // fully connected over flattened input
+  kIdentity,         // skip connection
+  kFusedCell,        // RandWire macro node: sum(inputs) -> relu -> sepconv -> bn
+
+  // --- Ops introduced by identity graph rewriting (paper §3.3) ---
+  kPartialConv2d,       // first channel-wise partial conv; allocates the
+                        // accumulator buffer (Eq. 6)
+  kPartialConv2dAccum,  // subsequent partial conv; accumulates in place into
+                        // the shared buffer (reads previous partial value)
+  kPartialDepthwiseConv2d,  // kernel-wise partial depthwise conv writing into
+                            // a channel slice of the shared output (Eq. 8)
+  kConcatView,  // zero-cost view assembling partial-depthwise slices
+};
+
+const char* ToString(OpKind kind);
+
+// True for kinds that carry convolution attributes.
+bool IsConvLike(OpKind kind);
+
+// True for kinds whose execution reuses an existing buffer instead of
+// defining a new tensor allocation (the rewriter's aliasing ops).
+bool MayAliasBuffer(OpKind kind);
+
+enum class Padding : std::uint8_t { kSame, kValid };
+
+struct ConvAttrs {
+  int kernel_h = 1;
+  int kernel_w = 1;
+  int stride = 1;
+  int dilation = 1;
+  Padding padding = Padding::kSame;
+
+  bool operator==(const ConvAttrs&) const = default;
+};
+
+// Output spatial extent of a convolution/pooling along one dimension.
+int ConvOutputExtent(int input, int kernel, int stride, int dilation,
+                     Padding padding);
+
+// Shape inference for conv-like ops; `out_channels` is the number of filters
+// (ignored for depthwise, which preserves channels).
+TensorShape InferConv2dShape(const TensorShape& in, const ConvAttrs& attrs,
+                             int out_channels);
+TensorShape InferDepthwiseShape(const TensorShape& in, const ConvAttrs& attrs);
+TensorShape InferPoolShape(const TensorShape& in, const ConvAttrs& attrs);
+
+}  // namespace serenity::graph
+
+#endif  // SERENITY_GRAPH_TYPES_H_

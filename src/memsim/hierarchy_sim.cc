@@ -1,0 +1,210 @@
+#include "memsim/hierarchy_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace serenity::memsim {
+
+namespace {
+
+enum class TouchKind : std::uint8_t {
+  kRead,     // consume existing content
+  kProduce,  // overwrite: no old content needed
+  kRmw,      // read-modify-write (accumulators, slice writers)
+};
+
+struct Touch {
+  std::int32_t page = 0;
+  TouchKind kind = TouchKind::kRead;
+  bool last_use = false;  // page is dead after this touch
+};
+
+struct PageState {
+  bool resident = false;
+  bool produced = false;  // holds defined content (on- or off-chip)
+  bool dirty = false;
+  bool has_offchip_copy = false;
+  std::int64_t last_touch = -1;      // LRU recency
+  std::size_t next_use_cursor = 0;   // Belady cursor into use_positions
+};
+
+}  // namespace
+
+SimResult SimulateHierarchy(const graph::Graph& graph,
+                            const graph::BufferUseTable& table,
+                            const sched::Schedule& schedule,
+                            const SimOptions& options) {
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph, schedule));
+  SERENITY_CHECK_GT(options.onchip_bytes, 0);
+  SERENITY_CHECK_GT(options.page_bytes, 0);
+
+  SimResult result;
+  if (options.onchip_bytes < options.page_bytes) {
+    result.feasible = false;
+    return result;
+  }
+
+  // --- Page table ---
+  const std::size_t num_buffers = table.buffers.size();
+  std::vector<std::int32_t> first_page(num_buffers + 1, 0);
+  for (std::size_t b = 0; b < num_buffers; ++b) {
+    const std::int64_t bytes = std::max<std::int64_t>(
+        table.buffers[b].size_bytes, 1);
+    const std::int64_t pages =
+        (bytes + options.page_bytes - 1) / options.page_bytes;
+    first_page[b + 1] = first_page[b] + static_cast<std::int32_t>(pages);
+  }
+  const std::size_t num_pages = static_cast<std::size_t>(
+      first_page[num_buffers]);
+  const auto page_size = [&](std::int32_t page) {
+    // Binary search for the owning buffer; pages are contiguous per buffer.
+    const auto it = std::upper_bound(first_page.begin(), first_page.end(),
+                                     page);
+    const std::size_t b = static_cast<std::size_t>(
+        it - first_page.begin() - 1);
+    const std::int64_t offset = static_cast<std::int64_t>(
+                                    page - first_page[b]) *
+                                options.page_bytes;
+    return std::min(options.page_bytes,
+                    table.buffers[b].size_bytes - offset);
+  };
+
+  // --- Access trace ---
+  // A kernel consumes its inputs throughout output production, so input
+  // pages are touched before AND after the output pages: under pressure,
+  // Belady may stream input pages out and back (costing reads), but they
+  // cannot silently die before the output exists — preserving the
+  // working-set semantics the footprint model is built on.
+  std::vector<bool> written_once(num_buffers, false);
+  std::vector<Touch> trace;
+  for (const graph::NodeId id : schedule) {
+    const std::size_t uid = static_cast<std::size_t>(id);
+    const graph::BufferId own = graph.node(id).buffer;
+    const auto& reads = table.read_buffers[uid];
+    const auto emit_reads = [&] {
+      for (const graph::BufferId b : reads) {
+        if (b == own) continue;  // folded into the write touches
+        for (std::int32_t p = first_page[static_cast<std::size_t>(b)];
+             p < first_page[static_cast<std::size_t>(b) + 1]; ++p) {
+          trace.push_back(Touch{p, TouchKind::kRead, false});
+        }
+      }
+    };
+    emit_reads();
+    // Accumulators and slice writers must preserve prior content
+    // (read-modify-write); a buffer's first writer overwrites cleanly.
+    const bool rmw = written_once[static_cast<std::size_t>(own)];
+    for (std::int32_t p = first_page[static_cast<std::size_t>(own)];
+         p < first_page[static_cast<std::size_t>(own) + 1]; ++p) {
+      trace.push_back(Touch{p, rmw ? TouchKind::kRmw : TouchKind::kProduce,
+                            false});
+    }
+    emit_reads();
+    written_once[static_cast<std::size_t>(own)] = true;
+  }
+
+  // Belady needs per-page use positions; the final touch of a non-sink
+  // buffer's page is also where the page dies (liveness ends at the last
+  // touching node, exactly as in the footprint evaluator).
+  std::vector<std::vector<std::int64_t>> use_positions(num_pages);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    use_positions[static_cast<std::size_t>(trace[t].page)].push_back(
+        static_cast<std::int64_t>(t));
+  }
+  for (std::size_t b = 0; b < num_buffers; ++b) {
+    if (table.buffers[b].is_sink) continue;
+    for (std::int32_t p = first_page[b]; p < first_page[b + 1]; ++p) {
+      const auto& uses = use_positions[static_cast<std::size_t>(p)];
+      if (!uses.empty()) {
+        trace[static_cast<std::size_t>(uses.back())].last_use = true;
+      }
+    }
+  }
+
+  // --- Replay ---
+  std::vector<PageState> state(num_pages);
+  std::vector<std::int32_t> resident;
+  std::int64_t resident_bytes = 0;
+
+  const auto next_use_after = [&](std::int32_t page, std::int64_t t) {
+    const auto& uses = use_positions[static_cast<std::size_t>(page)];
+    auto& cursor = state[static_cast<std::size_t>(page)].next_use_cursor;
+    while (cursor < uses.size() && uses[cursor] <= t) ++cursor;
+    return cursor < uses.size()
+               ? uses[cursor]
+               : std::numeric_limits<std::int64_t>::max();
+  };
+  const auto drop = [&](std::int32_t page) {
+    resident.erase(std::find(resident.begin(), resident.end(), page));
+    state[static_cast<std::size_t>(page)].resident = false;
+    resident_bytes -= page_size(page);
+  };
+  const auto evict_one = [&](std::int32_t incoming, std::int64_t t) {
+    std::int32_t victim = -1;
+    std::int64_t best_metric = -1;
+    for (const std::int32_t page : resident) {
+      if (page == incoming) continue;
+      const std::int64_t metric =
+          options.policy == ReplacementPolicy::kBelady
+              ? next_use_after(page, t)
+              : t - state[static_cast<std::size_t>(page)].last_touch;
+      if (metric > best_metric) {
+        best_metric = metric;
+        victim = page;
+      }
+    }
+    SERENITY_CHECK_GE(victim, 0) << "cache too small for a single page";
+    PageState& vs = state[static_cast<std::size_t>(victim)];
+    if (vs.dirty) {
+      result.write_bytes += page_size(victim);
+      vs.dirty = false;
+      vs.has_offchip_copy = true;
+    }
+    drop(victim);
+    ++result.evictions;
+  };
+
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const Touch touch = trace[t];
+    PageState& ps = state[static_cast<std::size_t>(touch.page)];
+    if (!ps.resident) {
+      const std::int64_t bytes = page_size(touch.page);
+      while (resident_bytes + bytes > options.onchip_bytes) {
+        evict_one(touch.page, static_cast<std::int64_t>(t));
+      }
+      // Fetch old content for reads and read-modify-writes.
+      if (ps.produced && touch.kind != TouchKind::kProduce) {
+        SERENITY_CHECK(ps.has_offchip_copy);
+        result.read_bytes += bytes;
+      }
+      ps.resident = true;
+      resident.push_back(touch.page);
+      resident_bytes += bytes;
+    }
+    ps.last_touch = static_cast<std::int64_t>(t);
+    if (touch.kind != TouchKind::kRead) {
+      ps.produced = true;
+      ps.dirty = true;
+      ps.has_offchip_copy = false;
+    }
+    result.peak_resident_bytes =
+        std::max(result.peak_resident_bytes, resident_bytes);
+    if (touch.last_use) {
+      ps.dirty = false;  // dead data is never read again: no write-back
+      drop(touch.page);
+    }
+  }
+  return result;
+}
+
+SimResult SimulateHierarchy(const graph::Graph& graph,
+                            const sched::Schedule& schedule,
+                            const SimOptions& options) {
+  return SimulateHierarchy(graph, graph::BufferUseTable::Build(graph),
+                           schedule, options);
+}
+
+}  // namespace serenity::memsim

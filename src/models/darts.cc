@@ -1,0 +1,92 @@
+#include "models/darts.h"
+
+#include <array>
+#include <string>
+
+#include "graph/builder.h"
+
+namespace serenity::models {
+
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+constexpr int kChannels = 48;
+
+// One stage of a separable-conv chain (relu/dw/pw/bn repeated twice).
+NodeId SepConvStage(GraphBuilder& b, NodeId x, int stage,
+                    const std::string& p) {
+  switch (stage) {
+    case 0:
+      return b.Relu(x, p + "/relu1");
+    case 1:
+      return b.DepthwiseConv2d(x, 3, 1, graph::Padding::kSame, 1, p + "/dw1");
+    case 2:
+      return b.Conv1x1(x, kChannels, p + "/pw1");
+    case 3:
+      return b.BatchNorm(x, p + "/bn1");
+    case 4:
+      return b.Relu(x, p + "/relu2");
+    case 5:
+      return b.DepthwiseConv2d(x, 3, 1, graph::Padding::kSame, 1, p + "/dw2");
+    case 6:
+      return b.Conv1x1(x, kChannels, p + "/pw2");
+    default:
+      return b.BatchNorm(x, p + "/bn2");
+  }
+}
+
+}  // namespace
+
+graph::Graph MakeDartsNormalCell() {
+  GraphBuilder b("darts_normal");
+  const graph::TensorShape state_shape{1, 28, 28, kChannels};
+
+  // The two input states from the preceding cells / stem.
+  const NodeId c_prev_prev = b.Input(state_shape, "c_k-2");
+  const NodeId c_prev = b.Input(state_shape, "c_k-1");
+
+  // Preprocessing 1x1 projections (ReLU-Conv-BN), one per input state.
+  const NodeId s0 = b.ReluConvBn(c_prev_prev, kChannels, 1, 1, "pre0");
+  const NodeId s1 = b.ReluConvBn(c_prev, kChannels, 1, 1, "pre1");
+
+  // Genotype ops 0-4 are separable 3x3 convs on {s0, s1, s0, s1, s1}.
+  // Converters serialize NAS cells layer-major, so the five chains are
+  // emitted stage by stage (breadth across ops) — the order TFLite runs.
+  const std::array<NodeId, 5> op_input = {s0, s1, s0, s1, s1};
+  std::array<NodeId, 5> chain = op_input;
+  for (int stage = 0; stage < 8; ++stage) {
+    for (std::size_t op = 0; op < chain.size(); ++op) {
+      chain[op] = SepConvStage(b, chain[op], stage,
+                               "op" + std::to_string(op) + "_sep3");
+    }
+  }
+  // Skip connections (ops 5 and 6) both forward s0.
+  const NodeId skip5 = b.Identity(s0, "op5_skip");
+  const NodeId skip6 = b.Identity(s0, "op6_skip");
+
+  // Intermediate states (sums of op pairs, DARTS-V2 normal genotype).
+  const NodeId s2 = b.Add({chain[0], chain[1]}, "s2");
+  const NodeId s3 = b.Add({chain[2], chain[3]}, "s3");
+  const NodeId s4 = b.Add({chain[4], skip5}, "s4");
+
+  // Op 7: dilated separable 3x3 on s2 (relu -> dilated dw -> pw -> bn).
+  NodeId dil = b.Relu(s2, "op7_dil3/relu");
+  dil = b.DepthwiseConv2d(dil, 3, 1, graph::Padding::kSame, 2,
+                          "op7_dil3/dw");
+  dil = b.Conv1x1(dil, kChannels, "op7_dil3/pw");
+  dil = b.BatchNorm(dil, "op7_dil3/bn");
+  const NodeId s5 = b.Add({skip6, dil}, "s5");
+
+  const NodeId cell_out = b.Concat({s2, s3, s4, s5}, "cell_out");
+
+  // The first op of the next cell's preprocessing consumes the concat
+  // (ReLU -> 1x1 conv -> BN). The paper schedules the cell in situ, and
+  // this consumer is what makes the output concat channel-wise
+  // partitionable (§3.3).
+  (void)b.ReluConvBn(cell_out, kChannels, 1, 1, "next_pre");
+  return std::move(b).Build();
+}
+
+}  // namespace serenity::models

@@ -1,0 +1,31 @@
+// DARTS (Liu et al., ICLR 2019) — the learned normal cell for ImageNet.
+//
+// The paper schedules "only the first cell because it has the highest peak
+// memory footprint" (§4.1). This generator encodes the published DARTS-V2
+// normal-cell genotype: four intermediate states, each the sum of two ops
+// applied to earlier states, with the cell output concatenating all four.
+// Ops are built from primitives (separable and dilated separable convs as
+// relu/dw/pw/bn chains), which is the granularity TFLite executes at.
+//
+//   normal = [(sep_conv_3x3, c_{k-2}), (sep_conv_3x3, c_{k-1}),   -> s2
+//             (sep_conv_3x3, c_{k-2}), (sep_conv_3x3, c_{k-1}),   -> s3
+//             (sep_conv_3x3, c_{k-1}), (skip_connect, c_{k-2}),   -> s4
+//             (skip_connect, c_{k-2}), (dil_conv_3x3, s2)]        -> s5
+//
+// Nodes are declared in genotype order (each op's chain contiguous), the
+// construction order a converter would serialize — i.e., TFLite's execution
+// order for this cell.
+#ifndef SERENITY_MODELS_DARTS_H_
+#define SERENITY_MODELS_DARTS_H_
+
+#include "graph/graph.h"
+
+namespace serenity::models {
+
+// The first ImageNet normal cell: two 28x28x48 input states (the stem
+// outputs), C = 48 channels per op, output concat of 4 states (192ch).
+graph::Graph MakeDartsNormalCell();
+
+}  // namespace serenity::models
+
+#endif  // SERENITY_MODELS_DARTS_H_

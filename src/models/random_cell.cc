@@ -1,0 +1,111 @@
+#include "models/random_cell.h"
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace serenity::models {
+
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+// One cell: intermediates with random operand reuse, an optional
+// concat+conv block over random frontier picks, an optional
+// concat+depthwise block, and a late skip merged by concatenation.
+NodeId EmitCell(GraphBuilder& b, NodeId input, const RandomCellParams& p,
+                util::Rng& rng, int cell_index) {
+  const std::string prefix = "cell" + std::to_string(cell_index);
+  std::vector<NodeId> pool = {input};
+  const auto pick = [&]() {
+    return pool[static_cast<std::size_t>(
+        rng.NextInt(0, static_cast<int>(pool.size()) - 1))];
+  };
+  for (int i = 0; i < p.num_intermediates; ++i) {
+    const NodeId src = pick();
+    const std::string name =
+        prefix + "/i" + std::to_string(i);
+    switch (rng.NextInt(0, 3)) {
+      case 0:
+        pool.push_back(b.Conv1x1(src, p.channels, name + "_pw"));
+        break;
+      case 1:
+        pool.push_back(b.DepthwiseConv2d(src, 3, 1,
+                                         graph::Padding::kSame, 1,
+                                         name + "_dw"));
+        break;
+      case 2:
+        pool.push_back(b.Relu(src, name + "_relu"));
+        break;
+      default: {
+        const NodeId other = pick();
+        if (other != src && b.shape(other) == b.shape(src)) {
+          pool.push_back(b.Add({src, other}, name + "_add"));
+        } else {
+          pool.push_back(b.BatchNorm(src, name + "_bn"));
+        }
+        break;
+      }
+    }
+  }
+
+  NodeId tail = pool.back();
+  if (p.concat_branches >= 2) {
+    std::vector<NodeId> branches;
+    for (int i = 0; i < p.concat_branches; ++i) {
+      branches.push_back(b.Conv1x1(pick(), p.channels / 2 + 1,
+                                   prefix + "/cb" + std::to_string(i)));
+    }
+    const NodeId cat = b.Concat(branches, prefix + "/concat");
+    tail = b.Conv2d(cat, p.channels, 3, 1, graph::Padding::kSame, 1,
+                    prefix + "/fuse");
+  }
+  if (p.depthwise_block) {
+    std::vector<NodeId> branches;
+    for (int i = 0; i < 3; ++i) {
+      branches.push_back(
+          b.Conv1x1(tail, p.channels / 2 + 1,
+                    prefix + "/db" + std::to_string(i)));
+    }
+    // Late skip from an early intermediate keeps the wiring irregular.
+    branches.push_back(b.Conv1x1(pool[pool.size() / 2], p.channels / 2 + 1,
+                                 prefix + "/dskip"));
+    const NodeId cat = b.Concat(branches, prefix + "/dconcat");
+    tail = b.DepthwiseConv2d(cat, 3, 1, graph::Padding::kSame, 1,
+                             prefix + "/dwout");
+  }
+  // Funnel everything left dangling into the cell output so each cell is
+  // single-output (hourglass stacking point).
+  std::vector<NodeId> dangling;
+  for (const NodeId id : pool) {
+    if (b.graph().consumers(id).empty() && id != tail) dangling.push_back(id);
+  }
+  if (!dangling.empty()) {
+    dangling.push_back(tail);
+    const NodeId cat = b.Concat(dangling, prefix + "/out_concat");
+    tail = b.Conv1x1(cat, p.channels, prefix + "/out");
+  }
+  return tail;
+}
+
+}  // namespace
+
+graph::Graph MakeRandomCellNetwork(const RandomCellParams& params) {
+  SERENITY_CHECK_GE(params.num_cells, 1);
+  SERENITY_CHECK_GE(params.num_intermediates, 1);
+  util::Rng rng(params.seed);
+  GraphBuilder b(params.name);
+  NodeId x = b.Input(
+      graph::TensorShape{1, params.spatial, params.spatial, params.channels},
+      "input");
+  for (int c = 0; c < params.num_cells; ++c) {
+    x = EmitCell(b, x, params, rng, c);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace serenity::models

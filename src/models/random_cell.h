@@ -1,0 +1,33 @@
+// Synthetic irregular-cell generator.
+//
+// Produces NAS-shaped cells with controllable size and wiring density:
+// random intermediate ops with operand reuse, optional concat+conv /
+// concat+depthwise blocks (so identity graph rewriting has targets), late
+// skip connections, and optional stacking into hourglass networks (so
+// divide-and-conquer has cut nodes). Drives the property-based tests and
+// the scalability benchmark; NOT one of the paper's benchmark networks.
+#ifndef SERENITY_MODELS_RANDOM_CELL_H_
+#define SERENITY_MODELS_RANDOM_CELL_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace serenity::models {
+
+struct RandomCellParams {
+  int num_intermediates = 8;   // irregularly wired ops per cell
+  int concat_branches = 4;     // width of the partitionable block (0 = none)
+  bool depthwise_block = true; // emit a concat+depthwise block as well
+  int num_cells = 1;           // stacked hourglass cells
+  int channels = 8;            // base channel width
+  int spatial = 16;            // feature-map height/width
+  std::uint64_t seed = 1;
+  const char* name = "random_cell";
+};
+
+graph::Graph MakeRandomCellNetwork(const RandomCellParams& params);
+
+}  // namespace serenity::models
+
+#endif  // SERENITY_MODELS_RANDOM_CELL_H_

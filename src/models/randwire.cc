@@ -1,0 +1,159 @@
+#include "models/randwire.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace serenity::models {
+
+namespace {
+
+// Watts-Strogatz small-world graph, DAG-ified by orienting each edge from
+// the lower to the higher node index (Xie et al. §3.3).
+std::vector<std::pair<int, int>> WattsStrogatzDag(int n, int k, double p,
+                                                  std::uint64_t seed) {
+  SERENITY_CHECK_GE(n, 4);
+  SERENITY_CHECK_EQ(k % 2, 0) << "WS ring degree must be even";
+  SERENITY_CHECK_LT(k, n);
+  util::Rng rng(seed);
+  std::set<std::pair<int, int>> edges;  // ordered (lo, hi)
+  const auto add_edge = [&edges](int a, int b) {
+    if (a == b) return false;
+    return edges.insert({std::min(a, b), std::max(a, b)}).second;
+  };
+  // Ring lattice: each node joined to k/2 clockwise neighbours.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 1; j <= k / 2; ++j) {
+      add_edge(i, (i + j) % n);
+    }
+  }
+  // Rewire each lattice edge with probability p to a uniform random target.
+  std::vector<std::pair<int, int>> current(edges.begin(), edges.end());
+  for (const auto& edge : current) {
+    if (!rng.NextBool(p)) continue;
+    edges.erase(edge);
+    // Keep the lower endpoint, pick a fresh partner (retry on duplicates).
+    bool rewired = false;
+    for (int attempt = 0; attempt < 32 && !rewired; ++attempt) {
+      const int target = static_cast<int>(rng.NextBounded(
+          static_cast<std::uint64_t>(n)));
+      rewired = add_edge(edge.first, target);
+    }
+    if (!rewired) edges.insert(edge);  // dense corner case: keep original
+  }
+  return {edges.begin(), edges.end()};
+}
+
+}  // namespace
+
+graph::Graph MakeRandWireCell(const RandWireParams& params) {
+  using graph::NodeId;
+  graph::GraphBuilder b(params.name);
+  const auto edges = WattsStrogatzDag(params.num_nodes, params.k, params.p,
+                                      params.seed);
+  std::vector<std::vector<NodeId>> preds(
+      static_cast<std::size_t>(params.num_nodes));
+  std::vector<bool> has_succ(static_cast<std::size_t>(params.num_nodes),
+                             false);
+  for (const auto& [lo, hi] : edges) {
+    preds[static_cast<std::size_t>(hi)].push_back(lo);
+    has_succ[static_cast<std::size_t>(lo)] = true;
+  }
+
+  const NodeId image = b.Input(
+      graph::TensorShape{1, params.input_spatial, params.input_spatial,
+                         params.input_channels},
+      "image");
+  const int stem_stride =
+      std::max(1, params.input_spatial / params.spatial);
+  const NodeId stem =
+      b.Conv2d(image, params.channels, 3, stem_stride,
+               graph::Padding::kSame, 1, "stem");
+
+  // Macro nodes in WS index order — the declaration order Xie et al.'s
+  // generator emits, hence the TFLite execution order.
+  std::vector<NodeId> macro(static_cast<std::size_t>(params.num_nodes));
+  for (int i = 0; i < params.num_nodes; ++i) {
+    std::vector<NodeId> inputs;
+    for (const NodeId p : preds[static_cast<std::size_t>(i)]) {
+      inputs.push_back(macro[static_cast<std::size_t>(p)]);
+    }
+    if (inputs.empty()) inputs.push_back(stem);  // original source
+    macro[static_cast<std::size_t>(i)] = b.FusedCell(
+        inputs, params.channels, /*stride=*/1,
+        std::string("node") + std::to_string(i));
+  }
+
+  // Average the original sinks into the cell output.
+  std::vector<NodeId> sinks;
+  for (int i = 0; i < params.num_nodes; ++i) {
+    if (!has_succ[static_cast<std::size_t>(i)]) {
+      sinks.push_back(macro[static_cast<std::size_t>(i)]);
+    }
+  }
+  SERENITY_CHECK(!sinks.empty());
+  if (sinks.size() == 1) {
+    (void)b.Identity(sinks[0], "cell_out");
+  } else {
+    (void)b.Add(sinks, "cell_out");
+  }
+  return std::move(b).Build();
+}
+
+graph::Graph MakeRandWireCifar10CellA() {
+  RandWireParams p;
+  p.num_nodes = 32;
+  p.seed = 11;
+  p.channels = 40;
+  p.spatial = 16;
+  p.name = "randwire_c10_a";
+  return MakeRandWireCell(p);
+}
+
+graph::Graph MakeRandWireCifar10CellB() {
+  RandWireParams p;
+  p.num_nodes = 32;
+  p.seed = 12;
+  p.channels = 56;
+  p.spatial = 8;
+  p.name = "randwire_c10_b";
+  return MakeRandWireCell(p);
+}
+
+graph::Graph MakeRandWireCifar100CellA() {
+  RandWireParams p;
+  p.num_nodes = 32;
+  p.seed = 21;
+  p.channels = 48;
+  p.spatial = 16;
+  p.name = "randwire_c100_a";
+  return MakeRandWireCell(p);
+}
+
+graph::Graph MakeRandWireCifar100CellB() {
+  RandWireParams p;
+  p.num_nodes = 32;
+  p.seed = 22;
+  p.channels = 64;
+  p.spatial = 8;
+  p.name = "randwire_c100_b";
+  return MakeRandWireCell(p);
+}
+
+graph::Graph MakeRandWireCifar100CellC() {
+  RandWireParams p;
+  p.num_nodes = 32;
+  p.seed = 23;
+  p.channels = 96;
+  p.spatial = 4;
+  p.name = "randwire_c100_c";
+  return MakeRandWireCell(p);
+}
+
+}  // namespace serenity::models

@@ -1,0 +1,46 @@
+// RandWire (Xie et al., ICCV 2019) — randomly wired networks from the
+// Watts-Strogatz (WS) random graph generator.
+//
+// Following Xie et al., a WS(N, K, P) small-world graph is generated (ring
+// of N nodes, each joined to its K nearest neighbours, every edge rewired
+// with probability P), then DAG-ified by orienting all edges from lower to
+// higher node index. Every graph node becomes one fused schedulable unit —
+// sum(inputs) -> ReLU -> separable 3x3 conv -> BN — matching the node
+// granularity the paper schedules RandWire at. Original sources hang off
+// the cell input; original sinks are averaged into the cell output.
+//
+// The paper evaluates two CIFAR-10 cells and three CIFAR-100 cells
+// (Figs. 10/11/13); each corresponds to one WS stage with its own seed.
+#ifndef SERENITY_MODELS_RANDWIRE_H_
+#define SERENITY_MODELS_RANDWIRE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace serenity::models {
+
+struct RandWireParams {
+  int num_nodes = 16;     // N: WS graph size (macro nodes)
+  int k = 4;              // K: ring degree (even)
+  double p = 0.75;        // P: rewiring probability (Xie et al.'s best)
+  std::uint64_t seed = 1;
+  int channels = 32;      // per-node output channels
+  int spatial = 16;       // feature map height/width inside the cell
+  int input_channels = 3;
+  int input_spatial = 32; // CIFAR frames
+  const char* name = "randwire";
+};
+
+graph::Graph MakeRandWireCell(const RandWireParams& params);
+
+// The paper's five benchmark cells.
+graph::Graph MakeRandWireCifar10CellA();
+graph::Graph MakeRandWireCifar10CellB();
+graph::Graph MakeRandWireCifar100CellA();
+graph::Graph MakeRandWireCifar100CellB();
+graph::Graph MakeRandWireCifar100CellC();
+
+}  // namespace serenity::models
+
+#endif  // SERENITY_MODELS_RANDWIRE_H_

@@ -1,0 +1,145 @@
+#include "models/swiftnet.h"
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+
+namespace serenity::models {
+
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+// Each cell couples a wide stem to two partitionable blocks:
+//
+//   stem -> [k pointwise branches] -> concat -> 1x1 conv   (channel-wise
+//                                                            partitionable)
+//        -> [m branches, incl. skips from the stem] -> concat -> depthwise
+//                                                  (kernel-wise partitionable)
+//
+// The skip branches read the *stem* but are declared after the first
+// concat block — the irregular wiring signature of SwiftNet's graph-
+// propagation NAS (Fig. 3(a)). Declaration order (what TFLite executes)
+// therefore keeps the stem alive across the first concat, while a
+// memory-aware schedule computes the skips early and retires the stem —
+// the ordering freedom the paper's Figure 3(b) CDF quantifies.
+
+// Cell A: 20 nodes + the graph input = the paper's 21 (Table 2).
+NodeId CellA(GraphBuilder& b, NodeId input) {
+  const std::string p = "cellA";
+  // Stem: 56x56x3 -> 28x28x48 (147 KB), the cell's dominant tensor.
+  const NodeId stem = b.Conv2d(input, 48, 3, 2, graph::Padding::kSame, 1,
+                               p + "/stem");                          // 1
+  // Channel-wise-partitionable block: 8 slim branches + concat + 1x1 conv.
+  std::vector<NodeId> p1;
+  for (int i = 0; i < 8; ++i) {
+    p1.push_back(b.Conv1x1(stem, 6, p + "/b" + std::to_string(i)));
+  }                                                                   // 9
+  const NodeId cat1 = b.Concat(p1, p + "/concat1");                   // 10
+  const NodeId mid = b.Conv1x1(cat1, 16, p + "/conv1");               // 11
+  // Kernel-wise-partitionable block: 5 branches from the conv plus 2 skip
+  // branches from the stem, declared last (late stem reuse).
+  std::vector<NodeId> p2;
+  for (int i = 0; i < 5; ++i) {
+    p2.push_back(b.Conv1x1(mid, 6, p + "/c" + std::to_string(i)));
+  }                                                                   // 16
+  p2.push_back(b.Conv1x1(stem, 6, p + "/skip0"));                     // 17
+  p2.push_back(b.Conv1x1(stem, 6, p + "/skip1"));                     // 18
+  const NodeId cat2 = b.Concat(p2, p + "/concat2");                   // 19
+  return b.DepthwiseConv2d(cat2, 3, 1, graph::Padding::kSame, 1,
+                           p + "/dwout");                             // 20
+}
+
+// Cell B: 19 nodes (Table 2). Same shape at 28x28, downsampling at its
+// output depthwise (stride 2) so cell C runs at 14x14.
+NodeId CellB(GraphBuilder& b, NodeId input) {
+  const std::string p = "cellB";
+  const NodeId entry = b.Conv1x1(input, 36, p + "/entry");            // 1
+  const NodeId ebn = b.BatchNorm(entry, p + "/entry_bn");             // 2
+  std::vector<NodeId> p1;
+  for (int i = 0; i < 6; ++i) {
+    p1.push_back(b.Conv1x1(ebn, 6, p + "/b" + std::to_string(i)));
+  }                                                                   // 8
+  const NodeId cat1 = b.Concat(p1, p + "/concat1");                   // 9
+  const NodeId mid = b.Conv1x1(cat1, 16, p + "/conv1");               // 10
+  const NodeId midbn = b.BatchNorm(mid, p + "/conv1_bn");             // 11
+  std::vector<NodeId> p2;
+  for (int i = 0; i < 4; ++i) {
+    p2.push_back(b.Conv1x1(midbn, 6, p + "/c" + std::to_string(i)));
+  }                                                                   // 15
+  p2.push_back(b.Conv1x1(ebn, 6, p + "/skip0"));                      // 16
+  p2.push_back(b.Conv1x1(ebn, 6, p + "/skip1"));                      // 17
+  const NodeId cat2 = b.Concat(p2, p + "/concat2");                   // 18
+  return b.DepthwiseConv2d(cat2, 5, 2, graph::Padding::kSame, 1,
+                           p + "/dwout");                             // 19
+}
+
+// Cell C: 22 nodes (Table 2), at 14x14, ending in the HPD classifier head
+// (global average pool + 2-way dense).
+NodeId CellC(GraphBuilder& b, NodeId input) {
+  const std::string p = "cellC";
+  const NodeId entry = b.Conv1x1(input, 32, p + "/entry");            // 1
+  const NodeId ebn = b.BatchNorm(entry, p + "/entry_bn");             // 2
+  std::vector<NodeId> p1;
+  for (int i = 0; i < 5; ++i) {
+    p1.push_back(b.Conv1x1(ebn, 8, p + "/b" + std::to_string(i)));
+  }                                                                   // 7
+  const NodeId cat1 = b.Concat(p1, p + "/concat1");                   // 8
+  const NodeId mid = b.Conv1x1(cat1, 32, p + "/conv1");               // 9
+  const NodeId midbn = b.BatchNorm(mid, p + "/conv1_bn");             // 10
+  // Side chain from the entry, declared after the first block and merged
+  // by addition — the bypass that keeps the cell's wiring irregular.
+  const NodeId side = b.DepthwiseConv2d(ebn, 3, 1, graph::Padding::kSame, 1,
+                                        p + "/side_dw3");             // 11
+  const NodeId merged = b.Add({midbn, side}, p + "/merge");           // 12
+  const NodeId act = b.Relu(merged, p + "/relu");                     // 13
+  std::vector<NodeId> p2;
+  for (int i = 0; i < 4; ++i) {
+    p2.push_back(b.Conv1x1(act, 8, p + "/c" + std::to_string(i)));
+  }                                                                   // 17
+  p2.push_back(b.Conv1x1(ebn, 8, p + "/skip0"));                      // 18
+  const NodeId cat2 = b.Concat(p2, p + "/concat2");                   // 19
+  const NodeId dw = b.DepthwiseConv2d(cat2, 3, 1, graph::Padding::kSame, 1,
+                                      p + "/dwout");                  // 20
+  const NodeId gap = b.GlobalAvgPool2d(dw, p + "/gap");               // 21
+  return b.Dense(gap, 2, p + "/logits");                              // 22
+}
+
+}  // namespace
+
+graph::Graph MakeSwiftNet() {
+  GraphBuilder b("swiftnet");
+  const NodeId input = b.Input(graph::TensorShape{1, 56, 56, 3}, "image");
+  const NodeId a = CellA(b, input);
+  const NodeId bb = CellB(b, a);
+  (void)CellC(b, bb);
+  return std::move(b).Build();
+}
+
+graph::Graph MakeSwiftNetCellA() {
+  GraphBuilder b("swiftnet_cell_a");
+  const NodeId input = b.Input(graph::TensorShape{1, 56, 56, 3}, "image");
+  (void)CellA(b, input);
+  return std::move(b).Build();
+}
+
+graph::Graph MakeSwiftNetCellB() {
+  // Cell A's output (28x28x42) feeds cell B.
+  GraphBuilder b("swiftnet_cell_b");
+  const NodeId input = b.Input(graph::TensorShape{1, 28, 28, 42}, "cell_in");
+  (void)CellB(b, input);
+  return std::move(b).Build();
+}
+
+graph::Graph MakeSwiftNetCellC() {
+  // Cell B's strided output (14x14x36) feeds cell C.
+  GraphBuilder b("swiftnet_cell_c");
+  const NodeId input = b.Input(graph::TensorShape{1, 14, 14, 36}, "cell_in");
+  (void)CellC(b, input);
+  return std::move(b).Build();
+}
+
+}  // namespace serenity::models

@@ -1,0 +1,33 @@
+// SwiftNet (Zhang et al., 2019) — the paper's human-presence-detection NAS
+// network, its most heavily analyzed benchmark (Figs. 3, 12; Table 2).
+//
+// The authors' checkpoints are not public; these generators reproduce the
+// published *structure*: three stacked single-input single-output cells of
+// irregular multi-branch wiring whose node counts match the paper's
+// partition sizes exactly — 62 = {21, 19, 22} nodes, growing to
+// {33, 28, 29} after identity graph rewriting (Table 2). Each cell contains
+// one concat+conv block (channel-wise-partitionable) and one
+// concat+depthwise block (kernel-wise-partitionable), plus irregular
+// intermediate wiring, matching the SwiftNet Cell A sketch in Fig. 3(a).
+//
+// Nodes are declared breadth-major (layer by layer across branches), the
+// order NAS cell emitters produce and hence the order TFLite executes.
+#ifndef SERENITY_MODELS_SWIFTNET_H_
+#define SERENITY_MODELS_SWIFTNET_H_
+
+#include "graph/graph.h"
+
+namespace serenity::models {
+
+// The full three-cell network (62 nodes, input 56x56x3 HPD-style frames).
+graph::Graph MakeSwiftNet();
+
+// Standalone per-cell graphs (each with a fresh kInput standing for the
+// previous cell's output), used by the per-cell experiments.
+graph::Graph MakeSwiftNetCellA();  // 21 nodes
+graph::Graph MakeSwiftNetCellB();  // 1 input + 19 cell nodes
+graph::Graph MakeSwiftNetCellC();  // 1 input + 22 cell nodes
+
+}  // namespace serenity::models
+
+#endif  // SERENITY_MODELS_SWIFTNET_H_

@@ -1,0 +1,44 @@
+#include "models/zoo.h"
+
+#include "models/darts.h"
+#include "models/randwire.h"
+#include "models/swiftnet.h"
+#include "util/logging.h"
+
+namespace serenity::models {
+
+const std::vector<BenchmarkCell>& AllBenchmarkCells() {
+  static const auto* kCells = new std::vector<BenchmarkCell>{
+      {"DARTS ImageNet", "Normal Cell", &MakeDartsNormalCell,
+       1656, 903, 753, 3.2, 3.2},
+      {"SwiftNet HPD", "Cell A", &MakeSwiftNetCellA,
+       552, 251, 226, 5.7, 42.1},
+      {"SwiftNet HPD", "Cell B", &MakeSwiftNetCellB,
+       194, 82, 72, 4.5, 30.5},
+      {"SwiftNet HPD", "Cell C", &MakeSwiftNetCellC,
+       70, 33, 20, 27.8, 39.3},
+      {"RandWire CIFAR10", "Cell A", &MakeRandWireCifar10CellA,
+       645, 459, 459, 118.1, 118.1},
+      {"RandWire CIFAR10", "Cell B", &MakeRandWireCifar10CellB,
+       330, 260, 260, 15.1, 15.1},
+      {"RandWire CIFAR100", "Cell A", &MakeRandWireCifar100CellA,
+       605, 359, 359, 28.5, 28.5},
+      {"RandWire CIFAR100", "Cell B", &MakeRandWireCifar100CellB,
+       350, 280, 280, 74.4, 74.4},
+      {"RandWire CIFAR100", "Cell C", &MakeRandWireCifar100CellC,
+       160, 115, 115, 87.9, 87.9},
+  };
+  return *kCells;
+}
+
+const BenchmarkCell& FindBenchmarkCell(const std::string& group,
+                                       const std::string& name) {
+  for (const BenchmarkCell& cell : AllBenchmarkCells()) {
+    if (cell.group == group && cell.name == name) return cell;
+  }
+  SERENITY_CHECK(false) << "unknown benchmark cell " << group << "/" << name;
+  // Unreachable; silences the compiler.
+  return AllBenchmarkCells().front();
+}
+
+}  // namespace serenity::models

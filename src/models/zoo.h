@@ -1,0 +1,40 @@
+// Registry of the paper's nine benchmark cells (the x-axis of Figures 10,
+// 11, 13, 15), with the published reference numbers each bench prints next
+// to our measurements.
+#ifndef SERENITY_MODELS_ZOO_H_
+#define SERENITY_MODELS_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace serenity::models {
+
+struct BenchmarkCell {
+  std::string group;  // e.g. "DARTS ImageNet"
+  std::string name;   // e.g. "Normal Cell"
+  graph::Graph (*factory)();
+
+  // Reference values read off the paper's Figure 15 (peak footprint in KB
+  // for TFLite / DP+allocator / DP+rewriting+allocator) and Figure 13
+  // (scheduling seconds without / with rewriting). Used for side-by-side
+  // reporting only — our absolute numbers legitimately differ (synthetic
+  // weights/shapes), the *ratios* are the reproduction target.
+  double paper_tflite_kb = 0;
+  double paper_dp_kb = 0;
+  double paper_dp_rw_kb = 0;
+  double paper_sched_seconds_dp = 0;
+  double paper_sched_seconds_rw = 0;
+};
+
+// All nine cells in the paper's presentation order.
+const std::vector<BenchmarkCell>& AllBenchmarkCells();
+
+// Convenience lookup by "group/name"; dies if absent.
+const BenchmarkCell& FindBenchmarkCell(const std::string& group,
+                                       const std::string& name);
+
+}  // namespace serenity::models
+
+#endif  // SERENITY_MODELS_ZOO_H_

@@ -1,0 +1,74 @@
+#include "rewrite/inplace.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace serenity::rewrite {
+
+namespace {
+
+bool IsUnaryElementwise(graph::OpKind kind) {
+  switch (kind) {
+    case graph::OpKind::kRelu:
+    case graph::OpKind::kBatchNorm:
+    case graph::OpKind::kIdentity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+InPlaceResult ApplyInPlaceElementwise(const graph::Graph& source) {
+  InPlaceResult result;
+  result.graph.set_name(source.name());
+  std::vector<graph::NodeId> remap(
+      static_cast<std::size_t>(source.num_nodes()), graph::kInvalidNode);
+  std::vector<graph::BufferId> buffer_remap(
+      static_cast<std::size_t>(source.num_buffers()), graph::kInvalidBuffer);
+  const auto map_buffer = [&](graph::BufferId b) {
+    auto& mapped = buffer_remap[static_cast<std::size_t>(b)];
+    if (mapped == graph::kInvalidBuffer) {
+      mapped = result.graph.AddBuffer(source.buffer(b).size_bytes);
+    }
+    return mapped;
+  };
+
+  for (const graph::Node& node : source.nodes()) {
+    graph::Node copy = node;
+    copy.id = graph::kInvalidNode;
+    copy.inputs.clear();
+    for (const graph::NodeId input : node.inputs) {
+      copy.inputs.push_back(remap[static_cast<std::size_t>(input)]);
+    }
+    bool in_place = false;
+    if (IsUnaryElementwise(node.kind) && node.inputs.size() == 1) {
+      const graph::Node& producer = source.node(node.inputs[0]);
+      const bool sole_consumer =
+          source.consumers(producer.id).size() == 1;
+      const bool spans_buffer =
+          producer.OutputBytes() ==
+              source.buffer(producer.buffer).size_bytes &&
+          producer.buffer_channel_offset == 0;
+      if (sole_consumer && spans_buffer) {
+        // Share the producer's buffer *as materialized in the new graph*,
+        // so chains of elementwise ops collapse onto one buffer.
+        copy.buffer = result.graph.node(copy.inputs[0]).buffer;
+        copy.buffer_channel_offset = 0;
+        in_place = true;
+        ++result.ops_made_in_place;
+      }
+    }
+    if (!in_place) {
+      copy.buffer = map_buffer(node.buffer);
+    }
+    remap[static_cast<std::size_t>(node.id)] =
+        result.graph.AddNode(std::move(copy));
+  }
+  result.graph.ValidateOrDie();
+  return result;
+}
+
+}  // namespace serenity::rewrite

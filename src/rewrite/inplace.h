@@ -1,0 +1,32 @@
+// In-place elementwise execution: a unary elementwise op (ReLU, folded
+// batch-norm, identity) whose operand has no other consumer can overwrite
+// its input buffer instead of allocating a fresh tensor.
+//
+// This is the standard runtime optimization TFLite/compiler backends apply
+// and is orthogonal to the paper's contributions — it shrinks the
+// footprint of *both* SERENITY and the baselines, so it is disabled in the
+// paper-reproduction configurations and evaluated separately in
+// bench_ablation_design. It reuses the same value/buffer aliasing machinery
+// as identity graph rewriting: the op's value joins the producer's buffer,
+// adding zero bytes to the running footprint.
+#ifndef SERENITY_REWRITE_INPLACE_H_
+#define SERENITY_REWRITE_INPLACE_H_
+
+#include "graph/graph.h"
+
+namespace serenity::rewrite {
+
+struct InPlaceResult {
+  graph::Graph graph;
+  int ops_made_in_place = 0;
+};
+
+// Returns a copy of `graph` where every eligible unary elementwise op
+// shares its operand's buffer. Eligible: kind in {kRelu, kBatchNorm,
+// kIdentity}, the operand value has exactly one consumer, and the operand
+// spans its entire buffer (no slice values).
+InPlaceResult ApplyInPlaceElementwise(const graph::Graph& graph);
+
+}  // namespace serenity::rewrite
+
+#endif  // SERENITY_REWRITE_INPLACE_H_

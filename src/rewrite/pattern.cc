@@ -1,0 +1,96 @@
+#include "rewrite/pattern.h"
+
+#include <utility>
+
+namespace serenity::rewrite {
+
+Pattern Pattern::Op(graph::OpKind kind) {
+  Pattern p;
+  p.kind_ = kind;
+  return p;
+}
+
+Pattern Pattern::Any() { return Pattern{}; }
+
+Pattern Pattern::Bind(std::string name) && {
+  bind_name_ = std::move(name);
+  return std::move(*this);
+}
+
+Pattern Pattern::Where(Constraint constraint) && {
+  constraints_.push_back(std::move(constraint));
+  return std::move(*this);
+}
+
+Pattern Pattern::WithOperands(std::vector<Pattern> operands) && {
+  operand_patterns_.clear();
+  operand_patterns_.reserve(operands.size());
+  for (Pattern& p : operands) {
+    operand_patterns_.push_back(
+        std::make_shared<const Pattern>(std::move(p)));
+  }
+  return std::move(*this);
+}
+
+Pattern Pattern::WithAllOperands(Pattern operand) && {
+  all_operands_pattern_ = std::make_shared<const Pattern>(std::move(operand));
+  return std::move(*this);
+}
+
+bool Pattern::MatchInternal(const graph::Graph& graph, graph::NodeId id,
+                            MatchBindings& bindings) const {
+  const graph::Node& node = graph.node(id);
+  if (kind_.has_value() && node.kind != *kind_) return false;
+  for (const Constraint& constraint : constraints_) {
+    if (!constraint(graph, node)) return false;
+  }
+  if (!operand_patterns_.empty()) {
+    if (node.inputs.size() != operand_patterns_.size()) return false;
+    for (std::size_t i = 0; i < operand_patterns_.size(); ++i) {
+      if (!operand_patterns_[i]->MatchInternal(graph, node.inputs[i],
+                                               bindings)) {
+        return false;
+      }
+    }
+  }
+  if (all_operands_pattern_ != nullptr) {
+    for (const graph::NodeId input : node.inputs) {
+      if (!all_operands_pattern_->MatchInternal(graph, input, bindings)) {
+        return false;
+      }
+    }
+  }
+  if (!bind_name_.empty()) bindings[bind_name_] = id;
+  return true;
+}
+
+std::optional<MatchBindings> Pattern::Match(const graph::Graph& graph,
+                                            graph::NodeId root) const {
+  MatchBindings bindings;
+  if (MatchInternal(graph, root, bindings)) return bindings;
+  return std::nullopt;
+}
+
+std::vector<MatchBindings> Pattern::MatchAll(const graph::Graph& graph) const {
+  std::vector<MatchBindings> matches;
+  for (const graph::Node& node : graph.nodes()) {
+    if (auto bindings = Match(graph, node.id)) {
+      matches.push_back(std::move(*bindings));
+    }
+  }
+  return matches;
+}
+
+Pattern::Constraint HasSingleConsumer() {
+  return [](const graph::Graph& graph, const graph::Node& node) {
+    return graph.consumers(node.id).size() == 1;
+  };
+}
+
+Pattern::Constraint HasMinOperands(int n) {
+  return [n](const graph::Graph&, const graph::Node& node) {
+    return static_cast<int>(node.inputs.size()) >= n;
+  };
+}
+
+}  // namespace serenity::rewrite

@@ -1,0 +1,72 @@
+// Declarative dataflow-pattern matching over SERENITY graphs.
+//
+// The paper implements identity graph rewriting "following the general
+// practice of using pattern matching algorithms in compilers" (§3.3). This
+// is a small structural matcher: a Pattern is a tree of operator predicates
+// with optional capture names and per-node constraints; Match() anchors the
+// tree at a node and unifies operands downward.
+#ifndef SERENITY_REWRITE_PATTERN_H_
+#define SERENITY_REWRITE_PATTERN_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace serenity::rewrite {
+
+// A matched pattern instance: capture name -> node id.
+using MatchBindings = std::map<std::string, graph::NodeId>;
+
+class Pattern {
+ public:
+  using Constraint =
+      std::function<bool(const graph::Graph&, const graph::Node&)>;
+
+  // Matches any node of the given kind.
+  static Pattern Op(graph::OpKind kind);
+  // Matches any node at all (wildcard operand).
+  static Pattern Any();
+
+  // Names the node matched at this position in the bindings.
+  Pattern Bind(std::string name) &&;
+  // Adds a semantic side condition (e.g., single consumer).
+  Pattern Where(Constraint constraint) &&;
+  // Requires this node's operands to match the given sub-patterns
+  // one-to-one (operand count must equal the sub-pattern count).
+  Pattern WithOperands(std::vector<Pattern> operands) &&;
+  // Requires every operand to match one shared sub-pattern (variadic ops
+  // such as concat).
+  Pattern WithAllOperands(Pattern operand) &&;
+
+  // Attempts to anchor this pattern at `root`.
+  std::optional<MatchBindings> Match(const graph::Graph& graph,
+                                     graph::NodeId root) const;
+
+  // All anchor nodes in `graph` where the pattern matches, ascending id.
+  std::vector<MatchBindings> MatchAll(const graph::Graph& graph) const;
+
+ private:
+  bool MatchInternal(const graph::Graph& graph, graph::NodeId node,
+                     MatchBindings& bindings) const;
+
+  std::optional<graph::OpKind> kind_;  // nullopt = wildcard
+  std::string bind_name_;
+  std::vector<Constraint> constraints_;
+  std::vector<std::shared_ptr<const Pattern>> operand_patterns_;
+  std::shared_ptr<const Pattern> all_operands_pattern_;
+};
+
+// Common constraint: the node's value has exactly one consuming node.
+Pattern::Constraint HasSingleConsumer();
+
+// Common constraint: the node has at least `n` operands.
+Pattern::Constraint HasMinOperands(int n);
+
+}  // namespace serenity::rewrite
+
+#endif  // SERENITY_REWRITE_PATTERN_H_

@@ -1,0 +1,241 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/kernels.h"
+#include "runtime/weights.h"
+#include "util/logging.h"
+
+namespace serenity::runtime {
+
+namespace {
+
+// Sub-seed derivation for ops that bundle several weight tensors.
+constexpr std::uint64_t kFusedDepthwiseSalt = 0x5eed0001;
+constexpr std::uint64_t kFusedPointwiseSalt = 0x5eed0002;
+constexpr std::uint64_t kFusedBatchNormSalt = 0x5eed0003;
+
+}  // namespace
+
+Executor::Executor(const graph::Graph& graph) : graph_(graph) {
+  buffer_tensors_.resize(static_cast<std::size_t>(graph.num_buffers()));
+  buffer_ready_.assign(static_cast<std::size_t>(graph.num_buffers()), false);
+  // Shape each buffer tensor after its widest value (the full accumulator /
+  // concat-view shape for shared buffers, the node's own shape otherwise).
+  std::vector<graph::TensorShape> widest(
+      static_cast<std::size_t>(graph.num_buffers()));
+  std::vector<std::int64_t> widest_elems(
+      static_cast<std::size_t>(graph.num_buffers()), 0);
+  for (const graph::Node& node : graph.nodes()) {
+    const std::size_t b = static_cast<std::size_t>(node.buffer);
+    if (node.shape.NumElements() > widest_elems[b]) {
+      widest_elems[b] = node.shape.NumElements();
+      widest[b] = node.shape;
+    }
+  }
+  for (std::size_t b = 0; b < buffer_tensors_.size(); ++b) {
+    if (widest_elems[b] == 0) continue;  // unused buffer
+    SERENITY_CHECK_EQ(
+        widest_elems[b] * static_cast<std::int64_t>(sizeof(float)),
+        graph.buffer(static_cast<graph::BufferId>(b)).size_bytes)
+        << "buffer " << b << " size does not match its widest value";
+    buffer_tensors_[b] = Tensor(widest[b]);
+  }
+}
+
+Tensor Executor::Value(graph::NodeId id) const {
+  const graph::Node& node = graph_.node(id);
+  const std::size_t b = static_cast<std::size_t>(node.buffer);
+  SERENITY_CHECK(buffer_ready_[b])
+      << "value of '" << node.name << "' read before it was produced";
+  const Tensor& backing = buffer_tensors_[b];
+  if (backing.shape() == node.shape) return backing;
+  // The value is a channel slice of the shared buffer.
+  Tensor slice(node.shape);
+  for (int n = 0; n < node.shape.n; ++n) {
+    for (int h = 0; h < node.shape.h; ++h) {
+      for (int w = 0; w < node.shape.w; ++w) {
+        for (int c = 0; c < node.shape.c; ++c) {
+          slice.At(n, h, w, c) =
+              backing.At(n, h, w, node.buffer_channel_offset + c);
+        }
+      }
+    }
+  }
+  return slice;
+}
+
+void Executor::Run(const std::vector<Tensor>& inputs,
+                   const sched::Schedule& order) {
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph_, order));
+  buffer_ready_.assign(buffer_ready_.size(), false);
+  std::size_t num_inputs = 0;
+  for (const graph::Node& node : graph_.nodes()) {
+    if (node.kind == graph::OpKind::kInput) ++num_inputs;
+  }
+  SERENITY_CHECK_EQ(inputs.size(), num_inputs)
+      << "graph expects a tensor per kInput node";
+  for (const graph::NodeId id : order) {
+    Execute(graph_.node(id), inputs);
+  }
+}
+
+void Executor::Run(const std::vector<Tensor>& inputs) {
+  sched::Schedule order(static_cast<std::size_t>(graph_.num_nodes()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<graph::NodeId>(i);
+  }
+  Run(inputs, order);
+}
+
+std::vector<Tensor> Executor::SinkValues() const {
+  std::vector<Tensor> values;
+  for (const graph::NodeId sink : graph_.Sinks()) {
+    values.push_back(Value(sink));
+  }
+  return values;
+}
+
+void Executor::Execute(const graph::Node& node,
+                       const std::vector<Tensor>& graph_inputs) {
+  const std::size_t own = static_cast<std::size_t>(node.buffer);
+  Tensor& out = buffer_tensors_[own];
+  const auto in_value = [&](std::size_t i) {
+    return Value(node.inputs[i]);
+  };
+  const auto in_values = [&]() {
+    std::vector<Tensor> values;
+    values.reserve(node.inputs.size());
+    for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+      values.push_back(in_value(i));
+    }
+    return values;
+  };
+  const auto pointers = [](const std::vector<Tensor>& ts) {
+    std::vector<const Tensor*> ps;
+    ps.reserve(ts.size());
+    for (const Tensor& t : ts) ps.push_back(&t);
+    return ps;
+  };
+
+  switch (node.kind) {
+    case graph::OpKind::kInput: {
+      // Inputs arrive in ascending node-id order.
+      int ordinal = 0;
+      for (const graph::Node& other : graph_.nodes()) {
+        if (other.id == node.id) break;
+        if (other.kind == graph::OpKind::kInput) ++ordinal;
+      }
+      const Tensor& provided =
+          graph_inputs[static_cast<std::size_t>(ordinal)];
+      SERENITY_CHECK(provided.shape() == node.shape)
+          << "input tensor shape mismatch for '" << node.name << "'";
+      out = provided;
+      break;
+    }
+    case graph::OpKind::kConv2d: {
+      const ConvWeights w =
+          MakeConvWeights(node.weight_seed, node.conv.kernel_h,
+                          node.conv.kernel_w, node.weight_in_channels,
+                          node.shape.c);
+      out = Conv2d(in_value(0), w, node.conv);
+      break;
+    }
+    case graph::OpKind::kPartialConv2d:
+    case graph::OpKind::kPartialConv2dAccum: {
+      const bool first = node.kind == graph::OpKind::kPartialConv2d;
+      const ConvWeights w =
+          MakeConvWeights(node.weight_seed, node.conv.kernel_h,
+                          node.conv.kernel_w, node.weight_in_channels,
+                          node.shape.c);
+      // Operand layout: first partial reads {x_i}; accumulating partials
+      // read {accumulator, x_i} and update the shared buffer in place.
+      const Tensor x = first ? in_value(0) : in_value(1);
+      Conv2dPartial(x, w, node.conv, node.in_channel_offset,
+                    /*overwrite=*/first, /*add_bias=*/first, out);
+      break;
+    }
+    case graph::OpKind::kDepthwiseConv2d: {
+      const DepthwiseWeights w = MakeDepthwiseWeights(
+          node.weight_seed, node.conv.kernel_h, node.conv.kernel_w,
+          node.weight_in_channels);
+      out = DepthwiseConv2d(in_value(0), w, node.conv);
+      break;
+    }
+    case graph::OpKind::kPartialDepthwiseConv2d: {
+      const DepthwiseWeights w = MakeDepthwiseWeights(
+          node.weight_seed, node.conv.kernel_h, node.conv.kernel_w,
+          node.weight_in_channels);
+      DepthwiseConv2dPartial(in_value(0), w, node.conv,
+                             node.in_channel_offset, out,
+                             node.buffer_channel_offset);
+      break;
+    }
+    case graph::OpKind::kConcatView:
+      // The partial depthwise writers already populated the shared buffer.
+      break;
+    case graph::OpKind::kConcat: {
+      const std::vector<Tensor> values = in_values();
+      out = Concat(pointers(values));
+      break;
+    }
+    case graph::OpKind::kAdd: {
+      const std::vector<Tensor> values = in_values();
+      out = Add(pointers(values));
+      break;
+    }
+    case graph::OpKind::kMul: {
+      const std::vector<Tensor> values = in_values();
+      out = Mul(pointers(values));
+      break;
+    }
+    case graph::OpKind::kRelu:
+      out = Relu(in_value(0));
+      break;
+    case graph::OpKind::kBatchNorm:
+      out = BatchNorm(in_value(0),
+                      MakeBatchNormWeights(node.weight_seed, node.shape.c));
+      break;
+    case graph::OpKind::kIdentity:
+      out = in_value(0);
+      break;
+    case graph::OpKind::kMaxPool2d:
+      out = MaxPool2d(in_value(0), node.conv);
+      break;
+    case graph::OpKind::kAvgPool2d:
+      out = AvgPool2d(in_value(0), node.conv);
+      break;
+    case graph::OpKind::kGlobalAvgPool2d:
+      out = GlobalAvgPool2d(in_value(0));
+      break;
+    case graph::OpKind::kDense: {
+      const DenseWeights w = MakeDenseWeights(
+          node.weight_seed, node.weight_in_channels, node.shape.c);
+      out = Dense(in_value(0), w);
+      break;
+    }
+    case graph::OpKind::kFusedCell: {
+      const std::vector<Tensor> values = in_values();
+      Tensor x = values.size() == 1 ? values[0] : Add(pointers(values));
+      x = Relu(x);
+      const int in_c = x.shape().c;
+      const DepthwiseWeights dw = MakeDepthwiseWeights(
+          node.weight_seed ^ kFusedDepthwiseSalt, node.conv.kernel_h,
+          node.conv.kernel_w, in_c);
+      x = DepthwiseConv2d(x, dw, node.conv);
+      const ConvWeights pw =
+          MakeConvWeights(node.weight_seed ^ kFusedPointwiseSalt, 1, 1, in_c,
+                          node.shape.c);
+      const graph::ConvAttrs pointwise{1, 1, 1, 1, graph::Padding::kSame};
+      x = Conv2d(x, pw, pointwise);
+      out = BatchNorm(x, MakeBatchNormWeights(
+                             node.weight_seed ^ kFusedBatchNormSalt,
+                             node.shape.c));
+      break;
+    }
+  }
+  buffer_ready_[own] = true;
+}
+
+}  // namespace serenity::runtime

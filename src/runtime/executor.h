@@ -1,0 +1,49 @@
+// Buffer-aware reference graph executor.
+//
+// Executes a SERENITY graph on concrete float tensors, materializing one
+// Tensor per *buffer* (not per value), so in-place accumulation and concat
+// views behave exactly as the memory model says they do. Used by the tests
+// to certify that identity graph rewriting preserves the network function
+// and that results are schedule-invariant.
+#ifndef SERENITY_RUNTIME_EXECUTOR_H_
+#define SERENITY_RUNTIME_EXECUTOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/tensor.h"
+#include "sched/schedule.h"
+
+namespace serenity::runtime {
+
+class Executor {
+ public:
+  explicit Executor(const graph::Graph& graph);
+
+  // Runs the graph in the given order (any topological order gives identical
+  // results). `inputs` correspond to the graph's kInput nodes in ascending
+  // node-id order.
+  void Run(const std::vector<Tensor>& inputs, const sched::Schedule& order);
+
+  // Convenience: runs in declaration order.
+  void Run(const std::vector<Tensor>& inputs);
+
+  // The value produced by `id` in the last Run (a copy if the value is a
+  // slice of a shared buffer).
+  Tensor Value(graph::NodeId id) const;
+
+  // Values of the graph's sinks, in ascending node-id order — the stable
+  // comparison points between a graph and its rewritten twin.
+  std::vector<Tensor> SinkValues() const;
+
+ private:
+  void Execute(const graph::Node& node, const std::vector<Tensor>& inputs);
+
+  const graph::Graph& graph_;
+  std::vector<Tensor> buffer_tensors_;  // indexed by BufferId
+  std::vector<bool> buffer_ready_;
+};
+
+}  // namespace serenity::runtime
+
+#endif  // SERENITY_RUNTIME_EXECUTOR_H_

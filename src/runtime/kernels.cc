@@ -1,0 +1,293 @@
+#include "runtime/kernels.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace serenity::runtime {
+
+namespace {
+
+struct Padding2d {
+  int top = 0;
+  int left = 0;
+};
+
+// TF-style padding: SAME pads to ceil(in/stride) outputs with the smaller
+// half before; VALID pads nothing.
+Padding2d ComputePadding(const graph::TensorShape& in,
+                         const graph::ConvAttrs& attrs, int out_h,
+                         int out_w) {
+  if (attrs.padding == graph::Padding::kValid) return {};
+  const int eff_kh = attrs.dilation * (attrs.kernel_h - 1) + 1;
+  const int eff_kw = attrs.dilation * (attrs.kernel_w - 1) + 1;
+  const int pad_h =
+      std::max(0, (out_h - 1) * attrs.stride + eff_kh - in.h);
+  const int pad_w =
+      std::max(0, (out_w - 1) * attrs.stride + eff_kw - in.w);
+  return {pad_h / 2, pad_w / 2};
+}
+
+graph::TensorShape ConvOutShape(const graph::TensorShape& in,
+                                const graph::ConvAttrs& attrs, int out_c) {
+  return graph::InferConv2dShape(in, attrs, out_c);
+}
+
+void CheckSameShape(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  for (const Tensor* t : inputs) {
+    SERENITY_CHECK(t->shape() == inputs[0]->shape());
+  }
+}
+
+}  // namespace
+
+void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
+                   const graph::ConvAttrs& attrs, int ic_offset,
+                   bool overwrite, bool add_bias, Tensor& acc) {
+  const graph::TensorShape in = input.shape();
+  const graph::TensorShape out = acc.shape();
+  SERENITY_CHECK_EQ(out.c, weights.out_c);
+  SERENITY_CHECK_LE(ic_offset + in.c, weights.in_c);
+  const Padding2d pad = ComputePadding(in, attrs, out.h, out.w);
+
+  if (overwrite) std::fill(acc.data().begin(), acc.data().end(), 0.0f);
+  for (int n = 0; n < out.n; ++n) {
+    for (int oh = 0; oh < out.h; ++oh) {
+      for (int ow = 0; ow < out.w; ++ow) {
+        for (int oc = 0; oc < out.c; ++oc) {
+          float sum = acc.At(n, oh, ow, oc);
+          for (int ky = 0; ky < attrs.kernel_h; ++ky) {
+            const int ih = oh * attrs.stride - pad.top + ky * attrs.dilation;
+            if (ih < 0 || ih >= in.h) continue;
+            for (int kx = 0; kx < attrs.kernel_w; ++kx) {
+              const int iw =
+                  ow * attrs.stride - pad.left + kx * attrs.dilation;
+              if (iw < 0 || iw >= in.w) continue;
+              for (int ic = 0; ic < in.c; ++ic) {
+                sum += input.At(n, ih, iw, ic) *
+                       weights.KernelAt(ky, kx, ic_offset + ic, oc);
+              }
+            }
+          }
+          if (add_bias) sum += weights.bias[static_cast<std::size_t>(oc)];
+          acc.At(n, oh, ow, oc) = sum;
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
+              const graph::ConvAttrs& attrs) {
+  SERENITY_CHECK_EQ(input.shape().c, weights.in_c);
+  Tensor out(ConvOutShape(input.shape(), attrs, weights.out_c));
+  Conv2dPartial(input, weights, attrs, /*ic_offset=*/0, /*overwrite=*/true,
+                /*add_bias=*/true, out);
+  return out;
+}
+
+void DepthwiseConv2dPartial(const Tensor& input,
+                            const DepthwiseWeights& weights,
+                            const graph::ConvAttrs& attrs,
+                            int weight_c_offset, Tensor& out,
+                            int out_c_offset) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK_LE(weight_c_offset + in.c, weights.c);
+  SERENITY_CHECK_LE(out_c_offset + in.c, out.shape().c);
+  const Padding2d pad = ComputePadding(in, attrs, out.shape().h,
+                                       out.shape().w);
+  for (int n = 0; n < out.shape().n; ++n) {
+    for (int oh = 0; oh < out.shape().h; ++oh) {
+      for (int ow = 0; ow < out.shape().w; ++ow) {
+        for (int c = 0; c < in.c; ++c) {
+          const int wc = weight_c_offset + c;
+          float sum = weights.bias[static_cast<std::size_t>(wc)];
+          for (int ky = 0; ky < attrs.kernel_h; ++ky) {
+            const int ih = oh * attrs.stride - pad.top + ky * attrs.dilation;
+            if (ih < 0 || ih >= in.h) continue;
+            for (int kx = 0; kx < attrs.kernel_w; ++kx) {
+              const int iw =
+                  ow * attrs.stride - pad.left + kx * attrs.dilation;
+              if (iw < 0 || iw >= in.w) continue;
+              sum += input.At(n, ih, iw, c) * weights.KernelAt(ky, kx, wc);
+            }
+          }
+          out.At(n, oh, ow, out_c_offset + c) = sum;
+        }
+      }
+    }
+  }
+}
+
+Tensor DepthwiseConv2d(const Tensor& input, const DepthwiseWeights& weights,
+                       const graph::ConvAttrs& attrs) {
+  SERENITY_CHECK_EQ(input.shape().c, weights.c);
+  Tensor out(graph::InferDepthwiseShape(input.shape(), attrs));
+  DepthwiseConv2dPartial(input, weights, attrs, /*weight_c_offset=*/0, out,
+                         /*out_c_offset=*/0);
+  return out;
+}
+
+Tensor Concat(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  graph::TensorShape out_shape = inputs[0]->shape();
+  out_shape.c = 0;
+  for (const Tensor* t : inputs) {
+    SERENITY_CHECK_EQ(t->shape().n, inputs[0]->shape().n);
+    SERENITY_CHECK_EQ(t->shape().h, inputs[0]->shape().h);
+    SERENITY_CHECK_EQ(t->shape().w, inputs[0]->shape().w);
+    out_shape.c += t->shape().c;
+  }
+  Tensor out(out_shape);
+  for (int n = 0; n < out_shape.n; ++n) {
+    for (int h = 0; h < out_shape.h; ++h) {
+      for (int w = 0; w < out_shape.w; ++w) {
+        int c_base = 0;
+        for (const Tensor* t : inputs) {
+          for (int c = 0; c < t->shape().c; ++c) {
+            out.At(n, h, w, c_base + c) = t->At(n, h, w, c);
+          }
+          c_base += t->shape().c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Add(const std::vector<const Tensor*>& inputs) {
+  CheckSameShape(inputs);
+  Tensor out(inputs[0]->shape());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float sum = 0.0f;
+    for (const Tensor* t : inputs) sum += t->data()[i];
+    out.data()[i] = sum;
+  }
+  return out;
+}
+
+Tensor Mul(const std::vector<const Tensor*>& inputs) {
+  CheckSameShape(inputs);
+  Tensor out(inputs[0]->shape());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float product = 1.0f;
+    for (const Tensor* t : inputs) product *= t->data()[i];
+    out.data()[i] = product;
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(0.0f, input.data()[i]);
+  }
+  return out;
+}
+
+Tensor BatchNorm(const Tensor& input, const BatchNormWeights& weights) {
+  const int channels = input.shape().c;
+  SERENITY_CHECK_EQ(weights.scale.size(), static_cast<std::size_t>(channels));
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t c = i % static_cast<std::size_t>(channels);
+    out.data()[i] = input.data()[i] * weights.scale[c] + weights.shift[c];
+  }
+  return out;
+}
+
+Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+  const graph::TensorShape in = input.shape();
+  Tensor out(graph::InferPoolShape(in, attrs));
+  const Padding2d pad = ComputePadding(in, attrs, out.shape().h,
+                                       out.shape().w);
+  for (int n = 0; n < out.shape().n; ++n) {
+    for (int oh = 0; oh < out.shape().h; ++oh) {
+      for (int ow = 0; ow < out.shape().w; ++ow) {
+        for (int c = 0; c < out.shape().c; ++c) {
+          float best = std::numeric_limits<float>::lowest();
+          for (int ky = 0; ky < attrs.kernel_h; ++ky) {
+            const int ih = oh * attrs.stride - pad.top + ky;
+            if (ih < 0 || ih >= in.h) continue;
+            for (int kx = 0; kx < attrs.kernel_w; ++kx) {
+              const int iw = ow * attrs.stride - pad.left + kx;
+              if (iw < 0 || iw >= in.w) continue;
+              best = std::max(best, input.At(n, ih, iw, c));
+            }
+          }
+          out.At(n, oh, ow, c) = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+  const graph::TensorShape in = input.shape();
+  Tensor out(graph::InferPoolShape(in, attrs));
+  const Padding2d pad = ComputePadding(in, attrs, out.shape().h,
+                                       out.shape().w);
+  for (int n = 0; n < out.shape().n; ++n) {
+    for (int oh = 0; oh < out.shape().h; ++oh) {
+      for (int ow = 0; ow < out.shape().w; ++ow) {
+        for (int c = 0; c < out.shape().c; ++c) {
+          float sum = 0.0f;
+          int count = 0;  // average over valid elements only (TFLite SAME)
+          for (int ky = 0; ky < attrs.kernel_h; ++ky) {
+            const int ih = oh * attrs.stride - pad.top + ky;
+            if (ih < 0 || ih >= in.h) continue;
+            for (int kx = 0; kx < attrs.kernel_w; ++kx) {
+              const int iw = ow * attrs.stride - pad.left + kx;
+              if (iw < 0 || iw >= in.w) continue;
+              sum += input.At(n, ih, iw, c);
+              ++count;
+            }
+          }
+          SERENITY_CHECK_GT(count, 0);
+          out.At(n, oh, ow, c) = sum / static_cast<float>(count);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool2d(const Tensor& input) {
+  const graph::TensorShape in = input.shape();
+  Tensor out(graph::TensorShape{in.n, 1, 1, in.c});
+  const float denom = static_cast<float>(in.h) * static_cast<float>(in.w);
+  for (int n = 0; n < in.n; ++n) {
+    for (int c = 0; c < in.c; ++c) {
+      float sum = 0.0f;
+      for (int h = 0; h < in.h; ++h) {
+        for (int w = 0; w < in.w; ++w) sum += input.At(n, h, w, c);
+      }
+      out.At(n, 0, 0, c) = sum / denom;
+    }
+  }
+  return out;
+}
+
+Tensor Dense(const Tensor& input, const DenseWeights& weights) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK_EQ(in.NumElements() / in.n, weights.in);
+  Tensor out(graph::TensorShape{in.n, 1, 1, weights.units});
+  const std::size_t per_batch = static_cast<std::size_t>(weights.in);
+  for (int n = 0; n < in.n; ++n) {
+    for (int u = 0; u < weights.units; ++u) {
+      float sum = weights.bias[static_cast<std::size_t>(u)];
+      for (int i = 0; i < weights.in; ++i) {
+        sum += input.data()[static_cast<std::size_t>(n) * per_batch +
+                            static_cast<std::size_t>(i)] *
+               weights.KernelAt(i, u);
+      }
+      out.At(n, 0, 0, u) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace serenity::runtime

@@ -1,0 +1,57 @@
+// Reference operator kernels (naive loops, NHWC, float32).
+//
+// Conventions follow TensorFlow/TFLite: SAME padding splits the total pad
+// with the smaller half first; average pooling divides by the number of
+// valid (in-bounds) elements. The partial variants implement the rewriter's
+// ops: channel-slice convolution accumulating into a shared output
+// (Eq. 3-6) and per-branch depthwise convolution writing into a channel
+// slice of the shared output (Eq. 7-8).
+#ifndef SERENITY_RUNTIME_KERNELS_H_
+#define SERENITY_RUNTIME_KERNELS_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "runtime/tensor.h"
+#include "runtime/weights.h"
+
+namespace serenity::runtime {
+
+// Dense convolution over all input channels: bias + Σ_ic w ∗ x.
+Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
+              const graph::ConvAttrs& attrs);
+
+// Channel-wise partial convolution: convolves `input` (a channel slice of
+// the virtual concatenated input) against kernel in-channels
+// [ic_offset, ic_offset + input.c) of `weights`, accumulating into `acc`
+// (conv output shape). `overwrite` zeroes the accumulator first (first
+// partial); `add_bias` adds the bias once.
+void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
+                   const graph::ConvAttrs& attrs, int ic_offset,
+                   bool overwrite, bool add_bias, Tensor& acc);
+
+Tensor DepthwiseConv2d(const Tensor& input, const DepthwiseWeights& weights,
+                       const graph::ConvAttrs& attrs);
+
+// Kernel-wise partial depthwise convolution: filters `input` with kernel
+// channels [weight_c_offset, +input.c) and writes the result into channels
+// [out_c_offset, +input.c) of `out`.
+void DepthwiseConv2dPartial(const Tensor& input,
+                            const DepthwiseWeights& weights,
+                            const graph::ConvAttrs& attrs,
+                            int weight_c_offset, Tensor& out,
+                            int out_c_offset);
+
+Tensor Concat(const std::vector<const Tensor*>& inputs);
+Tensor Add(const std::vector<const Tensor*>& inputs);
+Tensor Mul(const std::vector<const Tensor*>& inputs);
+Tensor Relu(const Tensor& input);
+Tensor BatchNorm(const Tensor& input, const BatchNormWeights& weights);
+Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs);
+Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs);
+Tensor GlobalAvgPool2d(const Tensor& input);
+Tensor Dense(const Tensor& input, const DenseWeights& weights);
+
+}  // namespace serenity::runtime
+
+#endif  // SERENITY_RUNTIME_KERNELS_H_

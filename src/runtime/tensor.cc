@@ -1,0 +1,16 @@
+#include "runtime/tensor.h"
+
+#include <cmath>
+
+namespace serenity::runtime {
+
+float Tensor::MaxAbsDiff(const Tensor& other) const {
+  SERENITY_CHECK(shape_ == other.shape_) << "shape mismatch in MaxAbsDiff";
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+}  // namespace serenity::runtime

@@ -1,0 +1,68 @@
+// Dense float32 NHWC tensor for the reference runtime.
+//
+// The runtime exists to *prove semantics*, not to be fast: identity graph
+// rewriting claims bit-level mathematical integrity (§3.3), and the tests
+// execute a graph and its rewritten twin on identical synthetic weights and
+// inputs, comparing outputs to tolerance. Plain nested loops keep every
+// kernel auditable against the paper's equations.
+#ifndef SERENITY_RUNTIME_TENSOR_H_
+#define SERENITY_RUNTIME_TENSOR_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace serenity::runtime {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(const graph::TensorShape& shape)
+      : shape_(shape),
+        data_(static_cast<std::size_t>(shape.NumElements()), 0.0f) {}
+
+  static Tensor Zeros(const graph::TensorShape& shape) {
+    return Tensor(shape);
+  }
+
+  // Uniform values in [-scale, scale], deterministic from `rng`'s state.
+  static Tensor Random(const graph::TensorShape& shape, util::Rng& rng,
+                       float scale = 1.0f) {
+    Tensor t(shape);
+    for (float& v : t.data_) v = rng.NextFloat(scale);
+    return t;
+  }
+
+  const graph::TensorShape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  float At(int n, int h, int w, int c) const {
+    return data_[Index(n, h, w, c)];
+  }
+  float& At(int n, int h, int w, int c) { return data_[Index(n, h, w, c)]; }
+
+  // Largest absolute elementwise difference; shapes must match.
+  float MaxAbsDiff(const Tensor& other) const;
+
+ private:
+  std::size_t Index(int n, int h, int w, int c) const {
+    SERENITY_CHECK(n >= 0 && n < shape_.n && h >= 0 && h < shape_.h &&
+                   w >= 0 && w < shape_.w && c >= 0 && c < shape_.c)
+        << "tensor index out of range";
+    return static_cast<std::size_t>(
+        ((static_cast<std::int64_t>(n) * shape_.h + h) * shape_.w + w) *
+            shape_.c +
+        c);
+  }
+
+  graph::TensorShape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace serenity::runtime
+
+#endif  // SERENITY_RUNTIME_TENSOR_H_

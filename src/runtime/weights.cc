@@ -1,0 +1,64 @@
+#include "runtime/weights.h"
+
+#include "util/rng.h"
+
+namespace serenity::runtime {
+
+namespace {
+// Small magnitude keeps deep synthetic networks numerically tame.
+constexpr float kWeightScale = 0.25f;
+}  // namespace
+
+ConvWeights MakeConvWeights(std::uint64_t seed, int kh, int kw, int in_c,
+                            int out_c) {
+  util::Rng rng(seed);
+  ConvWeights w;
+  w.kh = kh;
+  w.kw = kw;
+  w.in_c = in_c;
+  w.out_c = out_c;
+  w.kernel.resize(static_cast<std::size_t>(kh) * kw * in_c * out_c);
+  for (float& v : w.kernel) v = rng.NextFloat(kWeightScale);
+  w.bias.resize(static_cast<std::size_t>(out_c));
+  for (float& v : w.bias) v = rng.NextFloat(kWeightScale);
+  return w;
+}
+
+DepthwiseWeights MakeDepthwiseWeights(std::uint64_t seed, int kh, int kw,
+                                      int c) {
+  util::Rng rng(seed);
+  DepthwiseWeights w;
+  w.kh = kh;
+  w.kw = kw;
+  w.c = c;
+  w.kernel.resize(static_cast<std::size_t>(kh) * kw * c);
+  for (float& v : w.kernel) v = rng.NextFloat(kWeightScale);
+  w.bias.resize(static_cast<std::size_t>(c));
+  for (float& v : w.bias) v = rng.NextFloat(kWeightScale);
+  return w;
+}
+
+BatchNormWeights MakeBatchNormWeights(std::uint64_t seed, int c) {
+  util::Rng rng(seed);
+  BatchNormWeights w;
+  w.scale.resize(static_cast<std::size_t>(c));
+  w.shift.resize(static_cast<std::size_t>(c));
+  // Scales near 1 so stacked cells neither explode nor vanish.
+  for (float& v : w.scale) v = 1.0f + rng.NextFloat(0.1f);
+  for (float& v : w.shift) v = rng.NextFloat(0.1f);
+  return w;
+}
+
+DenseWeights MakeDenseWeights(std::uint64_t seed, int in, int units) {
+  util::Rng rng(seed);
+  DenseWeights w;
+  w.in = in;
+  w.units = units;
+  w.kernel.resize(static_cast<std::size_t>(in) * units);
+  for (float& v : w.kernel) v = rng.NextFloat(kWeightScale);
+  w.bias.resize(static_cast<std::size_t>(units));
+  for (float& v : w.bias) v = rng.NextFloat(kWeightScale);
+  return w;
+}
+
+}  // namespace serenity::runtime

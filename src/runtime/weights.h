@@ -1,0 +1,68 @@
+// Deterministic synthetic weights.
+//
+// Every weighted op carries a `weight_seed` assigned at graph construction;
+// materializing weights from the seed (instead of storing them in the IR)
+// keeps graphs light while guaranteeing that a rewritten graph — whose
+// partial ops inherit the original op's seed plus a channel offset — reads
+// the *same* virtual weight tensor as the op it replaced. That is the
+// mechanism behind the identity-preservation tests.
+#ifndef SERENITY_RUNTIME_WEIGHTS_H_
+#define SERENITY_RUNTIME_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace serenity::runtime {
+
+// Dense convolution kernel, layout [kh][kw][in_c][out_c], plus bias[out_c].
+struct ConvWeights {
+  int kh = 0, kw = 0, in_c = 0, out_c = 0;
+  std::vector<float> kernel;
+  std::vector<float> bias;
+
+  float KernelAt(int y, int x, int ic, int oc) const {
+    return kernel[static_cast<std::size_t>(
+        ((static_cast<std::int64_t>(y) * kw + x) * in_c + ic) * out_c + oc)];
+  }
+};
+
+// Depthwise kernel, layout [kh][kw][c] (channel multiplier 1), plus bias[c].
+struct DepthwiseWeights {
+  int kh = 0, kw = 0, c = 0;
+  std::vector<float> kernel;
+  std::vector<float> bias;
+
+  float KernelAt(int y, int x, int channel) const {
+    return kernel[static_cast<std::size_t>(
+        (static_cast<std::int64_t>(y) * kw + x) * c + channel)];
+  }
+};
+
+struct BatchNormWeights {
+  std::vector<float> scale;
+  std::vector<float> shift;
+};
+
+struct DenseWeights {
+  int in = 0, units = 0;
+  std::vector<float> kernel;  // [in][units]
+  std::vector<float> bias;
+
+  float KernelAt(int i, int u) const {
+    return kernel[static_cast<std::size_t>(
+        static_cast<std::int64_t>(i) * units + u)];
+  }
+};
+
+// All generators are pure functions of their arguments; the same seed and
+// dimensions always produce the same weights.
+ConvWeights MakeConvWeights(std::uint64_t seed, int kh, int kw, int in_c,
+                            int out_c);
+DepthwiseWeights MakeDepthwiseWeights(std::uint64_t seed, int kh, int kw,
+                                      int c);
+BatchNormWeights MakeBatchNormWeights(std::uint64_t seed, int c);
+DenseWeights MakeDenseWeights(std::uint64_t seed, int in, int units);
+
+}  // namespace serenity::runtime
+
+#endif  // SERENITY_RUNTIME_WEIGHTS_H_

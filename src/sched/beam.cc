@@ -1,0 +1,116 @@
+#include "sched/beam.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/analysis.h"
+#include "util/bitset.h"
+#include "util/logging.h"
+
+namespace serenity::sched {
+
+namespace {
+
+struct BeamState {
+  util::Bitset64 scheduled;
+  std::int64_t footprint = 0;
+  std::int64_t peak = 0;
+  std::int32_t prev = -1;            // index into the previous level
+  graph::NodeId last = graph::kInvalidNode;
+};
+
+}  // namespace
+
+BeamResult ScheduleBeam(const graph::Graph& graph,
+                        const BeamOptions& options) {
+  SERENITY_CHECK_GT(graph.num_nodes(), 0);
+  SERENITY_CHECK_GT(options.width, 0);
+  const graph::BufferUseTable table = graph::BufferUseTable::Build(graph);
+  const graph::AdjacencyBitsets adjacency = graph::BuildAdjacency(graph);
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+
+  BeamResult result;
+  std::vector<std::vector<BeamState>> levels(n + 1);
+  levels[0].push_back(BeamState{util::Bitset64(n), 0, 0, -1,
+                                graph::kInvalidNode});
+
+  for (std::size_t level = 0; level < n; ++level) {
+    std::vector<BeamState> next;
+    // Dedup signatures within the level: the best peak per signature wins,
+    // exactly as in the DP (beam = DP with a truncated frontier).
+    std::unordered_map<util::Bitset64, std::size_t, util::Bitset64Hash>
+        index;
+    for (std::size_t s = 0; s < levels[level].size(); ++s) {
+      const BeamState& state = levels[level][s];
+      for (std::size_t u = 0; u < n; ++u) {
+        if (state.scheduled.Test(u)) continue;
+        if (!adjacency.preds[u].IsSubsetOf(state.scheduled)) continue;
+        ++result.states_expanded;
+        const graph::Node& node = graph.node(static_cast<graph::NodeId>(u));
+        std::int64_t footprint = state.footprint;
+        if (!table.WriterScheduled(node.buffer, state.scheduled)) {
+          footprint += table.buffers[static_cast<std::size_t>(node.buffer)]
+                           .size_bytes;
+        }
+        const std::int64_t peak = std::max(state.peak, footprint);
+        for (const graph::BufferId b : table.touched_buffers[u]) {
+          const auto& use = table.buffers[static_cast<std::size_t>(b)];
+          if (use.is_sink) continue;
+          bool all_done = true;
+          use.touchers.ForEachSetBit([&](std::size_t t) {
+            if (t != u && !state.scheduled.Test(t)) all_done = false;
+          });
+          if (all_done) footprint -= use.size_bytes;
+        }
+        util::Bitset64 key = state.scheduled;
+        key.Set(u);
+        const auto it = index.find(key);
+        if (it == index.end()) {
+          index.emplace(key, next.size());
+          next.push_back(BeamState{std::move(key), footprint, peak,
+                                   static_cast<std::int32_t>(s),
+                                   static_cast<graph::NodeId>(u)});
+        } else if (peak < next[it->second].peak) {
+          next[it->second].peak = peak;
+          next[it->second].footprint = footprint;
+          next[it->second].prev = static_cast<std::int32_t>(s);
+          next[it->second].last = static_cast<graph::NodeId>(u);
+        }
+      }
+    }
+    SERENITY_CHECK(!next.empty()) << "graph has a cycle?";
+    // Keep the `width` best states: primary key peak, secondary the
+    // current footprint (leaner states have more downstream freedom).
+    if (next.size() > static_cast<std::size_t>(options.width)) {
+      std::nth_element(
+          next.begin(),
+          next.begin() + static_cast<std::ptrdiff_t>(options.width - 1),
+          next.end(), [](const BeamState& a, const BeamState& b) {
+            if (a.peak != b.peak) return a.peak < b.peak;
+            return a.footprint < b.footprint;
+          });
+      next.resize(static_cast<std::size_t>(options.width));
+    }
+    levels[level + 1] = std::move(next);
+  }
+
+  // Best final state and backtrack.
+  const auto& final_level = levels[n];
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < final_level.size(); ++i) {
+    if (final_level[i].peak < final_level[best].peak) best = i;
+  }
+  result.peak_bytes = final_level[best].peak;
+  result.schedule.assign(n, graph::kInvalidNode);
+  std::int32_t cursor = static_cast<std::int32_t>(best);
+  for (std::size_t i = n; i > 0; --i) {
+    const BeamState& state = levels[i][static_cast<std::size_t>(cursor)];
+    result.schedule[i - 1] = state.last;
+    cursor = state.prev;
+  }
+  SERENITY_CHECK(IsTopologicalOrder(graph, result.schedule));
+  return result;
+}
+
+}  // namespace serenity::sched

@@ -1,0 +1,41 @@
+// Beam-search scheduler: the anytime fallback for graphs whose signature
+// space defeats even budget-pruned dynamic programming.
+//
+// The DP of Algorithm 1 is exact but worst-case exponential; adaptive soft
+// budgeting keeps it tractable for the paper's cells, yet a user importing
+// an arbitrary irregular graph needs a graceful degradation path. The beam
+// scheduler runs the same level-by-level expansion but keeps only the
+// `width` most promising states per level (ranked by peak, then current
+// footprint), trading optimality for a hard O(width · |V|^2) bound.
+//
+// Properties (enforced by tests):
+//  - always returns a valid topological order;
+//  - never worse than the greedy baseline at width >= 1 in expectation —
+//    and exactly optimal when `width` exceeds the true level width;
+//  - quality is monotone in `width` in the aggregate (not per instance).
+#ifndef SERENITY_SCHED_BEAM_H_
+#define SERENITY_SCHED_BEAM_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace serenity::sched {
+
+struct BeamOptions {
+  int width = 64;  // states retained per level
+};
+
+struct BeamResult {
+  Schedule schedule;
+  std::int64_t peak_bytes = 0;
+  std::uint64_t states_expanded = 0;
+};
+
+BeamResult ScheduleBeam(const graph::Graph& graph,
+                        const BeamOptions& options = {});
+
+}  // namespace serenity::sched
+
+#endif  // SERENITY_SCHED_BEAM_H_

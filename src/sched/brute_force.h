@@ -1,0 +1,32 @@
+// Exhaustive minimum-peak-footprint scheduler.
+//
+// Enumerates every topological order (the paper's S_T space, §2.3) and keeps
+// the one with the smallest peak footprint. Complexity O(|V|!): usable only
+// as a test oracle for the dynamic-programming scheduler's optimality proof
+// obligations (paper Appendix C) on graphs of ~10 nodes and below.
+#ifndef SERENITY_SCHED_BRUTE_FORCE_H_
+#define SERENITY_SCHED_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace serenity::sched {
+
+struct BruteForceResult {
+  Schedule schedule;
+  std::int64_t peak_bytes = 0;
+  std::uint64_t orders_enumerated = 0;
+};
+
+// `max_orders` aborts the run (via SERENITY_CHECK) if the space is larger
+// than expected — a guard against accidentally calling the oracle on a big
+// graph rather than a soft limit.
+BruteForceResult BruteForceOptimalSchedule(const graph::Graph& graph,
+                                           std::uint64_t max_orders =
+                                               50'000'000);
+
+}  // namespace serenity::sched
+
+#endif  // SERENITY_SCHED_BRUTE_FORCE_H_

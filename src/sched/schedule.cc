@@ -1,0 +1,96 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace serenity::sched {
+
+bool IsTopologicalOrder(const graph::Graph& graph, const Schedule& schedule) {
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  if (schedule.size() != n) return false;
+  std::vector<int> position(n, -1);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const graph::NodeId id = schedule[i];
+    if (id < 0 || static_cast<std::size_t>(id) >= n) return false;
+    if (position[static_cast<std::size_t>(id)] != -1) return false;  // dup
+    position[static_cast<std::size_t>(id)] = static_cast<int>(i);
+  }
+  for (const graph::Node& node : graph.nodes()) {
+    for (graph::NodeId input : node.inputs) {
+      if (position[static_cast<std::size_t>(input)] >=
+          position[static_cast<std::size_t>(node.id)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+FootprintResult EvaluateFootprint(const graph::Graph& graph,
+                                  const graph::BufferUseTable& table,
+                                  const Schedule& schedule) {
+  SERENITY_CHECK(IsTopologicalOrder(graph, schedule))
+      << "footprint evaluation requires a valid topological order of '"
+      << graph.name() << "'";
+  FootprintResult result;
+  result.footprint_after_step.reserve(schedule.size());
+  result.peak_at_step.reserve(schedule.size());
+
+  // remaining_uses[b] counts writers + readers of b not yet executed; the
+  // buffer is freed when it reaches zero (unless the buffer is a sink).
+  std::vector<int> remaining_uses(table.buffers.size());
+  std::vector<bool> allocated(table.buffers.size(), false);
+  for (std::size_t b = 0; b < table.buffers.size(); ++b) {
+    remaining_uses[b] = static_cast<int>(table.buffers[b].writers.size() +
+                                         table.buffers[b].readers.size());
+  }
+
+  std::int64_t footprint = 0;
+  std::int64_t peak = 0;
+  for (const graph::NodeId id : schedule) {
+    const std::size_t uid = static_cast<std::size_t>(id);
+    const graph::BufferId own = graph.node(id).buffer;
+    // (1) Allocate the output buffer on its first write.
+    if (!allocated[static_cast<std::size_t>(own)]) {
+      allocated[static_cast<std::size_t>(own)] = true;
+      footprint += table.buffers[static_cast<std::size_t>(own)].size_bytes;
+    }
+    const std::int64_t step_peak = footprint;
+    peak = std::max(peak, step_peak);
+    // (2) Retire this node's uses and free fully consumed buffers.
+    for (const graph::BufferId b : table.touched_buffers[uid]) {
+      const std::size_t ub = static_cast<std::size_t>(b);
+      int uses = 0;
+      // The node spends one use per role it holds on the buffer: one if it
+      // writes it, one if it reads it.
+      const graph::BufferUse& use = table.buffers[ub];
+      if (graph.node(id).buffer == b) ++uses;
+      const auto& reads = table.read_buffers[uid];
+      if (std::find(reads.begin(), reads.end(), b) != reads.end()) ++uses;
+      remaining_uses[ub] -= uses;
+      SERENITY_CHECK_GE(remaining_uses[ub], 0);
+      if (remaining_uses[ub] == 0 && !use.is_sink) {
+        SERENITY_CHECK(allocated[ub]);
+        footprint -= use.size_bytes;
+      }
+    }
+    result.peak_at_step.push_back(step_peak);
+    result.footprint_after_step.push_back(footprint);
+  }
+  result.peak_bytes = peak;
+  return result;
+}
+
+FootprintResult EvaluateFootprint(const graph::Graph& graph,
+                                  const Schedule& schedule) {
+  return EvaluateFootprint(graph, graph::BufferUseTable::Build(graph),
+                           schedule);
+}
+
+std::int64_t PeakFootprint(const graph::Graph& graph,
+                           const Schedule& schedule) {
+  return EvaluateFootprint(graph, schedule).peak_bytes;
+}
+
+}  // namespace serenity::sched

@@ -1,0 +1,52 @@
+// Schedule type and the footprint evaluator implementing the paper's memory
+// model (§3.1, Fig. 6): schedule a node, allocate its output (if this is the
+// buffer's first write), record the running-sum peak, then deallocate every
+// buffer whose last use just executed.
+#ifndef SERENITY_SCHED_SCHEDULE_H_
+#define SERENITY_SCHED_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/analysis.h"
+#include "graph/graph.h"
+
+namespace serenity::sched {
+
+// A complete execution order: a permutation of all node ids that respects
+// data dependencies.
+using Schedule = std::vector<graph::NodeId>;
+
+// True if `schedule` contains each node exactly once and every node appears
+// after all of its inputs.
+bool IsTopologicalOrder(const graph::Graph& graph, const Schedule& schedule);
+
+struct FootprintResult {
+  // Peak running activation footprint over the whole schedule — the paper's
+  // µpeak. Measured at the moment a node's output has been allocated but its
+  // dead inputs not yet freed (Fig. 6 step (1)).
+  std::int64_t peak_bytes = 0;
+  // Footprint after each step completes (post-deallocation) — the series
+  // plotted in Fig. 12(b).
+  std::vector<std::int64_t> footprint_after_step;
+  // The peak observed while executing each step (pre-deallocation).
+  std::vector<std::int64_t> peak_at_step;
+};
+
+// Evaluates the activation footprint of a schedule. Dies if the schedule is
+// not a topological order of `graph`.
+FootprintResult EvaluateFootprint(const graph::Graph& graph,
+                                  const graph::BufferUseTable& table,
+                                  const Schedule& schedule);
+
+// Convenience overload that builds the use table internally.
+FootprintResult EvaluateFootprint(const graph::Graph& graph,
+                                  const Schedule& schedule);
+
+// Peak footprint only.
+std::int64_t PeakFootprint(const graph::Graph& graph,
+                           const Schedule& schedule);
+
+}  // namespace serenity::sched
+
+#endif  // SERENITY_SCHED_SCHEDULE_H_

@@ -1,0 +1,99 @@
+#include "serialize/plan.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace serenity::serialize {
+
+ExecutionPlan MakePlan(const graph::Graph& graph,
+                       const sched::Schedule& schedule) {
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph, schedule));
+  ExecutionPlan plan;
+  plan.graph_name = graph.name();
+  plan.schedule = schedule;
+  plan.arena = alloc::PlanArena(graph, schedule);
+  return plan;
+}
+
+std::string PlanToText(const ExecutionPlan& plan) {
+  std::ostringstream os;
+  os << "plan " << (plan.graph_name.empty() ? "_" : plan.graph_name) << " "
+     << plan.schedule.size() << " " << plan.arena.arena_bytes << "\n";
+  os << "order";
+  for (const graph::NodeId id : plan.schedule) os << " " << id;
+  os << "\n";
+  for (const alloc::BufferPlacement& p : plan.arena.placements) {
+    os << "place " << p.buffer << " " << p.offset << " " << p.size << " "
+       << p.first_step << " " << p.last_step << "\n";
+  }
+  return os.str();
+}
+
+ExecutionPlan PlanFromText(const std::string& text,
+                           const graph::Graph& graph) {
+  ExecutionPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  std::int64_t declared_arena = -1;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "plan") {
+      std::size_t num_nodes = 0;
+      ls >> plan.graph_name >> num_nodes >> declared_arena;
+      SERENITY_CHECK_EQ(num_nodes,
+                        static_cast<std::size_t>(graph.num_nodes()))
+          << "plan was compiled for a different graph";
+    } else if (tag == "order") {
+      graph::NodeId id;
+      while (ls >> id) plan.schedule.push_back(id);
+    } else if (tag == "place") {
+      alloc::BufferPlacement p;
+      ls >> p.buffer >> p.offset >> p.size >> p.first_step >> p.last_step;
+      SERENITY_CHECK_GE(p.buffer, 0);
+      SERENITY_CHECK_LT(p.buffer, graph.num_buffers());
+      plan.arena.placements.push_back(p);
+      plan.arena.arena_bytes =
+          std::max(plan.arena.arena_bytes, p.offset + p.size);
+    } else {
+      SERENITY_CHECK(false) << "unknown plan record '" << tag << "'";
+    }
+  }
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph, plan.schedule))
+      << "plan schedule is not a valid order for this graph";
+  SERENITY_CHECK_EQ(plan.arena.arena_bytes, declared_arena)
+      << "plan arena size disagrees with its placements";
+  // Rebuild the derived high-water trace so loaded plans are fully usable.
+  plan.arena.highwater_at_step.assign(plan.schedule.size(), 0);
+  for (const alloc::BufferPlacement& p : plan.arena.placements) {
+    for (int step = p.first_step; step <= p.last_step; ++step) {
+      SERENITY_CHECK_GE(step, 0);
+      SERENITY_CHECK_LT(static_cast<std::size_t>(step),
+                        plan.schedule.size());
+      auto& hw = plan.arena.highwater_at_step[static_cast<std::size_t>(step)];
+      hw = std::max(hw, p.offset + p.size);
+    }
+  }
+  return plan;
+}
+
+void SavePlanToFile(const ExecutionPlan& plan, const std::string& path) {
+  std::ofstream os(path);
+  SERENITY_CHECK(os.good()) << "cannot open '" << path << "' for writing";
+  os << PlanToText(plan);
+}
+
+ExecutionPlan LoadPlanFromFile(const std::string& path,
+                               const graph::Graph& graph) {
+  std::ifstream is(path);
+  SERENITY_CHECK(is.good()) << "cannot open '" << path << "' for reading";
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return PlanFromText(buffer.str(), graph);
+}
+
+}  // namespace serenity::serialize

@@ -1,0 +1,42 @@
+// Execution-plan persistence: the compilation artifact an edge runtime
+// consumes — the node execution order plus the arena offset of every
+// activation buffer. Text format, one record per line:
+//
+//   plan <graph_name> <num_nodes> <arena_bytes>
+//   order <id0> <id1> ...
+//   place <buffer_id> <offset> <size> <first_step> <last_step>
+#ifndef SERENITY_SERIALIZE_PLAN_H_
+#define SERENITY_SERIALIZE_PLAN_H_
+
+#include <string>
+
+#include "alloc/arena_planner.h"
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace serenity::serialize {
+
+struct ExecutionPlan {
+  std::string graph_name;
+  sched::Schedule schedule;
+  alloc::ArenaPlan arena;
+};
+
+// Builds a plan for `schedule` on `graph` (plans the arena internally).
+ExecutionPlan MakePlan(const graph::Graph& graph,
+                       const sched::Schedule& schedule);
+
+std::string PlanToText(const ExecutionPlan& plan);
+
+// Parses a plan; dies on malformed input. `graph` is used to validate the
+// schedule (must be a topological order of it) and the buffer references.
+ExecutionPlan PlanFromText(const std::string& text,
+                           const graph::Graph& graph);
+
+void SavePlanToFile(const ExecutionPlan& plan, const std::string& path);
+ExecutionPlan LoadPlanFromFile(const std::string& path,
+                               const graph::Graph& graph);
+
+}  // namespace serenity::serialize
+
+#endif  // SERENITY_SERIALIZE_PLAN_H_

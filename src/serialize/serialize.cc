@@ -1,0 +1,241 @@
+#include "serialize/serialize.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace serenity::serialize {
+
+namespace {
+
+const std::map<std::string, graph::OpKind>& KindByName() {
+  static const auto* kMap = [] {
+    auto* m = new std::map<std::string, graph::OpKind>();
+    for (int k = 0; k <= static_cast<int>(graph::OpKind::kConcatView); ++k) {
+      const auto kind = static_cast<graph::OpKind>(k);
+      (*m)[graph::ToString(kind)] = kind;
+    }
+    return m;
+  }();
+  return *kMap;
+}
+
+const std::map<std::string, graph::DataType>& DtypeByName() {
+  static const auto* kMap = [] {
+    auto* m = new std::map<std::string, graph::DataType>();
+    for (const auto dtype :
+         {graph::DataType::kFloat32, graph::DataType::kFloat16,
+          graph::DataType::kInt8, graph::DataType::kUInt8,
+          graph::DataType::kInt32}) {
+      (*m)[graph::ToString(dtype)] = dtype;
+    }
+    return m;
+  }();
+  return *kMap;
+}
+
+// Node names may contain spaces; escape them minimally.
+std::string EscapeName(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    if (c == ' ') {
+      out += "\\s";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out.empty() ? std::string("_") : out;
+}
+
+std::string UnescapeName(const std::string& escaped) {
+  if (escaped == "_") return "";
+  std::string out;
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      out += (escaped[i + 1] == 's') ? ' ' : escaped[i + 1];
+      ++i;
+    } else {
+      out += escaped[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> ParseIntList(const std::string& csv) {
+  std::vector<std::int64_t> values;
+  if (csv.empty()) return values;
+  std::istringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    values.push_back(std::stoll(token));
+  }
+  return values;
+}
+
+// key=value field extraction; returns empty string if absent.
+std::string Field(const std::vector<std::string>& tokens,
+                  const std::string& key) {
+  const std::string prefix = key + "=";
+  for (const std::string& t : tokens) {
+    if (t.rfind(prefix, 0) == 0) return t.substr(prefix.size());
+  }
+  return "";
+}
+
+}  // namespace
+
+void WriteText(const graph::Graph& graph, std::ostream& os) {
+  os << "# serenity graph v1\n";
+  os << "graph " << EscapeName(graph.name()) << "\n";
+  for (graph::BufferId b = 0; b < graph.num_buffers(); ++b) {
+    os << "buffer " << b << " " << graph.buffer(b).size_bytes << "\n";
+  }
+  for (const graph::Node& n : graph.nodes()) {
+    os << "node " << n.id << " " << graph::ToString(n.kind) << " "
+       << graph::ToString(n.dtype) << " " << EscapeName(n.name)
+       << " shape=" << n.shape.n << "," << n.shape.h << "," << n.shape.w
+       << "," << n.shape.c << " buffer=" << n.buffer << " inputs=";
+    for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << n.inputs[i];
+    }
+    os << " conv=" << n.conv.kernel_h << "," << n.conv.kernel_w << ","
+       << n.conv.stride << "," << n.conv.dilation << ","
+       << (n.conv.padding == graph::Padding::kSame ? "same" : "valid");
+    os << " coff=" << n.buffer_channel_offset << " wseed=" << n.weight_seed
+       << " wic=" << n.weight_in_channels << " woff=" << n.in_channel_offset
+       << " wcount=" << n.weight_count << " axis=" << n.concat_axis << "\n";
+  }
+}
+
+std::string ToText(const graph::Graph& graph) {
+  std::ostringstream os;
+  WriteText(graph, os);
+  return os.str();
+}
+
+graph::Graph FromText(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  graph::Graph graph;
+  int buffers_declared = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (ls >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "graph") {
+      SERENITY_CHECK_GE(tokens.size(), 2u);
+      graph.set_name(UnescapeName(tokens[1]));
+    } else if (tokens[0] == "buffer") {
+      SERENITY_CHECK_EQ(tokens.size(), 3u);
+      const graph::BufferId id =
+          static_cast<graph::BufferId>(std::stoi(tokens[1]));
+      SERENITY_CHECK_EQ(id, buffers_declared) << "buffers must be in order";
+      graph.AddBuffer(std::stoll(tokens[2]));
+      ++buffers_declared;
+    } else if (tokens[0] == "node") {
+      SERENITY_CHECK_GE(tokens.size(), 7u);
+      graph::Node node;
+      const graph::NodeId id =
+          static_cast<graph::NodeId>(std::stoi(tokens[1]));
+      SERENITY_CHECK_EQ(id, graph.num_nodes()) << "nodes must be in order";
+      const auto kind_it = KindByName().find(tokens[2]);
+      SERENITY_CHECK(kind_it != KindByName().end())
+          << "unknown op kind '" << tokens[2] << "'";
+      node.kind = kind_it->second;
+      const auto dtype_it = DtypeByName().find(tokens[3]);
+      SERENITY_CHECK(dtype_it != DtypeByName().end());
+      node.dtype = dtype_it->second;
+      node.name = UnescapeName(tokens[4]);
+      const auto shape = ParseIntList(Field(tokens, "shape"));
+      SERENITY_CHECK_EQ(shape.size(), 4u);
+      node.shape = graph::TensorShape{
+          static_cast<int>(shape[0]), static_cast<int>(shape[1]),
+          static_cast<int>(shape[2]), static_cast<int>(shape[3])};
+      node.buffer =
+          static_cast<graph::BufferId>(std::stoll(Field(tokens, "buffer")));
+      for (const std::int64_t i : ParseIntList(Field(tokens, "inputs"))) {
+        node.inputs.push_back(static_cast<graph::NodeId>(i));
+      }
+      const std::string conv = Field(tokens, "conv");
+      if (!conv.empty()) {
+        std::istringstream cs(conv);
+        std::string part;
+        std::vector<std::string> parts;
+        while (std::getline(cs, part, ',')) parts.push_back(part);
+        SERENITY_CHECK_EQ(parts.size(), 5u);
+        node.conv.kernel_h = std::stoi(parts[0]);
+        node.conv.kernel_w = std::stoi(parts[1]);
+        node.conv.stride = std::stoi(parts[2]);
+        node.conv.dilation = std::stoi(parts[3]);
+        node.conv.padding = parts[4] == "same" ? graph::Padding::kSame
+                                               : graph::Padding::kValid;
+      }
+      const auto int_field = [&](const char* key, auto setter) {
+        const std::string value = Field(tokens, key);
+        if (!value.empty()) setter(std::stoll(value));
+      };
+      int_field("coff", [&](std::int64_t v) {
+        node.buffer_channel_offset = static_cast<int>(v);
+      });
+      const std::string wseed = Field(tokens, "wseed");
+      if (!wseed.empty()) node.weight_seed = std::stoull(wseed);
+      int_field("wic", [&](std::int64_t v) {
+        node.weight_in_channels = static_cast<int>(v);
+      });
+      int_field("woff", [&](std::int64_t v) {
+        node.in_channel_offset = static_cast<int>(v);
+      });
+      int_field("wcount", [&](std::int64_t v) { node.weight_count = v; });
+      int_field("axis", [&](std::int64_t v) {
+        node.concat_axis = static_cast<int>(v);
+      });
+      graph.AddNode(std::move(node));
+    } else {
+      SERENITY_CHECK(false) << "unknown record '" << tokens[0] << "'";
+    }
+  }
+  graph.ValidateOrDie();
+  return graph;
+}
+
+std::string ToDot(const graph::Graph& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for (const graph::Node& n : graph.nodes()) {
+    os << "  n" << n.id << " [label=\"" << n.name << "\\n"
+       << graph::ToString(n.kind) << " " << n.shape.ToString() << "\\n"
+       << n.OutputBytes() / 1024.0 << " KB\"];\n";
+  }
+  for (const graph::Node& n : graph.nodes()) {
+    for (const graph::NodeId input : n.inputs) {
+      os << "  n" << input << " -> n" << n.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void SaveToFile(const graph::Graph& graph, const std::string& path) {
+  std::ofstream os(path);
+  SERENITY_CHECK(os.good()) << "cannot open '" << path << "' for writing";
+  WriteText(graph, os);
+}
+
+graph::Graph LoadFromFile(const std::string& path) {
+  std::ifstream is(path);
+  SERENITY_CHECK(is.good()) << "cannot open '" << path << "' for reading";
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return FromText(buffer.str());
+}
+
+}  // namespace serenity::serialize

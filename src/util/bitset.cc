@@ -1,0 +1,70 @@
+#include "util/bitset.h"
+
+#include <algorithm>
+
+namespace serenity::util {
+
+std::size_t Bitset64::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t word : words_) {
+    total += static_cast<std::size_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+bool Bitset64::None() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool Bitset64::IsSubsetOf(const Bitset64& other) const {
+  SERENITY_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset64::Intersects(const Bitset64& other) const {
+  SERENITY_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+Bitset64& Bitset64::operator|=(const Bitset64& other) {
+  SERENITY_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset64& Bitset64::operator&=(const Bitset64& other) {
+  SERENITY_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset64& Bitset64::operator^=(const Bitset64& other) {
+  SERENITY_CHECK_EQ(num_bits_, other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+std::vector<std::size_t> Bitset64::ToIndices() const {
+  std::vector<std::size_t> indices;
+  indices.reserve(Count());
+  ForEachSetBit([&indices](std::size_t i) { indices.push_back(i); });
+  return indices;
+}
+
+std::size_t Bitset64::Hash() const {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (std::uint64_t word : words_) {
+    hash ^= word;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+}  // namespace serenity::util

@@ -1,0 +1,75 @@
+#include "util/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace serenity::util {
+
+std::string RenderChart(const std::vector<ChartSeries>& series,
+                        const ChartOptions& options) {
+  SERENITY_CHECK(!series.empty());
+  SERENITY_CHECK_GE(options.height, 2);
+  SERENITY_CHECK_GE(options.width, 8);
+  double max_value = 0.0;
+  std::size_t max_len = 0;
+  for (const ChartSeries& s : series) {
+    for (const double v : s.values) max_value = std::max(max_value, v);
+    max_len = std::max(max_len, s.values.size());
+  }
+  SERENITY_CHECK_GT(max_len, 0u) << "cannot chart empty series";
+  if (max_value <= 0.0) max_value = 1.0;
+
+  const int h = options.height;
+  const int w = options.width;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w),
+                                            ' '));
+  for (const ChartSeries& s : series) {
+    if (s.values.empty()) continue;
+    for (int col = 0; col < w; ++col) {
+      // Map the column back to a step (nearest-sample downscale).
+      const std::size_t step = static_cast<std::size_t>(
+          static_cast<double>(col) * static_cast<double>(s.values.size()) /
+          static_cast<double>(w));
+      if (step >= s.values.size()) continue;
+      const double v = s.values[step];
+      const int row = static_cast<int>(
+          std::lround(v / max_value * static_cast<double>(h - 1)));
+      const int clamped = std::clamp(row, 0, h - 1);
+      // Row 0 is the bottom of the chart.
+      grid[static_cast<std::size_t>(h - 1 - clamped)]
+          [static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  std::string out;
+  char label[32];
+  for (int row = 0; row < h; ++row) {
+    const double y =
+        max_value * static_cast<double>(h - 1 - row) /
+        static_cast<double>(h - 1);
+    std::snprintf(label, sizeof(label), "%8.1f%s |", y,
+                  options.y_unit.c_str());
+    out += label;
+    out += grid[static_cast<std::size_t>(row)];
+    out += '\n';
+  }
+  std::snprintf(label, sizeof(label), "%8s%s +", "",
+                std::string(options.y_unit.size(), ' ').c_str());
+  out += label;
+  out += std::string(static_cast<std::size_t>(w), '-');
+  out += "> step\n";
+  for (const ChartSeries& s : series) {
+    out += "          ";
+    out += s.marker;
+    out += " ";
+    out += s.label;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace serenity::util

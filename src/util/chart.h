@@ -1,0 +1,32 @@
+// ASCII line charts for the benchmark harnesses (e.g. the Figure 12
+// footprint-over-time traces). Renders one or more series over a shared
+// y-axis into a fixed-size character grid.
+#ifndef SERENITY_UTIL_CHART_H_
+#define SERENITY_UTIL_CHART_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace serenity::util {
+
+struct ChartSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<double> values;  // y per step; series may differ in length
+};
+
+struct ChartOptions {
+  int height = 12;  // plot rows (excluding axis labels)
+  int width = 72;   // plot columns
+  std::string y_unit = "";
+};
+
+// Renders the series into a multi-line string: y-axis labels on the left,
+// one marker column per (scaled) step, and a legend underneath.
+std::string RenderChart(const std::vector<ChartSeries>& series,
+                        const ChartOptions& options = {});
+
+}  // namespace serenity::util
+
+#endif  // SERENITY_UTIL_CHART_H_

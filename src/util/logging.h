@@ -1,0 +1,56 @@
+// Lightweight assertion and failure-reporting macros.
+//
+// SERENITY is a compiler-style tool: internal invariant violations are
+// programming errors, not recoverable conditions, so CHECK failures abort
+// with a source location and message (C++ Core Guidelines I.6/E.12 spirit:
+// state preconditions, fail fast on violations).
+#ifndef SERENITY_UTIL_LOGGING_H_
+#define SERENITY_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace serenity::util {
+
+// Accumulates a failure message and aborts on destruction. Used only via the
+// CHECK macros below; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace serenity::util
+
+#define SERENITY_CHECK(condition)                                       \
+  if (condition) {                                                      \
+  } else                                                                \
+    ::serenity::util::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define SERENITY_CHECK_EQ(a, b) SERENITY_CHECK((a) == (b))
+#define SERENITY_CHECK_NE(a, b) SERENITY_CHECK((a) != (b))
+#define SERENITY_CHECK_LT(a, b) SERENITY_CHECK((a) < (b))
+#define SERENITY_CHECK_LE(a, b) SERENITY_CHECK((a) <= (b))
+#define SERENITY_CHECK_GT(a, b) SERENITY_CHECK((a) > (b))
+#define SERENITY_CHECK_GE(a, b) SERENITY_CHECK((a) >= (b))
+
+#endif  // SERENITY_UTIL_LOGGING_H_

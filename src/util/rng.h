@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (RandWire graph generation, random schedule
+// sampling, synthetic weights in the reference runtime) draw from this
+// SplitMix64 generator so that every experiment in the repository is
+// reproducible from a seed recorded in DESIGN.md / the bench output.
+#ifndef SERENITY_UTIL_RNG_H_
+#define SERENITY_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace serenity::util {
+
+// SplitMix64 (Steele et al.): tiny state, passes BigCrush, and — unlike
+// std::mt19937 — guaranteed identical output across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    SERENITY_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t value = NextU64();
+      if (value >= threshold) return value % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    SERENITY_CHECK_LE(lo, hi);
+    return lo + static_cast<int>(NextBounded(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Uniform float in [-scale, scale); used for synthetic weights/inputs.
+  float NextFloat(float scale) {
+    return (static_cast<float>(NextDouble()) * 2.0f - 1.0f) * scale;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace serenity::util
+
+#endif  // SERENITY_UTIL_RNG_H_

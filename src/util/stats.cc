@@ -1,0 +1,72 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace serenity::util {
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    SERENITY_CHECK_GT(v, 0.0) << "geometric mean requires positive values";
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double ArithmeticMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Percentile(std::vector<double> values, double p) {
+  SERENITY_CHECK(!values.empty());
+  SERENITY_CHECK_GE(p, 0.0);
+  SERENITY_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(const std::vector<double>& samples,
+                                   int num_points) {
+  SERENITY_CHECK(!samples.empty());
+  SERENITY_CHECK_GE(num_points, 2);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(static_cast<std::size_t>(num_points));
+  for (int i = 0; i < num_points; ++i) {
+    const double value =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(num_points - 1);
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), value);
+    const double fraction = static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size());
+    cdf.push_back({value, fraction});
+  }
+  return cdf;
+}
+
+double FractionAtOrBelow(const std::vector<double>& samples,
+                         double threshold) {
+  if (samples.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double s : samples) {
+    if (s <= threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+}  // namespace serenity::util

@@ -1,0 +1,36 @@
+// Small statistics helpers shared by the benchmark harnesses: geometric mean
+// (the paper's summary statistic in Figures 10/11), percentiles and an
+// empirical CDF (Figure 3(b)).
+#ifndef SERENITY_UTIL_STATS_H_
+#define SERENITY_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace serenity::util {
+
+// Geometric mean of strictly positive values. Returns 0 for empty input.
+double GeometricMean(const std::vector<double>& values);
+
+double ArithmeticMean(const std::vector<double>& values);
+
+// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double Percentile(std::vector<double> values, double p);
+
+// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;     // sample value (e.g., peak footprint in bytes)
+  double fraction = 0.0;  // fraction of samples <= value, in [0, 1]
+};
+
+// Empirical CDF of `samples` evaluated at `num_points` evenly spaced values
+// between min and max of the samples (inclusive).
+std::vector<CdfPoint> EmpiricalCdf(const std::vector<double>& samples,
+                                   int num_points);
+
+// Fraction of samples <= threshold.
+double FractionAtOrBelow(const std::vector<double>& samples, double threshold);
+
+}  // namespace serenity::util
+
+#endif  // SERENITY_UTIL_STATS_H_

@@ -1,0 +1,32 @@
+// Monotonic wall-clock stopwatch.
+//
+// Used by the adaptive-soft-budgeting meta-search (paper §3.2) to enforce
+// the per-search-step time limit T, and by the scheduling-time benches
+// (Figure 13, Table 2).
+#ifndef SERENITY_UTIL_STOPWATCH_H_
+#define SERENITY_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace serenity::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace serenity::util
+
+#endif  // SERENITY_UTIL_STOPWATCH_H_

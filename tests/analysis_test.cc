@@ -1,0 +1,114 @@
+#include "graph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace serenity::graph {
+namespace {
+
+// in -> a -> b -> out, plus in -> c -> out.
+Graph TwoPath() {
+  GraphBuilder builder("two_path");
+  const NodeId in = builder.Input(TensorShape{1, 4, 4, 2}, "in");
+  const NodeId a = builder.Relu(in, "a");
+  const NodeId b = builder.Relu(a, "b");
+  const NodeId c = builder.Identity(in, "c");
+  (void)builder.Add({b, c}, "out");
+  return std::move(builder).Build();
+}
+
+TEST(Adjacency, DirectNeighbours) {
+  const Graph g = TwoPath();
+  const AdjacencyBitsets adj = BuildAdjacency(g);
+  EXPECT_TRUE(adj.preds[1].Test(0));
+  EXPECT_FALSE(adj.preds[1].Test(3));
+  EXPECT_TRUE(adj.succs[0].Test(1));
+  EXPECT_TRUE(adj.succs[0].Test(3));
+  EXPECT_FALSE(adj.succs[0].Test(2));  // b is not a direct successor of in
+  EXPECT_EQ(adj.preds[4].Count(), 2u);
+}
+
+TEST(Reachability, AncestorsAndDescendants) {
+  const Graph g = TwoPath();
+  const ReachabilityBitsets reach = BuildReachability(g);
+  // out (id 4) has everything as ancestor.
+  EXPECT_EQ(reach.ancestors[4].Count(), 4u);
+  // in (id 0) reaches everything.
+  EXPECT_EQ(reach.descendants[0].Count(), 4u);
+  // b's ancestors: a and in.
+  EXPECT_TRUE(reach.ancestors[2].Test(0));
+  EXPECT_TRUE(reach.ancestors[2].Test(1));
+  EXPECT_FALSE(reach.ancestors[2].Test(3));
+  // c's descendants: just out.
+  EXPECT_EQ(reach.descendants[3].Count(), 1u);
+  EXPECT_TRUE(reach.descendants[3].Test(4));
+}
+
+TEST(BufferUse, RolesOnSimpleChain) {
+  const Graph g = TwoPath();
+  const BufferUseTable table = BufferUseTable::Build(g);
+  ASSERT_EQ(table.buffers.size(), 5u);
+  // in's buffer: written by node 0, read by a and c.
+  const BufferUse& in_use = table.buffers[0];
+  EXPECT_EQ(in_use.writers, (std::vector<NodeId>{0}));
+  EXPECT_EQ(in_use.readers, (std::vector<NodeId>{1, 3}));
+  EXPECT_FALSE(in_use.is_sink);
+  EXPECT_TRUE(in_use.touchers.Test(0));
+  EXPECT_TRUE(in_use.touchers.Test(1));
+  EXPECT_TRUE(in_use.touchers.Test(3));
+  EXPECT_FALSE(in_use.touchers.Test(2));
+  // out's buffer has no readers: a sink.
+  EXPECT_TRUE(table.buffers[4].is_sink);
+}
+
+TEST(BufferUse, SharedBufferAggregatesRoles) {
+  // Hand-build an accumulator chain: p0 writes buffer, p1 reads p0's value
+  // (same buffer) and rewrites it.
+  Graph g("accum");
+  Node input;
+  input.kind = OpKind::kInput;
+  input.shape = TensorShape{1, 2, 2, 2};
+  const NodeId x0 = g.AddNode(input);
+  const NodeId x1 = g.AddNode(input);
+
+  Node p0;
+  p0.kind = OpKind::kPartialConv2d;
+  p0.conv = ConvAttrs{1, 1, 1, 1, Padding::kSame};
+  p0.shape = TensorShape{1, 2, 2, 4};
+  p0.inputs = {x0};
+  p0.weight_in_channels = 4;
+  p0.buffer = g.AddBuffer(p0.OutputBytes());
+  const NodeId p0_id = g.AddNode(p0);
+
+  Node p1 = p0;
+  p1.kind = OpKind::kPartialConv2dAccum;
+  p1.inputs = {p0_id, x1};
+  p1.in_channel_offset = 2;
+  const NodeId p1_id = g.AddNode(p1);
+  g.ValidateOrDie();
+
+  const BufferUseTable table = BufferUseTable::Build(g);
+  const BufferUse& acc = table.buffers[static_cast<std::size_t>(
+      g.node(p0_id).buffer)];
+  EXPECT_EQ(acc.writers, (std::vector<NodeId>{p0_id, p1_id}));
+  EXPECT_EQ(acc.readers, (std::vector<NodeId>{p1_id}));  // reads prev value
+  EXPECT_FALSE(acc.is_sink);
+  // p1 touches three buffers: x1's, and the shared accumulator (as both
+  // reader and writer, deduplicated).
+  EXPECT_EQ(table.touched_buffers[static_cast<std::size_t>(p1_id)].size(),
+            2u);
+}
+
+TEST(BufferUse, FirstWriteDetection) {
+  const Graph g = TwoPath();
+  const BufferUseTable table = BufferUseTable::Build(g);
+  util::Bitset64 none(static_cast<std::size_t>(g.num_nodes()));
+  EXPECT_TRUE(table.IsFirstWrite(g.node(1).buffer, none));
+  util::Bitset64 with_a = none;
+  with_a.Set(1);
+  EXPECT_FALSE(table.IsFirstWrite(g.node(1).buffer, with_a));
+}
+
+}  // namespace
+}  // namespace serenity::graph

@@ -1,0 +1,111 @@
+#include "sched/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/builder.h"
+#include "models/swiftnet.h"
+#include "models/randwire.h"
+#include "sched/schedule.h"
+#include "util/rng.h"
+
+namespace serenity::sched {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+graph::Graph Irregular() {
+  GraphBuilder b("irregular");
+  const NodeId in = b.Input(TensorShape{1, 8, 8, 4}, "in");
+  const NodeId a = b.Relu(in, "a");
+  const NodeId c = b.Identity(in, "c");
+  const NodeId d = b.Relu(a, "d");
+  const NodeId e = b.Add({a, c}, "e");
+  (void)b.Add({d, e}, "out");
+  return std::move(b).Build();
+}
+
+TEST(Baselines, AllProduceValidTopologicalOrders) {
+  for (const graph::Graph& g :
+       {Irregular(), models::MakeSwiftNet(), models::MakeSwiftNetCellA(),
+        models::MakeRandWireCifar10CellA()}) {
+    EXPECT_TRUE(IsTopologicalOrder(g, TfLiteOrderSchedule(g))) << g.name();
+    EXPECT_TRUE(IsTopologicalOrder(g, KahnFifoSchedule(g))) << g.name();
+    EXPECT_TRUE(IsTopologicalOrder(g, DfsPostorderSchedule(g))) << g.name();
+    EXPECT_TRUE(IsTopologicalOrder(g, GreedyMemorySchedule(g))) << g.name();
+  }
+}
+
+TEST(Baselines, TfLiteOrderIsDeclarationOrder) {
+  const graph::Graph g = Irregular();
+  const Schedule s = TfLiteOrderSchedule(g);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], static_cast<NodeId>(i));
+  }
+}
+
+TEST(Baselines, KahnFifoIsBreadthFirst) {
+  const graph::Graph g = Irregular();
+  // FIFO Kahn on Irregular: in, then a and c (ready together), then d and
+  // e, then out.
+  EXPECT_EQ(KahnFifoSchedule(g), (Schedule{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Baselines, DfsFinishesOperandChainsFirst) {
+  const graph::Graph g = Irregular();
+  const Schedule s = DfsPostorderSchedule(g);
+  // DFS from the sink completes d's chain (in, a, d) before touching e.
+  const auto pos = [&](NodeId id) {
+    return std::find(s.begin(), s.end(), id) - s.begin();
+  };
+  EXPECT_LT(pos(3), pos(4));  // d before e
+}
+
+TEST(RandomTopological, ValidAndSeedDeterministic) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  util::Rng rng1(42), rng2(42), rng3(43);
+  const Schedule a = RandomTopologicalSchedule(g, rng1);
+  const Schedule b = RandomTopologicalSchedule(g, rng2);
+  const Schedule c = RandomTopologicalSchedule(g, rng3);
+  EXPECT_TRUE(IsTopologicalOrder(g, a));
+  EXPECT_TRUE(IsTopologicalOrder(g, c));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed, overwhelmingly likely different order
+}
+
+TEST(RandomTopological, ExploresTheScheduleSpace) {
+  // On a graph with many topological orders, 100 samples should produce
+  // many distinct schedules.
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  util::Rng rng(7);
+  std::set<Schedule> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(RandomTopologicalSchedule(g, rng));
+  }
+  EXPECT_GT(seen.size(), 90u);
+}
+
+TEST(GreedyMemory, BeatsDeclarationOrderOnABadLayout) {
+  // Two deep chains declared breadth-major: declaration order keeps both
+  // chains' intermediates alive; greedy walks one chain to its end first.
+  GraphBuilder b("two_chains");
+  const NodeId in = b.Input(TensorShape{1, 16, 16, 4}, "in");
+  NodeId left = in;
+  NodeId right = in;
+  for (int i = 0; i < 4; ++i) {
+    left = b.Conv1x1(left, 4, "L" + std::to_string(i));
+    right = b.Conv1x1(right, 4, "R" + std::to_string(i));
+  }
+  (void)b.Concat({left, right}, "out");
+  const graph::Graph g = std::move(b).Build();
+  const auto declaration = PeakFootprint(g, TfLiteOrderSchedule(g));
+  const auto greedy = PeakFootprint(g, GreedyMemorySchedule(g));
+  EXPECT_LE(greedy, declaration);
+}
+
+}  // namespace
+}  // namespace serenity::sched

@@ -1,0 +1,103 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace serenity::util {
+namespace {
+
+TEST(Bitset64, StartsEmpty) {
+  Bitset64 b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(Bitset64, SetTestReset) {
+  Bitset64 b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(Bitset64, SubsetAndIntersection) {
+  Bitset64 small(70), large(70), other(70);
+  small.Set(3);
+  small.Set(65);
+  large.Set(3);
+  large.Set(65);
+  large.Set(10);
+  other.Set(11);
+  EXPECT_TRUE(small.IsSubsetOf(large));
+  EXPECT_FALSE(large.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(small.Intersects(large));
+  EXPECT_FALSE(small.Intersects(other));
+}
+
+TEST(Bitset64, BitwiseOperators) {
+  Bitset64 a(80), b(80);
+  a.Set(1);
+  a.Set(70);
+  b.Set(2);
+  b.Set(70);
+  const Bitset64 both = a | b;
+  EXPECT_TRUE(both.Test(1));
+  EXPECT_TRUE(both.Test(2));
+  EXPECT_TRUE(both.Test(70));
+  const Bitset64 common = a & b;
+  EXPECT_FALSE(common.Test(1));
+  EXPECT_TRUE(common.Test(70));
+  Bitset64 x = a;
+  x ^= a;
+  EXPECT_TRUE(x.None());
+}
+
+TEST(Bitset64, ForEachSetBitAscending) {
+  Bitset64 b(200);
+  const std::vector<std::size_t> expected = {0, 1, 63, 64, 128, 199};
+  for (const std::size_t i : expected) b.Set(i);
+  EXPECT_EQ(b.ToIndices(), expected);
+}
+
+TEST(Bitset64, EqualityAndHash) {
+  Bitset64 a(90), b(90);
+  a.Set(42);
+  b.Set(42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(43);
+  EXPECT_NE(a, b);
+}
+
+TEST(Bitset64, HashSpreadsRandomSets) {
+  // Sanity: distinct random sets should (almost) never collide.
+  Rng rng(7);
+  std::unordered_set<std::size_t> hashes;
+  constexpr int kSets = 2000;
+  for (int i = 0; i < kSets; ++i) {
+    Bitset64 b(128);
+    for (int j = 0; j < 20; ++j) {
+      b.Set(static_cast<std::size_t>(rng.NextBounded(128)));
+    }
+    hashes.insert(b.Hash());
+  }
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(kSets * 95 / 100));
+}
+
+}  // namespace
+}  // namespace serenity::util

@@ -1,0 +1,99 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace serenity::graph {
+namespace {
+
+TEST(Builder, ShapesFlowThroughOps) {
+  GraphBuilder b("shapes");
+  const NodeId in = b.Input(TensorShape{1, 32, 32, 3}, "in");
+  const NodeId conv = b.Conv2d(in, 16, 3, 2);
+  EXPECT_EQ(b.shape(conv), (TensorShape{1, 16, 16, 16}));
+  const NodeId dw = b.DepthwiseConv2d(conv, 5);
+  EXPECT_EQ(b.shape(dw), (TensorShape{1, 16, 16, 16}));
+  const NodeId pool = b.MaxPool2d(dw, 2, 2);
+  EXPECT_EQ(b.shape(pool), (TensorShape{1, 8, 8, 16}));
+  const NodeId gap = b.GlobalAvgPool2d(pool);
+  EXPECT_EQ(b.shape(gap), (TensorShape{1, 1, 1, 16}));
+  const NodeId dense = b.Dense(gap, 10);
+  EXPECT_EQ(b.shape(dense), (TensorShape{1, 1, 1, 10}));
+  (void)std::move(b).Build();
+}
+
+TEST(Builder, AutoNamesAreUniqueAndKindsTagged) {
+  GraphBuilder b("names");
+  const NodeId in = b.Input(TensorShape{1, 4, 4, 2});
+  const NodeId r1 = b.Relu(in);
+  const NodeId r2 = b.Relu(r1);
+  const Graph g = std::move(b).Build();
+  EXPECT_NE(g.node(r1).name, g.node(r2).name);
+  EXPECT_NE(g.node(r1).name.find("relu"), std::string::npos);
+}
+
+TEST(Builder, SepConvComposite) {
+  GraphBuilder b("sep");
+  const NodeId in = b.Input(TensorShape{1, 16, 16, 8}, "in");
+  const NodeId out = b.SepConv(in, 12, 3, 1, "sep");
+  const Graph g = std::move(b).Build();
+  // relu, dw, pw, bn twice = 8 primitive nodes after the input.
+  EXPECT_EQ(g.num_nodes(), 9);
+  EXPECT_EQ(g.node(out).kind, OpKind::kBatchNorm);
+  EXPECT_EQ(g.node(out).shape, (TensorShape{1, 16, 16, 12}));
+}
+
+TEST(Builder, DilConvUsesDilationTwo) {
+  GraphBuilder b("dil");
+  const NodeId in = b.Input(TensorShape{1, 16, 16, 8}, "in");
+  (void)b.DilConv(in, 8, 3, 1, "dil");
+  const Graph g = std::move(b).Build();
+  bool found = false;
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kDepthwiseConv2d) {
+      EXPECT_EQ(n.conv.dilation, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, WeightSeedsAreDistinctPerOpAndStablePerGraph) {
+  const auto build = [] {
+    GraphBuilder b("seeds");
+    const NodeId in = b.Input(TensorShape{1, 8, 8, 2}, "in");
+    const NodeId c1 = b.Conv1x1(in, 4, "c1");
+    const NodeId c2 = b.Conv1x1(in, 4, "c2");
+    (void)b.Concat({c1, c2}, "out");
+    return std::move(b).Build();
+  };
+  const Graph a = build();
+  const Graph c = build();
+  EXPECT_NE(a.node(1).weight_seed, a.node(2).weight_seed);
+  EXPECT_EQ(a.node(1).weight_seed, c.node(1).weight_seed);
+
+  GraphBuilder other("different_graph_name");
+  const NodeId in = other.Input(TensorShape{1, 8, 8, 2}, "in");
+  (void)other.Conv1x1(in, 4, "c1");
+  const Graph d = std::move(other).Build();
+  EXPECT_NE(a.node(1).weight_seed, d.node(1).weight_seed);
+}
+
+TEST(Builder, FusedCellAggregatesMultipleInputs) {
+  GraphBuilder b("fused");
+  const NodeId i0 = b.Input(TensorShape{1, 8, 8, 4}, "a");
+  const NodeId i1 = b.Input(TensorShape{1, 8, 8, 4}, "b");
+  const NodeId cell = b.FusedCell({i0, i1}, 6, 2, "cell");
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.node(cell).shape, (TensorShape{1, 4, 4, 6}));
+  EXPECT_EQ(g.node(cell).inputs.size(), 2u);
+  EXPECT_GT(g.node(cell).weight_count, 0);
+}
+
+TEST(BuilderDeath, ConcatNeedsTwoOperands) {
+  GraphBuilder b("bad");
+  const NodeId in = b.Input(TensorShape{1, 4, 4, 2}, "in");
+  EXPECT_DEATH(b.Concat({in}), "CHECK");
+}
+
+}  // namespace
+}  // namespace serenity::graph

@@ -1,0 +1,76 @@
+#include "util/chart.h"
+
+#include <gtest/gtest.h>
+
+namespace serenity::util {
+namespace {
+
+TEST(Chart, RendersMarkersAndLegend) {
+  ChartSeries ramp;
+  ramp.label = "ramp";
+  ramp.marker = '#';
+  for (int i = 0; i <= 10; ++i) ramp.values.push_back(i);
+  const std::string out = RenderChart({ramp});
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("# ramp"), std::string::npos);
+  EXPECT_NE(out.find("> step"), std::string::npos);
+}
+
+TEST(Chart, TopRowHoldsTheMaximum) {
+  ChartSeries flat;
+  flat.label = "flat";
+  flat.marker = 'o';
+  flat.values.assign(20, 5.0);
+  ChartOptions options;
+  options.height = 6;
+  const std::string out = RenderChart({flat}, options);
+  // The first rendered row corresponds to the max (5.0) and must contain
+  // the series markers.
+  const std::string first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find('o'), std::string::npos);
+  EXPECT_NE(first_line.find("5.0"), std::string::npos);
+}
+
+TEST(Chart, MultipleSeriesShareTheScale) {
+  ChartSeries low;
+  low.label = "low";
+  low.marker = 'v';  // marker must not collide with axis-label characters
+  low.values.assign(10, 1.0);
+  ChartSeries high;
+  high.label = "high";
+  high.marker = '^';
+  high.values.assign(10, 10.0);
+  const std::string out = RenderChart({low, high});
+  // Both markers present; the low series sits in a lower row than high.
+  const std::size_t low_at = out.find('v');
+  const std::size_t high_at = out.find('^');
+  ASSERT_NE(low_at, std::string::npos);
+  ASSERT_NE(high_at, std::string::npos);
+  EXPECT_GT(low_at, high_at);  // rendered later = lower on the chart
+}
+
+TEST(Chart, LongSeriesDownscaleToWidth) {
+  ChartSeries s;
+  s.label = "long";
+  s.values.assign(10000, 3.0);
+  ChartOptions options;
+  options.width = 40;
+  const std::string out = RenderChart({s}, options);
+  // No line may exceed label + width + slack.
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    EXPECT_LE(end - start, 64u);
+    start = end + 1;
+  }
+}
+
+TEST(ChartDeath, RejectsEmptyInput) {
+  EXPECT_DEATH(RenderChart({}), "CHECK");
+  ChartSeries empty;
+  empty.label = "empty";
+  EXPECT_DEATH(RenderChart({empty}), "empty series");
+}
+
+}  // namespace
+}  // namespace serenity::util

@@ -1,0 +1,62 @@
+// Precision scaling: the footprint model is byte-accurate, so the same
+// topology in int8 costs exactly a quarter of its float32 footprint, and
+// the optimal schedule is invariant to uniform precision changes.
+#include <gtest/gtest.h>
+
+#include "core/dp_scheduler.h"
+#include "graph/builder.h"
+#include "sched/baselines.h"
+#include "sched/schedule.h"
+
+namespace serenity {
+namespace {
+
+graph::Graph CellWithDtype(graph::DataType dtype) {
+  graph::GraphBuilder b("dtype_cell", dtype);
+  const graph::NodeId in = b.Input(graph::TensorShape{1, 16, 16, 4}, "in");
+  const graph::NodeId stem = b.Conv2d(in, 16, 3, 1);
+  const graph::NodeId b0 = b.Conv1x1(stem, 8, "b0");
+  const graph::NodeId b1 = b.DepthwiseConv2d(stem, 3);
+  const graph::NodeId cat = b.Concat({b0, b1}, "cat");
+  const graph::NodeId fuse = b.Conv1x1(cat, 16, "fuse");
+  (void)b.Add({fuse, stem}, "out");
+  return std::move(b).Build();
+}
+
+TEST(Dtype, FootprintScalesWithElementSize) {
+  const graph::Graph f32 = CellWithDtype(graph::DataType::kFloat32);
+  const graph::Graph f16 = CellWithDtype(graph::DataType::kFloat16);
+  const graph::Graph i8 = CellWithDtype(graph::DataType::kInt8);
+  const sched::Schedule order = sched::TfLiteOrderSchedule(f32);
+  const std::int64_t peak32 = sched::PeakFootprint(f32, order);
+  EXPECT_EQ(sched::PeakFootprint(f16, order), peak32 / 2);
+  EXPECT_EQ(sched::PeakFootprint(i8, order), peak32 / 4);
+}
+
+TEST(Dtype, OptimalScheduleInvariantUnderUniformPrecision) {
+  const graph::Graph f32 = CellWithDtype(graph::DataType::kFloat32);
+  const graph::Graph i8 = CellWithDtype(graph::DataType::kInt8);
+  const core::DpResult a = core::ScheduleDp(f32);
+  const core::DpResult c = core::ScheduleDp(i8);
+  ASSERT_EQ(a.status, core::DpStatus::kSolution);
+  ASSERT_EQ(c.status, core::DpStatus::kSolution);
+  EXPECT_EQ(a.peak_bytes, c.peak_bytes * 4);
+}
+
+TEST(Dtype, QuantizationCanBeTheDifferenceBetweenFitAndNoFit) {
+  // The edge-deployment story: an fp32 network misses a budget its int8
+  // quantization meets — and the scheduler's budget mode reports both
+  // truthfully.
+  const graph::Graph f32 = CellWithDtype(graph::DataType::kFloat32);
+  const graph::Graph i8 = CellWithDtype(graph::DataType::kInt8);
+  const core::DpResult base = core::ScheduleDp(i8);
+  ASSERT_EQ(base.status, core::DpStatus::kSolution);
+  core::DpOptions budget;
+  budget.budget_bytes = base.peak_bytes;  // exactly the int8 optimum
+  EXPECT_EQ(core::ScheduleDp(i8, budget).status, core::DpStatus::kSolution);
+  EXPECT_EQ(core::ScheduleDp(f32, budget).status,
+            core::DpStatus::kNoSolution);
+}
+
+}  // namespace
+}  // namespace serenity

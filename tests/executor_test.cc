@@ -1,0 +1,194 @@
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "models/darts.h"
+#include "models/randwire.h"
+#include "models/swiftnet.h"
+#include "rewrite/rewriter.h"
+#include "runtime/kernels.h"
+#include "runtime/weights.h"
+#include "sched/baselines.h"
+#include "util/rng.h"
+
+namespace serenity::runtime {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+constexpr float kTol = 2e-3f;  // accumulated fp error across deep cells
+
+std::vector<Tensor> InputsFor(const graph::Graph& g, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Tensor> inputs;
+  for (const graph::Node& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kInput) {
+      inputs.push_back(Tensor::Random(n.shape, rng));
+    }
+  }
+  return inputs;
+}
+
+// Executes `g` in declaration order and returns its sink values.
+std::vector<Tensor> RunGraph(const graph::Graph& g, std::uint64_t seed) {
+  Executor exec(g);
+  exec.Run(InputsFor(g, seed));
+  return exec.SinkValues();
+}
+
+TEST(Executor, IdentityOpPassesThrough) {
+  GraphBuilder b("id");
+  const NodeId in = b.Input(TensorShape{1, 4, 4, 2}, "in");
+  (void)b.Identity(in, "out");
+  const graph::Graph g = std::move(b).Build();
+  Executor exec(g);
+  const std::vector<Tensor> inputs = InputsFor(g, 1);
+  exec.Run(inputs);
+  EXPECT_LE(exec.Value(1).MaxAbsDiff(inputs[0]), 1e-6f);
+}
+
+TEST(Executor, ScheduleInvariance) {
+  // Any topological order computes identical results — the mathematical
+  // basis for reordering schedules at all.
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const std::vector<Tensor> inputs = InputsFor(g, 5);
+  Executor declaration(g);
+  declaration.Run(inputs);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 3; ++trial) {
+    Executor shuffled(g);
+    shuffled.Run(inputs, sched::RandomTopologicalSchedule(g, rng));
+    const auto a = declaration.SinkValues();
+    const auto c = shuffled.SinkValues();
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_LE(a[i].MaxAbsDiff(c[i]), 1e-6f);
+    }
+  }
+}
+
+// --- The headline guarantee of §3.3: rewriting is an identity ---
+
+class RewriteIdentityTest
+    : public ::testing::TestWithParam<graph::Graph (*)()> {};
+
+TEST_P(RewriteIdentityTest, RewrittenGraphComputesTheSameFunction) {
+  const graph::Graph original = GetParam()();
+  const rewrite::RewriteResult rewritten = rewrite::RewriteGraph(original);
+  const auto a = RunGraph(original, 42);
+  const auto b = RunGraph(rewritten.graph, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].shape(), b[i].shape());
+    EXPECT_LE(a[i].MaxAbsDiff(b[i]), kTol) << original.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, RewriteIdentityTest,
+    ::testing::Values(&models::MakeSwiftNetCellA, &models::MakeSwiftNetCellB,
+                      &models::MakeSwiftNetCellC, &models::MakeSwiftNet));
+
+TEST(RewriteIdentity, RandomizedConcatConvShapes) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    GraphBuilder b("rand_cc" + std::to_string(trial));
+    const NodeId in = b.Input(TensorShape{1, 6, 6, rng.NextInt(1, 3)}, "in");
+    std::vector<NodeId> xs;
+    const int branches = rng.NextInt(2, 5);
+    for (int i = 0; i < branches; ++i) {
+      xs.push_back(b.Conv1x1(in, rng.NextInt(1, 4),
+                             "x" + std::to_string(i)));
+    }
+    const NodeId cat = b.Concat(xs, "cat");
+    if (rng.NextBool(0.5)) {
+      (void)b.Relu(b.Conv2d(cat, rng.NextInt(1, 6), 3, rng.NextInt(1, 2),
+                            graph::Padding::kSame, 1, "conv"),
+                   "out");
+    } else {
+      (void)b.Relu(b.DepthwiseConv2d(cat, 3, 1, graph::Padding::kSame, 1,
+                                     "dw"),
+                   "out");
+    }
+    const graph::Graph g = std::move(b).Build();
+    const rewrite::RewriteResult rw = rewrite::RewriteGraph(g);
+    ASSERT_EQ(rw.report.TotalPatterns(), 1) << g.name();
+    const auto expect = RunGraph(g, trial);
+    const auto got = RunGraph(rw.graph, trial);
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_LE(expect[i].MaxAbsDiff(got[i]), kTol) << g.name();
+    }
+  }
+}
+
+TEST(Executor, RewrittenResultsScheduleInvariantToo) {
+  // Aliased buffers (accumulators, views) must not introduce order
+  // sensitivity beyond data dependencies.
+  const rewrite::RewriteResult rw =
+      rewrite::RewriteGraph(models::MakeSwiftNetCellA());
+  const std::vector<Tensor> inputs = InputsFor(rw.graph, 31);
+  Executor reference(rw.graph);
+  reference.Run(inputs);
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 3; ++trial) {
+    Executor shuffled(rw.graph);
+    shuffled.Run(inputs, sched::RandomTopologicalSchedule(rw.graph, rng));
+    const auto a = reference.SinkValues();
+    const auto b = shuffled.SinkValues();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_LE(a[i].MaxAbsDiff(b[i]), 1e-6f);
+    }
+  }
+}
+
+TEST(Executor, FusedCellMatchesManualComposition) {
+  // FusedCell(sum -> relu -> dw3 -> pw -> bn) against the equivalent
+  // unfused graph with the same weight seeds.
+  GraphBuilder fused_b("fused");
+  const NodeId fin0 = fused_b.Input(TensorShape{1, 8, 8, 4}, "a");
+  const NodeId fin1 = fused_b.Input(TensorShape{1, 8, 8, 4}, "b");
+  const NodeId cell = fused_b.FusedCell({fin0, fin1}, 6, 1, "cell");
+  const graph::Graph fused = std::move(fused_b).Build();
+
+  const std::vector<Tensor> inputs = InputsFor(fused, 8);
+  Executor exec(fused);
+  exec.Run(inputs);
+  const Tensor got = exec.Value(cell);
+
+  // Manual pipeline with kernels and the executor's salt scheme.
+  const std::uint64_t seed = fused.node(cell).weight_seed;
+  const Tensor sum = Add({&inputs[0], &inputs[1]});
+  const Tensor act = Relu(sum);
+  const Tensor dw = DepthwiseConv2d(
+      act, MakeDepthwiseWeights(seed ^ 0x5eed0001, 3, 3, 4),
+      graph::ConvAttrs{3, 3, 1, 1, graph::Padding::kSame});
+  const Tensor pw =
+      Conv2d(dw, MakeConvWeights(seed ^ 0x5eed0002, 1, 1, 4, 6),
+             graph::ConvAttrs{1, 1, 1, 1, graph::Padding::kSame});
+  const Tensor expect =
+      BatchNorm(pw, MakeBatchNormWeights(seed ^ 0x5eed0003, 6));
+  EXPECT_LE(got.MaxAbsDiff(expect), 1e-5f);
+}
+
+TEST(ExecutorDeath, WrongInputCountRejected) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  Executor exec(g);
+  EXPECT_DEATH(exec.Run({}), "tensor per kInput");
+}
+
+TEST(ExecutorDeath, WrongInputShapeRejected) {
+  GraphBuilder b("shape");
+  (void)b.Input(TensorShape{1, 4, 4, 2}, "in");
+  const graph::Graph g = std::move(b).Build();
+  Executor exec(g);
+  EXPECT_DEATH(exec.Run({Tensor(TensorShape{1, 4, 4, 3})}),
+               "shape mismatch");
+}
+
+}  // namespace
+}  // namespace serenity::runtime

@@ -1,0 +1,145 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace serenity::graph {
+namespace {
+
+Graph TinyDiamond() {
+  GraphBuilder b("diamond");
+  const NodeId in = b.Input(TensorShape{1, 8, 8, 4}, "in");
+  const NodeId left = b.Relu(in, "left");
+  const NodeId right = b.Identity(in, "right");
+  (void)b.Add({left, right}, "out");
+  return std::move(b).Build();
+}
+
+TEST(Graph, BasicTopology) {
+  const Graph g = TinyDiamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.num_buffers(), 4);
+  EXPECT_EQ(g.Sources(), (std::vector<NodeId>{0}));
+  EXPECT_EQ(g.Sinks(), (std::vector<NodeId>{3}));
+  EXPECT_EQ(g.consumers(0), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(g.consumers(1), (std::vector<NodeId>{3}));
+  EXPECT_TRUE(g.consumers(3).empty());
+}
+
+TEST(Graph, BuffersSizedToValues) {
+  const Graph g = TinyDiamond();
+  for (const Node& n : g.nodes()) {
+    EXPECT_EQ(g.buffer(n.buffer).size_bytes, n.OutputBytes()) << n.name;
+  }
+  EXPECT_EQ(g.node(0).OutputBytes(), 8 * 8 * 4 * 4);
+}
+
+TEST(Graph, DuplicateOperandRecordedOnceAsConsumer) {
+  GraphBuilder b("dup");
+  const NodeId in = b.Input(TensorShape{1, 4, 4, 2}, "in");
+  (void)b.Add({in, in}, "x_plus_x");
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.consumers(0).size(), 1u);
+  EXPECT_EQ(g.num_edges(), 2);  // both operand slots still count as edges
+}
+
+TEST(Graph, ValidateCleanGraph) {
+  EXPECT_TRUE(TinyDiamond().Validate().empty());
+}
+
+TEST(Graph, ValidateCatchesShapeMismatch) {
+  Graph g("bad");
+  Node input;
+  input.kind = OpKind::kInput;
+  input.shape = TensorShape{1, 8, 8, 4};
+  const NodeId in = g.AddNode(input);
+
+  Node bad_add;
+  bad_add.kind = OpKind::kAdd;
+  bad_add.shape = TensorShape{1, 8, 8, 8};  // mismatch
+  bad_add.inputs = {in, in};
+  g.AddNode(bad_add);
+  EXPECT_FALSE(g.Validate().empty());
+}
+
+TEST(Graph, ValidateCatchesConcatChannelMismatch) {
+  Graph g("bad_concat");
+  Node input;
+  input.kind = OpKind::kInput;
+  input.shape = TensorShape{1, 8, 8, 4};
+  const NodeId a = g.AddNode(input);
+  const NodeId b = g.AddNode(input);
+
+  Node cat;
+  cat.kind = OpKind::kConcat;
+  cat.shape = TensorShape{1, 8, 8, 9};  // 4+4 != 9
+  cat.inputs = {a, b};
+  g.AddNode(cat);
+  EXPECT_FALSE(g.Validate().empty());
+}
+
+TEST(Graph, ValidateCatchesBufferSizeMismatch) {
+  Graph g("bad_buffer");
+  Node input;
+  input.kind = OpKind::kInput;
+  input.shape = TensorShape{1, 8, 8, 4};
+  input.buffer = g.AddBuffer(10);  // wrong size
+  g.AddNode(input);
+  EXPECT_FALSE(g.Validate().empty());
+}
+
+TEST(GraphDeath, ForwardReferenceRejected) {
+  Graph g("forward");
+  Node n;
+  n.kind = OpKind::kRelu;
+  n.shape = TensorShape{1, 1, 1, 1};
+  n.inputs = {5};  // references a node that does not exist yet
+  EXPECT_DEATH(g.AddNode(n), "future node");
+}
+
+TEST(GraphDeath, AliasingOpNeedsExplicitBuffer) {
+  Graph g("alias");
+  Node input;
+  input.kind = OpKind::kInput;
+  input.shape = TensorShape{1, 1, 1, 2};
+  const NodeId in = g.AddNode(input);
+  Node view;
+  view.kind = OpKind::kConcatView;
+  view.shape = TensorShape{1, 1, 1, 2};
+  view.inputs = {in};
+  EXPECT_DEATH(g.AddNode(view), "explicit buffer");
+}
+
+TEST(Macs, ConvAndDepthwise) {
+  GraphBuilder b("macs");
+  const NodeId in = b.Input(TensorShape{1, 8, 8, 4}, "in");
+  const NodeId conv = b.Conv2d(in, 16, 3, 1, Padding::kSame, 1, "conv");
+  const NodeId dw = b.DepthwiseConv2d(conv, 3, 1, Padding::kSame, 1, "dw");
+  const Graph g = std::move(b).Build();
+  // conv: 8*8*16 outputs x 3*3*4 taps.
+  EXPECT_EQ(NodeMacs(g.node(conv), g), 8 * 8 * 16 * 3 * 3 * 4);
+  // depthwise: 8*8*16 outputs x 3*3 taps.
+  EXPECT_EQ(NodeMacs(g.node(dw), g), 8 * 8 * 16 * 3 * 3);
+  EXPECT_EQ(CountMacs(g),
+            NodeMacs(g.node(conv), g) + NodeMacs(g.node(dw), g));
+}
+
+TEST(Weights, CountsMatchFormulae) {
+  GraphBuilder b("weights");
+  const NodeId in = b.Input(TensorShape{1, 8, 8, 4}, "in");
+  const NodeId conv = b.Conv2d(in, 16, 3, 1, Padding::kSame, 1, "conv");
+  const NodeId bn = b.BatchNorm(conv, "bn");
+  const NodeId dense = b.Dense(bn, 10, "dense");
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.node(conv).weight_count, 3 * 3 * 4 * 16 + 16);
+  EXPECT_EQ(g.node(bn).weight_count, 2 * 16);
+  EXPECT_EQ(g.node(dense).weight_count, 8 * 8 * 16 * 10 + 10);
+  EXPECT_EQ(CountWeights(g), g.node(conv).weight_count +
+                                 g.node(bn).weight_count +
+                                 g.node(dense).weight_count);
+}
+
+}  // namespace
+}  // namespace serenity::graph

@@ -1,0 +1,208 @@
+#include "memsim/hierarchy_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_scheduler.h"
+#include "graph/builder.h"
+#include "models/swiftnet.h"
+#include "sched/baselines.h"
+#include "sched/schedule.h"
+#include "util/rng.h"
+
+namespace serenity::memsim {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+TensorShape Units(int c) { return TensorShape{1, 16, 16, c}; }
+
+TEST(HierarchySim, ZeroTrafficWhenFootprintFits) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  SimOptions options;
+  // Page rounding can push residency slightly past the liveness-sum peak.
+  options.onchip_bytes =
+      sched::PeakFootprint(g, s) +
+      static_cast<std::int64_t>(g.num_buffers()) * options.page_bytes;
+  const SimResult r = SimulateHierarchy(g, s, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.TotalTraffic(), 0);
+  EXPECT_EQ(r.evictions, 0);
+  EXPECT_LE(r.peak_resident_bytes, options.onchip_bytes);
+}
+
+TEST(HierarchySim, TrafficAppearsWellBelowThePeak) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  SimOptions options;
+  options.onchip_bytes = sched::PeakFootprint(g, s) / 2;
+  const SimResult r = SimulateHierarchy(g, s, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.TotalTraffic(), 0);
+  EXPECT_GT(r.evictions, 0);
+}
+
+TEST(HierarchySim, HandExample) {
+  // in(1K) is re-used late. While a2 is produced the 5K cache cannot hold
+  // {in, a1, a2} = 6K, so `in` (farthest next use) is spilled (write 1K)
+  // and refilled for the final add (read 1K).
+  GraphBuilder b("spill");
+  const NodeId in = b.Input(Units(1), "in");
+  const NodeId a1 = b.Conv1x1(in, 4, "a1");
+  const NodeId a2 = b.Conv1x1(a1, 1, "a2");
+  (void)b.Add({a2, in}, "late_use");
+  const graph::Graph g = std::move(b).Build();
+  SimOptions options;
+  options.onchip_bytes = 5 * 1024;
+  options.page_bytes = 4 * 1024;
+  const SimResult r = SimulateHierarchy(
+      g, sched::TfLiteOrderSchedule(g), options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.write_bytes, 1024);
+  EXPECT_EQ(r.read_bytes, 1024);
+  EXPECT_EQ(r.evictions, 1);
+}
+
+TEST(HierarchySim, PageGranularityStreamsOversizedTensors) {
+  // A 64KB tensor streams through a 16KB cache page by page: feasible and,
+  // when nothing is re-read, free of traffic.
+  GraphBuilder b("stream");
+  const NodeId in = b.Input(Units(16), "in");  // 16 KB
+  (void)b.Conv1x1(in, 64, "big");              // 64 KB
+  const graph::Graph g = std::move(b).Build();
+  SimOptions options;
+  options.onchip_bytes = 20 * 1024;
+  const SimResult r = SimulateHierarchy(
+      g, sched::TfLiteOrderSchedule(g), options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.read_bytes, 0);  // inputs stay resident until consumed
+}
+
+TEST(HierarchySim, TrafficMonotoneInCapacity) {
+  const graph::Graph g = models::MakeSwiftNetCellB();
+  const sched::Schedule s = sched::KahnFifoSchedule(g);
+  std::int64_t previous = -1;
+  for (const std::int64_t kb : {48, 64, 96, 128, 192, 256}) {
+    SimOptions options;
+    options.onchip_bytes = kb * 1024;
+    const SimResult r = SimulateHierarchy(g, s, options);
+    if (!r.feasible) continue;
+    if (previous >= 0) {
+      EXPECT_LE(r.TotalTraffic(), previous) << kb;
+    }
+    previous = r.TotalTraffic();
+  }
+}
+
+TEST(HierarchySim, BeladyNeverWorseThanLru) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  util::Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const sched::Schedule s = sched::RandomTopologicalSchedule(g, rng);
+    for (const std::int64_t kb : {64, 128, 200}) {
+      SimOptions belady;
+      belady.onchip_bytes = kb * 1024;
+      belady.policy = ReplacementPolicy::kBelady;
+      SimOptions lru = belady;
+      lru.policy = ReplacementPolicy::kLru;
+      const SimResult rb = SimulateHierarchy(g, s, belady);
+      const SimResult rl = SimulateHierarchy(g, s, lru);
+      ASSERT_EQ(rb.feasible, rl.feasible);
+      if (rb.feasible) {
+        EXPECT_LE(rb.TotalTraffic(), rl.TotalTraffic())
+            << "capacity " << kb << "KB, trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(HierarchySim, BetterScheduleLowersTraffic) {
+  // The Figure 11 effect: the memory-optimal schedule communicates less
+  // under the same cache, and eliminates traffic once it fits on-chip.
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const core::DpResult dp = core::ScheduleDp(g);
+  ASSERT_EQ(dp.status, core::DpStatus::kSolution);
+  SimOptions options;
+  options.onchip_bytes = (dp.peak_bytes + sched::PeakFootprint(
+                              g, sched::TfLiteOrderSchedule(g))) / 2;
+  const SimResult serenity = SimulateHierarchy(g, dp.schedule, options);
+  const SimResult tflite =
+      SimulateHierarchy(g, sched::TfLiteOrderSchedule(g), options);
+  ASSERT_TRUE(serenity.feasible);
+  ASSERT_TRUE(tflite.feasible);
+  EXPECT_LT(serenity.TotalTraffic(), tflite.TotalTraffic());
+  if (serenity.peak_resident_bytes <= options.onchip_bytes) {
+    EXPECT_EQ(serenity.TotalTraffic(), 0);
+  }
+  EXPECT_GT(tflite.TotalTraffic(), 0);
+}
+
+TEST(HierarchySim, InfeasibleOnlyBelowPageSize) {
+  GraphBuilder b("big");
+  const NodeId in = b.Input(Units(64), "in");  // 64KB single tensor
+  (void)b.Conv1x1(in, 64, "out");
+  const graph::Graph g = std::move(b).Build();
+  SimOptions options;
+  options.onchip_bytes = 2 * 1024;  // below the 4KB page
+  EXPECT_FALSE(SimulateHierarchy(g, sched::TfLiteOrderSchedule(g), options)
+                   .feasible);
+  options.onchip_bytes = 8 * 1024;  // two pages: streams fine
+  EXPECT_TRUE(SimulateHierarchy(g, sched::TfLiteOrderSchedule(g), options)
+                  .feasible);
+}
+
+TEST(HierarchySim, DirtyRewritesInvalidateOffchipCopy) {
+  // An accumulator evicted between partial writes must be written back
+  // again after the second write (its off-chip copy went stale).
+  graph::Graph g("accum_evict");
+  graph::Node input;
+  input.kind = graph::OpKind::kInput;
+  input.shape = Units(2);
+  const NodeId x0 = g.AddNode(input);
+
+  graph::Node p0;
+  p0.kind = graph::OpKind::kPartialConv2d;
+  p0.conv = graph::ConvAttrs{1, 1, 1, 1, graph::Padding::kSame};
+  p0.shape = Units(2);
+  p0.inputs = {x0};
+  p0.weight_in_channels = 4;
+  p0.buffer = g.AddBuffer(p0.OutputBytes());
+  const NodeId p0_id = g.AddNode(p0);
+
+  // A fat intermediate that forces the accumulator out of the cache.
+  const NodeId x1 = g.AddNode(input);
+  graph::Node fat;
+  fat.kind = graph::OpKind::kConv2d;
+  fat.conv = graph::ConvAttrs{1, 1, 1, 1, graph::Padding::kSame};
+  fat.shape = Units(4);
+  fat.inputs = {x1};
+  fat.weight_in_channels = 2;
+  const NodeId fat_id = g.AddNode(fat);
+
+  graph::Node p1 = p0;
+  p1.kind = graph::OpKind::kPartialConv2dAccum;
+  p1.inputs = {p0_id, fat_id};
+  p1.in_channel_offset = 2;
+  const NodeId p1_id = g.AddNode(p1);
+
+  graph::Node out;
+  out.kind = graph::OpKind::kRelu;
+  out.shape = Units(2);
+  out.inputs = {p1_id};
+  g.AddNode(out);
+  g.ValidateOrDie();
+
+  SimOptions options;
+  options.onchip_bytes = 5 * 1024;  // x1(2) + fat(3) evicts acc(2)
+  const SimResult r = SimulateHierarchy(
+      g, sched::TfLiteOrderSchedule(g), options);
+  ASSERT_TRUE(r.feasible);
+  // acc written back once when evicted, read back for p1.
+  EXPECT_GE(r.write_bytes, 2 * 1024);
+  EXPECT_GE(r.read_bytes, 2 * 1024);
+}
+
+}  // namespace
+}  // namespace serenity::memsim

@@ -1,0 +1,126 @@
+#include "rewrite/inplace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_scheduler.h"
+#include "graph/builder.h"
+#include "models/darts.h"
+#include "models/swiftnet.h"
+#include "runtime/executor.h"
+#include "runtime/tensor.h"
+#include "sched/baselines.h"
+#include "sched/schedule.h"
+#include "serialize/serialize.h"
+#include "util/rng.h"
+
+namespace serenity::rewrite {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+TEST(InPlace, ChainCollapsesOntoOneBuffer) {
+  GraphBuilder b("chain");
+  const NodeId in = b.Input(TensorShape{1, 8, 8, 4}, "in");
+  const NodeId conv = b.Conv1x1(in, 8, "conv");
+  const NodeId relu = b.Relu(conv, "relu");
+  const NodeId bn = b.BatchNorm(relu, "bn");
+  (void)b.Conv1x1(bn, 4, "out");
+  const graph::Graph g = std::move(b).Build();
+  const InPlaceResult r = ApplyInPlaceElementwise(g);
+  EXPECT_EQ(r.ops_made_in_place, 2);  // relu and bn
+  EXPECT_EQ(r.graph.node(conv).buffer, r.graph.node(relu).buffer);
+  EXPECT_EQ(r.graph.node(relu).buffer, r.graph.node(bn).buffer);
+}
+
+TEST(InPlace, SkipsSharedOperands) {
+  GraphBuilder b("shared");
+  const NodeId in = b.Input(TensorShape{1, 8, 8, 4}, "in");
+  const NodeId conv = b.Conv1x1(in, 8, "conv");
+  const NodeId relu = b.Relu(conv, "relu");     // conv has 2 consumers
+  const NodeId other = b.Identity(conv, "id");  // second consumer
+  (void)b.Add({relu, other}, "out");
+  const graph::Graph g = std::move(b).Build();
+  const InPlaceResult r = ApplyInPlaceElementwise(g);
+  // Neither relu nor identity may clobber conv's output.
+  EXPECT_EQ(r.graph.node(relu).buffer != r.graph.node(conv).buffer, true);
+  EXPECT_EQ(r.ops_made_in_place, 0);
+}
+
+TEST(InPlace, ReducesPeakWhenElementwiseDefinesIt) {
+  // conv(32KB) -> relu(32KB): out-of-place peaks at 64KB, in-place at 32KB.
+  GraphBuilder b("peak_at_relu");
+  const NodeId in = b.Input(TensorShape{1, 16, 16, 4}, "in");
+  const NodeId conv = b.Conv1x1(in, 32, "conv");
+  (void)b.Relu(conv, "relu");
+  const graph::Graph g = std::move(b).Build();
+  const InPlaceResult r = ApplyInPlaceElementwise(g);
+  ASSERT_EQ(r.ops_made_in_place, 1);
+  const auto before = sched::PeakFootprint(g, sched::TfLiteOrderSchedule(g));
+  const auto after =
+      sched::PeakFootprint(r.graph, sched::TfLiteOrderSchedule(r.graph));
+  EXPECT_EQ(before, 64 * 1024);  // conv + out-of-place relu coexist
+  EXPECT_EQ(after, 36 * 1024);   // peak moves to in + conv
+  EXPECT_LT(after, before);
+}
+
+TEST(InPlace, NeverHurtsRealCells) {
+  for (const auto factory :
+       {&models::MakeDartsNormalCell, &models::MakeSwiftNetCellA,
+        &models::MakeSwiftNetCellB}) {
+    const graph::Graph g = factory();
+    const InPlaceResult r = ApplyInPlaceElementwise(g);
+    const auto before =
+        sched::PeakFootprint(g, sched::TfLiteOrderSchedule(g));
+    const auto after =
+        sched::PeakFootprint(r.graph, sched::TfLiteOrderSchedule(r.graph));
+    EXPECT_LE(after, before) << g.name();
+  }
+}
+
+TEST(InPlace, PreservesTheNetworkFunction) {
+  for (const auto factory :
+       {&models::MakeSwiftNetCellA, &models::MakeDartsNormalCell}) {
+    const graph::Graph g = factory();
+    const InPlaceResult r = ApplyInPlaceElementwise(g);
+    util::Rng rng(3);
+    std::vector<runtime::Tensor> inputs;
+    for (const graph::Node& n : g.nodes()) {
+      if (n.kind == graph::OpKind::kInput) {
+        inputs.push_back(runtime::Tensor::Random(n.shape, rng));
+      }
+    }
+    runtime::Executor original(g);
+    original.Run(inputs);
+    runtime::Executor inplace(r.graph);
+    inplace.Run(inputs);
+    const auto a = original.SinkValues();
+    const auto c = inplace.SinkValues();
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_LE(a[i].MaxAbsDiff(c[i]), 1e-6f) << g.name();
+    }
+  }
+}
+
+TEST(InPlace, DpStillOptimalOnInPlaceGraphs) {
+  // The DP must agree with the evaluator on shared elementwise buffers.
+  const graph::Graph g =
+      ApplyInPlaceElementwise(models::MakeSwiftNetCellB()).graph;
+  const core::DpResult dp = core::ScheduleDp(g);
+  ASSERT_EQ(dp.status, core::DpStatus::kSolution);
+  EXPECT_EQ(dp.peak_bytes, sched::PeakFootprint(g, dp.schedule));
+  EXPECT_LE(dp.peak_bytes,
+            sched::PeakFootprint(g, sched::TfLiteOrderSchedule(g)));
+}
+
+TEST(InPlace, SecondApplicationIsAFixpoint) {
+  const graph::Graph once =
+      ApplyInPlaceElementwise(models::MakeSwiftNetCellA()).graph;
+  const InPlaceResult twice = ApplyInPlaceElementwise(once);
+  EXPECT_EQ(serialize::ToText(once), serialize::ToText(twice.graph));
+}
+
+}  // namespace
+}  // namespace serenity::rewrite

@@ -1,0 +1,204 @@
+#include "runtime/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/weights.h"
+#include "util/rng.h"
+
+namespace serenity::runtime {
+namespace {
+
+using graph::ConvAttrs;
+using graph::Padding;
+using graph::TensorShape;
+
+constexpr float kTol = 1e-4f;
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  // 1x1 kernel w[0][0][i][o] = identity matrix, zero bias.
+  ConvWeights w;
+  w.kh = w.kw = 1;
+  w.in_c = w.out_c = 2;
+  w.kernel = {1, 0, 0, 1};  // [ic=0][oc], [ic=1][oc]
+  w.bias = {0, 0};
+  util::Rng rng(3);
+  const Tensor x = Tensor::Random(TensorShape{1, 4, 4, 2}, rng);
+  const Tensor y = Conv2d(x, w, ConvAttrs{1, 1, 1, 1, Padding::kSame});
+  EXPECT_LE(y.MaxAbsDiff(x), kTol);
+}
+
+TEST(Conv2d, HandComputed3x3) {
+  // Single channel, 3x3 all-ones kernel on a 3x3 all-ones image: SAME
+  // padding means corner outputs see 4 taps, edges 6, center 9.
+  ConvWeights w;
+  w.kh = w.kw = 3;
+  w.in_c = w.out_c = 1;
+  w.kernel.assign(9, 1.0f);
+  w.bias = {0.0f};
+  Tensor x(TensorShape{1, 3, 3, 1});
+  std::fill(x.data().begin(), x.data().end(), 1.0f);
+  const Tensor y = Conv2d(x, w, ConvAttrs{3, 3, 1, 1, Padding::kSame});
+  EXPECT_NEAR(y.At(0, 0, 0, 0), 4.0f, kTol);
+  EXPECT_NEAR(y.At(0, 0, 1, 0), 6.0f, kTol);
+  EXPECT_NEAR(y.At(0, 1, 1, 0), 9.0f, kTol);
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  ConvWeights w;
+  w.kh = w.kw = 1;
+  w.in_c = 1;
+  w.out_c = 2;
+  w.kernel = {0.0f, 0.0f};
+  w.bias = {1.5f, -2.0f};
+  Tensor x(TensorShape{1, 2, 2, 1});
+  const Tensor y = Conv2d(x, w, ConvAttrs{1, 1, 1, 1, Padding::kSame});
+  EXPECT_NEAR(y.At(0, 0, 0, 0), 1.5f, kTol);
+  EXPECT_NEAR(y.At(0, 0, 0, 1), -2.0f, kTol);
+}
+
+TEST(Conv2d, StrideDownsamples) {
+  util::Rng rng(5);
+  const ConvWeights w = MakeConvWeights(9, 3, 3, 4, 8);
+  const Tensor x = Tensor::Random(TensorShape{1, 8, 8, 4}, rng);
+  const Tensor y = Conv2d(x, w, ConvAttrs{3, 3, 2, 1, Padding::kSame});
+  EXPECT_EQ(y.shape(), (TensorShape{1, 4, 4, 8}));
+}
+
+TEST(Conv2dPartial, SlicesSumToFullConv) {
+  // The rewriter's correctness in kernel form (Eq. 3-6): partial convs over
+  // channel slices, accumulated, equal the conv of the concatenated input.
+  util::Rng rng(11);
+  const Tensor x0 = Tensor::Random(TensorShape{1, 6, 6, 3}, rng);
+  const Tensor x1 = Tensor::Random(TensorShape{1, 6, 6, 2}, rng);
+  const Tensor x2 = Tensor::Random(TensorShape{1, 6, 6, 4}, rng);
+  const Tensor whole = Concat({&x0, &x1, &x2});
+  const ConvWeights w = MakeConvWeights(77, 3, 3, 9, 5);
+  const ConvAttrs attrs{3, 3, 1, 1, Padding::kSame};
+  const Tensor expected = Conv2d(whole, w, attrs);
+
+  Tensor acc(expected.shape());
+  Conv2dPartial(x0, w, attrs, 0, /*overwrite=*/true, /*add_bias=*/true, acc);
+  Conv2dPartial(x1, w, attrs, 3, /*overwrite=*/false, /*add_bias=*/false,
+                acc);
+  Conv2dPartial(x2, w, attrs, 5, /*overwrite=*/false, /*add_bias=*/false,
+                acc);
+  EXPECT_LE(acc.MaxAbsDiff(expected), kTol);
+}
+
+TEST(Conv2dPartial, StridedAndDilatedSlicesStillSum) {
+  util::Rng rng(13);
+  const Tensor x0 = Tensor::Random(TensorShape{1, 9, 9, 2}, rng);
+  const Tensor x1 = Tensor::Random(TensorShape{1, 9, 9, 2}, rng);
+  const Tensor whole = Concat({&x0, &x1});
+  for (const ConvAttrs attrs :
+       {ConvAttrs{3, 3, 2, 1, Padding::kSame},
+        ConvAttrs{3, 3, 1, 2, Padding::kSame},
+        ConvAttrs{3, 3, 1, 1, Padding::kValid}}) {
+    const ConvWeights w = MakeConvWeights(78, 3, 3, 4, 6);
+    const Tensor expected = Conv2d(whole, w, attrs);
+    Tensor acc(expected.shape());
+    Conv2dPartial(x0, w, attrs, 0, true, true, acc);
+    Conv2dPartial(x1, w, attrs, 2, false, false, acc);
+    EXPECT_LE(acc.MaxAbsDiff(expected), kTol);
+  }
+}
+
+TEST(DepthwisePartial, SlicesMatchFullDepthwise) {
+  // Eq. 7-8: per-branch depthwise into channel slices == depthwise of the
+  // concatenation.
+  util::Rng rng(17);
+  const Tensor x0 = Tensor::Random(TensorShape{1, 6, 6, 3}, rng);
+  const Tensor x1 = Tensor::Random(TensorShape{1, 6, 6, 5}, rng);
+  const Tensor whole = Concat({&x0, &x1});
+  const DepthwiseWeights w = MakeDepthwiseWeights(55, 3, 3, 8);
+  const ConvAttrs attrs{3, 3, 1, 1, Padding::kSame};
+  const Tensor expected = DepthwiseConv2d(whole, w, attrs);
+
+  Tensor out(expected.shape());
+  DepthwiseConv2dPartial(x0, w, attrs, 0, out, 0);
+  DepthwiseConv2dPartial(x1, w, attrs, 3, out, 3);
+  EXPECT_LE(out.MaxAbsDiff(expected), kTol);
+}
+
+TEST(Concat, OrdersChannels) {
+  Tensor a(TensorShape{1, 1, 1, 2});
+  a.data() = {1, 2};
+  Tensor b(TensorShape{1, 1, 1, 1});
+  b.data() = {3};
+  const Tensor y = Concat({&a, &b});
+  EXPECT_EQ(y.shape(), (TensorShape{1, 1, 1, 3}));
+  EXPECT_EQ(y.data(), (std::vector<float>{1, 2, 3}));
+}
+
+TEST(AddMulRelu, Elementwise) {
+  Tensor a(TensorShape{1, 1, 1, 3});
+  a.data() = {1, -2, 3};
+  Tensor b(TensorShape{1, 1, 1, 3});
+  b.data() = {4, 5, -6};
+  EXPECT_EQ(Add({&a, &b}).data(), (std::vector<float>{5, 3, -3}));
+  EXPECT_EQ(Mul({&a, &b}).data(), (std::vector<float>{4, -10, -18}));
+  EXPECT_EQ(Relu(a).data(), (std::vector<float>{1, 0, 3}));
+}
+
+TEST(BatchNorm, ScaleAndShift) {
+  Tensor x(TensorShape{1, 1, 2, 2});
+  x.data() = {1, 2, 3, 4};
+  BatchNormWeights w;
+  w.scale = {2, 10};
+  w.shift = {0.5f, -1};
+  const Tensor y = BatchNorm(x, w);
+  EXPECT_EQ(y.data(), (std::vector<float>{2.5f, 19, 6.5f, 39}));
+}
+
+TEST(Pooling, MaxAndAvg) {
+  Tensor x(TensorShape{1, 2, 2, 1});
+  x.data() = {1, 2, 3, 4};
+  const ConvAttrs attrs{2, 2, 2, 1, Padding::kSame};
+  EXPECT_NEAR(MaxPool2d(x, attrs).At(0, 0, 0, 0), 4.0f, kTol);
+  EXPECT_NEAR(AvgPool2d(x, attrs).At(0, 0, 0, 0), 2.5f, kTol);
+}
+
+TEST(Pooling, AvgCountsOnlyValidTaps) {
+  // 3x3 SAME avg over a 2x2 input: the corner window sees 4 valid values.
+  Tensor x(TensorShape{1, 2, 2, 1});
+  x.data() = {1, 2, 3, 4};
+  const ConvAttrs attrs{3, 3, 1, 1, Padding::kSame};
+  const Tensor y = AvgPool2d(x, attrs);
+  EXPECT_NEAR(y.At(0, 0, 0, 0), 2.5f, kTol);
+}
+
+TEST(GlobalAvgPool, AveragesSpatial) {
+  Tensor x(TensorShape{1, 2, 2, 2});
+  x.data() = {1, 10, 2, 20, 3, 30, 4, 40};
+  const Tensor y = GlobalAvgPool2d(x);
+  EXPECT_EQ(y.shape(), (TensorShape{1, 1, 1, 2}));
+  EXPECT_NEAR(y.At(0, 0, 0, 0), 2.5f, kTol);
+  EXPECT_NEAR(y.At(0, 0, 0, 1), 25.0f, kTol);
+}
+
+TEST(Dense, MatrixVector) {
+  Tensor x(TensorShape{1, 1, 1, 2});
+  x.data() = {1, 2};
+  DenseWeights w;
+  w.in = 2;
+  w.units = 2;
+  w.kernel = {1, 3, 2, 4};  // [in][units]
+  w.bias = {10, 20};
+  const Tensor y = Dense(x, w);
+  EXPECT_NEAR(y.At(0, 0, 0, 0), 1 * 1 + 2 * 2 + 10, kTol);
+  EXPECT_NEAR(y.At(0, 0, 0, 1), 1 * 3 + 2 * 4 + 20, kTol);
+}
+
+TEST(Weights, DeterministicFromSeed) {
+  const ConvWeights a = MakeConvWeights(123, 3, 3, 4, 8);
+  const ConvWeights b = MakeConvWeights(123, 3, 3, 4, 8);
+  const ConvWeights c = MakeConvWeights(124, 3, 3, 4, 8);
+  EXPECT_EQ(a.kernel, b.kernel);
+  EXPECT_EQ(a.bias, b.bias);
+  EXPECT_NE(a.kernel, c.kernel);
+}
+
+}  // namespace
+}  // namespace serenity::runtime

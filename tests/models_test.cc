@@ -1,0 +1,183 @@
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/partitioner.h"
+#include "graph/analysis.h"
+#include "models/darts.h"
+#include "models/randwire.h"
+#include "models/swiftnet.h"
+#include "rewrite/rewriter.h"
+#include "serialize/serialize.h"
+
+namespace serenity::models {
+namespace {
+
+TEST(SwiftNet, PaperNodeCounts) {
+  // Table 2: 62 nodes split {21, 19, 22}; 90 after rewriting {33, 28, 29}.
+  const graph::Graph g = MakeSwiftNet();
+  EXPECT_EQ(g.num_nodes(), 62);
+  const rewrite::RewriteResult rw = rewrite::RewriteGraph(g);
+  EXPECT_EQ(rw.graph.num_nodes(), 90);
+}
+
+TEST(SwiftNet, PerCellNodeCounts) {
+  // Standalone cells carry a fresh input node for the boundary.
+  EXPECT_EQ(MakeSwiftNetCellA().num_nodes(), 21);  // includes graph input
+  EXPECT_EQ(MakeSwiftNetCellB().num_nodes(), 20);  // 1 boundary + 19
+  EXPECT_EQ(MakeSwiftNetCellC().num_nodes(), 23);  // 1 boundary + 22
+}
+
+TEST(SwiftNet, PerCellRewriteDeltas) {
+  // Table 2 deltas: +12, +9, +7.
+  EXPECT_EQ(rewrite::RewriteGraph(MakeSwiftNetCellA()).graph.num_nodes(),
+            21 + 12);
+  EXPECT_EQ(rewrite::RewriteGraph(MakeSwiftNetCellB()).graph.num_nodes(),
+            20 + 9);
+  EXPECT_EQ(rewrite::RewriteGraph(MakeSwiftNetCellC()).graph.num_nodes(),
+            23 + 7);
+}
+
+TEST(SwiftNet, SingleInputSingleOutput) {
+  const graph::Graph g = MakeSwiftNet();
+  EXPECT_EQ(g.Sources().size(), 1u);
+  EXPECT_EQ(g.Sinks().size(), 1u);
+}
+
+TEST(SwiftNet, Deterministic) {
+  EXPECT_EQ(serialize::ToText(MakeSwiftNet()),
+            serialize::ToText(MakeSwiftNet()));
+}
+
+TEST(Darts, GenotypeStructure) {
+  const graph::Graph g = MakeDartsNormalCell();
+  // 2 inputs + 2 preprocess(3 each) + 5 sep(8 each) + 1 dil(4) + 2 skips +
+  // 4 adds + 1 concat + next-cell preprocess(3) = 62 nodes.
+  EXPECT_EQ(g.num_nodes(), 62);
+  EXPECT_EQ(g.Sources().size(), 2u);  // c_{k-2}, c_{k-1}
+  EXPECT_EQ(g.Sinks().size(), 1u);
+  // The cell output concatenates the four intermediate states (4 x 48
+  // channels) and feeds the next cell's ReLU-Conv-BN preprocessing.
+  bool found_concat = false;
+  for (const graph::Node& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kConcat) {
+      found_concat = true;
+      EXPECT_EQ(n.shape.c, 192);
+      ASSERT_EQ(g.consumers(n.id).size(), 1u);
+      EXPECT_EQ(g.node(g.consumers(n.id)[0]).kind, graph::OpKind::kRelu);
+    }
+  }
+  EXPECT_TRUE(found_concat);
+  EXPECT_EQ(g.node(g.Sinks()[0]).kind, graph::OpKind::kBatchNorm);
+}
+
+TEST(Darts, RewritePushesReluAndPartitionsTheConcat) {
+  const graph::Graph g = MakeDartsNormalCell();
+  const rewrite::RewriteResult r = rewrite::RewriteGraph(g);
+  EXPECT_EQ(r.report.relu_pushes, 1);
+  EXPECT_EQ(r.report.conv_patterns, 1);
+  // +3 nodes from the relu push (4 branch relus replace 1), +2 from the
+  // 4-branch channel-wise partitioning.
+  EXPECT_EQ(r.graph.num_nodes(), g.num_nodes() + 3 + 2);
+}
+
+TEST(Darts, CellBodyIsUncuttable) {
+  // Two entry states make the cell body uncuttable: only the output
+  // concat and the linear next-cell preprocess chain can be split off, so
+  // the first segment must contain the whole 58-node body.
+  const graph::Graph g = MakeDartsNormalCell();
+  const core::Partition p = core::PartitionAtCuts(g);
+  ASSERT_GE(p.segments.size(), 1u);
+  EXPECT_GE(p.segments[0].subgraph.num_nodes(), 58);
+}
+
+TEST(RandWire, DagAndConnectivity) {
+  for (const auto factory :
+       {&MakeRandWireCifar10CellA, &MakeRandWireCifar10CellB,
+        &MakeRandWireCifar100CellA, &MakeRandWireCifar100CellB,
+        &MakeRandWireCifar100CellC}) {
+    const graph::Graph g = factory();
+    EXPECT_TRUE(g.Validate().empty()) << g.name();
+    EXPECT_EQ(g.Sources().size(), 1u) << g.name();
+    EXPECT_EQ(g.Sinks().size(), 1u) << g.name();
+    // Every macro node reachable from the stem: descendants of node 0
+    // cover the graph.
+    const graph::ReachabilityBitsets reach = graph::BuildReachability(g);
+    EXPECT_EQ(reach.descendants[0].Count(),
+              static_cast<std::size_t>(g.num_nodes()) - 1)
+        << g.name();
+  }
+}
+
+TEST(RandWire, SeedsProduceDistinctWirings) {
+  RandWireParams a;
+  a.seed = 1;
+  RandWireParams b;
+  b.seed = 2;
+  EXPECT_NE(serialize::ToText(MakeRandWireCell(a)),
+            serialize::ToText(MakeRandWireCell(b)));
+  RandWireParams c;
+  c.seed = 1;
+  EXPECT_EQ(serialize::ToText(MakeRandWireCell(a)),
+            serialize::ToText(MakeRandWireCell(c)));
+}
+
+TEST(RandWire, MacroNodeCountMatchesParams) {
+  RandWireParams p;
+  p.num_nodes = 12;
+  const graph::Graph g = MakeRandWireCell(p);
+  int fused = 0;
+  for (const graph::Node& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kFusedCell) ++fused;
+  }
+  EXPECT_EQ(fused, 12);
+}
+
+TEST(Zoo, AllCellsValidateAndAreIrregular) {
+  for (const BenchmarkCell& cell : AllBenchmarkCells()) {
+    const graph::Graph g = cell.factory();
+    EXPECT_TRUE(g.Validate().empty()) << cell.group << "/" << cell.name;
+    EXPECT_GE(g.num_nodes(), 15) << cell.group << "/" << cell.name;
+    // Irregular wiring: some node has fan-out > 1.
+    bool has_fanout = false;
+    for (const graph::Node& n : g.nodes()) {
+      if (g.consumers(n.id).size() > 1) has_fanout = true;
+    }
+    EXPECT_TRUE(has_fanout) << cell.group << "/" << cell.name;
+  }
+}
+
+TEST(Zoo, NineCellsInPaperOrder) {
+  const auto& cells = AllBenchmarkCells();
+  ASSERT_EQ(cells.size(), 9u);
+  EXPECT_EQ(cells[0].group, "DARTS ImageNet");
+  EXPECT_EQ(cells[3].group, "SwiftNet HPD");
+  EXPECT_EQ(cells[8].name, "Cell C");
+  EXPECT_EQ(&FindBenchmarkCell("SwiftNet HPD", "Cell A"), &cells[1]);
+}
+
+TEST(Zoo, PaperReferenceNumbersPresent) {
+  for (const BenchmarkCell& cell : AllBenchmarkCells()) {
+    EXPECT_GT(cell.paper_tflite_kb, 0);
+    EXPECT_GT(cell.paper_dp_kb, 0);
+    EXPECT_GT(cell.paper_dp_rw_kb, 0);
+    EXPECT_GE(cell.paper_tflite_kb, cell.paper_dp_kb);
+    EXPECT_GE(cell.paper_dp_kb, cell.paper_dp_rw_kb);
+  }
+}
+
+TEST(Zoo, WeightAndMacCountsArePlausible) {
+  // Table 1 scale check: SwiftNet is a sub-M parameter, tens-of-MMAC net.
+  const graph::Graph g = MakeSwiftNet();
+  const std::int64_t macs = graph::CountMacs(g);
+  const std::int64_t weights = graph::CountWeights(g);
+  EXPECT_GT(macs, 1'000'000);
+  EXPECT_LT(macs, 500'000'000);
+  EXPECT_GT(weights, 1'000);
+  EXPECT_LT(weights, 5'000'000);
+}
+
+}  // namespace
+}  // namespace serenity::models

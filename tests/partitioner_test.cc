@@ -1,0 +1,201 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/dp_scheduler.h"
+#include "graph/builder.h"
+#include "models/swiftnet.h"
+#include "rewrite/rewriter.h"
+#include "sched/schedule.h"
+
+namespace serenity::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+TensorShape Units(int c) { return TensorShape{1, 16, 16, c}; }
+
+// Two diamond "cells" joined by a single node: in -> (a|b) -> join1 ->
+// (c|d) -> join2.
+graph::Graph StackedDiamonds() {
+  GraphBuilder b("stacked");
+  const NodeId in = b.Input(Units(2), "in");
+  const NodeId a = b.Conv1x1(in, 2, "a");
+  const NodeId bb = b.Conv1x1(in, 3, "b");
+  const NodeId j1 = b.Concat({a, bb}, "join1");
+  const NodeId c = b.Conv1x1(j1, 2, "c");
+  const NodeId d = b.Conv1x1(j1, 2, "d");
+  (void)b.Concat({c, d}, "join2");
+  return std::move(b).Build();
+}
+
+TEST(FindCutNodes, DiamondJoinIsACut) {
+  const graph::Graph g = StackedDiamonds();
+  const std::vector<NodeId> cuts = FindCutNodes(g);
+  // in(0), join1(3) and join2(6) are comparable to everything; a/b/c/d are
+  // not (parallel siblings).
+  EXPECT_EQ(cuts, (std::vector<NodeId>{0, 3, 6}));
+}
+
+TEST(FindCutNodes, BypassEdgeDisqualifies) {
+  GraphBuilder b("bypass");
+  const NodeId in = b.Input(Units(2), "in");
+  const NodeId a = b.Conv1x1(in, 2, "a");
+  const NodeId mid = b.Relu(a, "mid");
+  // Skip connection from a around mid: a stays live across mid.
+  const NodeId c = b.Conv1x1(mid, 2, "c");
+  (void)b.Add({c, a}, "out");
+  const graph::Graph g = std::move(b).Build();
+  const std::vector<NodeId> cuts = FindCutNodes(g);
+  // mid and c are comparable to all nodes, but the a->out edge bypasses
+  // them; a IS a valid cut (everything passes through it).
+  EXPECT_EQ(cuts, (std::vector<NodeId>{0, 1, 4}));
+}
+
+TEST(FindCutNodes, ChainIsAllCuts) {
+  GraphBuilder b("chain");
+  NodeId x = b.Input(Units(1), "in");
+  for (int i = 0; i < 3; ++i) x = b.Relu(x, "r" + std::to_string(i));
+  const graph::Graph g = std::move(b).Build();
+  EXPECT_EQ(FindCutNodes(g).size(), 4u);
+}
+
+// Mechanics tests use min_segment_nodes = 1 (no coalescing) so every cut
+// becomes a boundary.
+PartitionOptions NoCoalescing() {
+  PartitionOptions options;
+  options.min_segment_nodes = 1;
+  return options;
+}
+
+TEST(Partition, SegmentsCoverGraphExactlyOnce) {
+  const graph::Graph g = StackedDiamonds();
+  const Partition partition = PartitionAtCuts(g, NoCoalescing());
+  std::vector<int> seen(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const Segment& segment : partition.segments) {
+    for (std::size_t local = static_cast<std::size_t>(
+             segment.num_placeholders);
+         local < segment.orig_ids.size(); ++local) {
+      seen[static_cast<std::size_t>(segment.orig_ids[local])]++;
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Partition, PlaceholdersCarryBoundaryShape) {
+  const graph::Graph g = StackedDiamonds();
+  const Partition partition = PartitionAtCuts(g, NoCoalescing());
+  ASSERT_GE(partition.segments.size(), 2u);
+  const Segment& second = partition.segments[1];
+  ASSERT_EQ(second.num_placeholders, 1);
+  const graph::Node& placeholder = second.subgraph.node(0);
+  EXPECT_EQ(placeholder.kind, graph::OpKind::kInput);
+  // The boundary it stands for:
+  const graph::NodeId boundary = second.orig_ids[0];
+  EXPECT_EQ(placeholder.shape, g.node(boundary).shape);
+}
+
+TEST(Partition, CombinedScheduleIsValidAndOptimal) {
+  const graph::Graph g = StackedDiamonds();
+  const Partition partition = PartitionAtCuts(g, NoCoalescing());
+  std::vector<sched::Schedule> locals;
+  for (const Segment& segment : partition.segments) {
+    const DpResult r = ScheduleDp(segment.subgraph);
+    ASSERT_EQ(r.status, DpStatus::kSolution) << segment.subgraph.name();
+    locals.push_back(r.schedule);
+  }
+  const sched::Schedule combined =
+      CombineSegmentSchedules(partition, locals);
+  EXPECT_TRUE(sched::IsTopologicalOrder(g, combined));
+  // Divide-and-conquer must not cost optimality on a cleanly cut graph.
+  const DpResult whole = ScheduleDp(g);
+  ASSERT_EQ(whole.status, DpStatus::kSolution);
+  EXPECT_EQ(sched::PeakFootprint(g, combined), whole.peak_bytes);
+}
+
+TEST(Partition, SwiftNetCombinedMatchesWholeGraphDp) {
+  // The end-to-end divide-and-conquer optimality check on a real model.
+  const graph::Graph g = models::MakeSwiftNet();
+  const Partition partition = PartitionAtCuts(g);
+  EXPECT_GE(partition.segments.size(), 3u) << "expected the 3-cell split";
+  std::vector<sched::Schedule> locals;
+  for (const Segment& segment : partition.segments) {
+    const DpResult r = ScheduleDp(segment.subgraph);
+    ASSERT_EQ(r.status, DpStatus::kSolution);
+    locals.push_back(r.schedule);
+  }
+  const sched::Schedule combined =
+      CombineSegmentSchedules(partition, locals);
+  EXPECT_TRUE(sched::IsTopologicalOrder(g, combined));
+  const DpResult whole = ScheduleDp(g);
+  ASSERT_EQ(whole.status, DpStatus::kSolution);
+  EXPECT_EQ(sched::PeakFootprint(g, combined), whole.peak_bytes);
+}
+
+TEST(Partition, SegmentSizesSumToNodeCount) {
+  const graph::Graph g = models::MakeSwiftNet();
+  for (int min_nodes : {1, 2, 4, 16}) {
+    PartitionOptions options;
+    options.min_segment_nodes = min_nodes;
+    const Partition partition = PartitionAtCuts(g, options);
+    const std::vector<int> sizes = partition.SegmentSizes();
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), g.num_nodes())
+        << "min_segment_nodes=" << min_nodes;
+  }
+}
+
+TEST(Partition, SwiftNetSegmentsMatchThePaperScale) {
+  // Table 2 reports 62 = {21, 19, 22} and, after rewriting, {33, 28, 29}
+  // (cell-aligned). Our boundaries are chosen structurally, landing at the
+  // end of each cell's entry chain rather than exactly at the cell output
+  // — a ±2-node shift along a linear chain, where every split point yields
+  // the same optimal schedule. Three segments of the same scale result.
+  const Partition plain = PartitionAtCuts(models::MakeSwiftNet());
+  EXPECT_EQ(plain.SegmentSizes(), (std::vector<int>{23, 19, 20}));
+  const Partition rewritten = PartitionAtCuts(
+      rewrite::RewriteGraph(models::MakeSwiftNet()).graph);
+  EXPECT_EQ(rewritten.SegmentSizes(), (std::vector<int>{35, 28, 27}));
+}
+
+TEST(Partition, CoalescingPreservesOptimality) {
+  const graph::Graph g = models::MakeSwiftNet();
+  for (int min_nodes : {1, 4, 8}) {
+    PartitionOptions options;
+    options.min_segment_nodes = min_nodes;
+    const Partition partition = PartitionAtCuts(g, options);
+    std::vector<sched::Schedule> locals;
+    for (const Segment& segment : partition.segments) {
+      const DpResult r = ScheduleDp(segment.subgraph);
+      ASSERT_EQ(r.status, DpStatus::kSolution);
+      locals.push_back(r.schedule);
+    }
+    const sched::Schedule combined =
+        CombineSegmentSchedules(partition, locals);
+    EXPECT_EQ(sched::PeakFootprint(g, combined),
+              ScheduleDp(g).peak_bytes)
+        << "min_segment_nodes=" << min_nodes;
+  }
+}
+
+TEST(Partition, SingleSegmentWhenNoCuts) {
+  // Two parallel chains from two inputs: nothing is comparable to all.
+  GraphBuilder b("nocut");
+  const NodeId i1 = b.Input(Units(1), "i1");
+  const NodeId i2 = b.Input(Units(1), "i2");
+  const NodeId a = b.Relu(i1, "a");
+  const NodeId c = b.Relu(i2, "c");
+  (void)b.Concat({a, c}, "out");
+  const graph::Graph g = std::move(b).Build();
+  EXPECT_TRUE(FindCutNodes(g).empty() ||
+              FindCutNodes(g) == std::vector<NodeId>{4});
+  const Partition partition = PartitionAtCuts(g);
+  EXPECT_EQ(partition.segments.size(), 1u);
+  EXPECT_EQ(partition.segments[0].subgraph.num_nodes(), g.num_nodes());
+}
+
+}  // namespace
+}  // namespace serenity::core

@@ -1,0 +1,101 @@
+#include "rewrite/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace serenity::rewrite {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::OpKind;
+using graph::TensorShape;
+
+graph::Graph ConcatConvGraph() {
+  GraphBuilder b("pattern_fixture");
+  const NodeId in = b.Input(TensorShape{1, 8, 8, 4}, "in");
+  const NodeId a = b.Conv1x1(in, 4, "a");
+  const NodeId c = b.Conv1x1(in, 4, "c");
+  const NodeId cat = b.Concat({a, c}, "cat");
+  const NodeId conv = b.Conv2d(cat, 8, 3, 1, graph::Padding::kSame, 1,
+                               "conv");
+  (void)b.Relu(conv, "out");
+  return std::move(b).Build();
+}
+
+TEST(Pattern, MatchesByKind) {
+  const graph::Graph g = ConcatConvGraph();
+  const Pattern p = Pattern::Op(OpKind::kConcat).Bind("c");
+  const auto matches = p.MatchAll(g);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].at("c"), 3);
+}
+
+TEST(Pattern, WildcardMatchesEverything) {
+  const graph::Graph g = ConcatConvGraph();
+  EXPECT_EQ(Pattern::Any().MatchAll(g).size(),
+            static_cast<std::size_t>(g.num_nodes()));
+}
+
+TEST(Pattern, OperandTreeUnification) {
+  const graph::Graph g = ConcatConvGraph();
+  const Pattern p =
+      Pattern::Op(OpKind::kConv2d)
+          .Bind("conv")
+          .WithOperands({Pattern::Op(OpKind::kConcat).Bind("cat")});
+  const auto matches = p.MatchAll(g);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].at("conv"), 4);
+  EXPECT_EQ(matches[0].at("cat"), 3);
+}
+
+TEST(Pattern, OperandArityMustMatch) {
+  const graph::Graph g = ConcatConvGraph();
+  // Concat has two operands; a single-operand pattern must not match it.
+  const Pattern p = Pattern::Op(OpKind::kConcat)
+                        .WithOperands({Pattern::Any()});
+  EXPECT_TRUE(p.MatchAll(g).empty());
+}
+
+TEST(Pattern, AllOperandsSharedSubpattern) {
+  const graph::Graph g = ConcatConvGraph();
+  const Pattern conv_operands = Pattern::Op(OpKind::kConcat)
+                                    .WithAllOperands(
+                                        Pattern::Op(OpKind::kConv2d));
+  ASSERT_EQ(conv_operands.MatchAll(g).size(), 1u);
+  const Pattern relu_operands = Pattern::Op(OpKind::kConcat)
+                                    .WithAllOperands(
+                                        Pattern::Op(OpKind::kRelu));
+  EXPECT_TRUE(relu_operands.MatchAll(g).empty());
+}
+
+TEST(Pattern, ConstraintsFilter) {
+  const graph::Graph g = ConcatConvGraph();
+  // 'in' has two consumers; single-consumer constraint must reject it.
+  const auto all_inputs = Pattern::Op(OpKind::kInput).MatchAll(g);
+  ASSERT_EQ(all_inputs.size(), 1u);
+  const auto single = Pattern::Op(OpKind::kInput)
+                          .Where(HasSingleConsumer())
+                          .MatchAll(g);
+  EXPECT_TRUE(single.empty());
+  EXPECT_EQ(Pattern::Op(OpKind::kConcat)
+                .Where(HasMinOperands(2))
+                .MatchAll(g)
+                .size(),
+            1u);
+  EXPECT_TRUE(Pattern::Op(OpKind::kConcat)
+                  .Where(HasMinOperands(3))
+                  .MatchAll(g)
+                  .empty());
+}
+
+TEST(Pattern, MatchAnchorsAtSpecificNode) {
+  const graph::Graph g = ConcatConvGraph();
+  const Pattern p = Pattern::Op(OpKind::kConv2d);
+  EXPECT_TRUE(p.Match(g, 4).has_value());
+  EXPECT_FALSE(p.Match(g, 3).has_value());
+}
+
+}  // namespace
+}  // namespace serenity::rewrite

@@ -1,0 +1,128 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "models/swiftnet.h"
+#include "models/zoo.h"
+#include "sched/baselines.h"
+#include "sched/schedule.h"
+
+namespace serenity::core {
+namespace {
+
+TEST(Pipeline, FullSerenityOnSwiftNet) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const PipelineResult r = Pipeline().Run(g);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(sched::IsTopologicalOrder(r.scheduled_graph, r.schedule));
+  EXPECT_EQ(r.scheduled_graph.num_nodes(), 90);
+  EXPECT_EQ(r.rewrite_report.TotalPatterns(), 6);
+  EXPECT_GT(r.states_expanded, 0u);
+  EXPECT_EQ(r.peak_bytes,
+            sched::PeakFootprint(r.scheduled_graph, r.schedule));
+}
+
+TEST(Pipeline, DpOnlyConfigurationKeepsGraph) {
+  const graph::Graph g = models::MakeSwiftNet();
+  PipelineOptions options;
+  options.enable_rewriting = false;
+  const PipelineResult r = Pipeline(options).Run(g);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.scheduled_graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.rewrite_report.TotalPatterns(), 0);
+}
+
+TEST(Pipeline, RewritingNeverHurtsThePeak) {
+  for (const auto factory :
+       {&models::MakeSwiftNetCellA, &models::MakeSwiftNetCellB,
+        &models::MakeSwiftNetCellC}) {
+    const graph::Graph g = factory();
+    PipelineOptions dp_only;
+    dp_only.enable_rewriting = false;
+    const PipelineResult without = Pipeline(dp_only).Run(g);
+    const PipelineResult with = Pipeline().Run(g);
+    ASSERT_TRUE(without.success && with.success);
+    EXPECT_LE(with.peak_bytes, without.peak_bytes) << g.name();
+  }
+}
+
+TEST(Pipeline, DpBeatsOrMatchesEveryBaseline) {
+  for (const auto factory :
+       {&models::MakeSwiftNetCellA, &models::MakeSwiftNetCellB}) {
+    const graph::Graph g = factory();
+    PipelineOptions options;
+    options.enable_rewriting = false;  // same graph as the baselines
+    const PipelineResult r = Pipeline(options).Run(g);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.peak_bytes,
+              sched::PeakFootprint(g, sched::TfLiteOrderSchedule(g)));
+    EXPECT_LE(r.peak_bytes,
+              sched::PeakFootprint(g, sched::KahnFifoSchedule(g)));
+    EXPECT_LE(r.peak_bytes,
+              sched::PeakFootprint(g, sched::DfsPostorderSchedule(g)));
+    EXPECT_LE(r.peak_bytes,
+              sched::PeakFootprint(g, sched::GreedyMemorySchedule(g)));
+  }
+}
+
+TEST(Pipeline, PartitioningDoesNotChangeTheOptimum) {
+  const graph::Graph g = models::MakeSwiftNet();
+  PipelineOptions with_dc;
+  with_dc.enable_rewriting = false;
+  PipelineOptions without_dc = with_dc;
+  without_dc.enable_partitioning = false;
+  const PipelineResult a = Pipeline(with_dc).Run(g);
+  const PipelineResult b = Pipeline(without_dc).Run(g);
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_EQ(a.peak_bytes, b.peak_bytes);
+  EXPECT_GT(a.segment_sizes.size(), b.segment_sizes.size());
+}
+
+TEST(Pipeline, SoftBudgetingMatchesPlainDp) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  PipelineOptions with_sb;
+  with_sb.enable_rewriting = false;
+  PipelineOptions without_sb = with_sb;
+  without_sb.enable_soft_budgeting = false;
+  const PipelineResult a = Pipeline(with_sb).Run(g);
+  const PipelineResult b = Pipeline(without_sb).Run(g);
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_EQ(a.peak_bytes, b.peak_bytes);
+}
+
+TEST(Pipeline, ReportsFailureWhenResourcesExhausted) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  PipelineOptions options;
+  options.enable_partitioning = false;
+  options.enable_soft_budgeting = false;
+  options.dp.max_states = 5;  // hopeless
+  const PipelineResult r = Pipeline(options).Run(g);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("timeout"), std::string::npos);
+}
+
+TEST(Pipeline, SegmentSizesSumToGraph) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const PipelineResult r = Pipeline().Run(g);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(std::accumulate(r.segment_sizes.begin(), r.segment_sizes.end(),
+                            0),
+            r.scheduled_graph.num_nodes());
+}
+
+TEST(Pipeline, TimingFieldsPopulated) {
+  const graph::Graph g = models::MakeSwiftNetCellB();
+  const PipelineResult r = Pipeline().Run(g);
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.rewrite_seconds, 0.0);
+  EXPECT_GE(r.partition_seconds, 0.0);
+  EXPECT_GT(r.schedule_seconds, 0.0);
+  EXPECT_GE(r.total_seconds,
+            r.rewrite_seconds + r.partition_seconds + r.schedule_seconds -
+                1e-6);
+}
+
+}  // namespace
+}  // namespace serenity::core

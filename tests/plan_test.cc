@@ -1,0 +1,96 @@
+#include "serialize/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "graph/builder.h"
+#include "models/swiftnet.h"
+#include "sched/baselines.h"
+
+namespace serenity::serialize {
+namespace {
+
+ExecutionPlan SwiftNetPlan() {
+  const graph::Graph g = models::MakeSwiftNet();
+  const core::PipelineResult r = core::Pipeline().Run(g);
+  return MakePlan(r.scheduled_graph, r.schedule);
+}
+
+TEST(Plan, RoundTripsExactly) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const core::PipelineResult r = core::Pipeline().Run(g);
+  const ExecutionPlan plan = MakePlan(r.scheduled_graph, r.schedule);
+  const ExecutionPlan back =
+      PlanFromText(PlanToText(plan), r.scheduled_graph);
+  EXPECT_EQ(back.graph_name, plan.graph_name);
+  EXPECT_EQ(back.schedule, plan.schedule);
+  EXPECT_EQ(back.arena.arena_bytes, plan.arena.arena_bytes);
+  ASSERT_EQ(back.arena.placements.size(), plan.arena.placements.size());
+  for (std::size_t i = 0; i < plan.arena.placements.size(); ++i) {
+    EXPECT_EQ(back.arena.placements[i].buffer,
+              plan.arena.placements[i].buffer);
+    EXPECT_EQ(back.arena.placements[i].offset,
+              plan.arena.placements[i].offset);
+    EXPECT_EQ(back.arena.placements[i].size, plan.arena.placements[i].size);
+  }
+  EXPECT_EQ(back.arena.highwater_at_step, plan.arena.highwater_at_step);
+}
+
+TEST(Plan, FileRoundTrip) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  const ExecutionPlan plan = MakePlan(g, s);
+  const std::string path = ::testing::TempDir() + "/swiftnet.plan";
+  SavePlanToFile(plan, path);
+  const ExecutionPlan back = LoadPlanFromFile(path, g);
+  EXPECT_EQ(back.schedule, plan.schedule);
+  EXPECT_EQ(back.arena.arena_bytes, plan.arena.arena_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Plan, LoadedPlacementsStillNonOverlapping) {
+  const ExecutionPlan plan = SwiftNetPlan();
+  const graph::Graph g = models::MakeSwiftNet();
+  const core::PipelineResult r = core::Pipeline().Run(g);
+  const ExecutionPlan back =
+      PlanFromText(PlanToText(plan), r.scheduled_graph);
+  EXPECT_TRUE(alloc::ValidatePlacements(back.arena));
+}
+
+TEST(PlanDeath, RejectsPlansForOtherGraphs) {
+  const ExecutionPlan plan = SwiftNetPlan();
+  graph::GraphBuilder b("other");
+  const graph::NodeId in = b.Input(graph::TensorShape{1, 4, 4, 2}, "in");
+  (void)b.Relu(in, "out");
+  const graph::Graph other = std::move(b).Build();
+  EXPECT_DEATH(PlanFromText(PlanToText(plan), other), "different graph");
+}
+
+TEST(PlanDeath, RejectsCorruptedArenaSize) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  std::string text = PlanToText(plan);
+  // Tamper with the declared arena size.
+  const std::size_t at = text.find(' ', text.find("plan "));
+  text.replace(text.rfind(' ', text.find('\n')) + 1,
+               text.find('\n') - text.rfind(' ', text.find('\n')) - 1,
+               "12345");
+  (void)at;
+  EXPECT_DEATH(PlanFromText(text, g), "disagrees");
+}
+
+TEST(PlanDeath, RejectsInvalidScheduleOrder) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  std::string text = PlanToText(plan);
+  // Reverse two adjacent ids in the order line (breaking a dependency).
+  const std::size_t order_at = text.find("order 0 1");
+  ASSERT_NE(order_at, std::string::npos);
+  text.replace(order_at, 9, "order 1 0");
+  EXPECT_DEATH(PlanFromText(text, g), "not a valid order");
+}
+
+}  // namespace
+}  // namespace serenity::serialize

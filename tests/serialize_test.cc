@@ -1,0 +1,106 @@
+#include "serialize/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "models/randwire.h"
+#include "models/swiftnet.h"
+#include "rewrite/rewriter.h"
+#include "sched/schedule.h"
+
+namespace serenity::serialize {
+namespace {
+
+void ExpectGraphsEqual(const graph::Graph& a, const graph::Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_buffers(), b.num_buffers());
+  EXPECT_EQ(a.name(), b.name());
+  for (graph::BufferId id = 0; id < a.num_buffers(); ++id) {
+    EXPECT_EQ(a.buffer(id).size_bytes, b.buffer(id).size_bytes);
+  }
+  for (graph::NodeId id = 0; id < a.num_nodes(); ++id) {
+    const graph::Node& x = a.node(id);
+    const graph::Node& y = b.node(id);
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.dtype, y.dtype);
+    EXPECT_EQ(x.shape, y.shape);
+    EXPECT_EQ(x.inputs, y.inputs);
+    EXPECT_EQ(x.conv, y.conv);
+    EXPECT_EQ(x.buffer, y.buffer);
+    EXPECT_EQ(x.buffer_channel_offset, y.buffer_channel_offset);
+    EXPECT_EQ(x.weight_seed, y.weight_seed);
+    EXPECT_EQ(x.weight_in_channels, y.weight_in_channels);
+    EXPECT_EQ(x.in_channel_offset, y.in_channel_offset);
+    EXPECT_EQ(x.weight_count, y.weight_count);
+    EXPECT_EQ(x.concat_axis, y.concat_axis);
+  }
+}
+
+TEST(Serialize, RoundTripSwiftNet) {
+  const graph::Graph g = models::MakeSwiftNet();
+  ExpectGraphsEqual(g, FromText(ToText(g)));
+}
+
+TEST(Serialize, RoundTripRewrittenGraphWithAliasedBuffers) {
+  const graph::Graph g =
+      rewrite::RewriteGraph(models::MakeSwiftNetCellA()).graph;
+  ExpectGraphsEqual(g, FromText(ToText(g)));
+}
+
+TEST(Serialize, RoundTripRandWire) {
+  const graph::Graph g = models::MakeRandWireCifar10CellA();
+  ExpectGraphsEqual(g, FromText(ToText(g)));
+}
+
+TEST(Serialize, NamesWithSpacesSurvive) {
+  graph::Graph g("a name with spaces");
+  graph::Node n;
+  n.kind = graph::OpKind::kInput;
+  n.name = "weird node name";
+  n.shape = graph::TensorShape{1, 2, 2, 1};
+  g.AddNode(n);
+  const graph::Graph back = FromText(ToText(g));
+  EXPECT_EQ(back.name(), "a name with spaces");
+  EXPECT_EQ(back.node(0).name, "weird node name");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const graph::Graph g = models::MakeSwiftNetCellB();
+  const std::string path = ::testing::TempDir() + "/swiftnet_b.serenity";
+  SaveToFile(g, path);
+  ExpectGraphsEqual(g, LoadFromFile(path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DotContainsAllNodesAndEdges) {
+  const graph::Graph g = models::MakeSwiftNetCellB();
+  const std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (const graph::Node& n : g.nodes()) {
+    EXPECT_NE(dot.find(n.name), std::string::npos) << n.name;
+  }
+  // Edge count: one arrow per operand slot.
+  std::size_t arrows = 0;
+  for (std::size_t at = dot.find(" -> "); at != std::string::npos;
+       at = dot.find(" -> ", at + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, static_cast<std::size_t>(g.num_edges()));
+}
+
+TEST(SerializeDeath, MalformedInputRejected) {
+  EXPECT_DEATH(FromText("node 0 bogus_kind float32 x shape=1,1,1,1 "
+                        "buffer=0 inputs="),
+               "unknown");
+  EXPECT_DEATH(FromText("frobnicate 1 2 3"), "unknown record");
+}
+
+TEST(SerializeDeath, MissingFileRejected) {
+  EXPECT_DEATH(LoadFromFile("/nonexistent/path/graph.txt"), "cannot open");
+}
+
+}  // namespace
+}  // namespace serenity::serialize

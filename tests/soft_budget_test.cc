@@ -1,0 +1,93 @@
+#include "core/soft_budget.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_scheduler.h"
+#include "graph/builder.h"
+#include "models/swiftnet.h"
+#include "sched/baselines.h"
+#include "sched/schedule.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace serenity::core {
+namespace {
+
+TEST(SoftBudget, FindsTheOptimalPeak) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const SoftBudgetResult sb = ScheduleWithSoftBudget(g);
+  ASSERT_EQ(sb.status, DpStatus::kSolution);
+  const DpResult exact = ScheduleDp(g);
+  ASSERT_EQ(exact.status, DpStatus::kSolution);
+  EXPECT_EQ(sb.peak_bytes, exact.peak_bytes);
+  EXPECT_TRUE(sched::IsTopologicalOrder(g, sb.schedule));
+}
+
+TEST(SoftBudget, HardBudgetComesFromKahn) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const SoftBudgetResult sb = ScheduleWithSoftBudget(g);
+  EXPECT_EQ(sb.tau_max,
+            sched::PeakFootprint(g, sched::KahnFifoSchedule(g)));
+  EXPECT_LE(sb.peak_bytes, sb.tau_max);
+  EXPECT_LE(sb.tau_final, sb.tau_max);
+}
+
+TEST(SoftBudget, OptimalOnRandomDags) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    testing::RandomDagOptions opts;
+    opts.num_ops = 12;
+    const graph::Graph g =
+        testing::RandomDag(rng, opts, "sb" + std::to_string(trial));
+    const SoftBudgetResult sb = ScheduleWithSoftBudget(g);
+    ASSERT_EQ(sb.status, DpStatus::kSolution);
+    const DpResult exact = ScheduleDp(g);
+    EXPECT_EQ(sb.peak_bytes, exact.peak_bytes) << g.name();
+  }
+}
+
+TEST(SoftBudget, TimeoutPressureTriggersBinarySearch) {
+  // With a per-step timeout of zero, every attempt except a final fallback
+  // reports timeout; the search must still converge via the fallback and
+  // remain optimal.
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  SoftBudgetOptions options;
+  options.step_timeout_seconds = 0.0;
+  options.max_iterations = 6;
+  const SoftBudgetResult sb = ScheduleWithSoftBudget(g, options);
+  ASSERT_EQ(sb.status, DpStatus::kSolution);
+  EXPECT_TRUE(sb.used_fallback);
+  EXPECT_GT(sb.attempts.size(), 1u);
+  const DpResult exact = ScheduleDp(g);
+  EXPECT_EQ(sb.peak_bytes, exact.peak_bytes);
+}
+
+TEST(SoftBudget, AttemptLogIsCoherent) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const SoftBudgetResult sb = ScheduleWithSoftBudget(g);
+  ASSERT_FALSE(sb.attempts.empty());
+  // First probe is at the hard budget.
+  EXPECT_EQ(sb.attempts.front().budget_bytes, sb.tau_max);
+  // The final attempt is the one that succeeded.
+  EXPECT_EQ(sb.attempts.back().status, DpStatus::kSolution);
+  EXPECT_EQ(sb.attempts.back().budget_bytes, sb.tau_final);
+  EXPECT_EQ(sb.TotalStates(), [&] {
+    std::uint64_t total = 0;
+    for (const BudgetAttempt& a : sb.attempts) total += a.states_expanded;
+    return total;
+  }());
+}
+
+TEST(SoftBudget, TrivialGraphOneAttempt) {
+  graph::GraphBuilder b("tiny");
+  const graph::NodeId in = b.Input(graph::TensorShape{1, 4, 4, 1}, "in");
+  (void)b.Relu(in, "out");
+  const graph::Graph g = std::move(b).Build();
+  const SoftBudgetResult sb = ScheduleWithSoftBudget(g);
+  ASSERT_EQ(sb.status, DpStatus::kSolution);
+  EXPECT_EQ(sb.attempts.size(), 1u);
+  EXPECT_FALSE(sb.used_fallback);
+}
+
+}  // namespace
+}  // namespace serenity::core

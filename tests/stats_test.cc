@@ -1,0 +1,107 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace serenity::util {
+namespace {
+
+TEST(GeometricMean, KnownValues) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0}), 4.0);
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+  EXPECT_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(GeometricMeanDeath, RejectsNonPositive) {
+  EXPECT_DEATH(GeometricMean({1.0, 0.0}), "positive");
+}
+
+TEST(ArithmeticMean, KnownValues) {
+  EXPECT_DOUBLE_EQ(ArithmeticMean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(ArithmeticMean({}), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50), 7.0);
+}
+
+TEST(EmpiricalCdf, EndpointsAndMonotonicity) {
+  const std::vector<double> samples = {1, 2, 2, 3, 10};
+  const auto cdf = EmpiricalCdf(samples, 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 10.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+  }
+}
+
+TEST(FractionAtOrBelow, CountsInclusive) {
+  const std::vector<double> samples = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(samples, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(samples, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(samples, 4.0), 1.0);
+  EXPECT_EQ(FractionAtOrBelow({}, 1.0), 0.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int v = rng.NextInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(1234);
+  int buckets[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    buckets[rng.NextBounded(10)]++;
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny amount; elapsed must be non-decreasing.
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ::testing::internal::UnitTestImpl* keep_alive = nullptr;
+  (void)keep_alive;
+  (void)sink;
+  EXPECT_GE(sw.ElapsedSeconds(), t0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace serenity::util

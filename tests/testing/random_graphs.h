@@ -1,0 +1,68 @@
+// Random-graph helpers shared by the property-based tests.
+#ifndef SERENITY_TESTS_TESTING_RANDOM_GRAPHS_H_
+#define SERENITY_TESTS_TESTING_RANDOM_GRAPHS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace serenity::testing {
+
+struct RandomDagOptions {
+  int num_ops = 8;         // ops beyond the input
+  int max_channels = 4;    // tensor sizes vary within [1, max_channels]
+  int spatial = 16;        // 16x16xC float32 -> C KB
+  double extra_edge_p = 0.3;  // chance of a second operand (add/concat)
+  bool join_sinks = true;  // concat all leftover sinks into one output
+};
+
+// A connected random DAG of conv/relu/add/concat ops. Insertion order is a
+// valid topological order; every node is reachable from the input.
+inline graph::Graph RandomDag(util::Rng& rng, const RandomDagOptions& opts,
+                              const std::string& name) {
+  graph::GraphBuilder b(name);
+  std::vector<graph::NodeId> pool;
+  pool.push_back(b.Input(
+      graph::TensorShape{1, opts.spatial, opts.spatial,
+                         rng.NextInt(1, opts.max_channels)},
+      "in"));
+  for (int i = 0; i < opts.num_ops; ++i) {
+    const graph::NodeId src = pool[static_cast<std::size_t>(
+        rng.NextInt(0, static_cast<int>(pool.size()) - 1))];
+    const int out_c = rng.NextInt(1, opts.max_channels);
+    const int pick = rng.NextInt(0, 3);
+    graph::NodeId id = graph::kInvalidNode;
+    if (pick == 0 || pool.size() < 2) {
+      id = b.Conv1x1(src, out_c, "conv" + std::to_string(i));
+    } else if (pick == 1) {
+      id = b.Relu(src, "relu" + std::to_string(i));
+    } else {
+      graph::NodeId other = pool[static_cast<std::size_t>(
+          rng.NextInt(0, static_cast<int>(pool.size()) - 1))];
+      if (other == src) {
+        id = b.Conv1x1(src, out_c, "conv" + std::to_string(i));
+      } else if (pick == 2 &&
+                 b.shape(src).c == b.shape(other).c) {
+        id = b.Add({src, other}, "add" + std::to_string(i));
+      } else {
+        id = b.Concat({src, other}, "cat" + std::to_string(i));
+      }
+    }
+    pool.push_back(id);
+  }
+  if (opts.join_sinks) {
+    std::vector<graph::NodeId> frontier;
+    for (const graph::NodeId id : pool) {
+      if (b.graph().consumers(id).empty()) frontier.push_back(id);
+    }
+    if (frontier.size() >= 2) (void)b.Concat(frontier, "out");
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace serenity::testing
+
+#endif  // SERENITY_TESTS_TESTING_RANDOM_GRAPHS_H_

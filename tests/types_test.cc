@@ -1,0 +1,85 @@
+#include "graph/types.h"
+
+#include <gtest/gtest.h>
+
+namespace serenity::graph {
+namespace {
+
+TEST(DataType, Sizes) {
+  EXPECT_EQ(SizeOf(DataType::kFloat32), 4u);
+  EXPECT_EQ(SizeOf(DataType::kFloat16), 2u);
+  EXPECT_EQ(SizeOf(DataType::kInt8), 1u);
+  EXPECT_EQ(SizeOf(DataType::kUInt8), 1u);
+  EXPECT_EQ(SizeOf(DataType::kInt32), 4u);
+}
+
+TEST(TensorShape, NumElements) {
+  EXPECT_EQ((TensorShape{1, 28, 28, 16}).NumElements(), 12544);
+  EXPECT_EQ((TensorShape{2, 1, 1, 10}).NumElements(), 20);
+  EXPECT_EQ((TensorShape{}).NumElements(), 1);
+}
+
+TEST(TensorShape, Equality) {
+  EXPECT_EQ((TensorShape{1, 2, 3, 4}), (TensorShape{1, 2, 3, 4}));
+  EXPECT_NE((TensorShape{1, 2, 3, 4}), (TensorShape{1, 2, 3, 5}));
+}
+
+TEST(ConvOutputExtent, SamePaddingCeilDiv) {
+  EXPECT_EQ(ConvOutputExtent(28, 3, 1, 1, Padding::kSame), 28);
+  EXPECT_EQ(ConvOutputExtent(28, 3, 2, 1, Padding::kSame), 14);
+  EXPECT_EQ(ConvOutputExtent(29, 3, 2, 1, Padding::kSame), 15);
+  EXPECT_EQ(ConvOutputExtent(5, 7, 1, 1, Padding::kSame), 5);
+}
+
+TEST(ConvOutputExtent, ValidPadding) {
+  EXPECT_EQ(ConvOutputExtent(28, 3, 1, 1, Padding::kValid), 26);
+  EXPECT_EQ(ConvOutputExtent(28, 3, 2, 1, Padding::kValid), 13);
+  EXPECT_EQ(ConvOutputExtent(7, 7, 1, 1, Padding::kValid), 1);
+}
+
+TEST(ConvOutputExtent, DilationGrowsEffectiveKernel) {
+  // dilation 2 on a 3-tap kernel = effective extent 5.
+  EXPECT_EQ(ConvOutputExtent(28, 3, 1, 2, Padding::kValid), 24);
+  EXPECT_EQ(ConvOutputExtent(28, 3, 1, 2, Padding::kSame), 28);
+}
+
+TEST(ShapeInference, Conv2d) {
+  const TensorShape in{1, 56, 56, 3};
+  const ConvAttrs attrs{3, 3, 2, 1, Padding::kSame};
+  EXPECT_EQ(InferConv2dShape(in, attrs, 16), (TensorShape{1, 28, 28, 16}));
+}
+
+TEST(ShapeInference, DepthwisePreservesChannels) {
+  const TensorShape in{1, 28, 28, 40};
+  const ConvAttrs attrs{5, 5, 1, 1, Padding::kSame};
+  EXPECT_EQ(InferDepthwiseShape(in, attrs), (TensorShape{1, 28, 28, 40}));
+}
+
+TEST(OpKind, Predicates) {
+  EXPECT_TRUE(IsConvLike(OpKind::kConv2d));
+  EXPECT_TRUE(IsConvLike(OpKind::kDepthwiseConv2d));
+  EXPECT_TRUE(IsConvLike(OpKind::kPartialConv2dAccum));
+  EXPECT_FALSE(IsConvLike(OpKind::kConcat));
+  EXPECT_FALSE(IsConvLike(OpKind::kAdd));
+
+  EXPECT_TRUE(MayAliasBuffer(OpKind::kPartialConv2dAccum));
+  EXPECT_TRUE(MayAliasBuffer(OpKind::kPartialDepthwiseConv2d));
+  EXPECT_TRUE(MayAliasBuffer(OpKind::kConcatView));
+  EXPECT_FALSE(MayAliasBuffer(OpKind::kPartialConv2d));
+  EXPECT_FALSE(MayAliasBuffer(OpKind::kConv2d));
+}
+
+TEST(OpKind, NamesRoundTripish) {
+  EXPECT_STREQ(ToString(OpKind::kConv2d), "conv2d");
+  EXPECT_STREQ(ToString(OpKind::kConcatView), "concat_view");
+  EXPECT_STREQ(ToString(OpKind::kPartialConv2dAccum),
+               "partial_conv2d_accum");
+}
+
+TEST(ConvOutputExtentDeath, RejectsNonPositive) {
+  EXPECT_DEATH(ConvOutputExtent(0, 3, 1, 1, Padding::kSame), "CHECK");
+  EXPECT_DEATH(ConvOutputExtent(8, 3, 0, 1, Padding::kSame), "CHECK");
+}
+
+}  // namespace
+}  // namespace serenity::graph
