@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "alloc/arena_planner.h"
 #include "core/pipeline.h"
@@ -76,6 +78,93 @@ inline std::string CellLabel(const models::BenchmarkCell& cell) {
 inline void PrintRule(int width = 110) {
   for (int i = 0; i < width; ++i) std::fputc('-', stdout);
   std::fputc('\n', stdout);
+}
+
+// ------------------------------------------------------------- JSON emitter
+//
+// Machine-readable results so CI can track the perf trajectory: a bench
+// binary invoked with --json=PATH writes its paper-shaped rows as
+// {"rows": [{...}, ...]} next to the human-readable table. Values are
+// either numbers or strings; rows are flat.
+
+class JsonRows {
+ public:
+  // Starts a new row.
+  void Begin() { rows_.emplace_back(); }
+
+  void Field(const std::string& key, const std::string& value) {
+    rows_.back().push_back({key, Quote(value)});
+  }
+  void Field(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    rows_.back().push_back({key, buffer});
+  }
+  void Field(const std::string& key, std::int64_t value) {
+    rows_.back().push_back({key, std::to_string(value)});
+  }
+  void Field(const std::string& key, std::uint64_t value) {
+    rows_.back().push_back({key, std::to_string(value)});
+  }
+
+  // Writes {"rows": [...]} to `path`. Returns false (with a message on
+  // stderr) if the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("{\"rows\": [", file);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fputs(r == 0 ? "\n  {" : ",\n  {", file);
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        std::fprintf(file, "%s%s: %s", f == 0 ? "" : ", ",
+                     Quote(rows_[r][f].first).c_str(),
+                     rows_[r][f].second.c_str());
+      }
+      std::fputc('}', file);
+    }
+    std::fputs("\n]}\n", file);
+    const bool ok = std::ferror(file) == 0;
+    if (std::fclose(file) != 0 || !ok) {
+      std::fprintf(stderr, "error writing %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& raw) {
+    std::string out = "\"";
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+// Extracts a --json=PATH flag from argv (removing it so google-benchmark
+// does not see an unknown flag). Returns the path, or "" when absent.
+inline std::string TakeJsonFlag(int* argc, char** argv) {
+  const std::string prefix = "--json=";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      path = arg.substr(prefix.size());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;  // keep main's argv null-terminated
+  return path;
 }
 
 }  // namespace serenity::bench

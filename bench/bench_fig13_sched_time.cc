@@ -30,13 +30,15 @@ double MedianSeconds(const graph::Graph& g, bool rewriting) {
   return util::Percentile(runs, 50);
 }
 
-void PrintFigure() {
+// Returns false iff a requested --json write failed.
+bool PrintFigure(const std::string& json_path) {
   std::printf("Figure 13: SERENITY scheduling time per cell (median of 3; "
               "paper numbers from its Python implementation)\n\n");
   std::printf("%-32s %12s %12s %12s %12s %12s\n", "cell", "DP (s)",
               "paper (s)", "DP+GR (s)", "paper (s)", "states DP+GR");
   bench::PrintRule();
   std::vector<double> dp_times, rw_times;
+  bench::JsonRows rows;
   for (const models::BenchmarkCell& cell : models::AllBenchmarkCells()) {
     const graph::Graph g = cell.factory();
     const double dp_seconds = MedianSeconds(g, /*rewriting=*/false);
@@ -49,12 +51,25 @@ void PrintFigure() {
                 cell.paper_sched_seconds_dp, rw_seconds,
                 cell.paper_sched_seconds_rw,
                 static_cast<unsigned long long>(full.states_expanded));
+    rows.Begin();
+    rows.Field("cell", bench::CellLabel(cell));
+    rows.Field("dp_seconds", dp_seconds);
+    rows.Field("dp_rw_seconds", rw_seconds);
+    rows.Field("states_expanded", full.states_expanded);
   }
   bench::PrintRule();
   std::printf("%-32s %12.4f %12.1f %12.4f %12.1f\n", "mean",
               util::ArithmeticMean(dp_times), 40.6,
               util::ArithmeticMean(rw_times), 48.8);
   std::printf("\n");
+  if (!json_path.empty()) {
+    rows.Begin();
+    rows.Field("cell", std::string("mean"));
+    rows.Field("dp_seconds", util::ArithmeticMean(dp_times));
+    rows.Field("dp_rw_seconds", util::ArithmeticMean(rw_times));
+    return rows.WriteTo(json_path);
+  }
+  return true;
 }
 
 void BM_ScheduleCell(benchmark::State& state) {
@@ -72,8 +87,9 @@ BENCHMARK(BM_ScheduleCell)->DenseRange(0, 8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFigure();
+  const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
+  const bool json_ok = PrintFigure(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json_ok ? 0 : 1;
 }

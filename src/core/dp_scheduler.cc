@@ -1,9 +1,11 @@
 #include "core/dp_scheduler.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <atomic>
+#include <thread>
 #include <vector>
 
+#include "core/state_store.h"
 #include "graph/analysis.h"
 #include "util/bitset.h"
 #include "util/logging.h"
@@ -25,48 +27,44 @@ const char* ToString(DpStatus status) {
 
 namespace {
 
-// One memoized state within a level. The signature (scheduled-node bitset)
-// is the key of the level's hash map; the entry stores everything needed to
-// extend and later reconstruct the schedule.
-struct StateEntry {
-  std::int64_t footprint = 0;   // µ — a function of the signature alone
-  std::int64_t peak_bytes = 0;  // best µpeak reaching this signature
-  std::int32_t prev_index = -1;  // index into the previous level's entries
-  graph::NodeId last_node = graph::kInvalidNode;
-};
+// StateLevel::ShardOf derives the shard from the top 6 hash bits, so at
+// most 64 shards can ever be populated; clamp thread/shard counts there.
+constexpr int kMaxShards = 64;
 
-struct Level {
-  std::vector<util::Bitset64> keys;
-  std::vector<StateEntry> entries;
-  std::unordered_map<util::Bitset64, std::int32_t, util::Bitset64Hash> index;
-
-  std::size_t size() const { return entries.size(); }
-};
+int ShardCountFor(int num_threads) {
+  int shards = 1;
+  while (shards < num_threads && shards < kMaxShards) shards <<= 1;
+  return shards;
+}
 
 class DpRunner {
  public:
   DpRunner(const graph::Graph& graph, const DpOptions& options)
-      : graph_(graph),
-        options_(options),
-        table_(graph::BufferUseTable::Build(graph)),
-        adjacency_(graph::BuildAdjacency(graph)),
-        num_nodes_(static_cast<std::size_t>(graph.num_nodes())) {}
+      : options_(options),
+        tables_(ExpansionTables::Build(graph)),
+        hasher_(static_cast<std::size_t>(graph.num_nodes())),
+        num_nodes_(static_cast<std::size_t>(graph.num_nodes())),
+        words_(tables_.words_per_state()) {}
 
   DpResult Run() {
     util::Stopwatch total_clock;
     DpResult result;
-    levels_.resize(num_nodes_ + 1);
+    recon_.resize(num_nodes_ + 1);
 
-    // Level 0: the empty schedule (Algorithm 1 line 4-5).
-    util::Bitset64 empty(num_nodes_);
-    levels_[0].keys.push_back(empty);
-    levels_[0].entries.push_back(StateEntry{});
-    levels_[0].index.emplace(std::move(empty), 0);
+    const int num_threads =
+        std::min(std::max(1, options_.num_threads), kMaxShards);
+    const int shards = num_threads > 1 ? ShardCountFor(num_threads) : 1;
+
+    // Level 0: the empty schedule (Algorithm 1 lines 4-5).
+    StateLevel current;
+    current.Init(words_, 1, 1);
+    const std::vector<std::uint64_t> empty(words_, 0);
+    current.InsertOrRelax(empty.data(), SignatureHasher::kEmptyHash, 0, 0,
+                          -1, -1);
+    current.Seal();
 
     for (std::size_t i = 0; i < num_nodes_; ++i) {
       util::Stopwatch level_clock;
-      Level& current = levels_[i];
-      Level& next = levels_[i + 1];
       if (current.size() == 0) {
         // Every prefix of length i was pruned: the budget is below µ*.
         result.status = DpStatus::kNoSolution;
@@ -76,33 +74,32 @@ class DpRunner {
         result.seconds = total_clock.ElapsedSeconds();
         return result;
       }
-      for (std::size_t s = 0; s < current.size(); ++s) {
-        ExpandState(current, static_cast<std::int32_t>(s), next);
-        if ((s & 0x3f) == 0 &&
-            level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
-          return Abort(DpStatus::kTimeout, i, total_clock);
-        }
-        if (states_expanded_ > options_.max_states) {
-          return Abort(DpStatus::kTimeout, i, total_clock);
-        }
-      }
-      // The hash index of the completed level is only needed while merging
-      // into it; free it early, keeping keys/entries for reconstruction.
-      next.index = {};
-      result.levels_completed = static_cast<int>(i) + 1;
-      if (level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+      StateLevel next;
+      next.Init(words_, NextLevelReserveHint(current.size()), shards);
+      const bool completed =
+          num_threads > 1
+              ? ExpandLevelSharded(current, next, num_threads, level_clock)
+              : ExpandLevel(current, next, level_clock);
+      if (!completed ||
+          level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
         return Abort(DpStatus::kTimeout, i, total_clock);
       }
+      next.Seal();
+      // The finished level keeps only its 8-byte reconstruction records;
+      // signatures, hashes, footprints and peaks are freed here.
+      recon_[i] = current.TakeReconAndRelease();
+      current = std::move(next);
+      result.levels_completed = static_cast<int>(i) + 1;
     }
 
-    Level& last = levels_[num_nodes_];
-    if (last.size() == 0) {
+    if (current.size() == 0) {
       result.status = DpStatus::kNoSolution;
     } else {
       // A DAG has exactly one full signature (Algorithm 1 line 27).
-      SERENITY_CHECK_EQ(last.size(), 1u);
+      SERENITY_CHECK_EQ(current.size(), 1u);
       result.status = DpStatus::kSolution;
-      result.peak_bytes = last.entries[0].peak_bytes;
+      result.peak_bytes = current.peak(0);
+      recon_[num_nodes_] = current.TakeReconAndRelease();
       result.schedule = Reconstruct();
     }
     result.states_expanded = states_expanded_;
@@ -123,84 +120,139 @@ class DpRunner {
     return result;
   }
 
-  // Expands one memoized prefix by every schedulable node (Algorithm 1
-  // lines 9-24).
-  void ExpandState(Level& current, std::int32_t state_index, Level& next) {
-    const util::Bitset64& scheduled = current.keys[
-        static_cast<std::size_t>(state_index)];
-    const StateEntry entry = current.entries[
-        static_cast<std::size_t>(state_index)];
-    for (std::size_t u = 0; u < num_nodes_; ++u) {
-      if (scheduled.Test(u)) continue;
-      if (!adjacency_.preds[u].IsSubsetOf(scheduled)) continue;  // not ready
-      ++transitions_;
-      const graph::NodeId id = static_cast<graph::NodeId>(u);
-      const graph::Node& node = graph_.node(id);
-      const std::size_t own = static_cast<std::size_t>(node.buffer);
-
-      // Allocate the output on first write (Algorithm 1 line 13).
-      std::int64_t footprint = entry.footprint;
-      if (!table_.WriterScheduled(node.buffer, scheduled)) {
-        footprint += table_.buffers[own].size_bytes;
-      }
-      const std::int64_t step_peak = footprint;
-      if (step_peak > options_.budget_bytes) continue;  // prune (§3.2)
-      const std::int64_t peak = std::max(entry.peak_bytes, step_peak);
-
-      // Deallocate buffers whose last use is this node (lines 15-19).
-      for (const graph::BufferId b :
-           table_.touched_buffers[u]) {
-        const auto& use = table_.buffers[static_cast<std::size_t>(b)];
-        if (use.is_sink) continue;
-        // Freed iff every toucher is in scheduled ∪ {u}.
-        bool all_done = true;
-        use.touchers.ForEachSetBit([&](std::size_t t) {
-          if (t != u && !scheduled.Test(t)) all_done = false;
-        });
-        if (all_done) footprint -= use.size_bytes;
-      }
-
-      util::Bitset64 next_key = scheduled;
-      next_key.Set(u);
-      auto [it, inserted] = next.index.try_emplace(
-          std::move(next_key), static_cast<std::int32_t>(next.size()));
-      if (inserted) {
-        ++states_expanded_;
-        next.keys.push_back(it->first);
-        next.entries.push_back(
-            StateEntry{footprint, peak, state_index, id});
-      } else {
-        StateEntry& existing =
-            next.entries[static_cast<std::size_t>(it->second)];
-        // Same signature ⇒ same µ; keep the better peak (line 21-22).
-        SERENITY_CHECK_EQ(existing.footprint, footprint);
-        if (peak < existing.peak_bytes) {
-          existing.peak_bytes = peak;
-          existing.prev_index = state_index;
-          existing.last_node = id;
+  // Sequential expansion of one level (Algorithm 1 lines 9-24). Returns
+  // false on step timeout or state-cap overrun.
+  bool ExpandLevel(const StateLevel& current, StateLevel& next,
+                   const util::Stopwatch& level_clock) {
+    std::vector<std::int32_t> frontier;
+    std::vector<std::uint64_t> child(words_);
+    for (std::size_t s = 0; s < current.size(); ++s) {
+      const std::uint64_t* sig = current.signature(s);
+      frontier.clear();
+      tables_.AppendFrontier(sig, &frontier);
+      const std::int64_t footprint = current.footprint(s);
+      const std::int64_t peak = current.peak(s);
+      const std::uint64_t hash = current.hash(s);
+      for (const std::int32_t u : frontier) {
+        ++transitions_;
+        // Re-check the step timeout every ~4096 transitions so a single
+        // pathological state expansion cannot overshoot it unboundedly.
+        if ((transitions_ & 0xfff) == 0 &&
+            level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+          return false;
+        }
+        const ExpansionTables::Transition t =
+            tables_.Apply(sig, u, footprint, options_.budget_bytes);
+        if (t.step_peak > options_.budget_bytes) continue;  // prune (§3.2)
+        std::copy(sig, sig + words_, child.data());
+        util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
+        if (next.InsertOrRelax(child.data(), hash ^ hasher_.key(
+                                   static_cast<std::size_t>(u)),
+                               t.footprint, std::max(peak, t.step_peak),
+                               static_cast<std::int32_t>(s), u)) {
+          ++states_expanded_;
         }
       }
+      if ((s & 0x3f) == 0 &&
+          level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+        return false;
+      }
+      if (states_expanded_ > options_.max_states) return false;
     }
+    return true;
+  }
+
+  // Sharded parallel expansion: every thread scans the whole parent level
+  // (the frontier recomputation is duplicated — it is cheap) but computes
+  // and inserts only the transitions whose child hash falls in its shards,
+  // so each sub-table has exactly one writer and per-shard insertion order
+  // is the same ascending (state, node) order regardless of scheduling —
+  // the determinism argument in DESIGN.md.
+  bool ExpandLevelSharded(const StateLevel& current, StateLevel& next,
+                          int num_threads,
+                          const util::Stopwatch& level_clock) {
+    std::atomic<bool> abort{false};
+    std::atomic<std::uint64_t> transitions{0};
+    std::atomic<std::uint64_t> created{0};
+    auto worker = [&](int thread_index) {
+      std::vector<std::int32_t> frontier;
+      std::vector<std::uint64_t> child(words_);
+      std::uint64_t local_transitions = 0;
+      std::uint64_t local_created = 0;
+      std::uint64_t since_check = 0;
+      for (std::size_t s = 0; s < current.size(); ++s) {
+        if (abort.load(std::memory_order_relaxed)) break;
+        const std::uint64_t* sig = current.signature(s);
+        frontier.clear();
+        tables_.AppendFrontier(sig, &frontier);
+        const std::int64_t footprint = current.footprint(s);
+        const std::int64_t peak = current.peak(s);
+        const std::uint64_t hash = current.hash(s);
+        for (const std::int32_t u : frontier) {
+          const std::uint64_t child_hash =
+              hash ^ hasher_.key(static_cast<std::size_t>(u));
+          if (next.ShardOf(child_hash) % num_threads != thread_index) {
+            continue;  // another thread owns this child's shard
+          }
+          ++local_transitions;
+          if ((++since_check & 0xfff) == 0) {
+            // Publish this worker's states before checking the cap, so the
+            // cap is enforced *within* a level (overshoot is bounded by
+            // ~4096 transitions per thread, matching the sequential path's
+            // granularity) rather than only after it is fully materialized.
+            created.fetch_add(local_created, std::memory_order_relaxed);
+            local_created = 0;
+            if (level_clock.ElapsedSeconds() >
+                    options_.step_timeout_seconds ||
+                states_expanded_ + created.load(std::memory_order_relaxed) >
+                    options_.max_states) {
+              abort.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
+          const ExpansionTables::Transition t =
+              tables_.Apply(sig, u, footprint, options_.budget_bytes);
+          if (t.step_peak > options_.budget_bytes) continue;
+          std::copy(sig, sig + words_, child.data());
+          util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
+          if (next.InsertOrRelax(child.data(), child_hash, t.footprint,
+                                 std::max(peak, t.step_peak),
+                                 static_cast<std::int32_t>(s), u)) {
+            ++local_created;
+          }
+        }
+      }
+      transitions.fetch_add(local_transitions, std::memory_order_relaxed);
+      created.fetch_add(local_created, std::memory_order_relaxed);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (std::thread& t : threads) t.join();
+    transitions_ += transitions.load();
+    states_expanded_ += created.load();
+    if (abort.load()) return false;
+    return states_expanded_ <= options_.max_states;
   }
 
   sched::Schedule Reconstruct() const {
     sched::Schedule schedule(num_nodes_, graph::kInvalidNode);
     std::int32_t index = 0;
     for (std::size_t i = num_nodes_; i > 0; --i) {
-      const StateEntry& entry =
-          levels_[i].entries[static_cast<std::size_t>(index)];
-      schedule[i - 1] = entry.last_node;
-      index = entry.prev_index;
+      const ReconRecord& record =
+          recon_[i][static_cast<std::size_t>(index)];
+      schedule[i - 1] = static_cast<graph::NodeId>(record.last_node);
+      index = record.prev_index;
     }
     return schedule;
   }
 
-  const graph::Graph& graph_;
   const DpOptions options_;
-  const graph::BufferUseTable table_;
-  const graph::AdjacencyBitsets adjacency_;
+  const ExpansionTables tables_;
+  const SignatureHasher hasher_;
   const std::size_t num_nodes_;
-  std::vector<Level> levels_;
+  const std::size_t words_;
+  std::vector<std::vector<ReconRecord>> recon_;
   std::uint64_t states_expanded_ = 0;
   std::uint64_t transitions_ = 0;
 };

@@ -28,6 +28,7 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   DpOptions dp_options;
   dp_options.step_timeout_seconds = options.step_timeout_seconds;
   dp_options.max_states = options.max_states_per_attempt;
+  dp_options.num_threads = options.num_threads;
 
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     dp_options.budget_bytes = tau;
@@ -63,6 +64,7 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   result.used_fallback = true;
   DpOptions fallback;
   fallback.budget_bytes = result.tau_max;
+  fallback.num_threads = options.num_threads;
   fallback.max_states = std::max<std::uint64_t>(
       options.max_states_per_attempt * 4, 4'000'000);
   const DpResult final_run = ScheduleDp(graph, fallback);

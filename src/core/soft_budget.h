@@ -34,6 +34,9 @@ struct SoftBudgetOptions {
   // Hard cap on meta-search iterations (binary search halves the byte range,
   // so convergence is well under this in practice).
   int max_iterations = 64;
+  // Forwarded to DpOptions::num_threads for every attempt (including the
+  // fallback run).
+  int num_threads = 1;
 };
 
 struct BudgetAttempt {

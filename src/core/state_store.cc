@@ -1,0 +1,293 @@
+#include "core/state_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace serenity::core {
+
+namespace {
+
+// SplitMix64 step — same generator as util::Rng, inlined so the hasher has
+// no dependency on the RNG's stream position semantics.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::size_t NextPowerOfTwo(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SignatureHasher::SignatureHasher(std::size_t num_nodes) {
+  // Fixed seed: hashes (and therefore shard assignment and state ordering)
+  // are reproducible across runs and platforms.
+  std::uint64_t state = 0x5e7e217f9a3c4d1bull;
+  keys_.resize(num_nodes);
+  for (std::uint64_t& key : keys_) key = SplitMix64(state);
+}
+
+void StateLevel::Init(std::size_t words_per_state,
+                      std::size_t expected_states, int num_shards) {
+  SERENITY_CHECK_GT(words_per_state, 0u);
+  SERENITY_CHECK_GT(num_shards, 0);
+  SERENITY_CHECK_EQ(num_shards & (num_shards - 1), 0)
+      << "shard count must be a power of two";
+  words_ = words_per_state;
+  sealed_ = false;
+  shards_.assign(static_cast<std::size_t>(num_shards), Shard{});
+  const std::size_t per_shard =
+      expected_states / static_cast<std::size_t>(num_shards) + 1;
+  for (Shard& shard : shards_) {
+    shard.sig_arena.reserve(per_shard * words_);
+    shard.hashes.reserve(per_shard);
+    shard.footprint.reserve(per_shard);
+    shard.peak.reserve(per_shard);
+    shard.recon.reserve(per_shard);
+    // Open-addressing capacity for load factor <= 2/3 at the expected size.
+    shard.slots.assign(
+        NextPowerOfTwo(std::max<std::size_t>(16, per_shard * 3 / 2)), -1);
+  }
+}
+
+bool StateLevel::InsertOrRelax(const std::uint64_t* sig, std::uint64_t hash,
+                               std::int64_t footprint, std::int64_t peak,
+                               std::int32_t prev_index,
+                               std::int32_t last_node) {
+  SERENITY_CHECK(!sealed_);
+  return InsertOrRelaxShard(shards_[static_cast<std::size_t>(ShardOf(hash))],
+                            sig, hash, footprint, peak, prev_index,
+                            last_node);
+}
+
+bool StateLevel::InsertOrRelaxShard(Shard& shard, const std::uint64_t* sig,
+                                    std::uint64_t hash,
+                                    std::int64_t footprint,
+                                    std::int64_t peak,
+                                    std::int32_t prev_index,
+                                    std::int32_t last_node) {
+  if ((shard.count + 1) * 3 > shard.slots.size() * 2) GrowTable(shard);
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(hash) & mask;
+  for (;;) {
+    const std::int32_t s = shard.slots[slot];
+    if (s < 0) {
+      shard.slots[slot] = static_cast<std::int32_t>(shard.count);
+      shard.sig_arena.insert(shard.sig_arena.end(), sig, sig + words_);
+      shard.hashes.push_back(hash);
+      shard.footprint.push_back(footprint);
+      shard.peak.push_back(peak);
+      shard.recon.push_back(ReconRecord{prev_index, last_node});
+      ++shard.count;
+      return true;
+    }
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (shard.hashes[si] == hash &&
+        util::SpanEqual(shard.sig_arena.data() + si * words_, sig, words_)) {
+      // Same signature ⇒ same µ (mechanically re-checked here); the lower
+      // peak wins, the incumbent keeps ties.
+      SERENITY_CHECK_EQ(shard.footprint[si], footprint);
+      if (peak < shard.peak[si]) {
+        shard.peak[si] = peak;
+        shard.recon[si] = ReconRecord{prev_index, last_node};
+      }
+      return false;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+void StateLevel::GrowTable(Shard& shard) {
+  const std::size_t capacity = shard.slots.size() * 2;
+  shard.slots.assign(capacity, -1);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t i = 0; i < shard.count; ++i) {
+    std::size_t slot = static_cast<std::size_t>(shard.hashes[i]) & mask;
+    while (shard.slots[slot] >= 0) slot = (slot + 1) & mask;
+    shard.slots[slot] = static_cast<std::int32_t>(i);
+  }
+}
+
+void StateLevel::Seal() {
+  SERENITY_CHECK(!sealed_);
+  sealed_ = true;
+  if (shards_.size() == 1) {
+    shards_[0].slots = {};
+    return;
+  }
+  Shard merged;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.count;
+  merged.sig_arena.reserve(total * words_);
+  merged.hashes.reserve(total);
+  merged.footprint.reserve(total);
+  merged.peak.reserve(total);
+  merged.recon.reserve(total);
+  merged.count = total;
+  for (Shard& shard : shards_) {
+    merged.sig_arena.insert(merged.sig_arena.end(), shard.sig_arena.begin(),
+                            shard.sig_arena.end());
+    merged.hashes.insert(merged.hashes.end(), shard.hashes.begin(),
+                         shard.hashes.end());
+    merged.footprint.insert(merged.footprint.end(), shard.footprint.begin(),
+                            shard.footprint.end());
+    merged.peak.insert(merged.peak.end(), shard.peak.begin(),
+                       shard.peak.end());
+    merged.recon.insert(merged.recon.end(), shard.recon.begin(),
+                        shard.recon.end());
+    shard = Shard{};  // free as we go
+  }
+  shards_.assign(1, Shard{});
+  shards_[0] = std::move(merged);
+}
+
+std::size_t StateLevel::size() const {
+  if (sealed_) return shards_[0].count;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.count;
+  return total;
+}
+
+std::vector<ReconRecord> StateLevel::TakeReconAndRelease() {
+  SERENITY_CHECK(sealed_);
+  std::vector<ReconRecord> recon = std::move(shards_[0].recon);
+  shards_.clear();
+  return recon;
+}
+
+StateLevel StateLevel::Select(const std::vector<std::int32_t>& keep) const {
+  SERENITY_CHECK(sealed_);
+  StateLevel out;
+  out.words_ = words_;
+  out.sealed_ = true;
+  out.shards_.assign(1, Shard{});
+  Shard& dst = out.shards_[0];
+  const Shard& src = shards_[0];
+  dst.count = keep.size();
+  dst.sig_arena.reserve(keep.size() * words_);
+  dst.hashes.reserve(keep.size());
+  dst.footprint.reserve(keep.size());
+  dst.peak.reserve(keep.size());
+  dst.recon.reserve(keep.size());
+  for (const std::int32_t index : keep) {
+    const std::size_t i = static_cast<std::size_t>(index);
+    SERENITY_CHECK_LT(i, src.count);
+    const std::uint64_t* sig = src.sig_arena.data() + i * words_;
+    dst.sig_arena.insert(dst.sig_arena.end(), sig, sig + words_);
+    dst.hashes.push_back(src.hashes[i]);
+    dst.footprint.push_back(src.footprint[i]);
+    dst.peak.push_back(src.peak[i]);
+    dst.recon.push_back(src.recon[i]);
+  }
+  return out;
+}
+
+ExpansionTables::ExpansionTables(const graph::Graph& graph,
+                                 const graph::BufferUseTable& table,
+                                 const graph::AdjacencyBitsets& adjacency) {
+  num_nodes_ = static_cast<std::size_t>(graph.num_nodes());
+  words_ = (num_nodes_ + 63) / 64;
+  const std::size_t tail = num_nodes_ & 63;
+  last_word_mask_ =
+      tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+
+  preds_.resize(num_nodes_ * words_);
+  for (std::size_t u = 0; u < num_nodes_; ++u) {
+    const util::Bitset64& p = adjacency.preds[u];
+    SERENITY_CHECK_EQ(p.num_words(), words_);
+    std::copy(p.words(), p.words() + words_, preds_.data() + u * words_);
+  }
+
+  const std::size_t num_buffers =
+      static_cast<std::size_t>(graph.num_buffers());
+  buffer_writers_.assign(num_buffers * words_, 0);
+  touchers_arena_.resize(num_buffers * words_);
+  for (std::size_t b = 0; b < num_buffers; ++b) {
+    const graph::BufferUse& use = table.buffers[b];
+    for (const graph::NodeId w : use.writers) {
+      util::SpanSetBit(buffer_writers_.data() + b * words_,
+                       static_cast<std::size_t>(w));
+    }
+    SERENITY_CHECK_EQ(use.touchers.num_words(), words_);
+    std::copy(use.touchers.words(), use.touchers.words() + words_,
+              touchers_arena_.data() + b * words_);
+  }
+
+  own_buffer_.resize(num_nodes_);
+  own_size_.resize(num_nodes_);
+  freeable_begin_.assign(num_nodes_ + 1, 0);
+  for (std::size_t u = 0; u < num_nodes_; ++u) {
+    const graph::Node& node = graph.node(static_cast<graph::NodeId>(u));
+    own_buffer_[u] = static_cast<std::int32_t>(node.buffer);
+    own_size_[u] =
+        table.buffers[static_cast<std::size_t>(node.buffer)].size_bytes;
+    for (const graph::BufferId b : table.touched_buffers[u]) {
+      const graph::BufferUse& use =
+          table.buffers[static_cast<std::size_t>(b)];
+      if (use.is_sink) continue;  // never freed — drop at build time
+      freeables_.push_back(Freeable{
+          static_cast<std::uint32_t>(static_cast<std::size_t>(b) * words_),
+          use.size_bytes});
+    }
+    freeable_begin_[u + 1] = static_cast<std::uint32_t>(freeables_.size());
+  }
+}
+
+void ExpansionTables::AppendFrontier(const std::uint64_t* sig,
+                                     std::vector<std::int32_t>* out) const {
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t candidates = ~sig[w];
+    if (w + 1 == words_) candidates &= last_word_mask_;
+    while (candidates != 0) {
+      const std::size_t u =
+          w * 64 + static_cast<std::size_t>(__builtin_ctzll(candidates));
+      candidates &= candidates - 1;
+      if (util::SpanIsSubsetOf(preds_.data() + u * words_, sig, words_)) {
+        out->push_back(static_cast<std::int32_t>(u));
+      }
+    }
+  }
+}
+
+ExpansionTables::Transition ExpansionTables::Apply(
+    const std::uint64_t* sig, std::int32_t node, std::int64_t footprint,
+    std::int64_t budget) const {
+  const std::size_t u = static_cast<std::size_t>(node);
+  // Allocate the output on first write (Algorithm 1 line 13).
+  const std::uint64_t* writers =
+      buffer_writers_.data() +
+      static_cast<std::size_t>(own_buffer_[u]) * words_;
+  if (!util::SpanIntersects(writers, sig, words_)) footprint += own_size_[u];
+  const std::int64_t step_peak = footprint;
+  if (step_peak > budget) return Transition{footprint, step_peak};
+
+  // Deallocate buffers whose last use is this node (lines 15-19): freed iff
+  // touchers ⊆ scheduled ∪ {u}, tested word-wise.
+  const std::size_t u_word = u >> 6;
+  const std::uint64_t u_bit = std::uint64_t{1} << (u & 63);
+  for (std::uint32_t f = freeable_begin_[u]; f < freeable_begin_[u + 1];
+       ++f) {
+    const std::uint64_t* touchers =
+        touchers_arena_.data() + freeables_[f].touchers_offset;
+    bool freed = true;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t scheduled = sig[w];
+      if (w == u_word) scheduled |= u_bit;
+      if ((touchers[w] & ~scheduled) != 0) {
+        freed = false;
+        break;
+      }
+    }
+    if (freed) footprint -= freeables_[f].size_bytes;
+  }
+  return Transition{footprint, step_peak};
+}
+
+}  // namespace serenity::core

@@ -1,0 +1,234 @@
+// Flat-arena state store for the level-by-level schedulers (exact DP and
+// beam search).
+//
+// Both schedulers walk the lattice of schedulable prefixes one level at a
+// time, memoizing states on their *signature* — the bitset of scheduled
+// nodes. The seed implementation kept each level as
+// std::unordered_map<Bitset64, entry>, which heap-allocates a word vector
+// per state, rehashes the full signature on every probe, and retains every
+// level's keys until reconstruction. This store replaces that with:
+//
+//  - StateLevel: one level's states in SoA layout. Signature words live
+//    back-to-back in a single uint64_t arena (state i occupies words
+//    [i*W, (i+1)*W)); footprint, best peak and the cached Zobrist hash live
+//    in parallel transient arrays; the back-pointer needed for schedule
+//    reconstruction is an 8-byte ReconRecord. Deduplication runs through an
+//    open-addressing (linear-probe) table of int32 state indices keyed by
+//    the cached hashes — no per-state allocation anywhere.
+//
+//  - SignatureHasher: Zobrist hashing. Every node gets a fixed SplitMix64
+//    key; hash(S) = XOR of the keys of S's members, so a child state's hash
+//    is parent_hash ^ key(u) — one XOR instead of re-hashing the words.
+//    Equality is always confirmed on the signature words, so hash collisions
+//    cost a probe, never correctness.
+//
+//  - ExpansionTables: the graph-side constants of Algorithm 1 flattened
+//    into contiguous word arenas — predecessor masks (for the zero-indegree
+//    frontier scan), per-buffer writer masks (allocate-on-first-write) and
+//    per-node freeable-buffer lists (deallocate-after-last-use as a
+//    word-wise `touchers ⊆ scheduled ∪ {u}` subset check).
+//
+// Lifecycle of a level: Init → InsertOrRelax (during expansion of the
+// previous level; shardable, see below) → Seal → read-only expansion →
+// TakeReconAndRelease, which frees everything but the 8-byte records. A
+// finished level therefore costs 8 bytes/state instead of the seed's
+// ~(8*W + 40 + unordered_map node) bytes/state.
+//
+// Sharded parallel insertion: a level may be built by several threads, each
+// owning a disjoint subset of `num_shards` sub-tables; a state's shard is a
+// function of its hash (top bits, so it is independent of the table index
+// bits). Each shard is only ever touched by one thread, and each thread
+// scans parent states in the same ascending order, so the contents and
+// ordering of every shard — and of the level after Seal() concatenates the
+// shards — are deterministic for a fixed shard count. See DESIGN.md
+// ("Flat-arena DP state store") for the full argument.
+#ifndef SERENITY_CORE_STATE_STORE_H_
+#define SERENITY_CORE_STATE_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/analysis.h"
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace serenity::core {
+
+// Back-pointer kept per state after its level's transients are dropped:
+// which previous-level state it extends and by which node.
+struct ReconRecord {
+  std::int32_t prev_index = -1;
+  std::int32_t last_node = -1;  // graph::NodeId of the appended node
+};
+
+// Reserve hint for the next level's arena and hash table, derived from the
+// previous level's state count. Level widths on the paper's cells grow by
+// well under 2× per level in the expanding phase of the search, so 2× the
+// parent level makes rehashes rare without over-reserving: a too-small hint
+// costs O(level) amortised rehash/copy work, a too-large one costs idle
+// arena memory that is freed when the level's transients are dropped — the
+// bias is slightly toward memory since the arena dominates (8·W+32
+// bytes/state vs 8 bytes/slot). Shared by the DP and beam schedulers.
+inline std::size_t NextLevelReserveHint(std::size_t prev_level_size) {
+  return std::max<std::size_t>(64, prev_level_size * 2);
+}
+
+// Zobrist signature hashing with a fixed seed: deterministic across runs,
+// platforms and thread counts.
+class SignatureHasher {
+ public:
+  explicit SignatureHasher(std::size_t num_nodes);
+
+  std::uint64_t key(std::size_t node) const { return keys_[node]; }
+
+  // Hash of the empty signature (level 0).
+  static constexpr std::uint64_t kEmptyHash = 0x9ae16a3b2f90404full;
+
+ private:
+  std::vector<std::uint64_t> keys_;
+};
+
+// One scheduler level. See the file comment for layout and lifecycle.
+class StateLevel {
+ public:
+  StateLevel() = default;
+
+  // `expected_states` pre-sizes the arena and the hash table (split evenly
+  // across shards); `num_shards` must be a power of two.
+  void Init(std::size_t words_per_state, std::size_t expected_states,
+            int num_shards = 1);
+
+  std::size_t words_per_state() const { return words_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Owning shard of a hash. Uses the top 6 bits (so at most 64 shards can
+  // be addressed — callers must clamp `num_shards` accordingly): the probe
+  // sequence uses the low bits, keeping shard and slot choice independent.
+  int ShardOf(std::uint64_t hash) const {
+    return static_cast<int>(hash >> 58) & (num_shards() - 1);
+  }
+
+  // Inserts the state or relaxes the existing one (same signature ⇒ same
+  // footprint; the lower peak and its back-pointer win, first writer wins
+  // ties). Thread-safe across *different* shards: callers in a sharded
+  // build must only pass hashes they own. Returns true iff a new state was
+  // created. Only valid before Seal().
+  bool InsertOrRelax(const std::uint64_t* sig, std::uint64_t hash,
+                     std::int64_t footprint, std::int64_t peak,
+                     std::int32_t prev_index, std::int32_t last_node);
+
+  // Concatenates the shards into one contiguous SoA block (no-op for a
+  // single shard) and drops the hash tables. States are numbered shard by
+  // shard, insertion order within each — deterministic for a fixed shard
+  // count. Accessors below are only valid after Seal().
+  void Seal();
+
+  std::size_t size() const;
+
+  const std::uint64_t* signature(std::size_t i) const {
+    return shards_[0].sig_arena.data() + i * words_;
+  }
+  std::uint64_t hash(std::size_t i) const { return shards_[0].hashes[i]; }
+  std::int64_t footprint(std::size_t i) const {
+    return shards_[0].footprint[i];
+  }
+  std::int64_t peak(std::size_t i) const { return shards_[0].peak[i]; }
+  const ReconRecord& recon(std::size_t i) const {
+    return shards_[0].recon[i];
+  }
+
+  // Moves out the reconstruction records and frees every transient array
+  // (signatures, hashes, footprints, peaks, table). The level is dead
+  // afterwards.
+  std::vector<ReconRecord> TakeReconAndRelease();
+
+  // Compacted copy holding exactly the states in `keep` (sealed, in the
+  // given order) — the beam-search pruning step. Only valid after Seal().
+  StateLevel Select(const std::vector<std::int32_t>& keep) const;
+
+ private:
+  struct Shard {
+    std::vector<std::uint64_t> sig_arena;  // count * words signature words
+    std::vector<std::uint64_t> hashes;     // cached Zobrist hash per state
+    std::vector<std::int64_t> footprint;
+    std::vector<std::int64_t> peak;
+    std::vector<ReconRecord> recon;
+    std::vector<std::int32_t> slots;  // open addressing; -1 = empty
+    std::size_t count = 0;
+  };
+
+  bool InsertOrRelaxShard(Shard& shard, const std::uint64_t* sig,
+                          std::uint64_t hash, std::int64_t footprint,
+                          std::int64_t peak, std::int32_t prev_index,
+                          std::int32_t last_node);
+  void GrowTable(Shard& shard);
+
+  std::size_t words_ = 0;
+  std::vector<Shard> shards_;
+  bool sealed_ = false;
+};
+
+// Graph-side constants of Algorithm 1, flattened for the expansion hot
+// loop. Self-contained: copies every word it needs into its own arenas.
+class ExpansionTables {
+ public:
+  ExpansionTables(const graph::Graph& graph,
+                  const graph::BufferUseTable& table,
+                  const graph::AdjacencyBitsets& adjacency);
+
+  // Builds the use table and adjacency as temporaries: everything the hot
+  // loop needs is copied into the arenas, so callers that only schedule
+  // should not keep their own copies alive.
+  static ExpansionTables Build(const graph::Graph& graph) {
+    return ExpansionTables(graph, graph::BufferUseTable::Build(graph),
+                           graph::BuildAdjacency(graph));
+  }
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t words_per_state() const { return words_; }
+
+  // Appends the zero-indegree frontier of `sig` (unscheduled nodes whose
+  // predecessors are all scheduled) to `out` in ascending node order. `out`
+  // is a caller-owned scratch buffer — the frontier is a function of the
+  // signature, so it is recomputed here instead of being stored per state.
+  void AppendFrontier(const std::uint64_t* sig,
+                      std::vector<std::int32_t>* out) const;
+
+  struct Transition {
+    std::int64_t footprint;  // µ after scheduling `node` and freeing
+    std::int64_t step_peak;  // transient µ (output live, dead inputs not yet
+                             // freed) — what the soft budget prunes on
+  };
+
+  // Schedules `node` on top of state `sig` (which must not contain it and
+  // must contain its predecessors). If step_peak exceeds `budget` the free
+  // scan is skipped and `footprint` is unspecified — callers prune on
+  // step_peak first.
+  Transition Apply(const std::uint64_t* sig, std::int32_t node,
+                   std::int64_t footprint, std::int64_t budget) const;
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::size_t words_ = 0;
+  std::uint64_t last_word_mask_ = 0;  // valid bits of the final word
+
+  std::vector<std::uint64_t> preds_;           // node-major, num_nodes * W
+  std::vector<std::uint64_t> buffer_writers_;  // buffer-major, buffers * W
+  std::vector<std::int32_t> own_buffer_;       // node -> output buffer
+  std::vector<std::int64_t> own_size_;         // node -> output buffer bytes
+
+  // Flattened non-sink touched buffers per node (sinks are never freed, so
+  // they are dropped at build time).
+  struct Freeable {
+    std::uint32_t touchers_offset;  // into touchers_arena_, W words
+    std::int64_t size_bytes;
+  };
+  std::vector<Freeable> freeables_;
+  std::vector<std::uint32_t> freeable_begin_;  // num_nodes + 1 offsets
+  std::vector<std::uint64_t> touchers_arena_;
+};
+
+}  // namespace serenity::core
+
+#endif  // SERENITY_CORE_STATE_STORE_H_

@@ -1,113 +1,112 @@
 #include "sched/beam.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
+#include <numeric>
 #include <vector>
 
+#include "core/state_store.h"
 #include "graph/analysis.h"
 #include "util/bitset.h"
 #include "util/logging.h"
 
 namespace serenity::sched {
 
-namespace {
-
-struct BeamState {
-  util::Bitset64 scheduled;
-  std::int64_t footprint = 0;
-  std::int64_t peak = 0;
-  std::int32_t prev = -1;            // index into the previous level
-  graph::NodeId last = graph::kInvalidNode;
-};
-
-}  // namespace
-
 BeamResult ScheduleBeam(const graph::Graph& graph,
                         const BeamOptions& options) {
   SERENITY_CHECK_GT(graph.num_nodes(), 0);
   SERENITY_CHECK_GT(options.width, 0);
-  const graph::BufferUseTable table = graph::BufferUseTable::Build(graph);
-  const graph::AdjacencyBitsets adjacency = graph::BuildAdjacency(graph);
   const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  const core::ExpansionTables tables = core::ExpansionTables::Build(graph);
+  const core::SignatureHasher hasher(n);
+  const std::size_t words = tables.words_per_state();
+  const std::size_t width = static_cast<std::size_t>(options.width);
 
   BeamResult result;
-  std::vector<std::vector<BeamState>> levels(n + 1);
-  levels[0].push_back(BeamState{util::Bitset64(n), 0, 0, -1,
-                                graph::kInvalidNode});
+  std::vector<std::vector<core::ReconRecord>> recon(n + 1);
 
+  core::StateLevel current;
+  current.Init(words, 1, 1);
+  const std::vector<std::uint64_t> empty(words, 0);
+  current.InsertOrRelax(empty.data(), core::SignatureHasher::kEmptyHash, 0,
+                        0, -1, -1);
+  current.Seal();
+
+  std::vector<std::int32_t> frontier;
+  std::vector<std::uint64_t> child(words);
   for (std::size_t level = 0; level < n; ++level) {
-    std::vector<BeamState> next;
-    // Dedup signatures within the level: the best peak per signature wins,
-    // exactly as in the DP (beam = DP with a truncated frontier).
-    std::unordered_map<util::Bitset64, std::size_t, util::Bitset64Hash>
-        index;
-    for (std::size_t s = 0; s < levels[level].size(); ++s) {
-      const BeamState& state = levels[level][s];
-      for (std::size_t u = 0; u < n; ++u) {
-        if (state.scheduled.Test(u)) continue;
-        if (!adjacency.preds[u].IsSubsetOf(state.scheduled)) continue;
+    core::StateLevel next;
+    // Shared growth-factor heuristic: the parent level is capped at
+    // `width`, so 2× of it bounds the arena while keeping the
+    // open-addressing table below its rehash load factor.
+    next.Init(words, core::NextLevelReserveHint(current.size()));
+    for (std::size_t s = 0; s < current.size(); ++s) {
+      const std::uint64_t* sig = current.signature(s);
+      frontier.clear();
+      tables.AppendFrontier(sig, &frontier);
+      const std::int64_t footprint = current.footprint(s);
+      const std::int64_t peak = current.peak(s);
+      const std::uint64_t hash = current.hash(s);
+      for (const std::int32_t u : frontier) {
         ++result.states_expanded;
-        const graph::Node& node = graph.node(static_cast<graph::NodeId>(u));
-        std::int64_t footprint = state.footprint;
-        if (!table.WriterScheduled(node.buffer, state.scheduled)) {
-          footprint += table.buffers[static_cast<std::size_t>(node.buffer)]
-                           .size_bytes;
-        }
-        const std::int64_t peak = std::max(state.peak, footprint);
-        for (const graph::BufferId b : table.touched_buffers[u]) {
-          const auto& use = table.buffers[static_cast<std::size_t>(b)];
-          if (use.is_sink) continue;
-          bool all_done = true;
-          use.touchers.ForEachSetBit([&](std::size_t t) {
-            if (t != u && !state.scheduled.Test(t)) all_done = false;
-          });
-          if (all_done) footprint -= use.size_bytes;
-        }
-        util::Bitset64 key = state.scheduled;
-        key.Set(u);
-        const auto it = index.find(key);
-        if (it == index.end()) {
-          index.emplace(key, next.size());
-          next.push_back(BeamState{std::move(key), footprint, peak,
-                                   static_cast<std::int32_t>(s),
-                                   static_cast<graph::NodeId>(u)});
-        } else if (peak < next[it->second].peak) {
-          next[it->second].peak = peak;
-          next[it->second].footprint = footprint;
-          next[it->second].prev = static_cast<std::int32_t>(s);
-          next[it->second].last = static_cast<graph::NodeId>(u);
-        }
+        const core::ExpansionTables::Transition t = tables.Apply(
+            sig, u, footprint, std::numeric_limits<std::int64_t>::max());
+        std::copy(sig, sig + words, child.data());
+        util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
+        // Dedup signatures within the level: the best peak per signature
+        // wins, exactly as in the DP (beam = DP with a truncated frontier).
+        next.InsertOrRelax(child.data(),
+                           hash ^ hasher.key(static_cast<std::size_t>(u)),
+                           t.footprint, std::max(peak, t.step_peak),
+                           static_cast<std::int32_t>(s), u);
       }
     }
-    SERENITY_CHECK(!next.empty()) << "graph has a cycle?";
-    // Keep the `width` best states: primary key peak, secondary the
-    // current footprint (leaner states have more downstream freedom).
-    if (next.size() > static_cast<std::size_t>(options.width)) {
+    next.Seal();
+    SERENITY_CHECK_GT(next.size(), 0u) << "graph has a cycle?";
+    // Keep the `width` best states: primary key peak, secondary the current
+    // footprint (leaner states have more downstream freedom). The kept set
+    // is selected with nth_element (index as the final tie-break makes the
+    // comparator a total order, so the set is deterministic), then restored
+    // to insertion order so state numbering stays stable.
+    if (next.size() > width) {
+      std::vector<std::int32_t> keep(next.size());
+      std::iota(keep.begin(), keep.end(), 0);
       std::nth_element(
-          next.begin(),
-          next.begin() + static_cast<std::ptrdiff_t>(options.width - 1),
-          next.end(), [](const BeamState& a, const BeamState& b) {
-            if (a.peak != b.peak) return a.peak < b.peak;
-            return a.footprint < b.footprint;
+          keep.begin(), keep.begin() + static_cast<std::ptrdiff_t>(width - 1),
+          keep.end(), [&next](std::int32_t a, std::int32_t b) {
+            const std::size_t ia = static_cast<std::size_t>(a);
+            const std::size_t ib = static_cast<std::size_t>(b);
+            if (next.peak(ia) != next.peak(ib)) {
+              return next.peak(ia) < next.peak(ib);
+            }
+            if (next.footprint(ia) != next.footprint(ib)) {
+              return next.footprint(ia) < next.footprint(ib);
+            }
+            return a < b;
           });
-      next.resize(static_cast<std::size_t>(options.width));
+      keep.resize(width);
+      std::sort(keep.begin(), keep.end());
+      next = next.Select(keep);
     }
-    levels[level + 1] = std::move(next);
+    recon[level] = current.TakeReconAndRelease();
+    current = std::move(next);
   }
 
-  // Best final state and backtrack.
-  const auto& final_level = levels[n];
+  // Best final state and backtrack. Dedup leaves exactly one full
+  // signature, but stay defensive and pick the best peak.
   std::size_t best = 0;
-  for (std::size_t i = 1; i < final_level.size(); ++i) {
-    if (final_level[i].peak < final_level[best].peak) best = i;
+  for (std::size_t i = 1; i < current.size(); ++i) {
+    if (current.peak(i) < current.peak(best)) best = i;
   }
-  result.peak_bytes = final_level[best].peak;
+  result.peak_bytes = current.peak(best);
+  recon[n] = current.TakeReconAndRelease();
   result.schedule.assign(n, graph::kInvalidNode);
   std::int32_t cursor = static_cast<std::int32_t>(best);
   for (std::size_t i = n; i > 0; --i) {
-    const BeamState& state = levels[i][static_cast<std::size_t>(cursor)];
-    result.schedule[i - 1] = state.last;
-    cursor = state.prev;
+    const core::ReconRecord& record =
+        recon[i][static_cast<std::size_t>(cursor)];
+    result.schedule[i - 1] = static_cast<graph::NodeId>(record.last_node);
+    cursor = record.prev_index;
   }
   SERENITY_CHECK(IsTopologicalOrder(graph, result.schedule));
   return result;

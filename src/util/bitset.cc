@@ -59,12 +59,7 @@ std::vector<std::size_t> Bitset64::ToIndices() const {
 }
 
 std::size_t Bitset64::Hash() const {
-  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
-  for (std::uint64_t word : words_) {
-    hash ^= word;
-    hash *= 1099511628211ull;  // FNV prime
-  }
-  return static_cast<std::size_t>(hash);
+  return SpanHash(words_.data(), words_.size());
 }
 
 }  // namespace serenity::util

@@ -15,6 +15,65 @@
 
 namespace serenity::util {
 
+// ---------------------------------------------------------------------------
+// Word-span primitives.
+//
+// The DP state store (src/core/state_store.h) keeps thousands of signatures
+// packed back-to-back in one uint64_t arena; these free functions implement
+// the bitset operations directly on such spans so the hot path never
+// materialises a Bitset64 (and never heap-allocates). `num_words` is the
+// span length; bits past the logical size must be kept zero by the caller,
+// exactly as Bitset64 guarantees for its own storage.
+// ---------------------------------------------------------------------------
+
+inline bool SpanTestBit(const std::uint64_t* words, std::size_t pos) {
+  return (words[pos >> 6] >> (pos & 63)) & 1u;
+}
+
+inline void SpanSetBit(std::uint64_t* words, std::size_t pos) {
+  words[pos >> 6] |= (std::uint64_t{1} << (pos & 63));
+}
+
+// True if every bit set in `sub` is also set in `super`.
+inline bool SpanIsSubsetOf(const std::uint64_t* sub,
+                           const std::uint64_t* super,
+                           std::size_t num_words) {
+  for (std::size_t i = 0; i < num_words; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+inline bool SpanIntersects(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t num_words) {
+  for (std::size_t i = 0; i < num_words; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+inline bool SpanEqual(const std::uint64_t* a, const std::uint64_t* b,
+                      std::size_t num_words) {
+  for (std::size_t i = 0; i < num_words; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+// FNV-1a over the words — the one-shot hash for spans whose hash is not
+// maintained incrementally (the state store instead caches a Zobrist hash
+// per state and derives child hashes with a single XOR; see
+// core/state_store.h).
+inline std::size_t SpanHash(const std::uint64_t* words,
+                            std::size_t num_words) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (std::size_t i = 0; i < num_words; ++i) {
+    hash ^= words[i];
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return static_cast<std::size_t>(hash);
+}
+
 // A bitset whose capacity is fixed at construction. All operands of binary
 // operations must have the same capacity.
 class Bitset64 {
@@ -82,13 +141,14 @@ class Bitset64 {
   // FNV-1a over the words; adequate for hash-map bucketing of DP states.
   std::size_t Hash() const;
 
+  // Word-span view of the backing storage (bits past size() are zero). The
+  // span is invalidated by any mutation through a non-const method.
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t num_words() const { return words_.size(); }
+
  private:
   std::size_t num_bits_ = 0;
   std::vector<std::uint64_t> words_;
-};
-
-struct Bitset64Hash {
-  std::size_t operator()(const Bitset64& b) const { return b.Hash(); }
 };
 
 }  // namespace serenity::util

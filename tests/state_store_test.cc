@@ -1,0 +1,305 @@
+// Tests for the flat-arena state store (core/state_store.h) and the
+// refactored schedulers running on it: unit coverage of StateLevel /
+// SignatureHasher / ExpansionTables, plus the randomized property suite
+// required by the refactor — bit-identical peaks and valid topological
+// orders versus the brute-force oracle on random DAGs, across the
+// kNoSolution / kTimeout paths and across thread counts.
+#include "core/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dp_scheduler.h"
+#include "graph/analysis.h"
+#include "graph/builder.h"
+#include "sched/beam.h"
+#include "sched/brute_force.h"
+#include "sched/schedule.h"
+#include "testing/random_graphs.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace serenity::core {
+namespace {
+
+// ---------------------------------------------------------------- StateLevel
+
+TEST(SignatureHasher, IsDeterministicAndIncremental) {
+  const SignatureHasher a(64);
+  const SignatureHasher b(64);
+  for (std::size_t u = 0; u < 64; ++u) EXPECT_EQ(a.key(u), b.key(u));
+  // hash({3, 7}) built in either insertion order is identical.
+  const std::uint64_t h37 =
+      SignatureHasher::kEmptyHash ^ a.key(3) ^ a.key(7);
+  const std::uint64_t h73 =
+      SignatureHasher::kEmptyHash ^ a.key(7) ^ a.key(3);
+  EXPECT_EQ(h37, h73);
+  EXPECT_NE(h37, SignatureHasher::kEmptyHash);
+}
+
+TEST(StateLevel, InsertDedupAndRelax) {
+  StateLevel level;
+  level.Init(/*words_per_state=*/2, /*expected_states=*/4);
+  const std::uint64_t sig_a[2] = {0b101, 0};
+  const std::uint64_t sig_b[2] = {0b011, 0};
+  EXPECT_TRUE(level.InsertOrRelax(sig_a, 111, 10, 50, 0, 2));
+  EXPECT_TRUE(level.InsertOrRelax(sig_b, 222, 20, 40, 1, 1));
+  // Duplicate signature with a worse peak: ignored.
+  EXPECT_FALSE(level.InsertOrRelax(sig_a, 111, 10, 60, 3, 0));
+  // Duplicate with a better peak: relaxes peak and back-pointer.
+  EXPECT_FALSE(level.InsertOrRelax(sig_a, 111, 10, 30, 4, 0));
+  level.Seal();
+  ASSERT_EQ(level.size(), 2u);
+  EXPECT_EQ(level.footprint(0), 10);
+  EXPECT_EQ(level.peak(0), 30);
+  EXPECT_EQ(level.recon(0).prev_index, 4);
+  EXPECT_EQ(level.recon(0).last_node, 0);
+  EXPECT_EQ(level.peak(1), 40);
+  EXPECT_TRUE(
+      util::SpanEqual(level.signature(0), sig_a, level.words_per_state()));
+  EXPECT_TRUE(
+      util::SpanEqual(level.signature(1), sig_b, level.words_per_state()));
+}
+
+TEST(StateLevel, GrowsPastInitialCapacityWithoutLosingStates) {
+  StateLevel level;
+  level.Init(/*words_per_state=*/1, /*expected_states=*/1);
+  const SignatureHasher hasher(64);
+  for (std::size_t u = 0; u < 64; ++u) {
+    const std::uint64_t sig[1] = {std::uint64_t{1} << u};
+    EXPECT_TRUE(level.InsertOrRelax(sig, hasher.key(u),
+                                    static_cast<std::int64_t>(u), 0, -1,
+                                    static_cast<std::int32_t>(u)));
+  }
+  level.Seal();
+  ASSERT_EQ(level.size(), 64u);
+  // Every state survived the rehashes with its payload intact.
+  std::vector<bool> seen(64, false);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::size_t u =
+        static_cast<std::size_t>(level.recon(i).last_node);
+    EXPECT_EQ(level.signature(i)[0], std::uint64_t{1} << u);
+    EXPECT_EQ(level.footprint(i), static_cast<std::int64_t>(u));
+    seen[u] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(StateLevel, ShardedSealConcatenatesDeterministically) {
+  // Build the same level twice with 4 shards; contents and ordering must
+  // match exactly (the determinism Seal() promises for a fixed shard count).
+  const SignatureHasher hasher(40);
+  auto build = [&hasher]() {
+    StateLevel level;
+    level.Init(/*words_per_state=*/1, /*expected_states=*/8,
+               /*num_shards=*/4);
+    for (std::size_t u = 0; u < 40; ++u) {
+      const std::uint64_t sig[1] = {std::uint64_t{1} << u};
+      level.InsertOrRelax(sig, hasher.key(u), 0, 0, -1,
+                          static_cast<std::int32_t>(u));
+    }
+    level.Seal();
+    return level;
+  };
+  StateLevel a = build();
+  StateLevel b = build();
+  ASSERT_EQ(a.size(), 40u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.signature(i)[0], b.signature(i)[0]);
+    EXPECT_EQ(a.recon(i).last_node, b.recon(i).last_node);
+  }
+}
+
+TEST(StateLevel, SelectCompactsInGivenOrder) {
+  StateLevel level;
+  level.Init(1, 4);
+  const SignatureHasher hasher(8);
+  for (std::size_t u = 0; u < 4; ++u) {
+    const std::uint64_t sig[1] = {std::uint64_t{1} << u};
+    level.InsertOrRelax(sig, hasher.key(u), static_cast<std::int64_t>(u),
+                        static_cast<std::int64_t>(10 + u), -1,
+                        static_cast<std::int32_t>(u));
+  }
+  level.Seal();
+  const StateLevel pruned = level.Select({3, 1});
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned.recon(0).last_node, 3);
+  EXPECT_EQ(pruned.peak(0), 13);
+  EXPECT_EQ(pruned.recon(1).last_node, 1);
+  EXPECT_EQ(pruned.hash(1), hasher.key(1));
+}
+
+TEST(StateLevel, TakeReconAndReleaseReturnsAllRecords) {
+  StateLevel level;
+  level.Init(1, 4);
+  const std::uint64_t s0[1] = {1};
+  const std::uint64_t s1[1] = {2};
+  level.InsertOrRelax(s0, 11, 0, 0, 7, 0);
+  level.InsertOrRelax(s1, 22, 0, 0, 8, 1);
+  level.Seal();
+  const std::vector<ReconRecord> recon = level.TakeReconAndRelease();
+  ASSERT_EQ(recon.size(), 2u);
+  EXPECT_EQ(recon[0].prev_index, 7);
+  EXPECT_EQ(recon[1].prev_index, 8);
+}
+
+// ----------------------------------------------------------- ExpansionTables
+
+TEST(ExpansionTables, FrontierMatchesDirectComputation) {
+  util::Rng rng(31);
+  testing::RandomDagOptions opts;
+  opts.num_ops = 20;
+  const graph::Graph g = testing::RandomDag(rng, opts, "frontier");
+  const graph::BufferUseTable table = graph::BufferUseTable::Build(g);
+  const graph::AdjacencyBitsets adjacency = graph::BuildAdjacency(g);
+  const ExpansionTables tables(g, table, adjacency);
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+
+  // Random schedulable prefixes: schedule a random ready node at a time and
+  // cross-check the frontier after every step.
+  util::Bitset64 scheduled(n);
+  std::vector<std::int32_t> frontier;
+  for (std::size_t step = 0; step <= n; ++step) {
+    frontier.clear();
+    tables.AppendFrontier(scheduled.words(), &frontier);
+    std::vector<std::int32_t> expected;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!scheduled.Test(u) && adjacency.preds[u].IsSubsetOf(scheduled)) {
+        expected.push_back(static_cast<std::int32_t>(u));
+      }
+    }
+    ASSERT_EQ(frontier, expected) << "after " << step << " steps";
+    if (step == n) break;
+    ASSERT_FALSE(frontier.empty());
+    scheduled.Set(static_cast<std::size_t>(frontier[static_cast<std::size_t>(
+        rng.NextInt(0, static_cast<int>(frontier.size()) - 1))]));
+  }
+  EXPECT_EQ(scheduled.Count(), n);
+}
+
+TEST(ExpansionTables, ApplyMatchesScheduleEvaluator) {
+  // Walking any topological order through Apply() must reproduce the
+  // step-by-step footprints of the reference evaluator.
+  util::Rng rng(57);
+  testing::RandomDagOptions opts;
+  opts.num_ops = 14;
+  const graph::Graph g = testing::RandomDag(rng, opts, "apply");
+  const graph::BufferUseTable table = graph::BufferUseTable::Build(g);
+  const ExpansionTables tables(g, table, graph::BuildAdjacency(g));
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+
+  const core::DpResult dp = ScheduleDp(g);
+  ASSERT_EQ(dp.status, DpStatus::kSolution);
+  const sched::FootprintResult eval = sched::EvaluateFootprint(g, dp.schedule);
+
+  util::Bitset64 scheduled(n);
+  std::int64_t footprint = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t u = static_cast<std::int32_t>(dp.schedule[i]);
+    const ExpansionTables::Transition t = tables.Apply(
+        scheduled.words(), u, footprint, core::kNoBudget);
+    EXPECT_EQ(t.step_peak, eval.peak_at_step[i]) << "step " << i;
+    EXPECT_EQ(t.footprint, eval.footprint_after_step[i]) << "step " << i;
+    footprint = t.footprint;
+    scheduled.Set(static_cast<std::size_t>(u));
+  }
+}
+
+// ------------------------------------- randomized end-to-end property suite
+
+struct PropertyCase {
+  int seed;
+  int num_threads;
+};
+
+class StateStoreProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(StateStoreProperty, DpMatchesOracleAcrossThreadCounts) {
+  const PropertyCase param = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(param.seed) * 6271 + 11);
+  testing::RandomDagOptions opts;
+  opts.num_ops = 8 + param.seed % 6;  // up to 14 ops: oracle-tractable
+  const graph::Graph g = testing::RandomDag(
+      rng, opts, "prop" + std::to_string(param.seed));
+  const sched::BruteForceResult oracle = sched::BruteForceOptimalSchedule(g);
+
+  DpOptions options;
+  options.num_threads = param.num_threads;
+  const DpResult dp = ScheduleDp(g, options);
+  ASSERT_EQ(dp.status, DpStatus::kSolution);
+  EXPECT_TRUE(sched::IsTopologicalOrder(g, dp.schedule));
+  // Bit-identical peaks versus the exhaustive oracle, and the returned
+  // schedule really achieves the claimed peak.
+  EXPECT_EQ(dp.peak_bytes, oracle.peak_bytes) << "seed " << param.seed;
+  EXPECT_EQ(dp.peak_bytes, sched::PeakFootprint(g, dp.schedule));
+
+  // kNoSolution path: one byte under the optimum prunes every schedule.
+  DpOptions tight = options;
+  tight.budget_bytes = dp.peak_bytes - 1;
+  EXPECT_EQ(ScheduleDp(g, tight).status, DpStatus::kNoSolution);
+
+  // Budget exactly at the optimum still finds it.
+  DpOptions exact = options;
+  exact.budget_bytes = dp.peak_bytes;
+  const DpResult bounded = ScheduleDp(g, exact);
+  ASSERT_EQ(bounded.status, DpStatus::kSolution);
+  EXPECT_EQ(bounded.peak_bytes, oracle.peak_bytes);
+
+  // kTimeout path: a state cap the search must exceed.
+  if (dp.states_expanded > 2) {
+    DpOptions capped = options;
+    capped.max_states = 2;
+    EXPECT_EQ(ScheduleDp(g, capped).status, DpStatus::kTimeout);
+  }
+
+  // Beam on the same store: always valid; optimal when the beam is wider
+  // than every DP level (states_expanded bounds every level's width).
+  sched::BeamOptions beam_options;
+  beam_options.width = static_cast<int>(dp.states_expanded) + 1;
+  const sched::BeamResult beam = sched::ScheduleBeam(g, beam_options);
+  EXPECT_TRUE(sched::IsTopologicalOrder(g, beam.schedule));
+  EXPECT_EQ(beam.peak_bytes, oracle.peak_bytes);
+  EXPECT_EQ(beam.peak_bytes, sched::PeakFootprint(g, beam.schedule));
+}
+
+std::vector<PropertyCase> AllPropertyCases() {
+  std::vector<PropertyCase> cases;
+  for (int seed = 0; seed < 25; ++seed) {
+    cases.push_back(PropertyCase{seed, 1});
+    cases.push_back(PropertyCase{seed, 4});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, StateStoreProperty, ::testing::ValuesIn(AllPropertyCases()),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_threads" +
+             std::to_string(info.param.num_threads);
+    });
+
+TEST(StateStoreParallel, SingleAndMultiThreadedAgreeOnModels) {
+  // Larger-than-oracle graphs: single- and multi-threaded runs must report
+  // bit-identical optimal peaks and state/transition counts.
+  util::Rng rng(97);
+  testing::RandomDagOptions opts;
+  opts.num_ops = 24;
+  const graph::Graph g = testing::RandomDag(rng, opts, "mt_agree");
+  const DpResult one = ScheduleDp(g);
+  DpOptions mt;
+  mt.num_threads = 4;
+  const DpResult four = ScheduleDp(g, mt);
+  ASSERT_EQ(one.status, DpStatus::kSolution);
+  ASSERT_EQ(four.status, DpStatus::kSolution);
+  EXPECT_EQ(one.peak_bytes, four.peak_bytes);
+  EXPECT_EQ(one.states_expanded, four.states_expanded);
+  EXPECT_EQ(one.transitions, four.transitions);
+  EXPECT_TRUE(sched::IsTopologicalOrder(g, four.schedule));
+  EXPECT_EQ(four.peak_bytes, sched::PeakFootprint(g, four.schedule));
+}
+
+}  // namespace
+}  // namespace serenity::core
