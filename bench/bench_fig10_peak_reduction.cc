@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -17,7 +18,8 @@ namespace {
 
 using namespace serenity;
 
-void PrintFigure() {
+// Returns false iff a requested --json write failed.
+bool PrintFigure(const std::string& json_path) {
   std::printf("Figure 10: peak-memory reduction vs TensorFlow Lite "
               "(greedy arena allocator applied to every configuration)\n\n");
   std::printf("%-32s %10s %10s %10s  %7s %7s   %7s %7s\n", "cell",
@@ -25,6 +27,7 @@ void PrintFigure() {
               "paper");
   bench::PrintRule();
   std::vector<double> dp_ratios, rw_ratios, paper_dp, paper_rw;
+  bench::JsonRows rows;
   for (const models::BenchmarkCell& cell : models::AllBenchmarkCells()) {
     const bench::CellMeasurement m = bench::MeasureCell(cell);
     if (!m.dp.success || !m.dp_rw.success) {
@@ -44,6 +47,13 @@ void PrintFigure() {
                 bench::CellLabel(cell).c_str(), bench::Kb(m.tflite_arena),
                 bench::Kb(m.dp_arena), bench::Kb(m.dp_rw_arena), dp_ratio,
                 paper_dp.back(), rw_ratio, paper_rw.back());
+    rows.Begin();
+    rows.Field("cell", bench::CellLabel(cell));
+    rows.Field("tflite_kb", bench::Kb(m.tflite_arena));
+    rows.Field("dp_kb", bench::Kb(m.dp_arena));
+    rows.Field("dp_rw_kb", bench::Kb(m.dp_rw_arena));
+    rows.Field("dp_ratio", dp_ratio);
+    rows.Field("dp_rw_ratio", rw_ratio);
   }
   bench::PrintRule();
   std::printf("%-32s %10s %10s %10s  %6.2fx %6.2fx   %6.2fx %6.2fx\n",
@@ -51,6 +61,14 @@ void PrintFigure() {
               util::GeometricMean(paper_dp), util::GeometricMean(rw_ratios),
               util::GeometricMean(paper_rw));
   std::printf("\npaper geomeans: 1.68x (DP), 1.86x (DP+GR)\n\n");
+  if (!json_path.empty()) {
+    rows.Begin();
+    rows.Field("cell", std::string("geomean"));
+    rows.Field("dp_ratio", util::GeometricMean(dp_ratios));
+    rows.Field("dp_rw_ratio", util::GeometricMean(rw_ratios));
+    return rows.WriteTo(json_path);
+  }
+  return true;
 }
 
 void BM_FullPipelineSwiftNetCellA(benchmark::State& state) {
@@ -75,8 +93,9 @@ BENCHMARK(BM_ArenaPlanSwiftNetCellA);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFigure();
+  const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
+  const bool json_ok = PrintFigure(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json_ok ? 0 : 1;
 }

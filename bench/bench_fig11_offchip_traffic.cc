@@ -28,7 +28,8 @@ const std::vector<std::int64_t>& Capacities() {
   return kCaps;
 }
 
-void PrintFigure() {
+// Returns false iff a requested --json write failed.
+bool PrintFigure(const std::string& json_path) {
   std::printf("Figure 11: off-chip traffic reduction vs TensorFlow Lite "
               "(Belady's optimal replacement)\n\n");
   std::printf("%-32s", "cell");
@@ -38,6 +39,7 @@ void PrintFigure() {
   std::printf("\n");
   bench::PrintRule();
 
+  bench::JsonRows rows;
   std::vector<std::vector<double>> ratios_per_cap(Capacities().size());
   for (const models::BenchmarkCell& cell : models::AllBenchmarkCells()) {
     const bench::CellMeasurement m = bench::MeasureCell(cell);
@@ -62,13 +64,17 @@ void PrintFigure() {
               ? with_rw
               : without_rw;
       std::string text;
+      std::string status = "ratio";
       if (!tflite.feasible || !serenity.feasible) {
         text = "INF";
+        status = "INF";
       } else if (tflite.TotalTraffic() == 0 &&
                  serenity.TotalTraffic() == 0) {
         text = "N/A";
+        status = "N/A";
       } else if (serenity.TotalTraffic() == 0) {
         text = "REMOVED";
+        status = "REMOVED";
       } else {
         const double ratio =
             static_cast<double>(tflite.TotalTraffic()) /
@@ -79,12 +85,22 @@ void PrintFigure() {
         text = buffer;
       }
       std::printf(" %13s", text.c_str());
+      rows.Begin();
+      rows.Field("cell", bench::CellLabel(cell));
+      rows.Field("capacity_kb", Capacities()[i] / 1024);
+      rows.Field("status", status);
+      rows.Field("tflite_traffic_bytes", tflite.TotalTraffic());
+      rows.Field("serenity_traffic_bytes", serenity.TotalTraffic());
+      if (status == "ratio") {
+        rows.Field("ratio", ratios_per_cap[i].back());
+      }
     }
     std::printf("\n");
   }
   bench::PrintRule();
   std::printf("%-32s", "geomean (finite ratios)");
-  for (const auto& ratios : ratios_per_cap) {
+  for (std::size_t i = 0; i < ratios_per_cap.size(); ++i) {
+    const auto& ratios = ratios_per_cap[i];
     if (ratios.empty()) {
       std::printf(" %13s", "-");
     } else {
@@ -92,10 +108,16 @@ void PrintFigure() {
       std::snprintf(buffer, sizeof(buffer), "%.2fx",
                     util::GeometricMean(ratios));
       std::printf(" %13s", buffer);
+      rows.Begin();
+      rows.Field("cell", std::string("geomean"));
+      rows.Field("capacity_kb", Capacities()[i] / 1024);
+      rows.Field("ratio", util::GeometricMean(ratios));
     }
   }
   std::printf("\n\npaper: geomean 1.76x at 256KB; several cells REMOVED "
               "(SERENITY eliminates the traffic)\n\n");
+  if (!json_path.empty()) return rows.WriteTo(json_path);
+  return true;
 }
 
 void BM_BeladySimulation(benchmark::State& state) {
@@ -115,8 +137,9 @@ BENCHMARK(BM_BeladySimulation)->Arg(64)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFigure();
+  const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
+  const bool json_ok = PrintFigure(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json_ok ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -18,7 +19,8 @@ namespace {
 
 using namespace serenity;
 
-void PrintSeries(const char* label, const std::vector<std::int64_t>& series) {
+void PrintSeries(const char* label, const std::vector<std::int64_t>& series,
+                 const std::string& series_key, bench::JsonRows* rows) {
   const std::int64_t peak = *std::max_element(series.begin(), series.end());
   std::printf("  %-44s peak %8.1f KB\n", label, bench::Kb(peak));
   std::printf("    step:KB ");
@@ -26,6 +28,10 @@ void PrintSeries(const char* label, const std::vector<std::int64_t>& series) {
     std::printf("%zu:%.0f ", i, bench::Kb(series[i]));
   }
   std::printf("\n");
+  rows->Begin();
+  rows->Field("series", series_key);
+  rows->Field("peak_kb", bench::Kb(peak));
+  rows->Field("steps", static_cast<std::int64_t>(series.size()));
 }
 
 util::ChartSeries ToChart(const char* label, char marker,
@@ -39,32 +45,39 @@ util::ChartSeries ToChart(const char* label, char marker,
   return s;
 }
 
-void PrintFigure() {
+// Returns false iff a requested --json write failed.
+bool PrintFigure(const std::string& json_path) {
   const models::BenchmarkCell& cell =
       models::FindBenchmarkCell("SwiftNet HPD", "Cell A");
   const bench::CellMeasurement m = bench::MeasureCell(cell);
 
   std::printf("Figure 12: memory footprint over time, SwiftNet Cell A\n");
 
+  bench::JsonRows rows;
   std::printf("\n(a) with the memory allocator (arena usage per step)\n");
   PrintSeries("TensorFlow Lite (paper: 551.0 KB)",
               alloc::PlanArena(m.graph, m.tflite_schedule)
-                  .highwater_at_step);
+                  .highwater_at_step,
+              "tflite_arena", &rows);
   PrintSeries("DP + allocator (paper: 250.9 KB)",
               alloc::PlanArena(m.dp.scheduled_graph, m.dp.schedule)
-                  .highwater_at_step);
+                  .highwater_at_step,
+              "dp_arena", &rows);
   PrintSeries("DP + rewriting + allocator (paper: 225.8 KB)",
               alloc::PlanArena(m.dp_rw.scheduled_graph, m.dp_rw.schedule)
-                  .highwater_at_step);
+                  .highwater_at_step,
+              "dp_rw_arena", &rows);
 
   std::printf("\n(b) without the allocator (sum of live activations)\n");
   PrintSeries("DP (paper: 200.7 KB)",
               sched::EvaluateFootprint(m.dp.scheduled_graph, m.dp.schedule)
-                  .peak_at_step);
+                  .peak_at_step,
+              "dp_liveness", &rows);
   PrintSeries(
       "DP + rewriting (paper: 188.2 KB)",
       sched::EvaluateFootprint(m.dp_rw.scheduled_graph, m.dp_rw.schedule)
-          .peak_at_step);
+          .peak_at_step,
+      "dp_rw_liveness", &rows);
 
   std::printf("\nfootprint-over-time chart (with allocator):\n");
   util::ChartOptions chart_options;
@@ -96,6 +109,14 @@ void PrintFigure() {
               "(paper: 25.1 KB)\n", alloc_delta);
   std::printf("rewriting reduced the peak by %.1f KB without the allocator "
               "(paper: 12.5 KB)\n\n", pure_delta);
+  if (!json_path.empty()) {
+    rows.Begin();
+    rows.Field("series", std::string("rewriting_delta"));
+    rows.Field("alloc_delta_kb", alloc_delta);
+    rows.Field("pure_delta_kb", pure_delta);
+    return rows.WriteTo(json_path);
+  }
+  return true;
 }
 
 void BM_FootprintTrace(benchmark::State& state) {
@@ -112,8 +133,9 @@ BENCHMARK(BM_FootprintTrace);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFigure();
+  const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
+  const bool json_ok = PrintFigure(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json_ok ? 0 : 1;
 }

@@ -1,0 +1,200 @@
+// Post-scheduling hot-path micro-benchmark: the arena planner
+// (alloc/arena_planner) and the hierarchy simulator (memsim/hierarchy_sim)
+// against the seed's quadratic implementations, which are kept verbatim in
+// tests/testing/reference_impls.h as the oracle of the property suites.
+//
+// Each input runs both implementations back to back (verifying the outputs
+// are bit-identical while timing them) and reports median seconds plus the
+// speedup; --json=PATH archives the rows so CI can track the trajectory.
+// Inputs span the paper's largest cells (DARTS, RandWire) and synthetic
+// RandWire-scale DAGs several times that size, where the quadratic scans
+// dominate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "memsim/hierarchy_sim.h"
+#include "testing/random_graphs.h"
+#include "testing/reference_impls.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace serenity;
+
+struct InputCase {
+  std::string label;
+  graph::Graph graph;
+  int iters;  // timing-loop iterations per repetition
+};
+
+std::vector<InputCase> BuildInputs() {
+  std::vector<InputCase> inputs;
+  inputs.push_back({"DARTS ImageNet / Normal Cell",
+                    models::FindBenchmarkCell("DARTS ImageNet", "Normal Cell")
+                        .factory(),
+                    200});
+  inputs.push_back({"RandWire CIFAR100 / Cell C",
+                    models::FindBenchmarkCell("RandWire CIFAR100", "Cell C")
+                        .factory(),
+                    200});
+  util::Rng rng(20260730);
+  testing::RandomDagOptions medium;
+  medium.num_ops = 512;
+  medium.max_channels = 6;
+  medium.extra_edge_p = 0.4;
+  inputs.push_back({"random DAG / 512 ops",
+                    testing::RandomDag(rng, medium, "rand512"), 10});
+  testing::RandomDagOptions large = medium;
+  large.num_ops = 2048;
+  inputs.push_back({"random DAG / 2048 ops",
+                    testing::RandomDag(rng, large, "rand2048"), 2});
+  return inputs;
+}
+
+// Median seconds of one call, measured over `reps` repetitions of an
+// `iters`-iteration timing loop.
+template <typename Fn>
+double MedianSecondsOf(const Fn& fn, int iters, int reps = 7) {
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch clock;
+    for (int i = 0; i < iters; ++i) fn();
+    runs.push_back(clock.ElapsedSeconds() / iters);
+  }
+  return util::Percentile(runs, 50);
+}
+
+void ExpectIdenticalPlans(const alloc::ArenaPlan& a,
+                          const alloc::ArenaPlan& b) {
+  SERENITY_CHECK_EQ(a.placements.size(), b.placements.size());
+  SERENITY_CHECK_EQ(a.arena_bytes, b.arena_bytes);
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    SERENITY_CHECK_EQ(a.placements[i].offset, b.placements[i].offset);
+    SERENITY_CHECK_EQ(a.placements[i].buffer, b.placements[i].buffer);
+  }
+}
+
+void ExpectIdenticalSims(const memsim::SimResult& a,
+                         const memsim::SimResult& b) {
+  SERENITY_CHECK_EQ(a.feasible, b.feasible);
+  SERENITY_CHECK_EQ(a.read_bytes, b.read_bytes);
+  SERENITY_CHECK_EQ(a.write_bytes, b.write_bytes);
+  SERENITY_CHECK_EQ(a.evictions, b.evictions);
+  SERENITY_CHECK_EQ(a.peak_resident_bytes, b.peak_resident_bytes);
+}
+
+// Returns false iff a requested --json write failed.
+bool PrintComparison(const std::string& json_path) {
+  std::printf("Planner + hierarchy-sim hot paths: seed (quadratic) vs "
+              "current, bit-identical outputs (median seconds)\n\n");
+  std::printf("%-28s %7s %7s  %11s %11s %8s  %11s %11s %8s\n", "input",
+              "bufs", "steps", "plan seed", "plan now", "speedup",
+              "sim seed", "sim now", "speedup");
+  bench::PrintRule(120);
+  bench::JsonRows rows;
+  for (const InputCase& input : BuildInputs()) {
+    const graph::Graph& g = input.graph;
+    const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+    const graph::BufferUseTable table = graph::BufferUseTable::Build(g);
+
+    ExpectIdenticalPlans(alloc::PlanArena(g, table, s),
+                         serenity::testing::ReferencePlanArena(g, table, s));
+    const double plan_seed = MedianSecondsOf(
+        [&] { serenity::testing::ReferencePlanArena(g, table, s); },
+        input.iters);
+    const double plan_now =
+        MedianSecondsOf([&] { alloc::PlanArena(g, table, s); }, input.iters);
+
+    // A pressured budget: Belady evicts continuously, the regime where the
+    // seed's O(resident) scan dominates.
+    memsim::SimOptions options;
+    options.onchip_bytes =
+        std::max<std::int64_t>(options.page_bytes,
+                               sched::PeakFootprint(g, s) / 2);
+    ExpectIdenticalSims(
+        memsim::SimulateHierarchy(g, table, s, options),
+        serenity::testing::ReferenceSimulateHierarchy(g, table, s, options));
+    const double sim_seed = MedianSecondsOf(
+        [&] {
+          serenity::testing::ReferenceSimulateHierarchy(g, table, s, options);
+        },
+        input.iters);
+    const double sim_now = MedianSecondsOf(
+        [&] { memsim::SimulateHierarchy(g, table, s, options); },
+        input.iters);
+
+    const double plan_speedup = plan_seed / plan_now;
+    const double sim_speedup = sim_seed / sim_now;
+    std::printf("%-28s %7zu %7zu  %11.3g %11.3g %7.2fx  %11.3g %11.3g "
+                "%7.2fx\n",
+                input.label.c_str(), table.buffers.size(), s.size(),
+                plan_seed, plan_now, plan_speedup, sim_seed, sim_now,
+                sim_speedup);
+    rows.Begin();
+    rows.Field("input", input.label);
+    rows.Field("buffers", static_cast<std::int64_t>(table.buffers.size()));
+    rows.Field("steps", static_cast<std::int64_t>(s.size()));
+    rows.Field("planner_seed_seconds", plan_seed);
+    rows.Field("planner_seconds", plan_now);
+    rows.Field("planner_speedup", plan_speedup);
+    rows.Field("sim_seed_seconds", sim_seed);
+    rows.Field("sim_seconds", sim_now);
+    rows.Field("sim_speedup", sim_speedup);
+  }
+  bench::PrintRule(120);
+  std::printf("\n");
+  if (!json_path.empty()) return rows.WriteTo(json_path);
+  return true;
+}
+
+void BM_PlanArena(benchmark::State& state) {
+  const auto inputs = BuildInputs();
+  const InputCase& input = inputs[static_cast<std::size_t>(state.range(0))];
+  const sched::Schedule s = sched::TfLiteOrderSchedule(input.graph);
+  const graph::BufferUseTable table =
+      graph::BufferUseTable::Build(input.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc::PlanArena(input.graph, table, s).arena_bytes);
+  }
+  state.SetLabel(input.label);
+}
+BENCHMARK(BM_PlanArena)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulateHierarchy(benchmark::State& state) {
+  const auto inputs = BuildInputs();
+  const InputCase& input = inputs[static_cast<std::size_t>(state.range(0))];
+  const sched::Schedule s = sched::TfLiteOrderSchedule(input.graph);
+  const graph::BufferUseTable table =
+      graph::BufferUseTable::Build(input.graph);
+  memsim::SimOptions options;
+  options.onchip_bytes = std::max<std::int64_t>(
+      options.page_bytes, sched::PeakFootprint(input.graph, s) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memsim::SimulateHierarchy(input.graph, table, s, options)
+            .TotalTraffic());
+  }
+  state.SetLabel(input.label);
+}
+BENCHMARK(BM_SimulateHierarchy)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
+  const bool json_ok = PrintComparison(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return json_ok ? 0 : 1;
+}

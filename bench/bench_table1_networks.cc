@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -28,7 +29,8 @@ struct NetworkRow {
   const char* paper_top1;
 };
 
-void PrintTable() {
+// Returns false iff a requested --json write failed.
+bool PrintTable(const std::string& json_path) {
   using namespace serenity;
   std::vector<NetworkRow> rows;
   rows.push_back({"DARTS", "NAS", "ImageNet",
@@ -59,6 +61,7 @@ void PrintTable() {
               "TYPE", "DATASET", "# NODES", "# MAC", "paper#MAC", "# WEIGHT",
               "paper", "EDGES", "TOP-1*");
   serenity::bench::PrintRule();
+  serenity::bench::JsonRows json;
   for (const NetworkRow& row : rows) {
     std::int64_t macs = 0;
     std::int64_t weights = 0;
@@ -75,8 +78,18 @@ void PrintTable() {
                 static_cast<double>(macs) / 1e6, row.paper_mac / 1e6,
                 static_cast<double>(weights) / 1e3, row.paper_weight / 1e3,
                 edges, row.paper_top1);
+    json.Begin();
+    json.Field("network", std::string(row.name));
+    json.Field("type", std::string(row.type));
+    json.Field("dataset", std::string(row.dataset));
+    json.Field("nodes", static_cast<std::int64_t>(nodes));
+    json.Field("edges", static_cast<std::int64_t>(edges));
+    json.Field("macs", macs);
+    json.Field("weights", weights);
   }
   std::printf("\n* Top-1 accuracy quoted from the paper (Table 1).\n\n");
+  if (!json_path.empty()) return json.WriteTo(json_path);
+  return true;
 }
 
 // Timing companion: graph-generation and statistics throughput.
@@ -98,8 +111,9 @@ BENCHMARK(BM_CountMacs);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
+  const bool json_ok = PrintTable(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json_ok ? 0 : 1;
 }

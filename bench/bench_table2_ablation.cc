@@ -41,7 +41,8 @@ std::string PartitionString(const std::vector<int>& sizes) {
   return out + "}";
 }
 
-void RunConfiguration(const graph::Graph& g, bool rewriting) {
+void RunConfiguration(const graph::Graph& g, bool rewriting,
+                      bench::JsonRows* json) {
   static const AblationRow kRows[] = {
       {"(1) DP", false, false},
       {"(1)+(2) DP + divide&conquer", true, false},
@@ -55,19 +56,30 @@ void RunConfiguration(const graph::Graph& g, bool rewriting) {
     util::Stopwatch clock;
     const core::PipelineResult r = core::Pipeline(options).Run(g);
     const double seconds = clock.ElapsedSeconds();
+    const std::string time_text =
+        r.success ? std::to_string(seconds).substr(0, 8) + "s" : "N/A";
+    const std::string states_text =
+        r.success ? std::to_string(r.states_expanded) : "-";
     std::printf("  %-48s %3d=%-16s %10s %12s\n", row.label,
                 r.scheduled_graph.num_nodes(),
-                PartitionString(r.segment_sizes).c_str(),
-                r.success ? (std::to_string(seconds).substr(0, 8) + "s")
-                              .c_str()
-                          : "N/A",
-                r.success
-                    ? std::to_string(r.states_expanded).c_str()
-                    : "-");
+                PartitionString(r.segment_sizes).c_str(), time_text.c_str(),
+                states_text.c_str());
+    json->Begin();
+    json->Field("algorithm", std::string(row.label));
+    json->Field("rewriting", static_cast<std::int64_t>(rewriting));
+    json->Field("nodes",
+                static_cast<std::int64_t>(r.scheduled_graph.num_nodes()));
+    json->Field("partitions", PartitionString(r.segment_sizes));
+    json->Field("success", static_cast<std::int64_t>(r.success));
+    if (r.success) {
+      json->Field("seconds", seconds);
+      json->Field("states_expanded", r.states_expanded);
+    }
   }
 }
 
-void PrintTable() {
+// Returns false iff a requested --json write failed.
+bool PrintTable(const std::string& json_path) {
   std::printf("Table 2: scheduling time for different algorithm "
               "combinations on SwiftNet\n");
   std::printf("(paper: without rewriting N/A -> 56.5s -> 37.9s; with "
@@ -75,12 +87,15 @@ void PrintTable() {
   std::printf("  %-48s %-20s %10s %12s\n", "algorithm",
               "# nodes & partitions", "time", "states");
   bench::PrintRule();
+  bench::JsonRows json;
   std::printf("  without graph rewriting (62 nodes)\n");
-  RunConfiguration(models::MakeSwiftNet(), /*rewriting=*/false);
+  RunConfiguration(models::MakeSwiftNet(), /*rewriting=*/false, &json);
   std::printf("  with graph rewriting (90 nodes; paper lists 92 = "
               "{33,28,29}, whose parts sum to 90)\n");
-  RunConfiguration(models::MakeSwiftNet(), /*rewriting=*/true);
+  RunConfiguration(models::MakeSwiftNet(), /*rewriting=*/true, &json);
   std::printf("\n");
+  if (!json_path.empty()) return json.WriteTo(json_path);
+  return true;
 }
 
 void BM_AblationConfig(benchmark::State& state) {
@@ -105,8 +120,9 @@ BENCHMARK(BM_AblationConfig)
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
+  const bool json_ok = PrintTable(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json_ok ? 0 : 1;
 }

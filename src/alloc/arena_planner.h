@@ -8,6 +8,14 @@
 // arena high-water mark — the "with memory allocator" footprint numbers of
 // Figures 10/12(a)/15. Fragmentation makes this an upper bound on the pure
 // sum-of-live-activations footprint of Figure 12(b).
+//
+// Implementation: a lifetime-interval index (one persistent offset-ordered
+// placement array under blocks carrying min/max lifetime envelopes) streams
+// each buffer's true lifetime conflicts in offset order with early exit,
+// and the per-step highwater trace is a start/end event sweep — see
+// DESIGN.md "Interval-indexed arena planner". The placements are
+// bit-identical to the original quadratic scan, which survives as
+// `testing::ReferencePlanArena` for the property suites.
 #ifndef SERENITY_ALLOC_ARENA_PLANNER_H_
 #define SERENITY_ALLOC_ARENA_PLANNER_H_
 
@@ -60,7 +68,9 @@ ArenaPlan PlanArena(const graph::Graph& graph,
                     std::int64_t alignment = 64);
 
 // True if no two placements with overlapping lifetimes overlap in address
-// range — the allocator's safety invariant (exercised by tests).
+// range — the allocator's safety invariant (exercised by tests). Runs a
+// start/end sweep over steps with an offset-ordered active set, so large
+// randomized plans validate in O(n log n).
 bool ValidatePlacements(const ArenaPlan& plan);
 
 }  // namespace serenity::alloc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 #include <vector>
 
 #include "util/logging.h"
@@ -9,6 +10,8 @@
 namespace serenity::memsim {
 
 namespace {
+
+constexpr std::int64_t kNoNextUse = std::numeric_limits<std::int64_t>::max();
 
 enum class TouchKind : std::uint8_t {
   kRead,     // consume existing content
@@ -19,16 +22,32 @@ enum class TouchKind : std::uint8_t {
 struct Touch {
   std::int32_t page = 0;
   TouchKind kind = TouchKind::kRead;
-  bool last_use = false;  // page is dead after this touch
+  bool last_use = false;       // page is dead after this touch
+  std::int64_t next_use = kNoNextUse;  // trace position of the next touch
 };
 
 struct PageState {
-  bool resident = false;
   bool produced = false;  // holds defined content (on- or off-chip)
   bool dirty = false;
   bool has_offchip_copy = false;
+  std::int32_t slot = -1;            // index into `resident`, -1 if absent
   std::int64_t last_touch = -1;      // LRU recency
-  std::size_t next_use_cursor = 0;   // Belady cursor into use_positions
+  std::int64_t next_use = kNoNextUse;  // Belady distance (set per touch)
+};
+
+// Lazy eviction heap entry: max-metric first, ties to the lowest page id.
+// An entry is stale once its page was re-touched (the metric moved) or
+// dropped; stale entries are discarded on pop.
+struct HeapEntry {
+  std::int64_t metric = 0;
+  std::int32_t page = 0;
+};
+
+struct HeapEntryLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.metric != b.metric) return a.metric < b.metric;
+    return a.page > b.page;  // equal metrics: lowest page id wins
+  }
 };
 
 }  // namespace
@@ -48,6 +67,9 @@ SimResult SimulateHierarchy(const graph::Graph& graph,
   }
 
   // --- Page table ---
+  // Pages are contiguous per buffer; the owning buffer, byte size (the last
+  // page of a buffer may be partial) and sink-ness of every page are
+  // precomputed once, so the replay never binary-searches `first_page`.
   const std::size_t num_buffers = table.buffers.size();
   std::vector<std::int32_t> first_page(num_buffers + 1, 0);
   for (std::size_t b = 0; b < num_buffers; ++b) {
@@ -59,18 +81,18 @@ SimResult SimulateHierarchy(const graph::Graph& graph,
   }
   const std::size_t num_pages = static_cast<std::size_t>(
       first_page[num_buffers]);
-  const auto page_size = [&](std::int32_t page) {
-    // Binary search for the owning buffer; pages are contiguous per buffer.
-    const auto it = std::upper_bound(first_page.begin(), first_page.end(),
-                                     page);
-    const std::size_t b = static_cast<std::size_t>(
-        it - first_page.begin() - 1);
-    const std::int64_t offset = static_cast<std::int64_t>(
-                                    page - first_page[b]) *
-                                options.page_bytes;
-    return std::min(options.page_bytes,
-                    table.buffers[b].size_bytes - offset);
-  };
+  std::vector<std::int64_t> page_bytes_of(num_pages, 0);
+  std::vector<std::uint8_t> page_is_sink(num_pages, 0);
+  for (std::size_t b = 0; b < num_buffers; ++b) {
+    for (std::int32_t p = first_page[b]; p < first_page[b + 1]; ++p) {
+      const std::int64_t offset = static_cast<std::int64_t>(
+                                      p - first_page[b]) *
+                                  options.page_bytes;
+      page_bytes_of[static_cast<std::size_t>(p)] = std::min(
+          options.page_bytes, table.buffers[b].size_bytes - offset);
+      page_is_sink[static_cast<std::size_t>(p)] = table.buffers[b].is_sink;
+    }
+  }
 
   // --- Access trace ---
   // A kernel consumes its inputs throughout output production, so input
@@ -89,7 +111,7 @@ SimResult SimulateHierarchy(const graph::Graph& graph,
         if (b == own) continue;  // folded into the write touches
         for (std::int32_t p = first_page[static_cast<std::size_t>(b)];
              p < first_page[static_cast<std::size_t>(b) + 1]; ++p) {
-          trace.push_back(Touch{p, TouchKind::kRead, false});
+          trace.push_back(Touch{p, TouchKind::kRead, false, kNoNextUse});
         }
       }
     };
@@ -100,96 +122,98 @@ SimResult SimulateHierarchy(const graph::Graph& graph,
     for (std::int32_t p = first_page[static_cast<std::size_t>(own)];
          p < first_page[static_cast<std::size_t>(own) + 1]; ++p) {
       trace.push_back(Touch{p, rmw ? TouchKind::kRmw : TouchKind::kProduce,
-                            false});
+                            false, kNoNextUse});
     }
     emit_reads();
     written_once[static_cast<std::size_t>(own)] = true;
   }
 
-  // Belady needs per-page use positions; the final touch of a non-sink
-  // buffer's page is also where the page dies (liveness ends at the last
-  // touching node, exactly as in the footprint evaluator).
-  std::vector<std::vector<std::int64_t>> use_positions(num_pages);
-  for (std::size_t t = 0; t < trace.size(); ++t) {
-    use_positions[static_cast<std::size_t>(trace[t].page)].push_back(
-        static_cast<std::int64_t>(t));
-  }
-  for (std::size_t b = 0; b < num_buffers; ++b) {
-    if (table.buffers[b].is_sink) continue;
-    for (std::int32_t p = first_page[b]; p < first_page[b + 1]; ++p) {
-      const auto& uses = use_positions[static_cast<std::size_t>(p)];
-      if (!uses.empty()) {
-        trace[static_cast<std::size_t>(uses.back())].last_use = true;
-      }
+  // Belady OPT linkage: one backward pass threads every touch to the next
+  // touch of the same page, so the replay reads a page's next use in O(1)
+  // instead of walking per-page position lists. The same pass marks the
+  // final touch of each non-sink page as its death (liveness ends at the
+  // last touching node, exactly as in the footprint evaluator).
+  std::vector<std::int64_t> next_seen(num_pages, kNoNextUse);
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    Touch& touch = trace[i];
+    const std::size_t page = static_cast<std::size_t>(touch.page);
+    touch.next_use = next_seen[page];
+    if (next_seen[page] == kNoNextUse && !page_is_sink[page]) {
+      touch.last_use = true;
     }
+    next_seen[page] = static_cast<std::int64_t>(i);
   }
 
   // --- Replay ---
   std::vector<PageState> state(num_pages);
   std::vector<std::int32_t> resident;
   std::int64_t resident_bytes = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryLess> heap;
 
-  const auto next_use_after = [&](std::int32_t page, std::int64_t t) {
-    const auto& uses = use_positions[static_cast<std::size_t>(page)];
-    auto& cursor = state[static_cast<std::size_t>(page)].next_use_cursor;
-    while (cursor < uses.size() && uses[cursor] <= t) ++cursor;
-    return cursor < uses.size()
-               ? uses[cursor]
-               : std::numeric_limits<std::int64_t>::max();
+  // The eviction metric of a resident page as of its latest touch; a heap
+  // entry is current iff it still matches (Belady distances strictly grow
+  // and LRU recency strictly shrinks across touches of one page, so only
+  // the entry pushed at the latest touch can match).
+  const auto metric_of = [&](std::int32_t page) {
+    const PageState& ps = state[static_cast<std::size_t>(page)];
+    return options.policy == ReplacementPolicy::kBelady ? ps.next_use
+                                                        : -ps.last_touch;
   };
   const auto drop = [&](std::int32_t page) {
-    resident.erase(std::find(resident.begin(), resident.end(), page));
-    state[static_cast<std::size_t>(page)].resident = false;
-    resident_bytes -= page_size(page);
+    PageState& ps = state[static_cast<std::size_t>(page)];
+    const std::int32_t back = resident.back();
+    resident[static_cast<std::size_t>(ps.slot)] = back;
+    state[static_cast<std::size_t>(back)].slot = ps.slot;
+    resident.pop_back();
+    ps.slot = -1;
+    resident_bytes -= page_bytes_of[static_cast<std::size_t>(page)];
   };
-  const auto evict_one = [&](std::int32_t incoming, std::int64_t t) {
-    std::int32_t victim = -1;
-    std::int64_t best_metric = -1;
-    for (const std::int32_t page : resident) {
-      if (page == incoming) continue;
-      const std::int64_t metric =
-          options.policy == ReplacementPolicy::kBelady
-              ? next_use_after(page, t)
-              : t - state[static_cast<std::size_t>(page)].last_touch;
-      if (metric > best_metric) {
-        best_metric = metric;
-        victim = page;
+  const auto evict_one = [&] {
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      PageState& vs = state[static_cast<std::size_t>(top.page)];
+      if (vs.slot < 0 || top.metric != metric_of(top.page)) {
+        continue;  // stale: page dropped or re-touched since the push
       }
+      if (vs.dirty) {
+        result.write_bytes += page_bytes_of[static_cast<std::size_t>(top.page)];
+        vs.dirty = false;
+        vs.has_offchip_copy = true;
+      }
+      drop(top.page);
+      ++result.evictions;
+      return;
     }
-    SERENITY_CHECK_GE(victim, 0) << "cache too small for a single page";
-    PageState& vs = state[static_cast<std::size_t>(victim)];
-    if (vs.dirty) {
-      result.write_bytes += page_size(victim);
-      vs.dirty = false;
-      vs.has_offchip_copy = true;
-    }
-    drop(victim);
-    ++result.evictions;
+    SERENITY_CHECK(false) << "cache too small for a single page";
   };
 
   for (std::size_t t = 0; t < trace.size(); ++t) {
     const Touch touch = trace[t];
     PageState& ps = state[static_cast<std::size_t>(touch.page)];
-    if (!ps.resident) {
-      const std::int64_t bytes = page_size(touch.page);
+    if (ps.slot < 0) {
+      const std::int64_t bytes =
+          page_bytes_of[static_cast<std::size_t>(touch.page)];
       while (resident_bytes + bytes > options.onchip_bytes) {
-        evict_one(touch.page, static_cast<std::int64_t>(t));
+        evict_one();
       }
       // Fetch old content for reads and read-modify-writes.
       if (ps.produced && touch.kind != TouchKind::kProduce) {
         SERENITY_CHECK(ps.has_offchip_copy);
         result.read_bytes += bytes;
       }
-      ps.resident = true;
+      ps.slot = static_cast<std::int32_t>(resident.size());
       resident.push_back(touch.page);
       resident_bytes += bytes;
     }
     ps.last_touch = static_cast<std::int64_t>(t);
+    ps.next_use = touch.next_use;
     if (touch.kind != TouchKind::kRead) {
       ps.produced = true;
       ps.dirty = true;
       ps.has_offchip_copy = false;
     }
+    heap.push(HeapEntry{metric_of(touch.page), touch.page});
     result.peak_resident_bytes =
         std::max(result.peak_resident_bytes, resident_bytes);
     if (touch.last_use) {

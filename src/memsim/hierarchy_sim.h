@@ -13,6 +13,12 @@
 // final output hand-off are excluded (schedule-independent), so a schedule
 // whose peak footprint fits on-chip incurs exactly zero traffic — the
 // paper's "SERENITY removes off-chip communication" cases.
+//
+// Implementation: trace construction threads every touch to the same
+// page's next touch (classic Belady OPT linkage), and eviction pops a lazy
+// max-heap keyed by next use (Belady) or recency (LRU) — see DESIGN.md
+// "Heap-driven hierarchy simulator". Eviction ties are deterministic: among
+// equally evictable pages the lowest page id is evicted.
 #ifndef SERENITY_MEMSIM_HIERARCHY_SIM_H_
 #define SERENITY_MEMSIM_HIERARCHY_SIM_H_
 

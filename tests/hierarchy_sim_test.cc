@@ -153,6 +153,31 @@ TEST(HierarchySim, InfeasibleOnlyBelowPageSize) {
                   .feasible);
 }
 
+TEST(HierarchySim, EvictionTiesBreakToLowestPageId) {
+  // Two dirty sink pages tie at a Belady distance of infinity (neither is
+  // ever used again). The eviction must deterministically pick the lowest
+  // page id — NOT whichever page happened to be fetched first. Scheduling
+  // `b` (the higher page id, 512B) before `a` (the lower, 1024B) makes the
+  // two orders observable: insertion-order eviction would write back 512B,
+  // lowest-page-id eviction writes back 1024B.
+  GraphBuilder builder("tie");
+  const NodeId in = builder.Input(TensorShape{1, 8, 8, 4}, "in");  // 1KB
+  const NodeId a = builder.Relu(in, "a");           // 1KB sink, lower page
+  const NodeId b = builder.Conv1x1(in, 2, "b");     // 512B sink, higher page
+  const NodeId c = builder.Conv1x1(in, 4, "c");     // 1KB sink
+  const graph::Graph g = std::move(builder).Build();
+  const sched::Schedule s = {in, b, a, c};
+  ASSERT_TRUE(sched::IsTopologicalOrder(g, s));
+  SimOptions options;
+  options.onchip_bytes = 3 * 1024;  // in + b + a fit; producing c evicts one
+  options.page_bytes = 1024;
+  const SimResult r = SimulateHierarchy(g, s, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.evictions, 1);
+  EXPECT_EQ(r.write_bytes, 1024);  // page of `a`, the lowest tied page id
+  EXPECT_EQ(r.read_bytes, 0);
+}
+
 TEST(HierarchySim, DirtyRewritesInvalidateOffchipCopy) {
   // An accumulator evicted between partial writes must be written back
   // again after the second write (its off-chip copy went stale).

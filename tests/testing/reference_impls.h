@@ -1,0 +1,353 @@
+// Reference (pre-optimization) implementations of the arena planner and
+// the hierarchy simulator, kept as the oracle for the property suites and
+// the before/after micro-benchmark (`bench_planner_memsim`).
+//
+// These are the seed algorithms verbatim — quadratic conflict scans, the
+// O(placements x steps) highwater fill, the O(resident) eviction scan —
+// with one deliberate change: `ReferenceSimulateHierarchy` breaks eviction
+// ties to the lowest page id (the seed's strict `>` picked whichever tied
+// page was fetched first, an accident of resident-list insertion order).
+// The production implementations in src/alloc and src/memsim must stay
+// bit-identical to these on every input.
+#ifndef SERENITY_TESTS_TESTING_REFERENCE_IMPLS_H_
+#define SERENITY_TESTS_TESTING_REFERENCE_IMPLS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "alloc/arena_planner.h"
+#include "graph/analysis.h"
+#include "graph/graph.h"
+#include "memsim/hierarchy_sim.h"
+#include "sched/schedule.h"
+#include "util/logging.h"
+
+namespace serenity::testing {
+
+// ------------------------------------------------------------ arena planner
+
+inline alloc::ArenaPlan ReferencePlanArena(
+    const graph::Graph& graph, const graph::BufferUseTable& table,
+    const sched::Schedule& schedule,
+    alloc::FitStrategy strategy = alloc::FitStrategy::kGreedyBySize,
+    std::int64_t alignment = 64) {
+  using alloc::BufferPlacement;
+  using alloc::FitStrategy;
+  const auto align_up = [](std::int64_t value, std::int64_t alignment_) {
+    return (value + alignment_ - 1) / alignment_ * alignment_;
+  };
+
+  struct Lifetime {
+    int first_step = -1;
+    int last_step = -1;
+    bool used = false;
+  };
+  std::vector<Lifetime> lifetimes(table.buffers.size());
+  for (std::size_t step = 0; step < schedule.size(); ++step) {
+    const graph::NodeId id = schedule[step];
+    for (const graph::BufferId b :
+         table.touched_buffers[static_cast<std::size_t>(id)]) {
+      Lifetime& life = lifetimes[static_cast<std::size_t>(b)];
+      const bool writes = graph.node(id).buffer == b;
+      if (writes && life.first_step < 0) {
+        life.first_step = static_cast<int>(step);
+        life.used = true;
+      }
+      life.last_step = static_cast<int>(step);
+    }
+  }
+  const int last = static_cast<int>(schedule.size()) - 1;
+  for (std::size_t b = 0; b < table.buffers.size(); ++b) {
+    if (lifetimes[b].used && table.buffers[b].is_sink) {
+      lifetimes[b].last_step = last;
+    }
+  }
+
+  std::vector<graph::BufferId> order;
+  for (std::size_t b = 0; b < lifetimes.size(); ++b) {
+    if (lifetimes[b].used) order.push_back(static_cast<graph::BufferId>(b));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::BufferId a, graph::BufferId b) {
+                     const Lifetime& la = lifetimes[static_cast<std::size_t>(a)];
+                     const Lifetime& lb = lifetimes[static_cast<std::size_t>(b)];
+                     const std::int64_t sa =
+                         table.buffers[static_cast<std::size_t>(a)].size_bytes;
+                     const std::int64_t sb =
+                         table.buffers[static_cast<std::size_t>(b)].size_bytes;
+                     if (strategy == FitStrategy::kGreedyBySize) {
+                       if (sa != sb) return sa > sb;
+                       return la.first_step < lb.first_step;
+                     }
+                     if (la.first_step != lb.first_step) {
+                       return la.first_step < lb.first_step;
+                     }
+                     return sa > sb;
+                   });
+
+  alloc::ArenaPlan plan;
+  plan.placements.reserve(order.size());
+  for (const graph::BufferId b : order) {
+    const Lifetime& life = lifetimes[static_cast<std::size_t>(b)];
+    const std::int64_t size =
+        std::max<std::int64_t>(table.buffers[static_cast<std::size_t>(b)]
+                                   .size_bytes,
+                               1);
+    std::vector<const BufferPlacement*> conflicts;
+    for (const BufferPlacement& p : plan.placements) {
+      if (p.first_step <= life.last_step && life.first_step <= p.last_step) {
+        conflicts.push_back(&p);
+      }
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const BufferPlacement* a, const BufferPlacement* b) {
+                return a->offset < b->offset;
+              });
+    std::int64_t best_offset = -1;
+    std::int64_t best_gap = std::numeric_limits<std::int64_t>::max();
+    std::int64_t cursor = 0;
+    const auto consider = [&](std::int64_t gap_start, std::int64_t gap_end) {
+      const std::int64_t start = align_up(gap_start, alignment);
+      if (gap_end - start < size) return;
+      if (strategy == FitStrategy::kBestFit) {
+        if (gap_end - start < best_gap) {
+          best_gap = gap_end - start;
+          best_offset = start;
+        }
+      } else if (best_offset < 0) {
+        best_offset = start;
+      }
+    };
+    for (const BufferPlacement* p : conflicts) {
+      if (p->offset > cursor) consider(cursor, p->offset);
+      cursor = std::max(cursor, p->offset + p->size);
+    }
+    const std::int64_t open_start = align_up(cursor, alignment);
+    if (best_offset < 0 ||
+        (strategy == FitStrategy::kBestFit &&
+         best_gap == std::numeric_limits<std::int64_t>::max())) {
+      best_offset = open_start;
+    }
+    plan.placements.push_back(BufferPlacement{
+        b, best_offset, size, life.first_step, life.last_step});
+    plan.arena_bytes = std::max(plan.arena_bytes, best_offset + size);
+  }
+
+  plan.highwater_at_step.assign(schedule.size(), 0);
+  for (const BufferPlacement& p : plan.placements) {
+    for (int step = p.first_step; step <= p.last_step; ++step) {
+      auto& hw = plan.highwater_at_step[static_cast<std::size_t>(step)];
+      hw = std::max(hw, p.offset + p.size);
+    }
+  }
+  return plan;
+}
+
+inline alloc::ArenaPlan ReferencePlanArena(
+    const graph::Graph& graph, const sched::Schedule& schedule,
+    alloc::FitStrategy strategy = alloc::FitStrategy::kGreedyBySize,
+    std::int64_t alignment = 64) {
+  return ReferencePlanArena(graph, graph::BufferUseTable::Build(graph),
+                            schedule, strategy, alignment);
+}
+
+// The seed's O(n^2) pairwise placement validator.
+inline bool ReferenceValidatePlacements(const alloc::ArenaPlan& plan) {
+  for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+    const alloc::BufferPlacement& a = plan.placements[i];
+    if (a.offset < 0 || a.size <= 0) return false;
+    if (a.offset + a.size > plan.arena_bytes) return false;
+    for (std::size_t j = i + 1; j < plan.placements.size(); ++j) {
+      const alloc::BufferPlacement& b = plan.placements[j];
+      const bool time_overlap =
+          a.first_step <= b.last_step && b.first_step <= a.last_step;
+      const bool space_overlap =
+          a.offset < b.offset + b.size && b.offset < a.offset + a.size;
+      if (time_overlap && space_overlap) return false;
+    }
+  }
+  return true;
+}
+
+// -------------------------------------------------------- hierarchy sim
+
+inline memsim::SimResult ReferenceSimulateHierarchy(
+    const graph::Graph& graph, const graph::BufferUseTable& table,
+    const sched::Schedule& schedule, const memsim::SimOptions& options) {
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph, schedule));
+  SERENITY_CHECK_GT(options.onchip_bytes, 0);
+  SERENITY_CHECK_GT(options.page_bytes, 0);
+
+  enum class TouchKind : std::uint8_t { kRead, kProduce, kRmw };
+  struct Touch {
+    std::int32_t page = 0;
+    TouchKind kind = TouchKind::kRead;
+    bool last_use = false;
+  };
+  struct PageState {
+    bool resident = false;
+    bool produced = false;
+    bool dirty = false;
+    bool has_offchip_copy = false;
+    std::int64_t last_touch = -1;
+    std::size_t next_use_cursor = 0;
+  };
+
+  memsim::SimResult result;
+  if (options.onchip_bytes < options.page_bytes) {
+    result.feasible = false;
+    return result;
+  }
+
+  const std::size_t num_buffers = table.buffers.size();
+  std::vector<std::int32_t> first_page(num_buffers + 1, 0);
+  for (std::size_t b = 0; b < num_buffers; ++b) {
+    const std::int64_t bytes = std::max<std::int64_t>(
+        table.buffers[b].size_bytes, 1);
+    const std::int64_t pages =
+        (bytes + options.page_bytes - 1) / options.page_bytes;
+    first_page[b + 1] = first_page[b] + static_cast<std::int32_t>(pages);
+  }
+  const std::size_t num_pages = static_cast<std::size_t>(
+      first_page[num_buffers]);
+  const auto page_size = [&](std::int32_t page) {
+    const auto it = std::upper_bound(first_page.begin(), first_page.end(),
+                                     page);
+    const std::size_t b = static_cast<std::size_t>(
+        it - first_page.begin() - 1);
+    const std::int64_t offset = static_cast<std::int64_t>(
+                                    page - first_page[b]) *
+                                options.page_bytes;
+    return std::min(options.page_bytes,
+                    table.buffers[b].size_bytes - offset);
+  };
+
+  std::vector<bool> written_once(num_buffers, false);
+  std::vector<Touch> trace;
+  for (const graph::NodeId id : schedule) {
+    const std::size_t uid = static_cast<std::size_t>(id);
+    const graph::BufferId own = graph.node(id).buffer;
+    const auto& reads = table.read_buffers[uid];
+    const auto emit_reads = [&] {
+      for (const graph::BufferId b : reads) {
+        if (b == own) continue;
+        for (std::int32_t p = first_page[static_cast<std::size_t>(b)];
+             p < first_page[static_cast<std::size_t>(b) + 1]; ++p) {
+          trace.push_back(Touch{p, TouchKind::kRead, false});
+        }
+      }
+    };
+    emit_reads();
+    const bool rmw = written_once[static_cast<std::size_t>(own)];
+    for (std::int32_t p = first_page[static_cast<std::size_t>(own)];
+         p < first_page[static_cast<std::size_t>(own) + 1]; ++p) {
+      trace.push_back(Touch{p, rmw ? TouchKind::kRmw : TouchKind::kProduce,
+                            false});
+    }
+    emit_reads();
+    written_once[static_cast<std::size_t>(own)] = true;
+  }
+
+  std::vector<std::vector<std::int64_t>> use_positions(num_pages);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    use_positions[static_cast<std::size_t>(trace[t].page)].push_back(
+        static_cast<std::int64_t>(t));
+  }
+  for (std::size_t b = 0; b < num_buffers; ++b) {
+    if (table.buffers[b].is_sink) continue;
+    for (std::int32_t p = first_page[b]; p < first_page[b + 1]; ++p) {
+      const auto& uses = use_positions[static_cast<std::size_t>(p)];
+      if (!uses.empty()) {
+        trace[static_cast<std::size_t>(uses.back())].last_use = true;
+      }
+    }
+  }
+
+  std::vector<PageState> state(num_pages);
+  std::vector<std::int32_t> resident;
+  std::int64_t resident_bytes = 0;
+
+  const auto next_use_after = [&](std::int32_t page, std::int64_t t) {
+    const auto& uses = use_positions[static_cast<std::size_t>(page)];
+    auto& cursor = state[static_cast<std::size_t>(page)].next_use_cursor;
+    while (cursor < uses.size() && uses[cursor] <= t) ++cursor;
+    return cursor < uses.size()
+               ? uses[cursor]
+               : std::numeric_limits<std::int64_t>::max();
+  };
+  const auto drop = [&](std::int32_t page) {
+    resident.erase(std::find(resident.begin(), resident.end(), page));
+    state[static_cast<std::size_t>(page)].resident = false;
+    resident_bytes -= page_size(page);
+  };
+  const auto evict_one = [&](std::int32_t incoming, std::int64_t t) {
+    std::int32_t victim = -1;
+    std::int64_t best_metric = -1;
+    for (const std::int32_t page : resident) {
+      if (page == incoming) continue;
+      const std::int64_t metric =
+          options.policy == memsim::ReplacementPolicy::kBelady
+              ? next_use_after(page, t)
+              : t - state[static_cast<std::size_t>(page)].last_touch;
+      // Ties locked to the lowest page id (the production tie-break).
+      if (metric > best_metric ||
+          (metric == best_metric && page < victim)) {
+        best_metric = metric;
+        victim = page;
+      }
+    }
+    SERENITY_CHECK_GE(victim, 0) << "cache too small for a single page";
+    PageState& vs = state[static_cast<std::size_t>(victim)];
+    if (vs.dirty) {
+      result.write_bytes += page_size(victim);
+      vs.dirty = false;
+      vs.has_offchip_copy = true;
+    }
+    drop(victim);
+    ++result.evictions;
+  };
+
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const Touch touch = trace[t];
+    PageState& ps = state[static_cast<std::size_t>(touch.page)];
+    if (!ps.resident) {
+      const std::int64_t bytes = page_size(touch.page);
+      while (resident_bytes + bytes > options.onchip_bytes) {
+        evict_one(touch.page, static_cast<std::int64_t>(t));
+      }
+      if (ps.produced && touch.kind != TouchKind::kProduce) {
+        SERENITY_CHECK(ps.has_offchip_copy);
+        result.read_bytes += bytes;
+      }
+      ps.resident = true;
+      resident.push_back(touch.page);
+      resident_bytes += bytes;
+    }
+    ps.last_touch = static_cast<std::int64_t>(t);
+    if (touch.kind != TouchKind::kRead) {
+      ps.produced = true;
+      ps.dirty = true;
+      ps.has_offchip_copy = false;
+    }
+    result.peak_resident_bytes =
+        std::max(result.peak_resident_bytes, resident_bytes);
+    if (touch.last_use) {
+      ps.dirty = false;
+      drop(touch.page);
+    }
+  }
+  return result;
+}
+
+inline memsim::SimResult ReferenceSimulateHierarchy(
+    const graph::Graph& graph, const sched::Schedule& schedule,
+    const memsim::SimOptions& options) {
+  return ReferenceSimulateHierarchy(
+      graph, graph::BufferUseTable::Build(graph), schedule, options);
+}
+
+}  // namespace serenity::testing
+
+#endif  // SERENITY_TESTS_TESTING_REFERENCE_IMPLS_H_
