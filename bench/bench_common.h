@@ -108,8 +108,16 @@ class JsonRows {
   }
 
   // Writes {"rows": [...]} to `path`. Returns false (with a message on
-  // stderr) if the file cannot be written.
+  // stderr) if the file cannot be written — or if no rows were ever begun,
+  // so a silently truncated benchmark fails its CI smoke run instead of
+  // uploading an empty trajectory point.
   bool WriteTo(const std::string& path) const {
+    if (rows_.empty()) {
+      std::fprintf(stderr,
+                   "refusing to write %s: benchmark emitted zero rows\n",
+                   path.c_str());
+      return false;
+    }
     std::FILE* file = std::fopen(path.c_str(), "w");
     if (file == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());

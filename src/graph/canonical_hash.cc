@@ -1,0 +1,165 @@
+#include "graph/canonical_hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace serenity::graph {
+namespace {
+
+// splitmix64 finalizer: a cheap full-avalanche mixer.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Order-sensitive fold.
+std::uint64_t Fold(std::uint64_t state, std::uint64_t value) {
+  return Mix(state ^ (value + 0x165667b19e3779f9ull + (state << 6) +
+                      (state >> 2)));
+}
+
+// Local signature: every attribute the scheduler/rewriter/planner reads,
+// none of the builder bookkeeping (name, id, weight_seed).
+std::uint64_t LocalSignature(const Graph& graph, const Node& node,
+                             std::uint64_t seed) {
+  std::uint64_t h = Fold(seed, static_cast<std::uint64_t>(node.kind));
+  h = Fold(h, static_cast<std::uint64_t>(node.dtype));
+  h = Fold(h, static_cast<std::uint64_t>(node.shape.n));
+  h = Fold(h, static_cast<std::uint64_t>(node.shape.h));
+  h = Fold(h, static_cast<std::uint64_t>(node.shape.w));
+  h = Fold(h, static_cast<std::uint64_t>(node.shape.c));
+  if (IsConvLike(node.kind)) {
+    h = Fold(h, static_cast<std::uint64_t>(node.conv.kernel_h));
+    h = Fold(h, static_cast<std::uint64_t>(node.conv.kernel_w));
+    h = Fold(h, static_cast<std::uint64_t>(node.conv.stride));
+    h = Fold(h, static_cast<std::uint64_t>(node.conv.dilation));
+    h = Fold(h, static_cast<std::uint64_t>(node.conv.padding));
+  }
+  h = Fold(h, static_cast<std::uint64_t>(node.concat_axis));
+  h = Fold(h, static_cast<std::uint64_t>(
+                  graph.buffer(node.buffer).size_bytes));
+  h = Fold(h, static_cast<std::uint64_t>(node.buffer_channel_offset));
+  h = Fold(h, static_cast<std::uint64_t>(node.in_channel_offset));
+  h = Fold(h, static_cast<std::uint64_t>(node.weight_in_channels));
+  h = Fold(h, static_cast<std::uint64_t>(node.weight_count));
+  return h;
+}
+
+// One 64-bit canonicalization pass under `seed`.
+std::uint64_t HashWithSeed(const Graph& graph, std::uint64_t seed) {
+  const int n = graph.num_nodes();
+  std::vector<std::uint64_t> local(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    local[static_cast<std::size_t>(id)] =
+        LocalSignature(graph, graph.node(id), seed);
+  }
+
+  // Forward: ancestry in operand order. Node ids are a topological order by
+  // the Graph's append-only construction discipline, for *any* relabeling.
+  std::vector<std::uint64_t> forward(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    std::uint64_t h = local[static_cast<std::size_t>(id)];
+    for (const NodeId input : graph.node(id).inputs) {
+      h = Fold(h, forward[static_cast<std::size_t>(input)]);
+    }
+    forward[static_cast<std::size_t>(id)] = h;
+  }
+
+  // Backward: descendance. Consumer insertion order is builder bookkeeping,
+  // so contributions combine commutatively — but the operand position a
+  // consumer reads us at is semantic and tags each contribution.
+  std::vector<std::uint64_t> backward(static_cast<std::size_t>(n));
+  for (NodeId id = n - 1; id >= 0; --id) {
+    std::uint64_t sum = 0;
+    for (const NodeId consumer : graph.consumers(id)) {
+      const Node& c = graph.node(consumer);
+      for (std::size_t pos = 0; pos < c.inputs.size(); ++pos) {
+        if (c.inputs[pos] != id) continue;
+        sum += Fold(backward[static_cast<std::size_t>(consumer)],
+                    static_cast<std::uint64_t>(pos));
+      }
+    }
+    backward[static_cast<std::size_t>(id)] =
+        Fold(local[static_cast<std::size_t>(id)], sum);
+  }
+
+  std::vector<std::uint64_t> node_hash(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    node_hash[static_cast<std::size_t>(id)] =
+        Fold(forward[static_cast<std::size_t>(id)],
+             backward[static_cast<std::size_t>(id)]);
+  }
+
+  // Buffer sharing structure: which nodes alias one buffer (the rewriter's
+  // accumulators and concat views), independent of buffer ids.
+  std::vector<std::uint64_t> buffer_hash(
+      static_cast<std::size_t>(graph.num_buffers()));
+  for (BufferId b = 0; b < graph.num_buffers(); ++b) {
+    buffer_hash[static_cast<std::size_t>(b)] =
+        Fold(seed, static_cast<std::uint64_t>(graph.buffer(b).size_bytes));
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = graph.node(id);
+    buffer_hash[static_cast<std::size_t>(node.buffer)] +=
+        Fold(node_hash[static_cast<std::size_t>(id)],
+             static_cast<std::uint64_t>(node.buffer_channel_offset));
+  }
+
+  // Sorted multisets make the final fold order-independent yet strictly
+  // stronger than a plain commutative sum.
+  std::sort(node_hash.begin(), node_hash.end());
+  std::sort(buffer_hash.begin(), buffer_hash.end());
+  std::uint64_t h = Fold(seed, static_cast<std::uint64_t>(n));
+  h = Fold(h, static_cast<std::uint64_t>(graph.num_edges()));
+  h = Fold(h, static_cast<std::uint64_t>(graph.num_buffers()));
+  for (const std::uint64_t v : node_hash) h = Fold(h, v);
+  for (const std::uint64_t v : buffer_hash) h = Fold(h, v);
+  return h;
+}
+
+}  // namespace
+
+std::string GraphHash::ToHex() const {
+  char buffer[33];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buffer;
+}
+
+GraphHash GraphHashFromHex(const std::string& hex) {
+  SERENITY_CHECK_EQ(hex.size(), 32u) << "graph hash must be 32 hex digits";
+  GraphHash h;
+  for (int half = 0; half < 2; ++half) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(half * 16 + i)];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        SERENITY_CHECK(false) << "bad hex digit '" << c << "' in graph hash";
+        digit = 0;
+      }
+      value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    (half == 0 ? h.hi : h.lo) = value;
+  }
+  return h;
+}
+
+GraphHash CanonicalGraphHash(const Graph& graph) {
+  GraphHash h;
+  h.hi = HashWithSeed(graph, 0x5345524e49545931ull);  // "SERENITY1"
+  h.lo = HashWithSeed(graph, 0x68617368327632aaull);  // independent seed
+  return h;
+}
+
+}  // namespace serenity::graph

@@ -1,0 +1,64 @@
+// Canonical structural graph hashing — the cache key of the serve path.
+//
+// Two graphs that differ only in builder bookkeeping (node insertion order,
+// node/buffer ids, node names, weight seeds) describe the same scheduling
+// problem: the DP search, the rewriter and the arena planner see only
+// topology, op kinds, tensor shapes and buffer aliasing. CanonicalGraphHash
+// fingerprints exactly that semantic content, so a plan computed for one
+// construction of a network is reusable for every relabeled construction of
+// it (serve/plan_cache.h keys on this hash).
+//
+// Definition (DESIGN.md "Serve path"): every node gets a local signature
+// over its scheduling-relevant attributes (op kind, dtype, output shape,
+// conv attrs, concat axis, buffer size and channel offset, weight-slice
+// metadata — never its name, id or weight seed). A forward pass folds each
+// node's operand hashes in operand order (operand order is semantic); a
+// backward pass folds consumer hashes commutatively, tagged with the operand
+// position each consumer reads (consumer *order* is builder bookkeeping).
+// The per-node hash combines both directions, so it depends on the node's
+// full ancestry and full descendance. The graph hash mixes the sorted
+// multiset of node hashes, a commutative fold of per-buffer sharing
+// signatures (which nodes alias one buffer), and the node/edge/buffer
+// counts. The whole computation runs twice with independent seeds to
+// produce 128 bits; collisions between distinct real networks are
+// vanishingly unlikely (tests/canonical_hash_test.cc pins distinctness over
+// 1000 random non-isomorphic cells and invariance under random relabeling).
+#ifndef SERENITY_GRAPH_CANONICAL_HASH_H_
+#define SERENITY_GRAPH_CANONICAL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace serenity::graph {
+
+struct GraphHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const GraphHash&) const = default;
+  // Lexicographic; gives persisted cache files a stable entry order.
+  bool operator<(const GraphHash& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  std::string ToHex() const;  // 32 lowercase hex digits
+};
+
+// Parses ToHex output; dies on malformed input.
+GraphHash GraphHashFromHex(const std::string& hex);
+
+// Functor for unordered_map keys.
+struct GraphHashHasher {
+  std::size_t operator()(const GraphHash& h) const {
+    return static_cast<std::size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+GraphHash CanonicalGraphHash(const Graph& graph);
+
+}  // namespace serenity::graph
+
+#endif  // SERENITY_GRAPH_CANONICAL_HASH_H_

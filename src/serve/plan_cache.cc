@@ -1,0 +1,196 @@
+#include "serve/plan_cache.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "serialize/serialize.h"
+#include "util/logging.h"
+
+namespace serenity::serve {
+
+std::int64_t CachedPlanBytes(const CachedPlan& plan) {
+  const auto& g = plan.result.scheduled_graph;
+  std::int64_t bytes = static_cast<std::int64_t>(sizeof(CachedPlan));
+  bytes += static_cast<std::int64_t>(g.num_nodes()) *
+           static_cast<std::int64_t>(sizeof(graph::Node));
+  bytes += static_cast<std::int64_t>(g.num_edges()) *
+           static_cast<std::int64_t>(2 * sizeof(graph::NodeId));
+  bytes += static_cast<std::int64_t>(plan.result.schedule.size() +
+                                     plan.plan.schedule.size()) *
+           static_cast<std::int64_t>(sizeof(graph::NodeId));
+  bytes += static_cast<std::int64_t>(plan.plan.arena.placements.size()) *
+           static_cast<std::int64_t>(sizeof(alloc::BufferPlacement));
+  bytes += static_cast<std::int64_t>(
+      plan.plan.arena.highwater_at_step.size() * sizeof(std::int64_t));
+  bytes += static_cast<std::int64_t>(plan.plan_text.size());
+  for (const graph::Node& node : g.nodes()) {
+    bytes += static_cast<std::int64_t>(node.name.size() +
+                                       node.inputs.size() *
+                                           sizeof(graph::NodeId));
+  }
+  return bytes;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const graph::GraphHash& hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.plan;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Insert(
+    const graph::GraphHash& hash, core::PipelineResult result) {
+  SERENITY_CHECK(result.success) << "only successful results are cacheable";
+  auto plan = std::make_shared<CachedPlan>();
+  plan->hash = hash;
+  plan->result = std::move(result);
+  plan->plan = serialize::MakePlan(plan->result.scheduled_graph,
+                                   plan->result.schedule);
+  plan->plan_text = serialize::PlanToText(plan->plan);
+  plan->bytes = CachedPlanBytes(*plan);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(plan);
+  return plan;
+}
+
+void PlanCache::InsertLocked(std::shared_ptr<const CachedPlan> plan) {
+  const graph::GraphHash hash = plan->hash;
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    bytes_in_use_ -= it->second.plan->bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  lru_.push_front(hash);
+  bytes_in_use_ += plan->bytes;
+  entries_[hash] = Entry{std::move(plan), lru_.begin()};
+  ++counters_.insertions;
+  EvictToCapacityLocked();
+}
+
+void PlanCache::EvictToCapacityLocked() {
+  while (bytes_in_use_ > capacity_bytes_ && entries_.size() > 1) {
+    const graph::GraphHash victim = lru_.back();
+    const auto it = entries_.find(victim);
+    SERENITY_CHECK(it != entries_.end());
+    bytes_in_use_ -= it->second.plan->bytes;
+    lru_.pop_back();
+    entries_.erase(it);
+    ++counters_.evictions;
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s = counters_;
+  s.bytes_in_use = bytes_in_use_;
+  s.capacity_bytes = capacity_bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void PlanCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = PlanCacheStats{};
+}
+
+// ------------------------------------------------------------- persistence
+//
+//   serenity-plan-cache v1 <num_entries>
+//   entry <hash_hex> <graph_bytes> <plan_bytes> <peak_bytes>
+//         <states_expanded> <conv_pat> <dw_pat> <relu_pushes>
+//         <nodes_before> <nodes_after> <num_segments> <seg0> <seg1> ...
+//   <graph_bytes raw bytes: serialize::ToText(scheduled_graph)>
+//   <plan_bytes raw bytes: PlanToText(plan)>
+
+void PlanCache::SaveToFile(const std::string& path) const {
+  std::vector<std::shared_ptr<const CachedPlan>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const graph::GraphHash& hash : lru_) {
+      snapshot.push_back(entries_.at(hash).plan);
+    }
+  }
+  std::ofstream os(path, std::ios::binary);
+  SERENITY_CHECK(os.good()) << "cannot open '" << path << "' for writing";
+  os << "serenity-plan-cache v1 " << snapshot.size() << "\n";
+  for (const auto& plan : snapshot) {
+    const std::string graph_text =
+        serialize::ToText(plan->result.scheduled_graph);
+    const core::PipelineResult& r = plan->result;
+    os << "entry " << plan->hash.ToHex() << " " << graph_text.size() << " "
+       << plan->plan_text.size() << " " << r.peak_bytes << " "
+       << r.states_expanded << " " << r.rewrite_report.conv_patterns << " "
+       << r.rewrite_report.depthwise_patterns << " "
+       << r.rewrite_report.relu_pushes << " "
+       << r.rewrite_report.nodes_before << " "
+       << r.rewrite_report.nodes_after << " " << r.segment_sizes.size();
+    for (const int size : r.segment_sizes) os << " " << size;
+    os << "\n" << graph_text << plan->plan_text;
+  }
+  SERENITY_CHECK(os.good()) << "error writing '" << path << "'";
+}
+
+int PlanCache::LoadFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SERENITY_CHECK(is.good()) << "cannot open '" << path << "' for reading";
+  std::string magic, version;
+  std::size_t num_entries = 0;
+  is >> magic >> version >> num_entries;
+  SERENITY_CHECK(magic == "serenity-plan-cache" && version == "v1")
+      << "'" << path << "' is not a v1 plan-cache file";
+
+  // Read back in reverse-recency order so re-insertion leaves the saved
+  // most-recently-used entry at the front of our LRU list again.
+  std::vector<std::shared_ptr<const CachedPlan>> loaded;
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    std::string tag, hex;
+    std::size_t graph_bytes = 0, plan_bytes = 0, num_segments = 0;
+    auto plan = std::make_shared<CachedPlan>();
+    core::PipelineResult& r = plan->result;
+    is >> tag >> hex >> graph_bytes >> plan_bytes >> r.peak_bytes >>
+        r.states_expanded >> r.rewrite_report.conv_patterns >>
+        r.rewrite_report.depthwise_patterns >>
+        r.rewrite_report.relu_pushes >> r.rewrite_report.nodes_before >>
+        r.rewrite_report.nodes_after >> num_segments;
+    SERENITY_CHECK(is.good() && tag == "entry")
+        << "malformed cache entry " << e << " in '" << path << "'";
+    r.segment_sizes.resize(num_segments);
+    for (std::size_t s = 0; s < num_segments; ++s) is >> r.segment_sizes[s];
+    is.ignore(1, '\n');
+
+    std::string graph_text(graph_bytes, '\0');
+    is.read(graph_text.data(), static_cast<std::streamsize>(graph_bytes));
+    std::string plan_text(plan_bytes, '\0');
+    is.read(plan_text.data(), static_cast<std::streamsize>(plan_bytes));
+    SERENITY_CHECK(is.good()) << "truncated cache entry " << e << " in '"
+                              << path << "'";
+
+    plan->hash = graph::GraphHashFromHex(hex);
+    r.scheduled_graph = serialize::FromText(graph_text);
+    plan->plan = serialize::PlanFromText(plan_text, r.scheduled_graph);
+    r.schedule = plan->plan.schedule;
+    r.success = true;
+    plan->plan_text = std::move(plan_text);
+    plan->bytes = CachedPlanBytes(*plan);
+    loaded.push_back(std::move(plan));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = loaded.rbegin(); it != loaded.rend(); ++it) {
+    InsertLocked(std::move(*it));
+  }
+  return static_cast<int>(loaded.size());
+}
+
+}  // namespace serenity::serve

@@ -1,0 +1,109 @@
+// PlanCache: the amortization layer of the serve path.
+//
+// SERENITY's expensive memory-aware search runs once per *structural* graph;
+// the resulting schedule + arena plan is then reused across millions of
+// inferences. The cache maps CanonicalGraphHash (graph/canonical_hash.h) to
+// an immutable CachedPlan holding the full PipelineResult plus its
+// serialized execution plan (serialize/plan.h), so a hit serves in O(hash +
+// lookup) and hands the caller the exact artifact an edge runtime consumes.
+//
+// Eviction is LRU bounded by a byte budget: every entry is charged its
+// retained footprint (graph nodes, schedule, placements, serialized texts)
+// and least-recently-served entries are dropped until the budget holds.
+// Lookups and inserts are thread-safe; returned plans are shared_ptr<const>
+// snapshots, so an entry evicted mid-use stays alive for its holders.
+//
+// Persistence ("warm restart"): SaveToFile writes every entry as
+//   entry <hash_hex> <graph_bytes> <plan_bytes> <peak> <states> ...
+// followed by the length-prefixed serialized scheduled graph and plan
+// texts. LoadFromFile parses the graphs back (serialize::FromText), re-reads
+// each plan against its graph (full validation) and re-inserts, so a
+// restarted service answers its first request for a known graph from cache
+// instead of re-planning. Search timings are not persisted — they describe
+// the planning run, not the plan — and load as zero.
+#ifndef SERENITY_SERVE_PLAN_CACHE_H_
+#define SERENITY_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+#include "graph/canonical_hash.h"
+#include "serialize/plan.h"
+
+namespace serenity::serve {
+
+struct CachedPlan {
+  graph::GraphHash hash;
+  core::PipelineResult result;  // success is always true for cached entries
+  std::string plan_text;        // serialize::PlanToText of `plan`
+  serialize::ExecutionPlan plan;  // arena plan over result.scheduled_graph
+  std::int64_t bytes = 0;       // retained-footprint charge for eviction
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::int64_t bytes_in_use = 0;
+  std::int64_t capacity_bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::int64_t capacity_bytes = 256ll << 20)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Returns the cached plan and bumps it most-recently-used, or nullptr.
+  std::shared_ptr<const CachedPlan> Lookup(const graph::GraphHash& hash);
+
+  // Builds a CachedPlan from a successful pipeline run (serializes the
+  // execution plan internally), inserts it and returns it. Replaces any
+  // existing entry for `hash`; evicts LRU entries beyond the byte budget.
+  // Dies if `result.success` is false — failures are not cacheable.
+  std::shared_ptr<const CachedPlan> Insert(const graph::GraphHash& hash,
+                                           core::PipelineResult result);
+
+  PlanCacheStats stats() const;
+  void ResetStats();
+
+  // Persists all entries, most-recently-used first (so a truncated LoadFrom
+  // of a smaller cache keeps the hottest plans). Dies on I/O failure.
+  void SaveToFile(const std::string& path) const;
+
+  // Loads entries from `path` into this cache (on top of whatever it
+  // holds); counts as insertions, not hits. Returns entries loaded. Dies on
+  // malformed input.
+  int LoadFromFile(const std::string& path);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    std::list<graph::GraphHash>::iterator lru_pos;
+  };
+
+  // All private helpers assume mu_ is held.
+  void InsertLocked(std::shared_ptr<const CachedPlan> plan);
+  void EvictToCapacityLocked();
+
+  mutable std::mutex mu_;
+  std::int64_t capacity_bytes_;
+  std::int64_t bytes_in_use_ = 0;
+  std::list<graph::GraphHash> lru_;  // front = most recently used
+  std::unordered_map<graph::GraphHash, Entry, graph::GraphHashHasher>
+      entries_;
+  PlanCacheStats counters_;  // hits/misses/insertions/evictions only
+};
+
+// The retained-footprint charge of one entry (exposed for tests).
+std::int64_t CachedPlanBytes(const CachedPlan& plan);
+
+}  // namespace serenity::serve
+
+#endif  // SERENITY_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,143 @@
+#include "serve/scheduler_service.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace serenity::serve {
+
+SchedulerService::SchedulerService(ServeOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity_bytes) {
+  SERENITY_CHECK_GE(options_.num_workers, 1);
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SchedulerService::~SchedulerService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Submission SchedulerService::Submit(const graph::Graph& graph) {
+  Submission submission;
+  submission.hash = graph::CanonicalGraphHash(graph);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SERENITY_CHECK(!stopping_) << "Submit after shutdown began";
+  ++counters_.requests;
+
+  // Path 2 first: attaching to an in-flight planning run also covers the
+  // window where its result is not yet in the cache.
+  const auto flight = in_flight_.find(submission.hash);
+  if (flight != in_flight_.end()) {
+    ++counters_.coalesced;
+    submission.coalesced = true;
+    submission.future = flight->second;
+    return submission;
+  }
+
+  // Path 1: served from cache on the caller's thread.
+  if (std::shared_ptr<const CachedPlan> plan =
+          cache_.Lookup(submission.hash)) {
+    ++counters_.cache_hits;
+    submission.cache_hit = true;
+    std::promise<ServeResult> ready;
+    ready.set_value(ServeResult{submission.hash, std::move(plan),
+                                /*cache_hit=*/true, /*coalesced=*/false,
+                                /*failure_reason=*/""});
+    submission.future = ready.get_future().share();
+    return submission;
+  }
+
+  // Path 3: enqueue a planning job and register it for single-flight.
+  Job job;
+  job.hash = submission.hash;
+  job.graph = graph;
+  job.promise = std::make_shared<std::promise<ServeResult>>();
+  submission.future = job.promise->get_future().share();
+  in_flight_.emplace(submission.hash, submission.future);
+  queue_.push_back(std::move(job));
+  work_ready_.notify_one();
+  return submission;
+}
+
+void SchedulerService::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    ServeResult result;
+    result.hash = job.hash;
+    core::PipelineResult planned =
+        core::Pipeline(options_.pipeline).Run(job.graph);
+    if (planned.success) {
+      result.plan = cache_.Insert(job.hash, std::move(planned));
+    } else {
+      result.failure_reason = std::move(planned.failure_reason);
+    }
+
+    {
+      // The cache insert above happens before the in-flight erase, so a
+      // concurrent Submit always finds the plan on one path or the other.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (result.plan != nullptr) {
+        ++counters_.planned;
+      } else {
+        ++counters_.failures;
+      }
+      in_flight_.erase(job.hash);
+    }
+    job.promise->set_value(std::move(result));
+  }
+}
+
+ServeResult SchedulerService::Schedule(const graph::Graph& graph) {
+  const Submission submission = Submit(graph);
+  ServeResult result = submission.future.get();
+  result.cache_hit = submission.cache_hit;
+  result.coalesced = submission.coalesced;
+  return result;
+}
+
+std::vector<ServeResult> SchedulerService::ScheduleBatch(
+    const std::vector<const graph::Graph*>& batch) {
+  std::vector<Submission> submissions;
+  submissions.reserve(batch.size());
+  for (const graph::Graph* graph : batch) {
+    SERENITY_CHECK(graph != nullptr);
+    submissions.push_back(Submit(*graph));
+  }
+  std::vector<ServeResult> results;
+  results.reserve(batch.size());
+  for (const Submission& submission : submissions) {
+    ServeResult result = submission.future.get();
+    result.cache_hit = submission.cache_hit;
+    result.coalesced = submission.coalesced;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+ServiceStats SchedulerService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = counters_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace serenity::serve

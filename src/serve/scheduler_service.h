@@ -1,0 +1,126 @@
+// SchedulerService: a long-lived scheduler-as-a-service front end.
+//
+// The serve-path contract (DESIGN.md "Serve path"): callers hand in graphs,
+// the service hands back immutable CachedPlan snapshots. Three paths, in
+// decreasing frequency under real traffic:
+//
+//   1. Cache hit — the canonical hash is already in the PlanCache; the plan
+//      is returned immediately on the caller's thread, O(hash + lookup).
+//   2. Coalesced — another request for the same structural graph is being
+//      planned right now; the caller attaches to that request's future
+//      instead of planning again (single-flight: one Pipeline::Run per
+//      distinct graph no matter how many concurrent requesters).
+//   3. Planned — the graph is enqueued to a worker pool; a worker runs the
+//      full Pipeline (whose DP expansion can itself shard across
+//      DpOptions::num_threads), inserts the plan into the cache, and
+//      fulfills every attached future.
+//
+// Batching: ScheduleBatch submits a whole request batch up front — so
+// distinct graphs plan concurrently across the pool while duplicates
+// coalesce — then gathers the results in request order.
+//
+// Persistence rides on the cache: cache().SaveToFile / LoadFromFile give a
+// restarted service a warm start (see examples/serenity_serve.cpp).
+#ifndef SERENITY_SERVE_SCHEDULER_SERVICE_H_
+#define SERENITY_SERVE_SCHEDULER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "graph/canonical_hash.h"
+#include "serve/plan_cache.h"
+
+namespace serenity::serve {
+
+struct ServeOptions {
+  core::PipelineOptions pipeline;    // how misses are planned
+  int num_workers = 1;               // planning threads in the pool
+  std::int64_t cache_capacity_bytes = 256ll << 20;
+};
+
+struct ServeResult {
+  graph::GraphHash hash;
+  // The served plan; nullptr iff planning failed (failure_reason says why).
+  std::shared_ptr<const CachedPlan> plan;
+  bool cache_hit = false;   // path 1: served from cache, no wait
+  bool coalesced = false;   // path 2: waited on another request's planning
+  std::string failure_reason;
+};
+
+// An in-flight submission. `cache_hit`/`coalesced` describe *this*
+// submission (the shared future's ServeResult describes the planning run).
+struct Submission {
+  graph::GraphHash hash;
+  std::shared_future<ServeResult> future;
+  bool cache_hit = false;
+  bool coalesced = false;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t planned = 0;
+  std::uint64_t failures = 0;
+  PlanCacheStats cache;
+};
+
+class SchedulerService {
+ public:
+  explicit SchedulerService(ServeOptions options = {});
+  // Drains the queue (queued requests still complete) and joins the pool.
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  // Hashes `graph` and serves it via the fastest applicable path. The graph
+  // is copied only when a planning job must be enqueued.
+  Submission Submit(const graph::Graph& graph);
+
+  // Submit + wait, with the per-submission path flags folded in.
+  ServeResult Schedule(const graph::Graph& graph);
+
+  // Submits the whole batch, then gathers results in request order.
+  std::vector<ServeResult> ScheduleBatch(
+      const std::vector<const graph::Graph*>& batch);
+
+  ServiceStats stats() const;
+  PlanCache& cache() { return cache_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    graph::GraphHash hash;
+    graph::Graph graph;
+    std::shared_ptr<std::promise<ServeResult>> promise;
+  };
+
+  void WorkerLoop();
+
+  ServeOptions options_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  std::unordered_map<graph::GraphHash, std::shared_future<ServeResult>,
+                     graph::GraphHashHasher>
+      in_flight_;
+  ServiceStats counters_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serenity::serve
+
+#endif  // SERENITY_SERVE_SCHEDULER_SERVICE_H_

@@ -1,0 +1,152 @@
+#include "graph/canonical_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/builder.h"
+#include "models/random_cell.h"
+#include "models/zoo.h"
+#include "rewrite/rewriter.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace serenity::graph {
+namespace {
+
+TEST(CanonicalHash, IgnoresNodeNamesAndGraphName) {
+  GraphBuilder a("net_a");
+  (void)a.Conv1x1(a.Input(TensorShape{1, 8, 8, 3}, "image"), 4, "conv");
+  GraphBuilder b("net_b");
+  (void)b.Conv1x1(b.Input(TensorShape{1, 8, 8, 3}, "pixels"), 4, "other");
+  EXPECT_EQ(CanonicalGraphHash(std::move(a).Build()),
+            CanonicalGraphHash(std::move(b).Build()));
+}
+
+TEST(CanonicalHash, SensitiveToShapeOpKindAndWiring) {
+  const auto base = [] {
+    GraphBuilder b("base");
+    const NodeId in = b.Input(TensorShape{1, 8, 8, 3});
+    const NodeId c = b.Conv1x1(in, 4);
+    (void)b.Relu(c);
+    return std::move(b).Build();
+  }();
+  const GraphHash base_hash = CanonicalGraphHash(base);
+
+  GraphBuilder shape("shape");
+  const NodeId sin = shape.Input(TensorShape{1, 8, 8, 3});
+  const NodeId sc = shape.Conv1x1(sin, 5);  // 4 -> 5 channels
+  (void)shape.Relu(sc);
+  EXPECT_NE(CanonicalGraphHash(std::move(shape).Build()), base_hash);
+
+  GraphBuilder kind("kind");
+  const NodeId kin = kind.Input(TensorShape{1, 8, 8, 3});
+  const NodeId kc = kind.Conv1x1(kin, 4);
+  (void)kind.BatchNorm(kc);  // relu -> batchnorm
+  EXPECT_NE(CanonicalGraphHash(std::move(kind).Build()), base_hash);
+
+  GraphBuilder wiring("wiring");
+  const NodeId win = wiring.Input(TensorShape{1, 8, 8, 3});
+  (void)wiring.Conv1x1(win, 4);
+  (void)wiring.Relu(win);  // relu moved onto the input
+  EXPECT_NE(CanonicalGraphHash(std::move(wiring).Build()), base_hash);
+}
+
+TEST(CanonicalHash, OperandOrderIsSemantic) {
+  const auto concat_of = [](bool swap) {
+    GraphBuilder b("cat");
+    const NodeId in = b.Input(TensorShape{1, 8, 8, 2});
+    const NodeId x = b.Conv1x1(in, 3);
+    const NodeId y = b.Relu(in);
+    (void)b.Concat(swap ? std::vector<NodeId>{y, x}
+                        : std::vector<NodeId>{x, y});
+    return std::move(b).Build();
+  };
+  EXPECT_NE(CanonicalGraphHash(concat_of(false)),
+            CanonicalGraphHash(concat_of(true)));
+}
+
+TEST(CanonicalHash, SharedSubgraphDiffersFromDuplicatedSubgraph) {
+  // add(conv, conv) reading one conv twice vs. two identical convs: same
+  // local structure everywhere, different node/edge counts and sharing.
+  GraphBuilder shared("shared");
+  const NodeId sin = shared.Input(TensorShape{1, 4, 4, 2});
+  const NodeId sconv = shared.Conv1x1(sin, 2);
+  (void)shared.Add({sconv, sconv});
+  GraphBuilder dup("dup");
+  const NodeId din = dup.Input(TensorShape{1, 4, 4, 2});
+  (void)dup.Add({dup.Conv1x1(din, 2), dup.Conv1x1(din, 2)});
+  EXPECT_NE(CanonicalGraphHash(std::move(shared).Build()),
+            CanonicalGraphHash(std::move(dup).Build()));
+}
+
+TEST(CanonicalHash, InvariantUnderRandomRelabeling) {
+  util::Rng rng(2026'07'30);
+  for (int trial = 0; trial < 60; ++trial) {
+    serenity::testing::RandomDagOptions opts;
+    opts.num_ops = 6 + trial % 24;
+    opts.extra_edge_p = 0.2 + 0.02 * (trial % 10);
+    const Graph g = serenity::testing::RandomDag(
+        rng, opts, "trial" + std::to_string(trial));
+    const GraphHash expected = CanonicalGraphHash(g);
+    for (int relabel = 0; relabel < 3; ++relabel) {
+      const Graph twin = serenity::testing::RelabelIsomorphic(
+          g, rng, "twin" + std::to_string(relabel));
+      EXPECT_EQ(CanonicalGraphHash(twin), expected)
+          << "trial " << trial << " relabel " << relabel;
+    }
+  }
+}
+
+TEST(CanonicalHash, InvariantUnderRelabelingWithBufferAliasing) {
+  // Rewritten graphs carry the aliasing ops (partial convs sharing an
+  // accumulator, concat views); relabeling must preserve their hash too.
+  util::Rng rng(99);
+  for (const char* group : {"DARTS ImageNet", "SwiftNet HPD"}) {
+    const Graph g =
+        models::FindBenchmarkCell(group, group[0] == 'D' ? "Normal Cell"
+                                                         : "Cell C")
+            .factory();
+    const Graph rewritten = rewrite::RewriteGraph(g).graph;
+    ASSERT_GT(rewritten.num_buffers(), 0);
+    const GraphHash expected = CanonicalGraphHash(rewritten);
+    for (int relabel = 0; relabel < 3; ++relabel) {
+      const Graph twin =
+          serenity::testing::RelabelIsomorphic(rewritten, rng, "twin");
+      EXPECT_EQ(CanonicalGraphHash(twin), expected) << group;
+    }
+  }
+}
+
+TEST(CanonicalHash, Distinguishes1000RandomCells) {
+  std::unordered_map<GraphHash, int, GraphHashHasher> seen;
+  for (int i = 0; i < 1000; ++i) {
+    models::RandomCellParams params;
+    params.seed = static_cast<std::uint64_t>(i + 1);
+    params.num_intermediates = 6 + i % 7;
+    params.concat_branches = i % 5;
+    params.depthwise_block = (i % 3) != 0;
+    const Graph g = models::MakeRandomCellNetwork(params);
+    const auto [it, inserted] = seen.emplace(CanonicalGraphHash(g), i);
+    EXPECT_TRUE(inserted) << "cell " << i << " collides with cell "
+                          << it->second;
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(CanonicalHash, HexRoundTrip) {
+  const Graph g = models::FindBenchmarkCell("SwiftNet HPD", "Cell C")
+                      .factory();
+  const GraphHash h = CanonicalGraphHash(g);
+  EXPECT_EQ(h.ToHex().size(), 32u);
+  EXPECT_EQ(GraphHashFromHex(h.ToHex()), h);
+}
+
+TEST(CanonicalHashDeath, RejectsMalformedHex) {
+  EXPECT_DEATH(GraphHashFromHex("short"), "32 hex digits");
+  EXPECT_DEATH(GraphHashFromHex(std::string(32, 'z')), "bad hex digit");
+}
+
+}  // namespace
+}  // namespace serenity::graph

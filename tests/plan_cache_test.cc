@@ -1,0 +1,192 @@
+#include "serve/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "graph/builder.h"
+#include "graph/canonical_hash.h"
+#include "models/zoo.h"
+#include "sched/schedule.h"
+
+namespace serenity::serve {
+namespace {
+
+core::PipelineResult PlanCell(const std::string& group,
+                              const std::string& name) {
+  const graph::Graph g = models::FindBenchmarkCell(group, name).factory();
+  core::PipelineResult result = core::Pipeline().Run(g);
+  EXPECT_TRUE(result.success);
+  return result;
+}
+
+graph::GraphHash CellHash(const std::string& group,
+                          const std::string& name) {
+  return graph::CanonicalGraphHash(
+      models::FindBenchmarkCell(group, name).factory());
+}
+
+TEST(PlanCache, MissThenHitReturnsTheInsertedPlan) {
+  PlanCache cache;
+  const graph::GraphHash hash = CellHash("SwiftNet HPD", "Cell C");
+  EXPECT_EQ(cache.Lookup(hash), nullptr);
+
+  core::PipelineResult result = PlanCell("SwiftNet HPD", "Cell C");
+  const sched::Schedule schedule = result.schedule;
+  const auto inserted = cache.Insert(hash, std::move(result));
+  const auto hit = cache.Lookup(hash);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), inserted.get());
+  EXPECT_EQ(hit->result.schedule, schedule);
+  EXPECT_TRUE(alloc::ValidatePlacements(hit->plan.arena));
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes_in_use, inserted->bytes);
+}
+
+TEST(PlanCache, CachedPlanMatchesAFreshPipelineRunBitForBit) {
+  PlanCache cache;
+  const graph::Graph g =
+      models::FindBenchmarkCell("SwiftNet HPD", "Cell B").factory();
+  const graph::GraphHash hash = graph::CanonicalGraphHash(g);
+  cache.Insert(hash, core::Pipeline().Run(g));
+
+  const core::PipelineResult fresh = core::Pipeline().Run(g);
+  const auto hit = cache.Lookup(hash);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->result.schedule, fresh.schedule);
+  EXPECT_EQ(hit->result.peak_bytes, fresh.peak_bytes);
+  EXPECT_EQ(hit->result.states_expanded, fresh.states_expanded);
+  EXPECT_EQ(hit->plan_text,
+            serialize::PlanToText(serialize::MakePlan(fresh.scheduled_graph,
+                                                      fresh.schedule)));
+}
+
+TEST(PlanCache, LruEvictionBoundedByBytes) {
+  core::PipelineResult a = PlanCell("SwiftNet HPD", "Cell A");
+  core::PipelineResult b = PlanCell("SwiftNet HPD", "Cell B");
+  core::PipelineResult c = PlanCell("SwiftNet HPD", "Cell C");
+  const graph::GraphHash ha = CellHash("SwiftNet HPD", "Cell A");
+  const graph::GraphHash hb = CellHash("SwiftNet HPD", "Cell B");
+  const graph::GraphHash hc = CellHash("SwiftNet HPD", "Cell C");
+
+  // Budget for A plus either of B/C, but never all three: inserting C with
+  // A freshly touched must evict exactly B.
+  PlanCache probe;
+  const std::int64_t a_bytes = probe.Insert(ha, a)->bytes;
+  const std::int64_t b_bytes = probe.Insert(hb, b)->bytes;
+  const std::int64_t c_bytes = probe.Insert(hc, c)->bytes;
+
+  PlanCache cache(a_bytes + std::max(b_bytes, c_bytes));
+  cache.Insert(ha, std::move(a));
+  cache.Insert(hb, std::move(b));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch A so B is least recently used, then overflow with C.
+  ASSERT_NE(cache.Lookup(ha), nullptr);
+  cache.Insert(hc, std::move(c));
+  EXPECT_EQ(cache.Lookup(hb), nullptr) << "LRU entry should be evicted";
+  EXPECT_NE(cache.Lookup(ha), nullptr);
+  EXPECT_NE(cache.Lookup(hc), nullptr);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes_in_use, stats.capacity_bytes);
+}
+
+TEST(PlanCache, SingleOversizedEntryIsRetained) {
+  PlanCache cache(/*capacity_bytes=*/1);
+  const graph::GraphHash hash = CellHash("SwiftNet HPD", "Cell C");
+  cache.Insert(hash, PlanCell("SwiftNet HPD", "Cell C"));
+  EXPECT_NE(cache.Lookup(hash), nullptr)
+      << "the only entry must survive even when over budget";
+}
+
+TEST(PlanCache, ReinsertReplacesWithoutLeakingBytes) {
+  PlanCache cache;
+  const graph::GraphHash hash = CellHash("SwiftNet HPD", "Cell C");
+  const auto first = cache.Insert(hash, PlanCell("SwiftNet HPD", "Cell C"));
+  cache.Insert(hash, PlanCell("SwiftNet HPD", "Cell C"));
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.bytes_in_use, first->bytes);
+}
+
+TEST(PlanCache, EvictedEntryStaysAliveForHolders) {
+  core::PipelineResult big = PlanCell("SwiftNet HPD", "Cell A");
+  const graph::GraphHash ha = CellHash("SwiftNet HPD", "Cell A");
+  PlanCache probe;
+  const std::int64_t a_bytes = probe.Insert(ha, big)->bytes;
+
+  PlanCache cache(a_bytes + a_bytes / 4);
+  const auto held = cache.Insert(ha, std::move(big));
+  cache.Insert(CellHash("SwiftNet HPD", "Cell B"),
+               PlanCell("SwiftNet HPD", "Cell B"));
+  EXPECT_EQ(cache.Lookup(ha), nullptr);
+  // The snapshot we held across the eviction is still fully usable.
+  EXPECT_TRUE(sched::IsTopologicalOrder(held->result.scheduled_graph,
+                                        held->result.schedule));
+}
+
+TEST(PlanCache, PersistenceRoundTripsThroughPlanText) {
+  PlanCache cache;
+  // Cell A rewrites (aliasing buffers) — the harder persistence case.
+  for (const char* name : {"Cell A", "Cell C"}) {
+    cache.Insert(CellHash("SwiftNet HPD", name),
+                 PlanCell("SwiftNet HPD", name));
+  }
+  const std::string path = ::testing::TempDir() + "/plan_cache.v1";
+  cache.SaveToFile(path);
+
+  PlanCache warm;
+  EXPECT_EQ(warm.LoadFromFile(path), 2);
+  std::remove(path.c_str());
+
+  for (const char* name : {"Cell A", "Cell C"}) {
+    const auto original = cache.Lookup(CellHash("SwiftNet HPD", name));
+    const auto loaded = warm.Lookup(CellHash("SwiftNet HPD", name));
+    ASSERT_NE(loaded, nullptr) << name;
+    EXPECT_EQ(loaded->plan_text, original->plan_text) << name;
+    EXPECT_EQ(loaded->result.schedule, original->result.schedule);
+    EXPECT_EQ(loaded->result.peak_bytes, original->result.peak_bytes);
+    EXPECT_EQ(loaded->result.states_expanded,
+              original->result.states_expanded);
+    EXPECT_EQ(loaded->result.segment_sizes, original->result.segment_sizes);
+    EXPECT_EQ(loaded->result.rewrite_report.TotalPatterns(),
+              original->result.rewrite_report.TotalPatterns());
+    EXPECT_TRUE(loaded->result.success);
+    EXPECT_TRUE(alloc::ValidatePlacements(loaded->plan.arena));
+    EXPECT_EQ(loaded->plan.arena.highwater_at_step,
+              original->plan.arena.highwater_at_step);
+  }
+  EXPECT_EQ(warm.stats().entries, 2u);
+}
+
+TEST(PlanCacheDeath, RejectsFailedResults) {
+  PlanCache cache;
+  core::PipelineResult failed;  // success == false
+  EXPECT_DEATH(cache.Insert(graph::GraphHash{1, 2}, std::move(failed)),
+               "cacheable");
+}
+
+TEST(PlanCacheDeath, RejectsCorruptCacheFiles) {
+  const std::string path = ::testing::TempDir() + "/bogus_cache.v1";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not-a-cache v9 1\n", f);
+  std::fclose(f);
+  PlanCache cache;
+  EXPECT_DEATH(cache.LoadFromFile(path), "not a v1 plan-cache");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace serenity::serve

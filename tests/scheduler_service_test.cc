@@ -1,0 +1,197 @@
+#include "serve/scheduler_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "graph/canonical_hash.h"
+#include "models/zoo.h"
+#include "testing/random_graphs.h"
+#include "util/rng.h"
+
+namespace serenity::serve {
+namespace {
+
+graph::Graph Cell(const std::string& group, const std::string& name) {
+  return models::FindBenchmarkCell(group, name).factory();
+}
+
+TEST(SchedulerService, ServesAndThenHitsTheCache) {
+  SchedulerService service;
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell C");
+
+  const ServeResult cold = service.Schedule(g);
+  ASSERT_NE(cold.plan, nullptr) << cold.failure_reason;
+  EXPECT_FALSE(cold.cache_hit);
+
+  const ServeResult warm = service.Schedule(g);
+  ASSERT_NE(warm.plan, nullptr);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.plan.get(), cold.plan.get()) << "same cached snapshot";
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.planned, 1u);
+}
+
+TEST(SchedulerService, CacheHitIsBitIdenticalToAFreshPipelineRun) {
+  SchedulerService service;
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell B");
+  (void)service.Schedule(g);
+  const ServeResult warm = service.Schedule(g);
+  ASSERT_TRUE(warm.cache_hit);
+
+  const core::PipelineResult fresh =
+      core::Pipeline(service.options().pipeline).Run(g);
+  EXPECT_EQ(warm.plan->result.schedule, fresh.schedule);
+  EXPECT_EQ(warm.plan->result.peak_bytes, fresh.peak_bytes);
+  EXPECT_EQ(warm.plan->result.states_expanded, fresh.states_expanded);
+}
+
+TEST(SchedulerService, RelabeledGraphIsTheSameCacheEntry) {
+  SchedulerService service;
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell C");
+  util::Rng rng(7);
+  const graph::Graph twin =
+      serenity::testing::RelabelIsomorphic(g, rng, "twin");
+
+  const ServeResult cold = service.Schedule(g);
+  const ServeResult warm = service.Schedule(twin);
+  ASSERT_NE(cold.plan, nullptr);
+  EXPECT_TRUE(warm.cache_hit) << "structural twin must hit the cache";
+  EXPECT_EQ(warm.hash, cold.hash);
+}
+
+TEST(SchedulerService, SingleFlightCoalescesDuplicateSubmissions) {
+  SchedulerService service;  // one worker: the queue serializes planning
+  const graph::Graph g = Cell("DARTS ImageNet", "Normal Cell");
+
+  std::vector<Submission> submissions;
+  for (int i = 0; i < 8; ++i) submissions.push_back(service.Submit(g));
+  for (const Submission& s : submissions) {
+    ASSERT_NE(s.future.get().plan, nullptr);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.planned, 1u) << "one Pipeline::Run per distinct graph";
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, 7u);
+  EXPECT_GE(stats.coalesced, 1u)
+      << "submissions behind a 1-worker queue must coalesce";
+}
+
+TEST(SchedulerService, BatchPlansDistinctGraphsAndCoalescesDuplicates) {
+  ServeOptions options;
+  options.num_workers = 4;
+  SchedulerService service(options);
+
+  const graph::Graph a = Cell("SwiftNet HPD", "Cell A");
+  const graph::Graph b = Cell("SwiftNet HPD", "Cell B");
+  const graph::Graph c = Cell("SwiftNet HPD", "Cell C");
+  const std::vector<const graph::Graph*> batch = {&a, &b, &c, &a, &b, &c};
+
+  const std::vector<ServeResult> results = service.ScheduleBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const ServeResult& r : results) {
+    ASSERT_NE(r.plan, nullptr) << r.failure_reason;
+  }
+  EXPECT_EQ(results[0].hash, results[3].hash);
+  EXPECT_EQ(results[0].plan.get(), results[3].plan.get());
+  EXPECT_EQ(service.stats().planned, 3u);
+
+  // A second identical batch is all cache hits.
+  const std::vector<ServeResult> warm = service.ScheduleBatch(batch);
+  for (const ServeResult& r : warm) EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(service.stats().planned, 3u);
+}
+
+TEST(SchedulerService, PlanningFailuresAreReportedAndNotCached) {
+  ServeOptions options;
+  options.pipeline.enable_soft_budgeting = false;
+  options.pipeline.dp.budget_bytes = 1;  // infeasible hard budget
+  SchedulerService service(options);
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell C");
+
+  const ServeResult failed = service.Schedule(g);
+  EXPECT_EQ(failed.plan, nullptr);
+  EXPECT_NE(failed.failure_reason.find("no solution"), std::string::npos)
+      << failed.failure_reason;
+
+  // Failures are not cached: the next request plans (and fails) again.
+  const ServeResult again = service.Schedule(g);
+  EXPECT_EQ(again.plan, nullptr);
+  EXPECT_FALSE(again.cache_hit);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failures, 2u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+}
+
+TEST(SchedulerService, WarmRestartServesFromPersistedCache) {
+  const std::string path = ::testing::TempDir() + "/serve_cache.v1";
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell B");
+  sched::Schedule cold_schedule;
+  {
+    SchedulerService service;
+    const ServeResult cold = service.Schedule(g);
+    ASSERT_NE(cold.plan, nullptr);
+    cold_schedule = cold.plan->result.schedule;
+    service.cache().SaveToFile(path);
+  }
+  {
+    SchedulerService restarted;
+    ASSERT_EQ(restarted.cache().LoadFromFile(path), 1);
+    const ServeResult warm = restarted.Schedule(g);
+    ASSERT_NE(warm.plan, nullptr);
+    EXPECT_TRUE(warm.cache_hit) << "warm restart must skip re-planning";
+    EXPECT_EQ(warm.plan->result.schedule, cold_schedule);
+    EXPECT_EQ(restarted.stats().planned, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+// Thread-safety smoke for the sanitizer job: many client threads hammer a
+// small graph set through every serve path concurrently.
+TEST(SchedulerService, ConcurrentMixedTrafficIsRaceFree) {
+  ServeOptions options;
+  options.num_workers = 3;
+  SchedulerService service(options);
+  const std::vector<graph::Graph> graphs = {
+      Cell("SwiftNet HPD", "Cell B"), Cell("SwiftNet HPD", "Cell C"),
+      Cell("RandWire CIFAR100", "Cell C")};
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 12;
+  std::vector<std::thread> clients;
+  std::vector<int> successes(kClients, 0);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const ServeResult r =
+            service.Schedule(graphs[(t + i) % graphs.size()]);
+        if (r.plan != nullptr &&
+            sched::IsTopologicalOrder(r.plan->result.scheduled_graph,
+                                      r.plan->result.schedule)) {
+          ++successes[t];
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int t = 0; t < kClients; ++t) {
+    EXPECT_EQ(successes[t], kRequestsPerClient);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(stats.planned, graphs.size());
+  EXPECT_EQ(stats.cache_hits + stats.coalesced + stats.planned,
+            stats.requests);
+}
+
+}  // namespace
+}  // namespace serenity::serve

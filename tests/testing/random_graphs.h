@@ -2,6 +2,8 @@
 #ifndef SERENITY_TESTS_TESTING_RANDOM_GRAPHS_H_
 #define SERENITY_TESTS_TESTING_RANDOM_GRAPHS_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -61,6 +63,72 @@ inline graph::Graph RandomDag(util::Rng& rng, const RandomDagOptions& opts,
     if (frontier.size() >= 2) (void)b.Concat(frontier, "out");
   }
   return std::move(b).Build();
+}
+
+// A structurally identical copy of `g` with nodes inserted in a random
+// valid topological order, fresh names, and remapped node/buffer ids — the
+// builder-bookkeeping relabeling CanonicalGraphHash must be invariant
+// under. Preserves buffer sharing (aliasing ops keep aliasing the same
+// remapped buffer) and operand order.
+inline graph::Graph RelabelIsomorphic(const graph::Graph& g, util::Rng& rng,
+                                      const std::string& name) {
+  const int n = g.num_nodes();
+  // Indegree over *distinct* producers, matching consumers()'s collapsed
+  // duplicate entries.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (graph::NodeId id = 0; id < n; ++id) {
+    std::vector<graph::NodeId> distinct = g.node(id).inputs;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    indegree[static_cast<std::size_t>(id)] =
+        static_cast<int>(distinct.size());
+  }
+
+  graph::Graph out(name);
+  std::vector<graph::NodeId> node_map(static_cast<std::size_t>(n),
+                                      graph::kInvalidNode);
+  std::vector<graph::BufferId> buffer_map(
+      static_cast<std::size_t>(g.num_buffers()), graph::kInvalidBuffer);
+  std::vector<graph::NodeId> ready;
+  for (graph::NodeId id = 0; id < n; ++id) {
+    if (indegree[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+  }
+  int emitted = 0;
+  while (!ready.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(ready.size())));
+    const graph::NodeId orig = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+
+    graph::Node node = g.node(orig);
+    node.id = graph::kInvalidNode;
+    node.name = "relabeled" + std::to_string(emitted++);
+    for (graph::NodeId& input : node.inputs) {
+      input = node_map[static_cast<std::size_t>(input)];
+    }
+    graph::BufferId& mapped =
+        buffer_map[static_cast<std::size_t>(node.buffer)];
+    if (mapped == graph::kInvalidBuffer) {
+      mapped = out.AddBuffer(g.buffer(node.buffer).size_bytes);
+    }
+    node.buffer = mapped;
+    node_map[static_cast<std::size_t>(orig)] = out.AddNode(std::move(node));
+    for (const graph::NodeId consumer : g.consumers(orig)) {
+      if (--indegree[static_cast<std::size_t>(consumer)] == 0) {
+        ready.push_back(consumer);
+      }
+    }
+  }
+  // Keep any never-referenced buffers so buffer counts stay equal.
+  for (graph::BufferId b = 0; b < g.num_buffers(); ++b) {
+    if (buffer_map[static_cast<std::size_t>(b)] == graph::kInvalidBuffer) {
+      (void)out.AddBuffer(g.buffer(b).size_bytes);
+    }
+  }
+  out.ValidateOrDie();
+  return out;
 }
 
 }  // namespace serenity::testing
