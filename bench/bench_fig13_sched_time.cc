@@ -34,8 +34,9 @@ double MedianSeconds(const graph::Graph& g, bool rewriting) {
 bool PrintFigure(const std::string& json_path) {
   std::printf("Figure 13: SERENITY scheduling time per cell (median of 3; "
               "paper numbers from its Python implementation)\n\n");
-  std::printf("%-32s %12s %12s %12s %12s %12s\n", "cell", "DP (s)",
-              "paper (s)", "DP+GR (s)", "paper (s)", "states DP+GR");
+  std::printf("%-32s %12s %12s %12s %12s %12s %12s\n", "cell", "DP (s)",
+              "paper (s)", "DP+GR (s)", "paper (s)", "states DP+GR",
+              "B&B pruned");
   bench::PrintRule();
   std::vector<double> dp_times, rw_times;
   bench::JsonRows rows;
@@ -46,16 +47,19 @@ bool PrintFigure(const std::string& json_path) {
     core::PipelineResult full = core::Pipeline().Run(g);
     dp_times.push_back(dp_seconds);
     rw_times.push_back(rw_seconds);
-    std::printf("%-32s %12.4f %12.1f %12.4f %12.1f %12llu\n",
+    std::printf("%-32s %12.4f %12.1f %12.4f %12.1f %12llu %12llu\n",
                 bench::CellLabel(cell).c_str(), dp_seconds,
                 cell.paper_sched_seconds_dp, rw_seconds,
                 cell.paper_sched_seconds_rw,
-                static_cast<unsigned long long>(full.states_expanded));
+                static_cast<unsigned long long>(full.states_expanded),
+                static_cast<unsigned long long>(
+                    full.states_pruned_by_bound));
     rows.Begin();
     rows.Field("cell", bench::CellLabel(cell));
     rows.Field("dp_seconds", dp_seconds);
     rows.Field("dp_rw_seconds", rw_seconds);
     rows.Field("states_expanded", full.states_expanded);
+    rows.Field("states_pruned_by_bound", full.states_pruned_by_bound);
   }
   bench::PrintRule();
   std::printf("%-32s %12.4f %12.1f %12.4f %12.1f\n", "mean",

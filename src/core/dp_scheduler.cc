@@ -44,47 +44,88 @@ class DpRunner {
         tables_(ExpansionTables::Build(graph)),
         hasher_(static_cast<std::size_t>(graph.num_nodes())),
         num_nodes_(static_cast<std::size_t>(graph.num_nodes())),
-        words_(tables_.words_per_state()) {}
+        words_(tables_.words_per_state()),
+        bound_pruning_(options.incumbent_bytes != kNoBudget),
+        incumbent_(options.incumbent_bytes),
+        step_limit_(std::min(options.budget_bytes, options.incumbent_bytes)) {
+  }
 
   DpResult Run() {
     util::Stopwatch total_clock;
     DpResult result;
     recon_.resize(num_nodes_ + 1);
 
-    const int num_threads =
+    const int configured =
         std::min(std::max(1, options_.num_threads), kMaxShards);
-    const int shards = num_threads > 1 ? ShardCountFor(num_threads) : 1;
+    // Adaptive mode: the thread pool a big level may escalate to. Derived
+    // from the hardware once; whether a given level uses it is decided from
+    // that level's reserve hint below.
+    int auto_threads = 1;
+    if (configured == 1 && options_.adaptive_parallelism) {
+      auto_threads = std::min<int>(
+          kMaxShards,
+          std::max<int>(1, static_cast<int>(
+                               std::thread::hardware_concurrency())));
+    }
 
     // Level 0: the empty schedule (Algorithm 1 lines 4-5).
     StateLevel current;
     current.Init(words_, 1, 1);
     const std::vector<std::uint64_t> empty(words_, 0);
     current.InsertOrRelax(empty.data(), SignatureHasher::kEmptyHash, 0, 0,
-                          -1, -1);
+                          0, -1, -1);
     current.Seal();
 
     for (std::size_t i = 0; i < num_nodes_; ++i) {
       util::Stopwatch level_clock;
       if (current.size() == 0) {
         // Every prefix of length i was pruned: the budget is below µ*.
+        // (Bound pruning alone cannot empty a level — states on an optimal
+        // path never exceed a valid incumbent.)
         result.status = DpStatus::kNoSolution;
         result.levels_completed = static_cast<int>(i);
-        result.states_expanded = states_expanded_;
-        result.transitions = transitions_;
-        result.seconds = total_clock.ElapsedSeconds();
-        return result;
+        return Finish(result, total_clock);
+      }
+      const std::size_t hint =
+          NextLevelReserveHint(current.size(), options_.max_states);
+      int level_threads = configured;
+      if (configured == 1 && auto_threads > 1 &&
+          hint >= options_.parallel_threshold_states) {
+        level_threads = auto_threads;
       }
       StateLevel next;
-      next.Init(words_, NextLevelReserveHint(current.size()), shards);
+      next.Init(words_, hint,
+                level_threads > 1 ? ShardCountFor(level_threads) : 1);
+      const bool last_level = i + 1 == num_nodes_;
+      // Lookahead gate: the frontier-alloc probes (lb1 + two-step) pay for
+      // themselves only on memory-tight graphs. Probe by default, back off
+      // after two consecutive zero-yield levels, and re-probe every 8th
+      // level so late-graph tightness is rediscovered. The gate state is a
+      // pure function of per-level totals, so it is identical across
+      // thread counts.
+      const bool lookahead = bound_pruning_ &&
+                             (lookahead_zero_streak_ < 2 || (i & 7) == 0);
+      level_lookahead_prunes_ = 0;
       const bool completed =
-          num_threads > 1
-              ? ExpandLevelSharded(current, next, num_threads, level_clock)
-              : ExpandLevel(current, next, level_clock);
+          level_threads > 1
+              ? ExpandLevelSharded(current, next, level_threads, last_level,
+                                   lookahead, level_clock)
+              : ExpandLevel(current, next, last_level, lookahead,
+                            level_clock);
+      if (lookahead) {
+        lookahead_zero_streak_ =
+            level_lookahead_prunes_ == 0 ? lookahead_zero_streak_ + 1 : 0;
+      }
       if (!completed ||
           level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
-        return Abort(DpStatus::kTimeout, i, total_clock);
+        result.status = DpStatus::kTimeout;
+        result.levels_completed = static_cast<int>(i);
+        return Finish(result, total_clock);
       }
       next.Seal();
+      max_level_states_ =
+          std::max(max_level_states_,
+                   static_cast<std::uint64_t>(next.size()));
       // The finished level keeps only its 8-byte reconstruction records;
       // signatures, hashes, footprints and peaks are freed here.
       recon_[i] = current.TakeReconAndRelease();
@@ -102,36 +143,58 @@ class DpRunner {
       recon_[num_nodes_] = current.TakeReconAndRelease();
       result.schedule = Reconstruct();
     }
-    result.states_expanded = states_expanded_;
-    result.transitions = transitions_;
-    result.seconds = total_clock.ElapsedSeconds();
-    return result;
+    return Finish(result, total_clock);
   }
 
  private:
-  DpResult Abort(DpStatus status, std::size_t level,
-                 const util::Stopwatch& clock) {
-    DpResult result;
-    result.status = status;
-    result.levels_completed = static_cast<int>(level);
+  DpResult Finish(DpResult result, const util::Stopwatch& clock) const {
     result.states_expanded = states_expanded_;
     result.transitions = transitions_;
+    result.states_pruned_by_bound = states_pruned_by_bound_;
+    result.max_level_states = max_level_states_;
     result.seconds = clock.ElapsedSeconds();
     return result;
   }
 
-  // Sequential expansion of one level (Algorithm 1 lines 9-24). Returns
-  // false on step timeout or state-cap overrun.
+  // Sequential expansion of one level (Algorithm 1 lines 9-24, plus the
+  // branch-and-bound cut of DESIGN.md). Returns false on step timeout or
+  // state-cap overrun.
   bool ExpandLevel(const StateLevel& current, StateLevel& next,
+                   bool last_level, bool lookahead,
                    const util::Stopwatch& level_clock) {
     std::vector<std::int32_t> frontier;
     std::vector<std::uint64_t> child(words_);
+    ExpansionTables::FrontierAllocs allocs;
+    ExpansionTables::TwoStepScratch scratch;
     for (std::size_t s = 0; s < current.size(); ++s) {
+      if ((s & 0x3f) == 0 && s != 0 &&
+          level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+        return false;
+      }
       const std::uint64_t* sig = current.signature(s);
-      frontier.clear();
-      tables_.AppendFrontier(sig, &frontier);
-      const std::int64_t footprint = current.footprint(s);
       const std::int64_t peak = current.peak(s);
+      const std::int64_t footprint = current.footprint(s);
+      frontier.clear();
+      std::int64_t residual = 0;
+      tables_.AppendFrontier(sig, &frontier,
+                             bound_pruning_ ? &residual : nullptr);
+      if (bound_pruning_ && std::max(peak, residual) > incumbent_) {
+        // Every completion of this state peaks above a schedule we already
+        // hold: cut the whole subtree before expanding a single child.
+        ++states_pruned_by_bound_;
+        continue;
+      }
+      if (lookahead) {
+        tables_.ComputeFrontierAllocs(sig, frontier, &allocs);
+        if (allocs.min1 != ExpansionTables::kNoAlloc &&
+            footprint + allocs.min1 > incumbent_) {
+          // One-step lookahead on the parent: whatever runs next peaks
+          // above the incumbent.
+          ++states_pruned_by_bound_;
+          ++level_lookahead_prunes_;
+          continue;
+        }
+      }
       const std::uint64_t hash = current.hash(s);
       for (const std::int32_t u : frontier) {
         ++transitions_;
@@ -142,20 +205,42 @@ class DpRunner {
           return false;
         }
         const ExpansionTables::Transition t =
-            tables_.Apply(sig, u, footprint, options_.budget_bytes);
+            tables_.Apply(sig, u, footprint, step_limit_);
         if (t.step_peak > options_.budget_bytes) continue;  // prune (§3.2)
+        if (t.step_peak > incumbent_) {
+          ++states_pruned_by_bound_;
+          continue;
+        }
         std::copy(sig, sig + words_, child.data());
         util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
+        if (lookahead && !last_level) {
+          // Child lookahead, cheap pass first: whatever the child schedules
+          // next must peak at least child footprint + its frontier's min
+          // alloc; if that survives, the exact two-step probe checks that
+          // some (next, next-next) start stays under the incumbent. Both
+          // are admissible and pure functions of the child signature, so
+          // every duplicate candidate agrees and relax winners (hence the
+          // reconstructed schedule) are preserved.
+          const std::int64_t floor =
+              tables_.ChildNextAllocFloor(child.data(), u, allocs);
+          if ((floor != ExpansionTables::kNoAlloc &&
+               t.footprint + floor > incumbent_) ||
+              tables_.ChildTwoStepExceeds(child.data(), t.footprint, u,
+                                          frontier, incumbent_,
+                                          &scratch)) {
+            ++states_pruned_by_bound_;
+            ++level_lookahead_prunes_;
+            continue;
+          }
+        }
         if (next.InsertOrRelax(child.data(), hash ^ hasher_.key(
                                    static_cast<std::size_t>(u)),
                                t.footprint, std::max(peak, t.step_peak),
+                               hasher_.candidate_tie(
+                                   hash, static_cast<std::size_t>(u)),
                                static_cast<std::int32_t>(s), u)) {
           ++states_expanded_;
         }
-      }
-      if ((s & 0x3f) == 0 &&
-          level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
-        return false;
       }
       if (states_expanded_ > options_.max_states) return false;
     }
@@ -167,26 +252,57 @@ class DpRunner {
   // and inserts only the transitions whose child hash falls in its shards,
   // so each sub-table has exactly one writer and per-shard insertion order
   // is the same ascending (state, node) order regardless of scheduling —
-  // the determinism argument in DESIGN.md.
+  // the determinism argument in DESIGN.md. Bound pruning is a pure
+  // function of the parent state and the transition, so every thread skips
+  // the same parents and transitions; the pruned counter attributes each
+  // skipped parent to one thread (s % num_threads) and each pruned
+  // transition to its shard owner, keeping the total independent of the
+  // thread count.
   bool ExpandLevelSharded(const StateLevel& current, StateLevel& next,
-                          int num_threads,
+                          int num_threads, bool last_level, bool lookahead,
                           const util::Stopwatch& level_clock) {
     std::atomic<bool> abort{false};
     std::atomic<std::uint64_t> transitions{0};
     std::atomic<std::uint64_t> created{0};
+    std::atomic<std::uint64_t> pruned{0};
+    std::atomic<std::uint64_t> lookahead_pruned{0};
     auto worker = [&](int thread_index) {
       std::vector<std::int32_t> frontier;
       std::vector<std::uint64_t> child(words_);
+      ExpansionTables::FrontierAllocs allocs;
+      ExpansionTables::TwoStepScratch scratch;
       std::uint64_t local_transitions = 0;
       std::uint64_t local_created = 0;
+      std::uint64_t local_pruned = 0;
+      std::uint64_t local_lookahead_pruned = 0;
       std::uint64_t since_check = 0;
       for (std::size_t s = 0; s < current.size(); ++s) {
         if (abort.load(std::memory_order_relaxed)) break;
         const std::uint64_t* sig = current.signature(s);
-        frontier.clear();
-        tables_.AppendFrontier(sig, &frontier);
-        const std::int64_t footprint = current.footprint(s);
         const std::int64_t peak = current.peak(s);
+        const std::int64_t footprint = current.footprint(s);
+        frontier.clear();
+        std::int64_t residual = 0;
+        tables_.AppendFrontier(sig, &frontier,
+                               bound_pruning_ ? &residual : nullptr);
+        const bool owns_parent =
+            static_cast<int>(s % static_cast<std::size_t>(num_threads)) ==
+            thread_index;
+        if (bound_pruning_ && std::max(peak, residual) > incumbent_) {
+          if (owns_parent) ++local_pruned;
+          continue;
+        }
+        if (lookahead) {
+          tables_.ComputeFrontierAllocs(sig, frontier, &allocs);
+          if (allocs.min1 != ExpansionTables::kNoAlloc &&
+              footprint + allocs.min1 > incumbent_) {
+            if (owns_parent) {
+              ++local_pruned;
+              ++local_lookahead_pruned;
+            }
+            continue;
+          }
+        }
         const std::uint64_t hash = current.hash(s);
         for (const std::int32_t u : frontier) {
           const std::uint64_t child_hash =
@@ -211,12 +327,31 @@ class DpRunner {
             }
           }
           const ExpansionTables::Transition t =
-              tables_.Apply(sig, u, footprint, options_.budget_bytes);
+              tables_.Apply(sig, u, footprint, step_limit_);
           if (t.step_peak > options_.budget_bytes) continue;
+          if (t.step_peak > incumbent_) {
+            ++local_pruned;
+            continue;
+          }
           std::copy(sig, sig + words_, child.data());
           util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
+          if (lookahead && !last_level) {
+            const std::int64_t floor = tables_.ChildNextAllocFloor(
+                child.data(), u, allocs);
+            if ((floor != ExpansionTables::kNoAlloc &&
+                 t.footprint + floor > incumbent_) ||
+                tables_.ChildTwoStepExceeds(child.data(), t.footprint, u,
+                                            frontier, incumbent_,
+                                            &scratch)) {
+              ++local_pruned;
+              ++local_lookahead_pruned;
+              continue;
+            }
+          }
           if (next.InsertOrRelax(child.data(), child_hash, t.footprint,
                                  std::max(peak, t.step_peak),
+                                 hasher_.candidate_tie(
+                                   hash, static_cast<std::size_t>(u)),
                                  static_cast<std::int32_t>(s), u)) {
             ++local_created;
           }
@@ -224,6 +359,9 @@ class DpRunner {
       }
       transitions.fetch_add(local_transitions, std::memory_order_relaxed);
       created.fetch_add(local_created, std::memory_order_relaxed);
+      pruned.fetch_add(local_pruned, std::memory_order_relaxed);
+      lookahead_pruned.fetch_add(local_lookahead_pruned,
+                                 std::memory_order_relaxed);
     };
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_threads));
@@ -231,6 +369,8 @@ class DpRunner {
     for (std::thread& t : threads) t.join();
     transitions_ += transitions.load();
     states_expanded_ += created.load();
+    states_pruned_by_bound_ += pruned.load();
+    level_lookahead_prunes_ += lookahead_pruned.load();
     if (abort.load()) return false;
     return states_expanded_ <= options_.max_states;
   }
@@ -252,9 +392,20 @@ class DpRunner {
   const SignatureHasher hasher_;
   const std::size_t num_nodes_;
   const std::size_t words_;
+  const bool bound_pruning_;
+  const std::int64_t incumbent_;
+  // Transitions peaking above min(τ, incumbent) are dead either way, so
+  // Apply may skip their free scan.
+  const std::int64_t step_limit_;
   std::vector<std::vector<ReconRecord>> recon_;
   std::uint64_t states_expanded_ = 0;
   std::uint64_t transitions_ = 0;
+  std::uint64_t states_pruned_by_bound_ = 0;
+  std::uint64_t max_level_states_ = 0;
+  // Lookahead gate state (see Run); level_lookahead_prunes_ is reset per
+  // level and aggregated after a sharded level joins.
+  std::uint64_t level_lookahead_prunes_ = 0;
+  int lookahead_zero_streak_ = 0;
 };
 
 }  // namespace

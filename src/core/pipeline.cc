@@ -1,11 +1,35 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "sched/baselines.h"
+#include "sched/beam.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace serenity::core {
+
+namespace {
+
+// Achievable upper bound on a segment's optimal peak: the better of the
+// greedy memory baseline and a narrow beam. Both produce complete, valid
+// schedules, so their peaks are incumbents the branch-and-bound search can
+// prune against; the beam usually tightens the greedy seed substantially at
+// a cost that is negligible next to the DP it accelerates.
+std::int64_t SeedIncumbent(const graph::Graph& segment, int beam_width) {
+  std::int64_t incumbent = sched::PeakFootprint(
+      segment, sched::GreedyMemorySchedule(segment));
+  if (beam_width > 0) {
+    sched::BeamOptions beam_options;
+    beam_options.width = beam_width;
+    incumbent = std::min(incumbent,
+                         sched::ScheduleBeam(segment, beam_options).peak_bytes);
+  }
+  return incumbent;
+}
+
+}  // namespace
 
 PipelineResult Pipeline::Run(const graph::Graph& graph) const {
   util::Stopwatch total_clock;
@@ -50,10 +74,31 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
   std::vector<sched::Schedule> segment_schedules;
   segment_schedules.reserve(partition.segments.size());
   for (const Segment& segment : partition.segments) {
+    // Branch-and-bound seeding (strict pruning: same peak, same schedule,
+    // fewer states — DESIGN.md "Branch-and-bound over levels").
+    std::int64_t incumbent = kNoBudget;
+    if (options_.enable_bound_pruning) {
+      incumbent =
+          SeedIncumbent(segment.subgraph, options_.incumbent_beam_width);
+      result.incumbent_seed_bytes =
+          result.incumbent_seed_bytes < 0
+              ? incumbent
+              : std::min(result.incumbent_seed_bytes, incumbent);
+    }
     if (options_.enable_soft_budgeting) {
+      SoftBudgetOptions sb_options = options_.soft_budget;
+      sb_options.incumbent_bytes =
+          std::min(sb_options.incumbent_bytes, incumbent);
+      sb_options.enable_bound_pruning = options_.enable_bound_pruning &&
+                                        sb_options.enable_bound_pruning;
+      sb_options.adaptive_parallelism = sb_options.adaptive_parallelism ||
+                                        options_.adaptive_parallelism;
       SoftBudgetResult sb =
-          ScheduleWithSoftBudget(segment.subgraph, options_.soft_budget);
+          ScheduleWithSoftBudget(segment.subgraph, sb_options);
       result.states_expanded += sb.TotalStates();
+      result.states_pruned_by_bound += sb.TotalPrunedByBound();
+      result.max_level_states =
+          std::max(result.max_level_states, sb.max_level_states);
       if (sb.status != DpStatus::kSolution) {
         result.failure_reason = "segment '" + segment.subgraph.name() +
                                 "' did not converge: " + ToString(sb.status);
@@ -63,8 +108,16 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
       }
       segment_schedules.push_back(std::move(sb.schedule));
     } else {
-      const DpResult dp = ScheduleDp(segment.subgraph, options_.dp);
+      DpOptions dp_options = options_.dp;
+      dp_options.incumbent_bytes =
+          std::min(dp_options.incumbent_bytes, incumbent);
+      dp_options.adaptive_parallelism = dp_options.adaptive_parallelism ||
+                                        options_.adaptive_parallelism;
+      const DpResult dp = ScheduleDp(segment.subgraph, dp_options);
       result.states_expanded += dp.states_expanded;
+      result.states_pruned_by_bound += dp.states_pruned_by_bound;
+      result.max_level_states =
+          std::max(result.max_level_states, dp.max_level_states);
       if (dp.status != DpStatus::kSolution) {
         result.failure_reason = "segment '" + segment.subgraph.name() +
                                 "' failed: " + ToString(dp.status);

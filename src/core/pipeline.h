@@ -28,6 +28,31 @@ struct PipelineOptions {
   bool enable_partitioning = true;
   bool enable_soft_budgeting = true;
 
+  // Branch-and-bound seeding: before a segment's DP runs, the pipeline
+  // obtains an achievable peak from the greedy memory baseline and a narrow
+  // beam (whichever is lower) and hands it to the search as the incumbent
+  // (DpOptions::incumbent_bytes). Pruning on the incumbent is strict, so
+  // the returned peak and schedule are bit-identical to the unseeded search
+  // — only states_expanded drops. The incumbent tightens whenever a better
+  // complete schedule lands: greedy first, then the beam, then per-attempt
+  // Kahn inside soft budgeting.
+  bool enable_bound_pruning = true;
+  // Seed-beam width. A few hundred states per level is still orders of
+  // magnitude cheaper than the exact search, and a tighter incumbent
+  // multiplies the branch-and-bound cut (on rewritten SwiftNet segments
+  // width 8 leaves the incumbent ~40% above µ* and most of the cut on the
+  // table; 256 reaches the two-step lookahead's ceiling on every paper
+  // cell).
+  int incumbent_beam_width = 256;
+
+  // Expand big DP levels with min(hardware_concurrency, 64) threads
+  // (DpOptions::adaptive_parallelism); small levels stay sequential. Safe
+  // to default on: state counts are shard-count invariant by construction,
+  // and the intrinsic relax tie-break makes the reconstructed schedule
+  // shard-count invariant too, so results do not depend on the machine's
+  // core count.
+  bool adaptive_parallelism = true;
+
   rewrite::RewriteOptions rewrite;
   PartitionOptions partition;
   SoftBudgetOptions soft_budget;
@@ -46,6 +71,15 @@ struct PipelineResult {
   rewrite::RewriteReport rewrite_report;  // zeros when rewriting disabled
   std::vector<int> segment_sizes;         // Table 2's "{21, 19, 22}"
   std::uint64_t states_expanded = 0;      // summed across segments/attempts
+  // Search-space cut by the branch-and-bound incumbent, summed like
+  // states_expanded (0 when bound pruning is disabled).
+  std::uint64_t states_pruned_by_bound = 0;
+  // Widest sealed DP level across segments/attempts (shard-count
+  // invariant); what the adaptive-parallelism threshold compares against.
+  std::uint64_t max_level_states = 0;
+  // Peak of the cheapest incumbent seed (greedy/beam) across segments — the
+  // bound the DP had to beat; -1 when seeding is off.
+  std::int64_t incumbent_seed_bytes = -1;
   double rewrite_seconds = 0.0;
   double partition_seconds = 0.0;
   double schedule_seconds = 0.0;

@@ -25,16 +25,29 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   std::int64_t hi = result.tau_max;
   std::int64_t tau = result.tau_max;
 
+  // Branch-and-bound incumbent: τmax is achievable (it is Kahn's own peak),
+  // so it always upper-bounds µ*; a caller-provided achievable bound (e.g.
+  // Pipeline's greedy/beam seed) can only tighten it. Bound pruning keeps
+  // the returned peak and schedule bit-identical per attempt, so the
+  // binary-search trajectory is unchanged wherever attempts complete.
   DpOptions dp_options;
   dp_options.step_timeout_seconds = options.step_timeout_seconds;
   dp_options.max_states = options.max_states_per_attempt;
   dp_options.num_threads = options.num_threads;
+  dp_options.adaptive_parallelism = options.adaptive_parallelism;
+  if (options.enable_bound_pruning) {
+    dp_options.incumbent_bytes =
+        std::min(options.incumbent_bytes, result.tau_max);
+  }
 
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     dp_options.budget_bytes = tau;
     const DpResult attempt = ScheduleDp(graph, dp_options);
+    result.max_level_states =
+        std::max(result.max_level_states, attempt.max_level_states);
     result.attempts.push_back(BudgetAttempt{tau, attempt.status,
                                             attempt.states_expanded,
+                                            attempt.states_pruned_by_bound,
                                             attempt.seconds});
     if (attempt.status == DpStatus::kSolution) {
       result.status = DpStatus::kSolution;
@@ -65,11 +78,16 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   DpOptions fallback;
   fallback.budget_bytes = result.tau_max;
   fallback.num_threads = options.num_threads;
+  fallback.adaptive_parallelism = options.adaptive_parallelism;
+  fallback.incumbent_bytes = dp_options.incumbent_bytes;
   fallback.max_states = std::max<std::uint64_t>(
       options.max_states_per_attempt * 4, 4'000'000);
   const DpResult final_run = ScheduleDp(graph, fallback);
+  result.max_level_states =
+      std::max(result.max_level_states, final_run.max_level_states);
   result.attempts.push_back(BudgetAttempt{result.tau_max, final_run.status,
                                           final_run.states_expanded,
+                                          final_run.states_pruned_by_bound,
                                           final_run.seconds});
   result.status = final_run.status;
   if (final_run.status == DpStatus::kSolution) {

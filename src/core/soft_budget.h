@@ -37,12 +37,25 @@ struct SoftBudgetOptions {
   // Forwarded to DpOptions::num_threads for every attempt (including the
   // fallback run).
   int num_threads = 1;
+  // Forwarded to DpOptions::adaptive_parallelism for every attempt.
+  bool adaptive_parallelism = false;
+  // Branch-and-bound incumbent from the caller (an achievable peak, e.g.
+  // Pipeline's greedy/beam seed). Every DP attempt additionally tightens it
+  // with τmax — Kahn's schedule is achievable by construction — so bound
+  // pruning is always on for the meta-search unless disabled here AND the
+  // Kahn tightening is unavailable (it never is). kNoBudget means "no
+  // caller bound"; Kahn still applies.
+  std::int64_t incumbent_bytes = core::kNoBudget;
+  // Escape hatch for apples-to-apples ablations: disables bound pruning
+  // entirely (including the Kahn tightening).
+  bool enable_bound_pruning = true;
 };
 
 struct BudgetAttempt {
   std::int64_t budget_bytes = 0;
   DpStatus status = DpStatus::kTimeout;
   std::uint64_t states_expanded = 0;
+  std::uint64_t states_pruned_by_bound = 0;
   double seconds = 0.0;
 };
 
@@ -53,12 +66,19 @@ struct SoftBudgetResult {
   std::int64_t tau_max = 0;    // hard budget from Kahn's schedule
   std::int64_t tau_final = 0;  // budget that produced the solution
   bool used_fallback = false;  // degenerated to the uncapped τmax run
+  std::uint64_t max_level_states = 0;  // widest sealed level, any attempt
   std::vector<BudgetAttempt> attempts;
   double total_seconds = 0.0;
 
   std::uint64_t TotalStates() const {
     std::uint64_t total = 0;
     for (const BudgetAttempt& a : attempts) total += a.states_expanded;
+    return total;
+  }
+
+  std::uint64_t TotalPrunedByBound() const {
+    std::uint64_t total = 0;
+    for (const BudgetAttempt& a : attempts) total += a.states_pruned_by_bound;
     return total;
   }
 };

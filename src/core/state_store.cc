@@ -1,6 +1,7 @@
 #include "core/state_store.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -24,14 +25,23 @@ std::size_t NextPowerOfTwo(std::size_t v) {
   return p;
 }
 
+// Probe-table cell markers for the bounded mode. kEmpty terminates probe
+// chains; tombstones (left by evictions) do not, so lookups stay correct
+// after deletions and insertions may reuse the dead cell.
+constexpr std::int32_t kEmptyCell = -1;
+constexpr std::int32_t kTombstoneCell = -2;
+
 }  // namespace
 
 SignatureHasher::SignatureHasher(std::size_t num_nodes) {
-  // Fixed seed: hashes (and therefore shard assignment and state ordering)
-  // are reproducible across runs and platforms.
+  // Fixed seeds: hashes and tie keys (and therefore shard assignment and
+  // back-pointer tie-breaks) are reproducible across runs and platforms.
   std::uint64_t state = 0x5e7e217f9a3c4d1bull;
   keys_.resize(num_nodes);
   for (std::uint64_t& key : keys_) key = SplitMix64(state);
+  std::uint64_t tie_state = 0x3c6ef372fe94f82aull;
+  tie_keys_.resize(num_nodes);
+  for (std::uint64_t& key : tie_keys_) key = SplitMix64(tie_state);
 }
 
 void StateLevel::Init(std::size_t words_per_state,
@@ -42,6 +52,7 @@ void StateLevel::Init(std::size_t words_per_state,
       << "shard count must be a power of two";
   words_ = words_per_state;
   sealed_ = false;
+  width_ = 0;  // unbounded mode
   shards_.assign(static_cast<std::size_t>(num_shards), Shard{});
   const std::size_t per_shard =
       expected_states / static_cast<std::size_t>(num_shards) + 1;
@@ -50,6 +61,7 @@ void StateLevel::Init(std::size_t words_per_state,
     shard.hashes.reserve(per_shard);
     shard.footprint.reserve(per_shard);
     shard.peak.reserve(per_shard);
+    shard.tie.reserve(per_shard);
     shard.recon.reserve(per_shard);
     // Open-addressing capacity for load factor <= 2/3 at the expected size.
     shard.slots.assign(
@@ -59,18 +71,284 @@ void StateLevel::Init(std::size_t words_per_state,
 
 bool StateLevel::InsertOrRelax(const std::uint64_t* sig, std::uint64_t hash,
                                std::int64_t footprint, std::int64_t peak,
+                               std::uint64_t tie_key,
                                std::int32_t prev_index,
                                std::int32_t last_node) {
   SERENITY_CHECK(!sealed_);
+  SERENITY_CHECK_EQ(width_, 0u) << "bounded level: use InsertBounded";
   return InsertOrRelaxShard(shards_[static_cast<std::size_t>(ShardOf(hash))],
-                            sig, hash, footprint, peak, prev_index,
+                            sig, hash, footprint, peak, tie_key, prev_index,
                             last_node);
+}
+
+// ----------------------------------------------------- bounded (beam) mode
+
+void StateLevel::InitBounded(std::size_t words_per_state, std::size_t width) {
+  SERENITY_CHECK_GT(words_per_state, 0u);
+  SERENITY_CHECK_GT(width, 0u);
+  words_ = words_per_state;
+  sealed_ = false;
+  width_ = width;
+  live_ = 0;
+  tombstones_ = 0;
+  evict_heap_.clear();
+  free_slots_.clear();
+  slot_gen_.clear();
+  slot_live_.clear();
+  shards_.assign(1, Shard{});
+  Shard& shard = shards_[0];
+  // At most width + 1 slots ever exist (the +1 is the state whose insertion
+  // displaces the worst); reserve modestly — wide beams rarely fill.
+  const std::size_t reserve = std::min<std::size_t>(width + 1, 1024);
+  shard.sig_arena.reserve(reserve * words_);
+  shard.hashes.reserve(reserve);
+  shard.footprint.reserve(reserve);
+  shard.peak.reserve(reserve);
+  shard.tie.reserve(reserve);
+  shard.recon.reserve(reserve);
+  // Capacity >= 2*(width+2): live + tombstones stay under the 2/3 load
+  // factor after every rebuild, so the table never needs to grow.
+  shard.slots.assign(
+      NextPowerOfTwo(std::max<std::size_t>(16, (width + 2) * 2)), kEmptyCell);
+}
+
+bool StateLevel::EvictLess(const EvictEntry& a, const EvictEntry& b) {
+  // Max-heap ("worst survivor on top") over the intrinsic rank. Slot and
+  // generation only make the comparator a total order for the heap; ties on
+  // (peak, footprint, hash) between *live* entries require a 64-bit Zobrist
+  // collision inside one level, which the fresh-top users treat as
+  // unreachable.
+  if (a.peak != b.peak) return a.peak < b.peak;
+  if (a.footprint != b.footprint) return a.footprint < b.footprint;
+  if (a.hash != b.hash) return a.hash < b.hash;
+  if (a.slot != b.slot) return a.slot < b.slot;
+  return a.gen < b.gen;
+}
+
+bool StateLevel::BoundedValueLess(std::int64_t peak, std::int64_t footprint,
+                                  std::uint64_t hash,
+                                  const std::uint64_t* sig,
+                                  std::size_t si) const {
+  const Shard& shard = shards_[0];
+  if (peak != shard.peak[si]) return peak < shard.peak[si];
+  if (footprint != shard.footprint[si]) return footprint < shard.footprint[si];
+  if (hash != shard.hashes[si]) return hash < shard.hashes[si];
+  const std::uint64_t* other = shard.sig_arena.data() + si * words_;
+  for (std::size_t w = 0; w < words_; ++w) {
+    if (sig[w] != other[w]) return sig[w] < other[w];
+  }
+  return false;  // identical value (same signature)
+}
+
+void StateLevel::PushEvictEntry(std::size_t si) {
+  const Shard& shard = shards_[0];
+  evict_heap_.push_back(EvictEntry{shard.peak[si], shard.footprint[si],
+                                   shard.hashes[si],
+                                   static_cast<std::int32_t>(si),
+                                   slot_gen_[si]});
+  std::push_heap(evict_heap_.begin(), evict_heap_.end(), EvictLess);
+  // Relax chains and evictions leave stale snapshots behind; compact once
+  // they dominate so the heap stays O(width), amortised O(1) per insert.
+  if (evict_heap_.size() > std::max<std::size_t>(64, 4 * width_)) {
+    std::vector<EvictEntry> fresh;
+    fresh.reserve(live_);
+    for (const EvictEntry& e : evict_heap_) {
+      const std::size_t slot = static_cast<std::size_t>(e.slot);
+      if (slot_live_[slot] && slot_gen_[slot] == e.gen &&
+          shard.peak[slot] == e.peak) {
+        fresh.push_back(e);
+      }
+    }
+    evict_heap_ = std::move(fresh);
+    std::make_heap(evict_heap_.begin(), evict_heap_.end(), EvictLess);
+  }
+}
+
+std::size_t StateLevel::FreshWorstSlot() {
+  const Shard& shard = shards_[0];
+  for (;;) {
+    SERENITY_CHECK(!evict_heap_.empty());
+    const EvictEntry& top = evict_heap_.front();
+    const std::size_t si = static_cast<std::size_t>(top.slot);
+    if (slot_live_[si] && slot_gen_[si] == top.gen &&
+        shard.peak[si] == top.peak) {
+      return si;
+    }
+    std::pop_heap(evict_heap_.begin(), evict_heap_.end(), EvictLess);
+    evict_heap_.pop_back();
+  }
+}
+
+void StateLevel::EvictSlot(std::size_t si) {
+  Shard& shard = shards_[0];
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t cell = static_cast<std::size_t>(shard.hashes[si]) & mask;
+  while (shard.slots[cell] != static_cast<std::int32_t>(si)) {
+    SERENITY_CHECK(shard.slots[cell] != kEmptyCell);
+    cell = (cell + 1) & mask;
+  }
+  shard.slots[cell] = kTombstoneCell;
+  ++tombstones_;
+  ++slot_gen_[si];  // invalidates every heap snapshot of this tenancy
+  slot_live_[si] = 0;
+  --live_;
+  free_slots_.push_back(static_cast<std::int32_t>(si));
+}
+
+void StateLevel::RebuildBoundedTable() {
+  Shard& shard = shards_[0];
+  std::fill(shard.slots.begin(), shard.slots.end(), kEmptyCell);
+  tombstones_ = 0;
+  const std::size_t mask = shard.slots.size() - 1;
+  for (std::size_t i = 0; i < shard.count; ++i) {
+    if (!slot_live_[i]) continue;
+    std::size_t cell = static_cast<std::size_t>(shard.hashes[i]) & mask;
+    while (shard.slots[cell] != kEmptyCell) cell = (cell + 1) & mask;
+    shard.slots[cell] = static_cast<std::int32_t>(i);
+  }
+}
+
+bool StateLevel::InsertBounded(const std::uint64_t* sig, std::uint64_t hash,
+                               std::int64_t footprint, std::int64_t peak,
+                               std::uint64_t tie_key,
+                               std::int32_t prev_index,
+                               std::int32_t last_node) {
+  SERENITY_CHECK(!sealed_);
+  SERENITY_CHECK_GT(width_, 0u) << "unbounded level: use InsertOrRelax";
+  Shard& shard = shards_[0];
+  if ((live_ + tombstones_ + 1) * 3 > shard.slots.size() * 2) {
+    RebuildBoundedTable();
+  }
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t cell = static_cast<std::size_t>(hash) & mask;
+  std::size_t reuse_cell = shard.slots.size();  // first tombstone on the path
+  for (;;) {
+    const std::int32_t s = shard.slots[cell];
+    if (s == kEmptyCell) break;
+    if (s == kTombstoneCell) {
+      if (reuse_cell == shard.slots.size()) reuse_cell = cell;
+    } else {
+      const std::size_t si = static_cast<std::size_t>(s);
+      if (shard.hashes[si] == hash &&
+          util::SpanEqual(shard.sig_arena.data() + si * words_, sig,
+                          words_)) {
+        // Live duplicate: relax exactly as InsertOrRelax does. A strictly
+        // lower peak improves the slot's rank, so its heap snapshot is
+        // re-pushed (the old one goes stale via the peak mismatch).
+        SERENITY_CHECK_EQ(shard.footprint[si], footprint);
+        if (peak < shard.peak[si]) {
+          shard.peak[si] = peak;
+          shard.tie[si] = tie_key;
+          shard.recon[si] = ReconRecord{prev_index, last_node};
+          PushEvictEntry(si);
+        } else if (peak == shard.peak[si] && tie_key < shard.tie[si]) {
+          shard.tie[si] = tie_key;
+          shard.recon[si] = ReconRecord{prev_index, last_node};
+        }
+        return false;
+      }
+    }
+    cell = (cell + 1) & mask;
+  }
+  if (reuse_cell == shard.slots.size()) reuse_cell = cell;
+
+  if (live_ >= width_) {
+    // Full level: entering is equivalent to insert-then-evict-the-worst,
+    // decided without the churn. Because the rank is intrinsic to the
+    // state's value — never its arrival position — a signature that was
+    // evicted earlier and arrives again with a better peak re-enters with
+    // exactly the rank batch dedup would have given it, which is what makes
+    // the streaming survivors identical to seal-and-copy pruning.
+    const std::size_t worst = FreshWorstSlot();
+    if (!BoundedValueLess(peak, footprint, hash, sig, worst)) return false;
+    EvictSlot(worst);
+  }
+
+  std::int32_t target;
+  if (!free_slots_.empty()) {
+    target = free_slots_.back();
+    free_slots_.pop_back();
+    const std::size_t ti = static_cast<std::size_t>(target);
+    std::copy(sig, sig + words_, shard.sig_arena.data() + ti * words_);
+    shard.hashes[ti] = hash;
+    shard.footprint[ti] = footprint;
+    shard.peak[ti] = peak;
+    shard.tie[ti] = tie_key;
+    shard.recon[ti] = ReconRecord{prev_index, last_node};
+    slot_live_[ti] = 1;
+  } else {
+    target = static_cast<std::int32_t>(shard.count);
+    shard.sig_arena.insert(shard.sig_arena.end(), sig, sig + words_);
+    shard.hashes.push_back(hash);
+    shard.footprint.push_back(footprint);
+    shard.peak.push_back(peak);
+    shard.tie.push_back(tie_key);
+    shard.recon.push_back(ReconRecord{prev_index, last_node});
+    slot_gen_.push_back(0);
+    slot_live_.push_back(1);
+    ++shard.count;
+  }
+  if (shard.slots[reuse_cell] == kTombstoneCell) {
+    --tombstones_;  // the new entry resurrects a dead cell
+  }
+  shard.slots[reuse_cell] = target;
+  ++live_;
+  PushEvictEntry(static_cast<std::size_t>(target));
+  return true;
+}
+
+void StateLevel::SealBounded() {
+  SERENITY_CHECK(!sealed_);
+  SERENITY_CHECK_GT(width_, 0u);
+  Shard& shard = shards_[0];
+  std::vector<std::int32_t> keep;
+  keep.reserve(live_);
+  for (std::size_t i = 0; i < shard.count; ++i) {
+    if (slot_live_[i]) keep.push_back(static_cast<std::int32_t>(i));
+  }
+  SERENITY_CHECK_EQ(keep.size(), live_);
+  // Best-first intrinsic order: deterministic, independent of arrival and
+  // eviction history — the order the reference seal-and-copy path must
+  // reproduce for the bit-identity property suite.
+  std::sort(keep.begin(), keep.end(),
+            [this, &shard](std::int32_t a, std::int32_t b) {
+              const std::size_t ia = static_cast<std::size_t>(a);
+              return BoundedValueLess(
+                  shard.peak[ia], shard.footprint[ia], shard.hashes[ia],
+                  shard.sig_arena.data() + ia * words_,
+                  static_cast<std::size_t>(b));
+            });
+  Shard out;
+  out.count = keep.size();
+  out.sig_arena.reserve(keep.size() * words_);
+  out.hashes.reserve(keep.size());
+  out.footprint.reserve(keep.size());
+  out.peak.reserve(keep.size());
+  out.tie.reserve(keep.size());
+  out.recon.reserve(keep.size());
+  for (const std::int32_t index : keep) {
+    const std::size_t i = static_cast<std::size_t>(index);
+    const std::uint64_t* sig = shard.sig_arena.data() + i * words_;
+    out.sig_arena.insert(out.sig_arena.end(), sig, sig + words_);
+    out.hashes.push_back(shard.hashes[i]);
+    out.footprint.push_back(shard.footprint[i]);
+    out.peak.push_back(shard.peak[i]);
+    out.tie.push_back(shard.tie[i]);
+    out.recon.push_back(shard.recon[i]);
+  }
+  shards_[0] = std::move(out);
+  sealed_ = true;
+  evict_heap_ = {};
+  free_slots_ = {};
+  slot_gen_ = {};
+  slot_live_ = {};
 }
 
 bool StateLevel::InsertOrRelaxShard(Shard& shard, const std::uint64_t* sig,
                                     std::uint64_t hash,
                                     std::int64_t footprint,
                                     std::int64_t peak,
+                                    std::uint64_t tie_key,
                                     std::int32_t prev_index,
                                     std::int32_t last_node) {
   if ((shard.count + 1) * 3 > shard.slots.size() * 2) GrowTable(shard);
@@ -84,6 +362,7 @@ bool StateLevel::InsertOrRelaxShard(Shard& shard, const std::uint64_t* sig,
       shard.hashes.push_back(hash);
       shard.footprint.push_back(footprint);
       shard.peak.push_back(peak);
+      shard.tie.push_back(tie_key);
       shard.recon.push_back(ReconRecord{prev_index, last_node});
       ++shard.count;
       return true;
@@ -92,10 +371,14 @@ bool StateLevel::InsertOrRelaxShard(Shard& shard, const std::uint64_t* sig,
     if (shard.hashes[si] == hash &&
         util::SpanEqual(shard.sig_arena.data() + si * words_, sig, words_)) {
       // Same signature ⇒ same µ (mechanically re-checked here); the lower
-      // peak wins, the incumbent keeps ties.
+      // peak wins, equal peaks resolve to the lower intrinsic tie key so
+      // the surviving back-pointer is independent of candidate arrival
+      // order (and therefore of pruning and shard count).
       SERENITY_CHECK_EQ(shard.footprint[si], footprint);
-      if (peak < shard.peak[si]) {
+      if (peak < shard.peak[si] ||
+          (peak == shard.peak[si] && tie_key < shard.tie[si])) {
         shard.peak[si] = peak;
+        shard.tie[si] = tie_key;
         shard.recon[si] = ReconRecord{prev_index, last_node};
       }
       return false;
@@ -117,6 +400,7 @@ void StateLevel::GrowTable(Shard& shard) {
 
 void StateLevel::Seal() {
   SERENITY_CHECK(!sealed_);
+  SERENITY_CHECK_EQ(width_, 0u) << "bounded level: use SealBounded";
   sealed_ = true;
   if (shards_.size() == 1) {
     shards_[0].slots = {};
@@ -129,6 +413,7 @@ void StateLevel::Seal() {
   merged.hashes.reserve(total);
   merged.footprint.reserve(total);
   merged.peak.reserve(total);
+  merged.tie.reserve(total);
   merged.recon.reserve(total);
   merged.count = total;
   for (Shard& shard : shards_) {
@@ -140,6 +425,8 @@ void StateLevel::Seal() {
                             shard.footprint.end());
     merged.peak.insert(merged.peak.end(), shard.peak.begin(),
                        shard.peak.end());
+    merged.tie.insert(merged.tie.end(), shard.tie.begin(),
+                      shard.tie.end());
     merged.recon.insert(merged.recon.end(), shard.recon.begin(),
                         shard.recon.end());
     shard = Shard{};  // free as we go
@@ -150,6 +437,7 @@ void StateLevel::Seal() {
 
 std::size_t StateLevel::size() const {
   if (sealed_) return shards_[0].count;
+  if (width_ > 0) return live_;  // bounded mode: slots may hold dead states
   std::size_t total = 0;
   for (const Shard& shard : shards_) total += shard.count;
   return total;
@@ -175,6 +463,7 @@ StateLevel StateLevel::Select(const std::vector<std::int32_t>& keep) const {
   dst.hashes.reserve(keep.size());
   dst.footprint.reserve(keep.size());
   dst.peak.reserve(keep.size());
+  dst.tie.reserve(keep.size());
   dst.recon.reserve(keep.size());
   for (const std::int32_t index : keep) {
     const std::size_t i = static_cast<std::size_t>(index);
@@ -184,6 +473,7 @@ StateLevel StateLevel::Select(const std::vector<std::int32_t>& keep) const {
     dst.hashes.push_back(src.hashes[i]);
     dst.footprint.push_back(src.footprint[i]);
     dst.peak.push_back(src.peak[i]);
+    dst.tie.push_back(src.tie[i]);
     dst.recon.push_back(src.recon[i]);
   }
   return out;
@@ -238,10 +528,24 @@ ExpansionTables::ExpansionTables(const graph::Graph& graph,
     }
     freeable_begin_[u + 1] = static_cast<std::uint32_t>(freeables_.size());
   }
+  min_step_bytes_ = table.MinStepFootprints();
+  succ_begin_.assign(num_nodes_ + 1, 0);
+  for (std::size_t u = 0; u < num_nodes_; ++u) {
+    const auto& consumers = graph.consumers(static_cast<graph::NodeId>(u));
+    for (const graph::NodeId c : consumers) {
+      succs_arena_.push_back(static_cast<std::int32_t>(c));
+    }
+    succ_begin_[u + 1] = static_cast<std::uint32_t>(succs_arena_.size());
+  }
 }
 
 void ExpansionTables::AppendFrontier(const std::uint64_t* sig,
-                                     std::vector<std::int32_t>* out) const {
+                                     std::vector<std::int32_t>* out,
+                                     std::int64_t* residual_bound) const {
+  // The residual max rides the candidate scan only when a caller asks for
+  // it (the nullptr test is loop-invariant, so the beam and unpruned DP
+  // paths pay nothing beyond the unswitched branch).
+  std::int64_t residual = 0;
   for (std::size_t w = 0; w < words_; ++w) {
     std::uint64_t candidates = ~sig[w];
     if (w + 1 == words_) candidates &= last_word_mask_;
@@ -249,11 +553,165 @@ void ExpansionTables::AppendFrontier(const std::uint64_t* sig,
       const std::size_t u =
           w * 64 + static_cast<std::size_t>(__builtin_ctzll(candidates));
       candidates &= candidates - 1;
+      if (residual_bound != nullptr) {
+        residual = std::max(residual, min_step_bytes_[u]);
+      }
       if (util::SpanIsSubsetOf(preds_.data() + u * words_, sig, words_)) {
         out->push_back(static_cast<std::int32_t>(u));
       }
     }
   }
+  if (residual_bound != nullptr) *residual_bound = residual;
+}
+
+void ExpansionTables::ComputeFrontierAllocs(
+    const std::uint64_t* sig, const std::vector<std::int32_t>& frontier,
+    FrontierAllocs* out) const {
+  out->alloc.clear();
+  out->shared_positive.clear();
+  out->min1 = kNoAlloc;
+  out->min2 = kNoAlloc;
+  out->argmin_node = -1;
+  for (const std::int32_t v : frontier) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    const std::int32_t buffer = own_buffer_[vi];
+    const std::uint64_t* writers =
+        buffer_writers_.data() + static_cast<std::size_t>(buffer) * words_;
+    const bool allocated = util::SpanIntersects(writers, sig, words_);
+    const std::int64_t alloc = allocated ? 0 : own_size_[vi];
+    out->alloc.push_back(alloc);
+    if (alloc < out->min1) {
+      out->min2 = out->min1;
+      out->min1 = alloc;
+      out->argmin_node = v;
+    } else if (alloc < out->min2) {
+      out->min2 = alloc;
+    }
+    if (alloc > 0) {
+      // A positive alloc on a *shared* buffer can be zeroed by a sibling
+      // writer in the same frontier; remember it for ChildNextAllocFloor.
+      bool shared = false;
+      for (std::size_t w = 0; w < words_; ++w) {
+        const std::uint64_t others =
+            w == vi / 64 ? writers[w] & ~(std::uint64_t{1} << (vi & 63))
+                         : writers[w];
+        if (others != 0) {
+          shared = true;
+          break;
+        }
+      }
+      if (shared) out->shared_positive.push_back({buffer, v});
+    }
+  }
+  std::sort(out->shared_positive.begin(), out->shared_positive.end());
+}
+
+bool ExpansionTables::ChildTwoStepExceeds(
+    const std::uint64_t* child_sig, std::int64_t child_footprint,
+    std::int32_t u, const std::vector<std::int32_t>& frontier,
+    std::int64_t incumbent, TwoStepScratch* scratch) const {
+  // Materialize the child's frontier: surviving parent-frontier nodes plus
+  // u's newly-ready successors.
+  std::vector<std::int32_t>& cf = scratch->child_frontier;
+  cf.clear();
+  for (const std::int32_t v : frontier) {
+    if (v != u) cf.push_back(v);
+  }
+  const std::size_t ui = static_cast<std::size_t>(u);
+  for (std::uint32_t i = succ_begin_[ui]; i < succ_begin_[ui + 1]; ++i) {
+    const std::int32_t w = succs_arena_[i];
+    if (util::SpanIsSubsetOf(
+            preds_.data() + static_cast<std::size_t>(w) * words_, child_sig,
+            words_)) {
+      cf.push_back(w);
+    }
+  }
+  if (cf.empty()) return false;  // full state: no lookahead to fail
+
+  std::vector<std::uint64_t>& gc = scratch->gc_sig;
+  gc.resize(words_);
+  for (const std::int32_t v : cf) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    const std::uint64_t* writers =
+        buffer_writers_.data() +
+        static_cast<std::size_t>(own_buffer_[vi]) * words_;
+    const std::int64_t alloc =
+        util::SpanIntersects(writers, child_sig, words_) ? 0 : own_size_[vi];
+    const std::int64_t step1 = child_footprint + alloc;
+    if (step1 > incumbent) continue;  // this start is already dead
+    // Second step: grandchild = child + v. If the grandchild is full the
+    // start is viable on its first step alone.
+    const Transition t = Apply(child_sig, v, child_footprint, incumbent);
+    std::copy(child_sig, child_sig + words_, gc.data());
+    util::SpanSetBit(gc.data(), vi);
+    std::vector<std::int32_t>& gf = scratch->gc_frontier;
+    gf.clear();
+    for (const std::int32_t x : cf) {
+      if (x != v) gf.push_back(x);
+    }
+    for (std::uint32_t i = succ_begin_[vi]; i < succ_begin_[vi + 1]; ++i) {
+      const std::int32_t w = succs_arena_[i];
+      if (util::SpanIsSubsetOf(
+              preds_.data() + static_cast<std::size_t>(w) * words_,
+              gc.data(), words_)) {
+        gf.push_back(w);
+      }
+    }
+    if (gf.empty()) return false;  // grandchild full: viable start
+    std::int64_t min_step2 = kNoAlloc;
+    for (const std::int32_t x : gf) {
+      const std::size_t xi = static_cast<std::size_t>(x);
+      const std::uint64_t* xw =
+          buffer_writers_.data() +
+          static_cast<std::size_t>(own_buffer_[xi]) * words_;
+      const std::int64_t xalloc =
+          util::SpanIntersects(xw, gc.data(), words_) ? 0 : own_size_[xi];
+      min_step2 = std::min(min_step2, t.footprint + xalloc);
+      if (min_step2 <= incumbent) break;
+    }
+    if (min_step2 <= incumbent) return false;  // viable (step1, step2) pair
+  }
+  return true;  // every two-step start exceeds the incumbent
+}
+
+std::int64_t ExpansionTables::ChildNextAllocFloor(
+    const std::uint64_t* child_sig, std::int32_t u,
+    const FrontierAllocs& fa) const {
+  // Part 1: surviving parent-frontier nodes. Their alloc in the child
+  // equals their alloc in the parent, except that scheduling u zeroes any
+  // sibling writer of u's own buffer (u writes exactly its output buffer).
+  std::int64_t floor = u == fa.argmin_node ? fa.min2 : fa.min1;
+  if (!fa.shared_positive.empty()) {
+    const std::size_t ui = static_cast<std::size_t>(u);
+    const std::int32_t buffer = own_buffer_[ui];
+    const auto begin = std::lower_bound(
+        fa.shared_positive.begin(), fa.shared_positive.end(),
+        std::pair<std::int32_t, std::int32_t>{buffer, -1});
+    for (auto it = begin;
+         it != fa.shared_positive.end() && it->first == buffer; ++it) {
+      if (it->second != u) {
+        floor = 0;
+        break;
+      }
+    }
+  }
+  // Part 2: successors of u that just became ready.
+  const std::size_t ui = static_cast<std::size_t>(u);
+  for (std::uint32_t i = succ_begin_[ui]; i < succ_begin_[ui + 1]; ++i) {
+    const std::size_t w = static_cast<std::size_t>(succs_arena_[i]);
+    if (!util::SpanIsSubsetOf(preds_.data() + w * words_, child_sig,
+                              words_)) {
+      continue;
+    }
+    const std::uint64_t* writers =
+        buffer_writers_.data() +
+        static_cast<std::size_t>(own_buffer_[w]) * words_;
+    const std::int64_t alloc =
+        util::SpanIntersects(writers, child_sig, words_) ? 0 : own_size_[w];
+    floor = std::min(floor, alloc);
+    if (floor == 0) break;
+  }
+  return floor;
 }
 
 ExpansionTables::Transition ExpansionTables::Apply(

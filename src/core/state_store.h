@@ -34,6 +34,12 @@
 // finished level therefore costs 8 bytes/state instead of the seed's
 // ~(8*W + 40 + unordered_map node) bytes/state.
 //
+// Beam search instead uses the bounded lifecycle InitBounded →
+// InsertBounded → SealBounded: top-`width` pruning is fused into insertion
+// through an eviction heap over the open-addressing table, so a beam level
+// never materializes more than `width` live states (plus the probe table)
+// no matter how many children the parent level generates.
+//
 // Sharded parallel insertion: a level may be built by several threads, each
 // owning a disjoint subset of `num_shards` sub-tables; a state's shard is a
 // function of its hash (top bits, so it is independent of the table index
@@ -47,6 +53,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "graph/analysis.h"
@@ -69,9 +77,16 @@ struct ReconRecord {
 // costs O(level) amortised rehash/copy work, a too-large one costs idle
 // arena memory that is freed when the level's transients are dropped — the
 // bias is slightly toward memory since the arena dominates (8·W+32
-// bytes/state vs 8 bytes/slot). Shared by the DP and beam schedulers.
-inline std::size_t NextLevelReserveHint(std::size_t prev_level_size) {
-  return std::max<std::size_t>(64, prev_level_size * 2);
+// bytes/state vs 8 bytes/slot). The hint is clamped against the search's
+// state cap: a run that exceeds `max_states` aborts anyway, so a huge
+// sealed level must never pre-allocate an arena past the cap (the +1 keeps
+// room for the state whose insertion trips it).
+inline std::size_t NextLevelReserveHint(std::size_t prev_level_size,
+                                        std::uint64_t max_states) {
+  std::uint64_t hint = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(prev_level_size) * 2);
+  if (max_states < hint) hint = std::max<std::uint64_t>(64, max_states + 1);
+  return static_cast<std::size_t>(hint);
 }
 
 // Zobrist signature hashing with a fixed seed: deterministic across runs,
@@ -82,11 +97,38 @@ class SignatureHasher {
 
   std::uint64_t key(std::size_t node) const { return keys_[node]; }
 
+  // Independent second key stream for candidate tie-breaking:
+  // `parent_hash ^ tie_key(u)` identifies the transition (parent state,
+  // appended node) intrinsically — it does not depend on state numbering,
+  // insertion order, shard count or pruning. Equal-peak back-pointer ties
+  // resolve to the lowest such key, which is what makes the reconstructed
+  // schedule bit-identical across thread counts and with branch-and-bound
+  // pruning on or off (pruning reorders state *creation* within a level, so
+  // any arrival-based tie-break would drift). Distinct from key(): the
+  // natural `parent_hash ^ key(u)` is the child's hash, identical for every
+  // candidate of one child and useless as a discriminator.
+  std::uint64_t tie_key(std::size_t node) const { return tie_keys_[node]; }
+
+  // The candidate tie key used by both schedulers: appended node in the
+  // high bits, *descending* (among equally optimal histories the chain
+  // prefers appending the latest-declared node, which empirically keeps
+  // the reconstructed schedule's arena placement and off-chip traffic at
+  // the quality of the historical first-writer tie-break), with the mixed
+  // parent hash below as a total-order discriminator.
+  std::uint64_t candidate_tie(std::uint64_t parent_hash,
+                              std::size_t node) const {
+    return (static_cast<std::uint64_t>(
+                ~static_cast<std::uint32_t>(node) & 0xffffffu)
+            << 40) |
+           ((parent_hash ^ tie_keys_[node]) >> 24);
+  }
+
   // Hash of the empty signature (level 0).
   static constexpr std::uint64_t kEmptyHash = 0x9ae16a3b2f90404full;
 
  private:
   std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> tie_keys_;
 };
 
 // One scheduler level. See the file comment for layout and lifecycle.
@@ -99,6 +141,37 @@ class StateLevel {
   void Init(std::size_t words_per_state, std::size_t expected_states,
             int num_shards = 1);
 
+  // Bounded (streaming top-`width`) mode — beam search's per-level pruning
+  // fused into insertion. The level retains at most `width` live states at
+  // any moment: an insertion into a full level either displaces the current
+  // worst survivor or is rejected on the spot, so the transient high-water
+  // memory is `width + 1` states plus the probe table and an amortised
+  // eviction heap — never the pre-prune level size. States are ranked by
+  // the *intrinsic* total order (peak, footprint, hash, signature words):
+  // because the rank of a state does not depend on its arrival position,
+  // the surviving set is exactly the top `width` of the fully deduplicated
+  // level (see DESIGN.md "Streaming beam levels" for the argument that
+  // evict-then-reinsert converges to batch dedup + nth_element). Single
+  // shard only; use InsertBounded/SealBounded instead of
+  // InsertOrRelax/Seal.
+  void InitBounded(std::size_t words_per_state, std::size_t width);
+
+  // Bounded-mode insertion. Deduplicates and relaxes exactly like
+  // InsertOrRelax (including the intrinsic tie_key rule); a novel signature
+  // enters the level iff it is better than the current worst survivor (or
+  // the level holds fewer than `width`). Returns true iff a new live state
+  // was created.
+  bool InsertBounded(const std::uint64_t* sig, std::uint64_t hash,
+                     std::int64_t footprint, std::int64_t peak,
+                     std::uint64_t tie_key, std::int32_t prev_index,
+                     std::int32_t last_node);
+
+  // Seals a bounded level: compacts the (at most `width`) survivors, orders
+  // them by the intrinsic total order — best first, deterministic and
+  // arrival-independent — and drops the probe table, eviction heap and slot
+  // bookkeeping. Accessors and TakeReconAndRelease are valid afterwards.
+  void SealBounded();
+
   std::size_t words_per_state() const { return words_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
@@ -110,13 +183,16 @@ class StateLevel {
   }
 
   // Inserts the state or relaxes the existing one (same signature ⇒ same
-  // footprint; the lower peak and its back-pointer win, first writer wins
-  // ties). Thread-safe across *different* shards: callers in a sharded
+  // footprint; the lower peak and its back-pointer win, equal peaks resolve
+  // to the lower `tie_key` — an intrinsic candidate id, see
+  // SignatureHasher::tie_key, so the winner is independent of arrival
+  // order). Thread-safe across *different* shards: callers in a sharded
   // build must only pass hashes they own. Returns true iff a new state was
   // created. Only valid before Seal().
   bool InsertOrRelax(const std::uint64_t* sig, std::uint64_t hash,
                      std::int64_t footprint, std::int64_t peak,
-                     std::int32_t prev_index, std::int32_t last_node);
+                     std::uint64_t tie_key, std::int32_t prev_index,
+                     std::int32_t last_node);
 
   // Concatenates the shards into one contiguous SoA block (no-op for a
   // single shard) and drops the hash tables. States are numbered shard by
@@ -153,20 +229,53 @@ class StateLevel {
     std::vector<std::uint64_t> hashes;     // cached Zobrist hash per state
     std::vector<std::int64_t> footprint;
     std::vector<std::int64_t> peak;
+    std::vector<std::uint64_t> tie;  // winning candidate's intrinsic id
     std::vector<ReconRecord> recon;
     std::vector<std::int32_t> slots;  // open addressing; -1 = empty
     std::size_t count = 0;
   };
 
+  // Lazy eviction-heap entry for the bounded mode: a snapshot of a slot's
+  // rank at push time. An entry is stale once its slot was freed/reused
+  // (generation mismatch) or relaxed (peak mismatch); stale entries are
+  // discarded on pop, exactly like the hierarchy simulator's heap.
+  struct EvictEntry {
+    std::int64_t peak = 0;
+    std::int64_t footprint = 0;
+    std::uint64_t hash = 0;
+    std::int32_t slot = -1;
+    std::uint32_t gen = 0;
+  };
+  static bool EvictLess(const EvictEntry& a, const EvictEntry& b);
+
   bool InsertOrRelaxShard(Shard& shard, const std::uint64_t* sig,
                           std::uint64_t hash, std::int64_t footprint,
-                          std::int64_t peak, std::int32_t prev_index,
-                          std::int32_t last_node);
+                          std::int64_t peak, std::uint64_t tie_key,
+                          std::int32_t prev_index, std::int32_t last_node);
   void GrowTable(Shard& shard);
+
+  // True iff the value (peak, footprint, hash, sig) ranks strictly better
+  // (lower) than live slot `si` in the intrinsic total order.
+  bool BoundedValueLess(std::int64_t peak, std::int64_t footprint,
+                        std::uint64_t hash, const std::uint64_t* sig,
+                        std::size_t si) const;
+  std::size_t FreshWorstSlot();
+  void EvictSlot(std::size_t si);
+  void PushEvictEntry(std::size_t si);
+  void RebuildBoundedTable();
 
   std::size_t words_ = 0;
   std::vector<Shard> shards_;
   bool sealed_ = false;
+
+  // Bounded-mode bookkeeping; width_ == 0 means unbounded mode.
+  std::size_t width_ = 0;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
+  std::vector<EvictEntry> evict_heap_;
+  std::vector<std::int32_t> free_slots_;
+  std::vector<std::uint32_t> slot_gen_;
+  std::vector<std::uint8_t> slot_live_;
 };
 
 // Graph-side constants of Algorithm 1, flattened for the expansion hot
@@ -192,8 +301,84 @@ class ExpansionTables {
   // predecessors are all scheduled) to `out` in ascending node order. `out`
   // is a caller-owned scratch buffer — the frontier is a function of the
   // signature, so it is recomputed here instead of being stored per state.
-  void AppendFrontier(const std::uint64_t* sig,
-                      std::vector<std::int32_t>* out) const;
+  //
+  // When `residual_bound` is non-null it receives the residual lower bound
+  // of the state: max over the *unscheduled* nodes of their minimum step
+  // footprint (graph::BufferUseTable::MinStepFootprints) — every completion
+  // of `sig` must pass through a step at least that large. Computed in the
+  // same candidate scan the frontier already pays for; it only fires
+  // against incumbents below the optimum (a contract violation), and is
+  // kept as the safety net of the branch-and-bound cut.
+  void AppendFrontier(const std::uint64_t* sig, std::vector<std::int32_t>* out,
+                      std::int64_t* residual_bound = nullptr) const;
+
+  // Minimum transient footprint of the step scheduling `node`, in any
+  // topological order (the per-node constant behind the residual bound).
+  std::int64_t min_step_bytes(std::int32_t node) const {
+    return min_step_bytes_[static_cast<std::size_t>(node)];
+  }
+
+  // Per-parent-state scratch for the branch-and-bound one-step lookahead
+  // (DESIGN.md "Branch-and-bound over levels"). For every frontier node v,
+  // `alloc[v-index]` is the EXACT number of bytes the step scheduling v
+  // from this state allocates (its output size when no writer of v's
+  // buffer has run, else 0). min1/min2/argmin summarize the array so the
+  // per-transition child floor is O(1) + the newly-ready scan.
+  struct FrontierAllocs {
+    std::vector<std::int64_t> alloc;  // aligned with the frontier vector
+    std::int64_t min1 = 0;            // min over the frontier (kNoAlloc if empty)
+    std::int64_t min2 = 0;            // min excluding argmin
+    std::int32_t argmin_node = -1;
+    // Frontier nodes with alloc > 0 whose output buffer is shared with
+    // another writer, as (buffer, node) sorted by buffer — the rare case
+    // (co-frontier co-writers) where scheduling one zeroes the other's
+    // alloc in the child.
+    std::vector<std::pair<std::int32_t, std::int32_t>> shared_positive;
+  };
+
+  // Sentinel for "no frontier": an empty min. Any state with unscheduled
+  // nodes has a non-empty frontier in a DAG, so callers only see this for
+  // the full state (which they must not bound with a lookahead anyway).
+  static constexpr std::int64_t kNoAlloc =
+      std::numeric_limits<std::int64_t>::max();
+
+  void ComputeFrontierAllocs(const std::uint64_t* sig,
+                             const std::vector<std::int32_t>& frontier,
+                             FrontierAllocs* out) const;
+
+  // Exact one-step lookahead floor of the child `sig ∪ {u}` (whose
+  // signature words are `child_sig`): min over the child's frontier of the
+  // bytes its next step must allocate. The child's frontier is
+  // (parent frontier \ {u}) ∪ {newly ready successors of u}, and the
+  // returned value is a pure function of the child signature — every
+  // duplicate candidate computes the same floor, which keeps relax winners
+  // (and the reconstructed schedule) bit-identical under pruning. Returns
+  // kNoAlloc when the child is the full state.
+  std::int64_t ChildNextAllocFloor(const std::uint64_t* child_sig,
+                                   std::int32_t u,
+                                   const FrontierAllocs& fa) const;
+
+  // Scratch buffers for ChildTwoStepExceeds, owned by the caller so the
+  // two-step probe allocates nothing per transition.
+  struct TwoStepScratch {
+    std::vector<std::int32_t> child_frontier;
+    std::vector<std::int32_t> gc_frontier;
+    std::vector<std::uint64_t> gc_sig;
+  };
+
+  // Exact two-step lookahead on the child `sig ∪ {u}`: true iff EVERY way
+  // of scheduling the child's next two steps peaks strictly above
+  // `incumbent` — an admissible reason to prune the child, since any
+  // completion starts with some such pair. (A pair whose second step does
+  // not exist — the grandchild is the full state — is judged on its first
+  // step alone.) Early-exits on the first viable start, so the common kept
+  // child pays roughly one extra transition of work. Pure function of the
+  // child signature.
+  bool ChildTwoStepExceeds(const std::uint64_t* child_sig,
+                           std::int64_t child_footprint, std::int32_t u,
+                           const std::vector<std::int32_t>& frontier,
+                           std::int64_t incumbent,
+                           TwoStepScratch* scratch) const;
 
   struct Transition {
     std::int64_t footprint;  // µ after scheduling `node` and freeing
@@ -227,6 +412,12 @@ class ExpansionTables {
   std::vector<Freeable> freeables_;
   std::vector<std::uint32_t> freeable_begin_;  // num_nodes + 1 offsets
   std::vector<std::uint64_t> touchers_arena_;
+  std::vector<std::int64_t> min_step_bytes_;  // node -> admissible step floor
+
+  // Flattened successor adjacency for the newly-ready scan of
+  // ChildNextAllocFloor.
+  std::vector<std::int32_t> succs_arena_;
+  std::vector<std::uint32_t> succ_begin_;  // num_nodes + 1 offsets
 };
 
 }  // namespace serenity::core

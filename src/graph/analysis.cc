@@ -87,4 +87,14 @@ BufferUseTable BufferUseTable::Build(const Graph& graph) {
   return table;
 }
 
+std::vector<std::int64_t> BufferUseTable::MinStepFootprints() const {
+  std::vector<std::int64_t> bytes(touched_buffers.size(), 0);
+  for (std::size_t u = 0; u < touched_buffers.size(); ++u) {
+    for (const BufferId b : touched_buffers[u]) {
+      bytes[u] += buffers[static_cast<std::size_t>(b)].size_bytes;
+    }
+  }
+  return bytes;
+}
+
 }  // namespace serenity::graph

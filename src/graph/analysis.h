@@ -54,6 +54,17 @@ struct BufferUseTable {
 
   static BufferUseTable Build(const Graph& graph);
 
+  // Per node u: the bytes of u's distinct touched buffers (operands plus its
+  // output). Every one of them is simultaneously live at the step that
+  // schedules u in ANY topological order — the operands' writers precede u
+  // and no operand can be freed before its toucher u has run, while the
+  // output is allocated no later than u itself. The value is therefore an
+  // admissible lower bound on the transient footprint of u's step, and the
+  // max over a state's unscheduled nodes lower-bounds the peak of every
+  // completion — the residual bound of the branch-and-bound scheduler
+  // (DESIGN.md "Branch-and-bound over levels").
+  std::vector<std::int64_t> MinStepFootprints() const;
+
   // True if no writer of buffer `b` has executed yet, i.e. scheduling a
   // writer of `b` now would allocate it.
   bool IsFirstWrite(BufferId b, const util::Bitset64& scheduled) const {

@@ -19,11 +19,20 @@ enum class TouchKind : std::uint8_t {
   kRmw,      // read-modify-write (accumulators, slice writers)
 };
 
-struct Touch {
-  std::int32_t page = 0;
+// One trace element covers a whole buffer's page range — a *run* — instead
+// of one element per page: a kernel always touches every page of a buffer
+// back to back, so a run plus arithmetic reconstructs the per-page touch
+// sequence exactly (position of page p in a run = base + p - first_page).
+// This shrinks the trace ~page_count-fold on large-buffer cells while the
+// replay below still walks page-granular touches, keeping every counter
+// bit-identical to the per-touch trace.
+struct TouchRun {
+  std::int32_t first_page = 0;
+  std::int32_t page_count = 0;
   TouchKind kind = TouchKind::kRead;
-  bool last_use = false;       // page is dead after this touch
-  std::int64_t next_use = kNoNextUse;  // trace position of the next touch
+  bool last_use = false;  // final run of a non-sink buffer: pages die here
+  std::int64_t base = 0;  // page-granular position of the run's first touch
+  std::int64_t next_base = kNoNextUse;  // base of this buffer's next run
 };
 
 struct PageState {
@@ -99,9 +108,19 @@ SimResult SimulateHierarchy(const graph::Graph& graph,
   // pages are touched before AND after the output pages: under pressure,
   // Belady may stream input pages out and back (costing reads), but they
   // cannot silently die before the output exists — preserving the
-  // working-set semantics the footprint model is built on.
+  // working-set semantics the footprint model is built on. Emitted as
+  // per-buffer page runs; `position` counts page-granular touches so run
+  // bases equal the positions the per-touch trace would have assigned.
   std::vector<bool> written_once(num_buffers, false);
-  std::vector<Touch> trace;
+  std::vector<TouchRun> trace;
+  std::int64_t position = 0;
+  const auto emit_run = [&](graph::BufferId b, TouchKind kind) {
+    const std::size_t bi = static_cast<std::size_t>(b);
+    const std::int32_t pages = first_page[bi + 1] - first_page[bi];
+    trace.push_back(TouchRun{first_page[bi], pages, kind, false, position,
+                             kNoNextUse});
+    position += pages;
+  };
   for (const graph::NodeId id : schedule) {
     const std::size_t uid = static_cast<std::size_t>(id);
     const graph::BufferId own = graph.node(id).buffer;
@@ -109,39 +128,36 @@ SimResult SimulateHierarchy(const graph::Graph& graph,
     const auto emit_reads = [&] {
       for (const graph::BufferId b : reads) {
         if (b == own) continue;  // folded into the write touches
-        for (std::int32_t p = first_page[static_cast<std::size_t>(b)];
-             p < first_page[static_cast<std::size_t>(b) + 1]; ++p) {
-          trace.push_back(Touch{p, TouchKind::kRead, false, kNoNextUse});
-        }
+        emit_run(b, TouchKind::kRead);
       }
     };
     emit_reads();
     // Accumulators and slice writers must preserve prior content
     // (read-modify-write); a buffer's first writer overwrites cleanly.
-    const bool rmw = written_once[static_cast<std::size_t>(own)];
-    for (std::int32_t p = first_page[static_cast<std::size_t>(own)];
-         p < first_page[static_cast<std::size_t>(own) + 1]; ++p) {
-      trace.push_back(Touch{p, rmw ? TouchKind::kRmw : TouchKind::kProduce,
-                            false, kNoNextUse});
-    }
+    emit_run(own, written_once[static_cast<std::size_t>(own)]
+                      ? TouchKind::kRmw
+                      : TouchKind::kProduce);
     emit_reads();
     written_once[static_cast<std::size_t>(own)] = true;
   }
 
-  // Belady OPT linkage: one backward pass threads every touch to the next
-  // touch of the same page, so the replay reads a page's next use in O(1)
-  // instead of walking per-page position lists. The same pass marks the
-  // final touch of each non-sink page as its death (liveness ends at the
-  // last touching node, exactly as in the footprint evaluator).
-  std::vector<std::int64_t> next_seen(num_pages, kNoNextUse);
+  // Belady OPT linkage at run granularity: one backward pass threads every
+  // run to the same buffer's next run. A run always covers the buffer's
+  // full page range, so page p's next use is next_base + (p - first_page) —
+  // exactly the position the per-touch linkage produced. The same pass
+  // marks each non-sink buffer's final run as its pages' death (liveness
+  // ends at the last touching node, as in the footprint evaluator). Keyed
+  // by first_page, which identifies the buffer.
+  std::vector<std::int64_t> next_seen(num_pages + 1, kNoNextUse);
   for (std::size_t i = trace.size(); i-- > 0;) {
-    Touch& touch = trace[i];
-    const std::size_t page = static_cast<std::size_t>(touch.page);
-    touch.next_use = next_seen[page];
-    if (next_seen[page] == kNoNextUse && !page_is_sink[page]) {
-      touch.last_use = true;
+    TouchRun& run = trace[i];
+    const std::size_t key = static_cast<std::size_t>(run.first_page);
+    run.next_base = next_seen[key];
+    if (next_seen[key] == kNoNextUse &&
+        !page_is_sink[static_cast<std::size_t>(run.first_page)]) {
+      run.last_use = true;
     }
-    next_seen[page] = static_cast<std::int64_t>(i);
+    next_seen[key] = run.base;
   }
 
   // --- Replay ---
@@ -188,37 +204,43 @@ SimResult SimulateHierarchy(const graph::Graph& graph,
     SERENITY_CHECK(false) << "cache too small for a single page";
   };
 
-  for (std::size_t t = 0; t < trace.size(); ++t) {
-    const Touch touch = trace[t];
-    PageState& ps = state[static_cast<std::size_t>(touch.page)];
-    if (ps.slot < 0) {
-      const std::int64_t bytes =
-          page_bytes_of[static_cast<std::size_t>(touch.page)];
-      while (resident_bytes + bytes > options.onchip_bytes) {
-        evict_one();
+  // The replay expands each run back into its page-granular touches, so
+  // every decision (eviction order, traffic, peaks) replays the per-touch
+  // trace exactly; only the trace representation shrank.
+  for (const TouchRun& run : trace) {
+    for (std::int32_t offset = 0; offset < run.page_count; ++offset) {
+      const std::int32_t page = run.first_page + offset;
+      PageState& ps = state[static_cast<std::size_t>(page)];
+      if (ps.slot < 0) {
+        const std::int64_t bytes =
+            page_bytes_of[static_cast<std::size_t>(page)];
+        while (resident_bytes + bytes > options.onchip_bytes) {
+          evict_one();
+        }
+        // Fetch old content for reads and read-modify-writes.
+        if (ps.produced && run.kind != TouchKind::kProduce) {
+          SERENITY_CHECK(ps.has_offchip_copy);
+          result.read_bytes += bytes;
+        }
+        ps.slot = static_cast<std::int32_t>(resident.size());
+        resident.push_back(page);
+        resident_bytes += bytes;
       }
-      // Fetch old content for reads and read-modify-writes.
-      if (ps.produced && touch.kind != TouchKind::kProduce) {
-        SERENITY_CHECK(ps.has_offchip_copy);
-        result.read_bytes += bytes;
+      ps.last_touch = run.base + offset;
+      ps.next_use =
+          run.next_base == kNoNextUse ? kNoNextUse : run.next_base + offset;
+      if (run.kind != TouchKind::kRead) {
+        ps.produced = true;
+        ps.dirty = true;
+        ps.has_offchip_copy = false;
       }
-      ps.slot = static_cast<std::int32_t>(resident.size());
-      resident.push_back(touch.page);
-      resident_bytes += bytes;
-    }
-    ps.last_touch = static_cast<std::int64_t>(t);
-    ps.next_use = touch.next_use;
-    if (touch.kind != TouchKind::kRead) {
-      ps.produced = true;
-      ps.dirty = true;
-      ps.has_offchip_copy = false;
-    }
-    heap.push(HeapEntry{metric_of(touch.page), touch.page});
-    result.peak_resident_bytes =
-        std::max(result.peak_resident_bytes, resident_bytes);
-    if (touch.last_use) {
-      ps.dirty = false;  // dead data is never read again: no write-back
-      drop(touch.page);
+      heap.push(HeapEntry{metric_of(page), page});
+      result.peak_resident_bytes =
+          std::max(result.peak_resident_bytes, resident_bytes);
+      if (run.last_use) {
+        ps.dirty = false;  // dead data is never read again: no write-back
+        drop(page);
+      }
     }
   }
   return result;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <numeric>
 #include <vector>
 
 #include "core/state_store.h"
@@ -29,17 +28,18 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
   current.Init(words, 1, 1);
   const std::vector<std::uint64_t> empty(words, 0);
   current.InsertOrRelax(empty.data(), core::SignatureHasher::kEmptyHash, 0,
-                        0, -1, -1);
+                        0, 0, -1, -1);
   current.Seal();
 
   std::vector<std::int32_t> frontier;
   std::vector<std::uint64_t> child(words);
   for (std::size_t level = 0; level < n; ++level) {
+    // Streaming top-`width` level: pruning happens inside InsertBounded, so
+    // the transient high-water memory is width + 1 states regardless of how
+    // many children the parent level generates — the old seal → copy →
+    // nth_element path materialized them all first.
     core::StateLevel next;
-    // Shared growth-factor heuristic: the parent level is capped at
-    // `width`, so 2× of it bounds the arena while keeping the
-    // open-addressing table below its rehash load factor.
-    next.Init(words, core::NextLevelReserveHint(current.size()));
+    next.InitBounded(words, width);
     for (std::size_t s = 0; s < current.size(); ++s) {
       const std::uint64_t* sig = current.signature(s);
       frontier.clear();
@@ -53,47 +53,27 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
             sig, u, footprint, std::numeric_limits<std::int64_t>::max());
         std::copy(sig, sig + words, child.data());
         util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
-        // Dedup signatures within the level: the best peak per signature
-        // wins, exactly as in the DP (beam = DP with a truncated frontier).
-        next.InsertOrRelax(child.data(),
+        // Dedup signatures within the level exactly as in the DP (beam =
+        // DP with a truncated frontier); states ranked by the intrinsic
+        // (peak, footprint, hash, signature) order, so the survivors equal
+        // the batch dedup + prune of the reference path bit for bit.
+        next.InsertBounded(child.data(),
                            hash ^ hasher.key(static_cast<std::size_t>(u)),
                            t.footprint, std::max(peak, t.step_peak),
+                           hasher.candidate_tie(
+                               hash, static_cast<std::size_t>(u)),
                            static_cast<std::int32_t>(s), u);
       }
     }
-    next.Seal();
     SERENITY_CHECK_GT(next.size(), 0u) << "graph has a cycle?";
-    // Keep the `width` best states: primary key peak, secondary the current
-    // footprint (leaner states have more downstream freedom). The kept set
-    // is selected with nth_element (index as the final tie-break makes the
-    // comparator a total order, so the set is deterministic), then restored
-    // to insertion order so state numbering stays stable.
-    if (next.size() > width) {
-      std::vector<std::int32_t> keep(next.size());
-      std::iota(keep.begin(), keep.end(), 0);
-      std::nth_element(
-          keep.begin(), keep.begin() + static_cast<std::ptrdiff_t>(width - 1),
-          keep.end(), [&next](std::int32_t a, std::int32_t b) {
-            const std::size_t ia = static_cast<std::size_t>(a);
-            const std::size_t ib = static_cast<std::size_t>(b);
-            if (next.peak(ia) != next.peak(ib)) {
-              return next.peak(ia) < next.peak(ib);
-            }
-            if (next.footprint(ia) != next.footprint(ib)) {
-              return next.footprint(ia) < next.footprint(ib);
-            }
-            return a < b;
-          });
-      keep.resize(width);
-      std::sort(keep.begin(), keep.end());
-      next = next.Select(keep);
-    }
+    next.SealBounded();
     recon[level] = current.TakeReconAndRelease();
     current = std::move(next);
   }
 
-  // Best final state and backtrack. Dedup leaves exactly one full
-  // signature, but stay defensive and pick the best peak.
+  // SealBounded orders best-first, so state 0 of the final level is the
+  // beam's answer (a DAG's full signature is unique; keep the defensive
+  // scan anyway).
   std::size_t best = 0;
   for (std::size_t i = 1; i < current.size(); ++i) {
     if (current.peak(i) < current.peak(best)) best = i;

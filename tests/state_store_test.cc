@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "core/dp_scheduler.h"
@@ -44,12 +45,12 @@ TEST(StateLevel, InsertDedupAndRelax) {
   level.Init(/*words_per_state=*/2, /*expected_states=*/4);
   const std::uint64_t sig_a[2] = {0b101, 0};
   const std::uint64_t sig_b[2] = {0b011, 0};
-  EXPECT_TRUE(level.InsertOrRelax(sig_a, 111, 10, 50, 0, 2));
-  EXPECT_TRUE(level.InsertOrRelax(sig_b, 222, 20, 40, 1, 1));
+  EXPECT_TRUE(level.InsertOrRelax(sig_a, 111, 10, 50, 9, 0, 2));
+  EXPECT_TRUE(level.InsertOrRelax(sig_b, 222, 20, 40, 9, 1, 1));
   // Duplicate signature with a worse peak: ignored.
-  EXPECT_FALSE(level.InsertOrRelax(sig_a, 111, 10, 60, 3, 0));
+  EXPECT_FALSE(level.InsertOrRelax(sig_a, 111, 10, 60, 9, 3, 0));
   // Duplicate with a better peak: relaxes peak and back-pointer.
-  EXPECT_FALSE(level.InsertOrRelax(sig_a, 111, 10, 30, 4, 0));
+  EXPECT_FALSE(level.InsertOrRelax(sig_a, 111, 10, 30, 9, 4, 0));
   level.Seal();
   ASSERT_EQ(level.size(), 2u);
   EXPECT_EQ(level.footprint(0), 10);
@@ -70,7 +71,7 @@ TEST(StateLevel, GrowsPastInitialCapacityWithoutLosingStates) {
   for (std::size_t u = 0; u < 64; ++u) {
     const std::uint64_t sig[1] = {std::uint64_t{1} << u};
     EXPECT_TRUE(level.InsertOrRelax(sig, hasher.key(u),
-                                    static_cast<std::int64_t>(u), 0, -1,
+                                    static_cast<std::int64_t>(u), 0, 0, -1,
                                     static_cast<std::int32_t>(u)));
   }
   level.Seal();
@@ -97,7 +98,7 @@ TEST(StateLevel, ShardedSealConcatenatesDeterministically) {
                /*num_shards=*/4);
     for (std::size_t u = 0; u < 40; ++u) {
       const std::uint64_t sig[1] = {std::uint64_t{1} << u};
-      level.InsertOrRelax(sig, hasher.key(u), 0, 0, -1,
+      level.InsertOrRelax(sig, hasher.key(u), 0, 0, 0, -1,
                           static_cast<std::int32_t>(u));
     }
     level.Seal();
@@ -120,7 +121,7 @@ TEST(StateLevel, SelectCompactsInGivenOrder) {
   for (std::size_t u = 0; u < 4; ++u) {
     const std::uint64_t sig[1] = {std::uint64_t{1} << u};
     level.InsertOrRelax(sig, hasher.key(u), static_cast<std::int64_t>(u),
-                        static_cast<std::int64_t>(10 + u), -1,
+                        static_cast<std::int64_t>(10 + u), 0, -1,
                         static_cast<std::int32_t>(u));
   }
   level.Seal();
@@ -137,13 +138,156 @@ TEST(StateLevel, TakeReconAndReleaseReturnsAllRecords) {
   level.Init(1, 4);
   const std::uint64_t s0[1] = {1};
   const std::uint64_t s1[1] = {2};
-  level.InsertOrRelax(s0, 11, 0, 0, 7, 0);
-  level.InsertOrRelax(s1, 22, 0, 0, 8, 1);
+  level.InsertOrRelax(s0, 11, 0, 0, 0, 7, 0);
+  level.InsertOrRelax(s1, 22, 0, 0, 0, 8, 1);
   level.Seal();
   const std::vector<ReconRecord> recon = level.TakeReconAndRelease();
   ASSERT_EQ(recon.size(), 2u);
   EXPECT_EQ(recon[0].prev_index, 7);
   EXPECT_EQ(recon[1].prev_index, 8);
+}
+
+// ------------------------------------------------------------- bounded mode
+
+TEST(StateLevelBounded, KeepsTopWidthWithDedupRelaxAndEviction) {
+  StateLevel level;
+  level.InitBounded(/*words_per_state=*/1, /*width=*/2);
+  const std::uint64_t a[1] = {0b001};
+  const std::uint64_t b[1] = {0b010};
+  const std::uint64_t c[1] = {0b100};
+  EXPECT_TRUE(level.InsertBounded(a, 11, 10, 50, 5, 0, 0));
+  EXPECT_TRUE(level.InsertBounded(b, 22, 10, 40, 5, 1, 1));
+  EXPECT_EQ(level.size(), 2u);
+  // Worse than the current worst (peak 50): rejected outright.
+  EXPECT_FALSE(level.InsertBounded(c, 33, 10, 60, 5, 2, 2));
+  EXPECT_EQ(level.size(), 2u);
+  // Better than the worst: evicts state a (peak 50).
+  EXPECT_TRUE(level.InsertBounded(c, 33, 10, 45, 5, 2, 2));
+  EXPECT_EQ(level.size(), 2u);
+  // Duplicate of b with a worse peak: relax ignores it...
+  EXPECT_FALSE(level.InsertBounded(b, 22, 10, 41, 5, 3, 3));
+  // ...a better peak relaxes in place (no new state).
+  EXPECT_FALSE(level.InsertBounded(b, 22, 10, 39, 5, 4, 4));
+  // The previously evicted signature re-arrives with a better peak and
+  // re-enters with exactly its intrinsic rank, displacing c.
+  EXPECT_TRUE(level.InsertBounded(a, 11, 10, 30, 5, 6, 6));
+  level.SealBounded();
+  ASSERT_EQ(level.size(), 2u);
+  // Best-first intrinsic order: a (30) then b (39); c (45) was displaced.
+  EXPECT_EQ(level.peak(0), 30);
+  EXPECT_EQ(level.recon(0).prev_index, 6);
+  EXPECT_EQ(level.peak(1), 39);
+  EXPECT_EQ(level.recon(1).prev_index, 4);
+  EXPECT_TRUE(util::SpanEqual(level.signature(0), a, 1));
+  EXPECT_TRUE(util::SpanEqual(level.signature(1), b, 1));
+}
+
+TEST(StateLevelBounded, EqualPeakTieUsesIntrinsicTieKey) {
+  StateLevel level;
+  level.InitBounded(1, 4);
+  const std::uint64_t s[1] = {0b11};
+  EXPECT_TRUE(level.InsertBounded(s, 7, 10, 30, /*tie_key=*/9, 1, 1));
+  // Equal peak, lower tie key: back-pointer relaxes.
+  EXPECT_FALSE(level.InsertBounded(s, 7, 10, 30, /*tie_key=*/3, 2, 2));
+  // Equal peak, higher tie key: ignored.
+  EXPECT_FALSE(level.InsertBounded(s, 7, 10, 30, /*tie_key=*/5, 4, 4));
+  level.SealBounded();
+  ASSERT_EQ(level.size(), 1u);
+  EXPECT_EQ(level.recon(0).prev_index, 2);
+}
+
+TEST(StateLevelBounded, RejectedInsertsAcrossTombstonesKeepTableHealthy) {
+  // Regression: a rejected insert whose probe path crosses a tombstone must
+  // NOT consume the tombstone's accounting (it writes nothing). With the
+  // bug, repeated rejects underflowed tombstones_ and eventually wedged the
+  // probe loop; here we hammer the pattern far past the table's load
+  // factor and then verify the level still dedups, evicts and seals
+  // correctly.
+  StateLevel level;
+  level.InitBounded(/*words_per_state=*/1, /*width=*/1);
+  const std::uint64_t a[1] = {0b01};
+  const std::uint64_t b[1] = {0b10};
+  // Same hash: probe chains share cells, so evicting `a` leaves a
+  // tombstone at the head of the chain that every later probe crosses.
+  EXPECT_TRUE(level.InsertBounded(a, 5, 1, 100, 0, 0, 0));
+  EXPECT_TRUE(level.InsertBounded(b, 5, 2, 50, 0, 1, 1));  // evicts a
+  EXPECT_EQ(level.size(), 1u);
+  for (int i = 0; i < 1000; ++i) {
+    // Worse than the survivor: rejected after probing across the tombstone.
+    EXPECT_FALSE(level.InsertBounded(a, 5, 1, 100 + i, 0, 2, 2));
+  }
+  // The table must still accept and place a better state correctly.
+  EXPECT_TRUE(level.InsertBounded(a, 5, 1, 10, 0, 3, 3));  // evicts b
+  EXPECT_FALSE(level.InsertBounded(a, 5, 1, 9, 0, 4, 4));  // relaxes a
+  level.SealBounded();
+  ASSERT_EQ(level.size(), 1u);
+  EXPECT_EQ(level.peak(0), 9);
+  EXPECT_EQ(level.recon(0).prev_index, 4);
+  EXPECT_TRUE(util::SpanEqual(level.signature(0), a, 1));
+}
+
+TEST(StateLevelBounded, MatchesInsertAllPlusSelectOnRandomStreams) {
+  // Streaming top-width insert == batch dedup + Select of the width best
+  // (intrinsic order), on adversarial random streams with many duplicates
+  // and peak ties.
+  util::Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t width = 1 + static_cast<std::size_t>(trial % 7);
+    const int inserts = 20 + trial % 60;
+    const SignatureHasher hasher(16);
+    StateLevel bounded;
+    bounded.InitBounded(1, width);
+    StateLevel batch;
+    batch.Init(1, 8);
+    for (int i = 0; i < inserts; ++i) {
+      // Few distinct signatures and tiny peak range: ties and duplicate
+      // re-arrivals (including after eviction) are the common case.
+      const std::uint64_t sig[1] = {1ull << rng.NextInt(0, 7)};
+      const std::uint64_t hash =
+          hasher.key(static_cast<std::size_t>(__builtin_ctzll(sig[0])));
+      const std::int64_t footprint =
+          static_cast<std::int64_t>(sig[0]);  // function of the signature
+      const std::int64_t peak = footprint + 64 * rng.NextInt(0, 3);
+      const std::uint64_t tie =
+          static_cast<std::uint64_t>(rng.NextInt(0, 1023));
+      const std::int32_t prev = i;
+      bounded.InsertBounded(sig, hash, footprint, peak, tie, prev, 0);
+      batch.InsertOrRelax(sig, hash, footprint, peak, tie, prev, 0);
+    }
+    bounded.SealBounded();
+    batch.Seal();
+    // Batch path: select the width best by the intrinsic order, best first.
+    std::vector<std::int32_t> keep(batch.size());
+    std::iota(keep.begin(), keep.end(), 0);
+    std::sort(keep.begin(), keep.end(), [&batch](std::int32_t a,
+                                                 std::int32_t b) {
+      const std::size_t ia = static_cast<std::size_t>(a);
+      const std::size_t ib = static_cast<std::size_t>(b);
+      if (batch.peak(ia) != batch.peak(ib)) {
+        return batch.peak(ia) < batch.peak(ib);
+      }
+      if (batch.footprint(ia) != batch.footprint(ib)) {
+        return batch.footprint(ia) < batch.footprint(ib);
+      }
+      if (batch.hash(ia) != batch.hash(ib)) {
+        return batch.hash(ia) < batch.hash(ib);
+      }
+      return batch.signature(ia)[0] < batch.signature(ib)[0];
+    });
+    if (keep.size() > width) keep.resize(width);
+    const StateLevel expected = batch.Select(keep);
+    ASSERT_EQ(bounded.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(bounded.signature(i)[0], expected.signature(i)[0])
+          << "trial " << trial << " state " << i;
+      EXPECT_EQ(bounded.peak(i), expected.peak(i)) << trial << " " << i;
+      EXPECT_EQ(bounded.footprint(i), expected.footprint(i));
+      EXPECT_EQ(bounded.hash(i), expected.hash(i));
+      EXPECT_EQ(bounded.recon(i).prev_index, expected.recon(i).prev_index)
+          << "trial " << trial << " state " << i;
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
 }
 
 // ----------------------------------------------------------- ExpansionTables
@@ -283,7 +427,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(StateStoreParallel, SingleAndMultiThreadedAgreeOnModels) {
   // Larger-than-oracle graphs: single- and multi-threaded runs must report
-  // bit-identical optimal peaks and state/transition counts.
+  // bit-identical optimal peaks, state/transition counts AND schedules (the
+  // intrinsic relax tie-break makes winners shard-count invariant).
   util::Rng rng(97);
   testing::RandomDagOptions opts;
   opts.num_ops = 24;
@@ -297,8 +442,43 @@ TEST(StateStoreParallel, SingleAndMultiThreadedAgreeOnModels) {
   EXPECT_EQ(one.peak_bytes, four.peak_bytes);
   EXPECT_EQ(one.states_expanded, four.states_expanded);
   EXPECT_EQ(one.transitions, four.transitions);
+  EXPECT_EQ(one.schedule, four.schedule);
   EXPECT_TRUE(sched::IsTopologicalOrder(g, four.schedule));
   EXPECT_EQ(four.peak_bytes, sched::PeakFootprint(g, four.schedule));
+}
+
+TEST(StateStoreParallel, AdaptiveParallelismMatchesSequential) {
+  // Adaptive mode with a threshold of 1 escalates every level to
+  // hardware_concurrency threads (on a multi-core box; on one core it stays
+  // sequential) — results must be identical either way.
+  util::Rng rng(131);
+  testing::RandomDagOptions opts;
+  opts.num_ops = 20;
+  const graph::Graph g = testing::RandomDag(rng, opts, "adaptive");
+  const DpResult plain = ScheduleDp(g);
+  DpOptions adaptive;
+  adaptive.adaptive_parallelism = true;
+  adaptive.parallel_threshold_states = 1;
+  const DpResult adapted = ScheduleDp(g, adaptive);
+  ASSERT_EQ(plain.status, DpStatus::kSolution);
+  ASSERT_EQ(adapted.status, DpStatus::kSolution);
+  EXPECT_EQ(plain.peak_bytes, adapted.peak_bytes);
+  EXPECT_EQ(plain.states_expanded, adapted.states_expanded);
+  EXPECT_EQ(plain.transitions, adapted.transitions);
+  EXPECT_EQ(plain.schedule, adapted.schedule);
+}
+
+TEST(StateStore, ReserveHintClampsAgainstStateCap) {
+  // 2x growth below the cap...
+  EXPECT_EQ(NextLevelReserveHint(1000, 4'000'000), 2000u);
+  // ...floored at 64...
+  EXPECT_EQ(NextLevelReserveHint(3, 4'000'000), 64u);
+  // ...and clamped so a huge sealed level cannot pre-allocate an arena
+  // beyond the search cap (+1 leaves room for the state tripping it).
+  EXPECT_EQ(NextLevelReserveHint(3'000'000, 100'000), 100'001u);
+  EXPECT_EQ(NextLevelReserveHint(1u << 20, 1u << 19), (1u << 19) + 1);
+  // A sub-64 cap keeps the floor (the arena must hold at least one state).
+  EXPECT_EQ(NextLevelReserveHint(1000, 10), 64u);
 }
 
 }  // namespace

@@ -15,16 +15,129 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <numeric>
 #include <vector>
 
 #include "alloc/arena_planner.h"
+#include "core/state_store.h"
 #include "graph/analysis.h"
 #include "graph/graph.h"
 #include "memsim/hierarchy_sim.h"
+#include "sched/beam.h"
 #include "sched/schedule.h"
+#include "util/bitset.h"
 #include "util/logging.h"
 
 namespace serenity::testing {
+
+// ------------------------------------------------------- beam (seal & copy)
+//
+// The pre-streaming beam: every level materializes ALL deduplicated
+// children (InsertOrRelax), seals, and only then prunes to the `width`
+// best by the intrinsic total order (peak, footprint, hash, signature
+// words) via Select. The production beam (sched/beam.cc) fuses the pruning
+// into insertion (StateLevel::InsertBounded); `bnb_property_test`
+// pins the two to the same width-`width` survivors, tie-breaks included.
+
+inline sched::BeamResult ReferenceScheduleBeam(const graph::Graph& graph,
+                                               const sched::BeamOptions&
+                                                   options) {
+  SERENITY_CHECK_GT(graph.num_nodes(), 0);
+  SERENITY_CHECK_GT(options.width, 0);
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  const core::ExpansionTables tables = core::ExpansionTables::Build(graph);
+  const core::SignatureHasher hasher(n);
+  const std::size_t words = tables.words_per_state();
+  const std::size_t width = static_cast<std::size_t>(options.width);
+
+  sched::BeamResult result;
+  std::vector<std::vector<core::ReconRecord>> recon(n + 1);
+
+  core::StateLevel current;
+  current.Init(words, 1, 1);
+  const std::vector<std::uint64_t> empty(words, 0);
+  current.InsertOrRelax(empty.data(), core::SignatureHasher::kEmptyHash, 0,
+                        0, 0, -1, -1);
+  current.Seal();
+
+  // The streaming path's intrinsic total order, on a sealed level.
+  const auto less = [words](const core::StateLevel& level, std::int32_t a,
+                            std::int32_t b) {
+    const std::size_t ia = static_cast<std::size_t>(a);
+    const std::size_t ib = static_cast<std::size_t>(b);
+    if (level.peak(ia) != level.peak(ib)) {
+      return level.peak(ia) < level.peak(ib);
+    }
+    if (level.footprint(ia) != level.footprint(ib)) {
+      return level.footprint(ia) < level.footprint(ib);
+    }
+    if (level.hash(ia) != level.hash(ib)) {
+      return level.hash(ia) < level.hash(ib);
+    }
+    const std::uint64_t* sa = level.signature(ia);
+    const std::uint64_t* sb = level.signature(ib);
+    for (std::size_t w = 0; w < words; ++w) {
+      if (sa[w] != sb[w]) return sa[w] < sb[w];
+    }
+    return false;
+  };
+
+  std::vector<std::int32_t> frontier;
+  std::vector<std::uint64_t> child(words);
+  for (std::size_t level = 0; level < n; ++level) {
+    core::StateLevel next;
+    next.Init(words, core::NextLevelReserveHint(
+                         current.size(),
+                         std::numeric_limits<std::uint64_t>::max()));
+    for (std::size_t s = 0; s < current.size(); ++s) {
+      const std::uint64_t* sig = current.signature(s);
+      frontier.clear();
+      tables.AppendFrontier(sig, &frontier);
+      const std::int64_t footprint = current.footprint(s);
+      const std::int64_t peak = current.peak(s);
+      const std::uint64_t hash = current.hash(s);
+      for (const std::int32_t u : frontier) {
+        ++result.states_expanded;
+        const core::ExpansionTables::Transition t = tables.Apply(
+            sig, u, footprint, std::numeric_limits<std::int64_t>::max());
+        std::copy(sig, sig + words, child.data());
+        util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
+        next.InsertOrRelax(
+            child.data(), hash ^ hasher.key(static_cast<std::size_t>(u)),
+            t.footprint, std::max(peak, t.step_peak),
+            hasher.candidate_tie(hash, static_cast<std::size_t>(u)),
+            static_cast<std::int32_t>(s), u);
+      }
+    }
+    next.Seal();
+    SERENITY_CHECK_GT(next.size(), 0u);
+    std::vector<std::int32_t> keep(next.size());
+    std::iota(keep.begin(), keep.end(), 0);
+    std::sort(keep.begin(), keep.end(),
+              [&](std::int32_t a, std::int32_t b) { return less(next, a, b); });
+    if (keep.size() > width) keep.resize(width);
+    next = next.Select(keep);  // best-first, like SealBounded
+    recon[level] = current.TakeReconAndRelease();
+    current = std::move(next);
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < current.size(); ++i) {
+    if (current.peak(i) < current.peak(best)) best = i;
+  }
+  result.peak_bytes = current.peak(best);
+  recon[n] = current.TakeReconAndRelease();
+  result.schedule.assign(n, graph::kInvalidNode);
+  std::int32_t cursor = static_cast<std::int32_t>(best);
+  for (std::size_t i = n; i > 0; --i) {
+    const core::ReconRecord& record =
+        recon[i][static_cast<std::size_t>(cursor)];
+    result.schedule[i - 1] = static_cast<graph::NodeId>(record.last_node);
+    cursor = record.prev_index;
+  }
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph, result.schedule));
+  return result;
+}
 
 // ------------------------------------------------------------ arena planner
 
