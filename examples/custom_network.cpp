@@ -57,9 +57,9 @@ int main(int argc, char** argv) {
 
   serenity::util::Rng rng(2026);
   const Tensor input = Tensor::Random(net.node(0).shape, rng);
-  serenity::runtime::Executor original_exec(net);
+  serenity::runtime::ReferenceExecutor original_exec(net);
   original_exec.Run({input});
-  serenity::runtime::Executor rewritten_exec(rewritten.graph);
+  serenity::runtime::ReferenceExecutor rewritten_exec(rewritten.graph);
   rewritten_exec.Run({input});
   const auto expect = original_exec.SinkValues();
   const auto got = rewritten_exec.SinkValues();

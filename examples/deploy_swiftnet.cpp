@@ -5,9 +5,13 @@
 //   $ build/examples/deploy_swiftnet [budget_kb]
 //
 // Walks the full SERENITY pipeline, checks the resulting arena against the
-// device budget, and reports what the TensorFlow-Lite-style baseline would
-// have needed — including the off-chip traffic both would generate on a
-// device that *does* have a small on-chip SRAM backed by DRAM.
+// device budget, then actually *runs* an inference out of that arena with
+// the plan-driven ArenaExecutor — zero per-inference heap allocation, with
+// the measured touched peak certified against the planned arena size and
+// the outputs certified bit-identical to the reference executor. Finally
+// reports what the TensorFlow-Lite-style baseline would have needed,
+// including the off-chip traffic both would generate on a device that
+// *does* have a small on-chip SRAM backed by DRAM.
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,8 +19,14 @@
 #include "core/pipeline.h"
 #include "memsim/hierarchy_sim.h"
 #include "models/swiftnet.h"
+#include "runtime/arena_executor.h"
+#include "runtime/executor.h"
 #include "sched/baselines.h"
 #include "sched/schedule.h"
+#include "serialize/plan.h"
+#include "testing/runtime_inputs.h"
+#include "testing/sink_compare.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -50,11 +60,11 @@ int main(int argc, char** argv) {
                  result.failure_reason.c_str());
     return 1;
   }
-  const auto serenity_arena = serenity::alloc::PlanArena(
-      result.scheduled_graph, result.schedule);
+  const auto plan =
+      serenity::serialize::MakePlan(result.scheduled_graph, result.schedule);
   std::printf("SERENITY arena              : %8.1f KB  -> %s\n",
-              Kb(serenity_arena.arena_bytes),
-              serenity_arena.arena_bytes <= budget ? "fits" : "DOES NOT FIT");
+              Kb(plan.arena.arena_bytes),
+              plan.arena.arena_bytes <= budget ? "fits" : "DOES NOT FIT");
   std::printf("  rewriting: %d pattern(s), %d -> %d nodes; "
               "partitions of sizes: ",
               result.rewrite_report.TotalPatterns(),
@@ -64,6 +74,32 @@ int main(int argc, char** argv) {
   std::printf("\n  scheduling took %.3f s (%llu DP states)\n\n",
               result.total_seconds,
               static_cast<unsigned long long>(result.states_expanded));
+
+  // --- Execute the plan: this is what the device actually runs ---
+  serenity::runtime::ArenaExecutorOptions exec_options;
+  exec_options.measure_touched_peak = true;
+  serenity::runtime::ArenaExecutor device(result.scheduled_graph, plan,
+                                          exec_options);
+  const auto inputs =
+      serenity::testing::RandomInputsFor(result.scheduled_graph, 2020);
+  device.Run(inputs);
+  std::printf("inference out of the planned arena:\n");
+  std::printf("  planned arena %.1f KB, touched peak %.1f KB -> %s\n",
+              Kb(device.arena_bytes()), Kb(device.touched_peak_bytes()),
+              device.touched_peak_bytes() == device.arena_bytes()
+                  ? "measured == planned"
+                  : "MEASURED PEAK DIVERGES");
+  serenity::runtime::ReferenceExecutor reference(result.scheduled_graph);
+  reference.Run(inputs, result.schedule);
+  const std::string divergence = serenity::testing::DescribeSinkDivergence(
+      device.SinkValues(), reference.SinkValues());
+  std::printf("  sink outputs vs reference executor: %s\n\n",
+              divergence.empty() ? "bit-identical"
+                                 : ("DIVERGED: " + divergence).c_str());
+  if (device.touched_peak_bytes() != device.arena_bytes() ||
+      !divergence.empty()) {
+    return 1;
+  }
 
   // --- Largest resident tensors at the peak step ---
   const auto trace = serenity::sched::EvaluateFootprint(
@@ -93,5 +129,5 @@ int main(int argc, char** argv) {
                 Kb(ours.TotalTraffic()),
                 ours.TotalTraffic() == 0 ? "  (eliminated)" : "");
   }
-  return serenity_arena.arena_bytes <= budget ? 0 : 2;
+  return plan.arena.arena_bytes <= budget ? 0 : 2;
 }

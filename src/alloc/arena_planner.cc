@@ -332,4 +332,102 @@ bool ValidatePlacements(const ArenaPlan& plan) {
   return true;
 }
 
+std::vector<std::string> ValidatePlanForGraph(
+    const ArenaPlan& plan, const graph::Graph& graph,
+    const sched::Schedule& schedule) {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](std::string message) {
+    problems.push_back(std::move(message));
+  };
+
+  // One placement per *used* buffer — no more, no less — with geometry
+  // inside the arena. A spurious placement for a buffer no node touches
+  // would silently inflate the arena (nothing ever writes it), so it is
+  // rejected just like a missing one.
+  std::vector<char> used(static_cast<std::size_t>(graph.num_buffers()), 0);
+  for (const graph::Node& node : graph.nodes()) {
+    used[static_cast<std::size_t>(node.buffer)] = 1;
+  }
+  std::vector<const BufferPlacement*> placement(
+      static_cast<std::size_t>(graph.num_buffers()), nullptr);
+  for (const BufferPlacement& p : plan.placements) {
+    if (p.buffer < 0 || p.buffer >= graph.num_buffers()) {
+      complain("placement references unknown buffer " +
+               std::to_string(p.buffer));
+      continue;
+    }
+    auto*& slot = placement[static_cast<std::size_t>(p.buffer)];
+    if (slot != nullptr) {
+      complain("buffer " + std::to_string(p.buffer) + " placed twice");
+      continue;
+    }
+    slot = &p;
+    if (!used[static_cast<std::size_t>(p.buffer)]) {
+      complain("placement for buffer " + std::to_string(p.buffer) +
+               ", which no node uses");
+    }
+    // Escape check phrased to stay overflow-free on crafted offsets near
+    // INT64_MAX: with offset >= 0, "offset + size > arena" <=> this.
+    if (p.offset < 0 || p.size <= 0 ||
+        p.size > plan.arena_bytes - p.offset) {
+      complain("placement of buffer " + std::to_string(p.buffer) +
+               " escapes the arena");
+    }
+    if (p.offset % static_cast<std::int64_t>(sizeof(float)) != 0) {
+      complain("placement offset of buffer " + std::to_string(p.buffer) +
+               " is not float-aligned");
+    }
+    if (p.size != graph.buffer(p.buffer).size_bytes) {
+      complain("placement of buffer " + std::to_string(p.buffer) +
+               " disagrees with its byte size");
+    }
+  }
+
+  // Liveness: every producer and consumer step must fall inside its
+  // buffer's planned lifetime — otherwise another placement may own those
+  // bytes while the value is still needed.
+  std::vector<int> step_of(static_cast<std::size_t>(graph.num_nodes()), -1);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const graph::NodeId id = schedule[i];
+    if (id >= 0 && id < graph.num_nodes()) {
+      step_of[static_cast<std::size_t>(id)] = static_cast<int>(i);
+    }
+  }
+  const auto live_at = [&](graph::BufferId buffer, int step) {
+    const BufferPlacement* p = placement[static_cast<std::size_t>(buffer)];
+    return p != nullptr && p->first_step <= step && step <= p->last_step;
+  };
+  for (const graph::Node& node : graph.nodes()) {
+    const BufferPlacement* own =
+        placement[static_cast<std::size_t>(node.buffer)];
+    if (own == nullptr) {
+      complain("used buffer " + std::to_string(node.buffer) + " of '" +
+               node.name + "' has no placement");
+      continue;
+    }
+    const int step = step_of[static_cast<std::size_t>(node.id)];
+    if (step < 0) {
+      complain("'" + node.name + "' is missing from the schedule");
+      continue;
+    }
+    if (!live_at(node.buffer, step)) {
+      complain("'" + node.name + "' writes buffer " +
+               std::to_string(node.buffer) +
+               " outside its planned lifetime");
+    }
+    for (const graph::NodeId input : node.inputs) {
+      if (!live_at(graph.node(input).buffer, step)) {
+        complain("'" + node.name + "' reads buffer " +
+                 std::to_string(graph.node(input).buffer) +
+                 " outside its planned lifetime");
+      }
+    }
+  }
+
+  if (!ValidatePlacements(plan)) {
+    complain("placements overlap in lifetime and address");
+  }
+  return problems;
+}
+
 }  // namespace serenity::alloc

@@ -73,6 +73,19 @@ ArenaPlan PlanArena(const graph::Graph& graph,
 // randomized plans validate in O(n log n).
 bool ValidatePlacements(const ArenaPlan& plan);
 
+// Cross-validates a plan against the graph and schedule an executor would
+// bind it to: exactly one placement per buffer the graph uses, each exactly
+// the buffer's byte size at a float-aligned offset inside the arena, every
+// producer AND consumer step inside its buffer's planned lifetime, and
+// pairwise non-overlap (ValidatePlacements). `schedule` must already be a
+// topological order of `graph`. Returns human-readable problems; empty
+// means the plan is safe to execute. Shared by serialize::PlanFromText (so
+// a corrupt cache file dies at load) and runtime::ArenaExecutor (so a plan
+// handed in directly dies at construction).
+std::vector<std::string> ValidatePlanForGraph(const ArenaPlan& plan,
+                                              const graph::Graph& graph,
+                                              const sched::Schedule& schedule);
+
 }  // namespace serenity::alloc
 
 #endif  // SERENITY_ALLOC_ARENA_PLANNER_H_

@@ -1,0 +1,110 @@
+// Plan-driven arena executor: run inference out of the planned arena.
+//
+// The artifact SERENITY produces — serialize::ExecutionPlan = a memory-aware
+// node order plus an ArenaPlan offset for every activation buffer — is
+// exactly what a microcontroller runtime consumes (Liberis & Lane 2019 frame
+// the same pair as the thing the device executes). This executor closes that
+// loop: it preallocates ONE arena block of plan.arena.arena_bytes, binds a
+// non-owning Tensor view per activation buffer at its planned
+// [offset, offset + size) placement, materializes all weights once at
+// construction (weights live *outside* the activation arena, like a flashed
+// model's weight segment), and then executes the plan's order with ZERO
+// per-inference heap allocation.
+//
+// Certification, not trust (DESIGN.md "Plan-driven execution"):
+//   * Construction statically verifies the plan against the graph: the
+//     schedule is a topological order, placements are pairwise
+//     non-overlapping in (lifetime x address), every used buffer has a
+//     placement of exactly its byte size, and every producer/consumer step
+//     falls inside its buffer's planned lifetime — a corrupt plan dies
+//     before it can execute.
+//   * Every element access is bounds-checked against the view's backing
+//     span (runtime/tensor.h), so no live tensor can escape its placement.
+//   * With ArenaExecutorOptions::measure_touched_peak, Run() pre-fills the
+//     arena with a canary and afterwards reports the highest byte actually
+//     overwritten — making "measured peak == planned arena_bytes" a tested
+//     invariant instead of a claim.
+//
+// Sink outputs are bit-identical to the ReferenceExecutor's: both drive the
+// same kernels (runtime/kernels.h) on the same materialized weights in the
+// same operand order (pinned by tests/arena_executor_property_test.cc).
+#ifndef SERENITY_RUNTIME_ARENA_EXECUTOR_H_
+#define SERENITY_RUNTIME_ARENA_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/tensor.h"
+#include "runtime/weights.h"
+#include "serialize/plan.h"
+
+namespace serenity::runtime {
+
+struct ArenaExecutorOptions {
+  // Canary-fill the arena before each Run and scan afterwards for the
+  // highest byte written. Costs two linear passes over the arena per
+  // inference (still allocation-free); leave off on the hot path.
+  bool measure_touched_peak = false;
+};
+
+class ArenaExecutor {
+ public:
+  // `graph` must outlive the executor; `plan` is copied. Dies if the plan
+  // does not validate against the graph (see header comment).
+  ArenaExecutor(const graph::Graph& graph,
+                const serialize::ExecutionPlan& plan,
+                ArenaExecutorOptions options = {});
+
+  ArenaExecutor(const ArenaExecutor&) = delete;
+  ArenaExecutor& operator=(const ArenaExecutor&) = delete;
+
+  // Executes the plan's schedule. `inputs` correspond to the graph's kInput
+  // nodes in ascending node-id order. Performs no heap allocation.
+  void Run(const std::vector<Tensor>& inputs);
+
+  // Zero-allocation access to the sink values, in ascending node-id order:
+  // views into the arena, valid until the next Run.
+  const std::vector<const Tensor*>& SinkViews() const { return sink_views_; }
+
+  // Allocating conveniences for tests and comparisons (owning copies).
+  Tensor Value(graph::NodeId id) const;
+  std::vector<Tensor> SinkValues() const;
+
+  const serialize::ExecutionPlan& plan() const { return plan_; }
+  std::int64_t arena_bytes() const { return plan_.arena.arena_bytes; }
+
+  // Highest arena byte overwritten by the last Run, or -1 when the last Run
+  // did not measure (options.measure_touched_peak off or no Run yet). When
+  // every planned placement is actually written this equals arena_bytes.
+  std::int64_t touched_peak_bytes() const { return touched_peak_bytes_; }
+
+ private:
+  void Execute(const graph::Node& node);
+
+  const graph::Graph& graph_;
+  serialize::ExecutionPlan plan_;
+  ArenaExecutorOptions options_;
+
+  std::vector<float> arena_;  // the single preallocated activation block
+  // Per buffer: view over the buffer's full placement (widest value shape);
+  // default-constructed for buffers no node uses.
+  std::vector<Tensor> buffer_views_;
+  // Per node: view of the node's *value* — the buffer view itself, or a
+  // channel window into it for values living inside a shared buffer.
+  std::vector<Tensor> value_views_;
+  std::vector<std::vector<const Tensor*>> input_views_;  // per node
+  std::vector<NodeWeights> weights_;                     // per node
+  // kFusedCell per-node scratch (outside the arena, like weights): the
+  // pre-depthwise accumulator and the depthwise output.
+  std::vector<Tensor> fused_sum_scratch_;
+  std::vector<Tensor> fused_dw_scratch_;
+  std::vector<int> input_ordinal_;  // per node; -1 unless kInput
+  std::vector<const Tensor*> sink_views_;
+  std::size_t num_graph_inputs_ = 0;
+  std::int64_t touched_peak_bytes_ = -1;
+};
+
+}  // namespace serenity::runtime
+
+#endif  // SERENITY_RUNTIME_ARENA_EXECUTOR_H_

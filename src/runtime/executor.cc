@@ -9,16 +9,8 @@
 
 namespace serenity::runtime {
 
-namespace {
-
-// Sub-seed derivation for ops that bundle several weight tensors.
-constexpr std::uint64_t kFusedDepthwiseSalt = 0x5eed0001;
-constexpr std::uint64_t kFusedPointwiseSalt = 0x5eed0002;
-constexpr std::uint64_t kFusedBatchNormSalt = 0x5eed0003;
-
-}  // namespace
-
-Executor::Executor(const graph::Graph& graph) : graph_(graph) {
+ReferenceExecutor::ReferenceExecutor(const graph::Graph& graph)
+    : graph_(graph) {
   buffer_tensors_.resize(static_cast<std::size_t>(graph.num_buffers()));
   buffer_ready_.assign(static_cast<std::size_t>(graph.num_buffers()), false);
   // Shape each buffer tensor after its widest value (the full accumulator /
@@ -44,7 +36,7 @@ Executor::Executor(const graph::Graph& graph) : graph_(graph) {
   }
 }
 
-Tensor Executor::Value(graph::NodeId id) const {
+Tensor ReferenceExecutor::Value(graph::NodeId id) const {
   const graph::Node& node = graph_.node(id);
   const std::size_t b = static_cast<std::size_t>(node.buffer);
   SERENITY_CHECK(buffer_ready_[b])
@@ -66,8 +58,8 @@ Tensor Executor::Value(graph::NodeId id) const {
   return slice;
 }
 
-void Executor::Run(const std::vector<Tensor>& inputs,
-                   const sched::Schedule& order) {
+void ReferenceExecutor::Run(const std::vector<Tensor>& inputs,
+                            const sched::Schedule& order) {
   SERENITY_CHECK(sched::IsTopologicalOrder(graph_, order));
   buffer_ready_.assign(buffer_ready_.size(), false);
   std::size_t num_inputs = 0;
@@ -81,7 +73,7 @@ void Executor::Run(const std::vector<Tensor>& inputs,
   }
 }
 
-void Executor::Run(const std::vector<Tensor>& inputs) {
+void ReferenceExecutor::Run(const std::vector<Tensor>& inputs) {
   sched::Schedule order(static_cast<std::size_t>(graph_.num_nodes()));
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<graph::NodeId>(i);
@@ -89,7 +81,7 @@ void Executor::Run(const std::vector<Tensor>& inputs) {
   Run(inputs, order);
 }
 
-std::vector<Tensor> Executor::SinkValues() const {
+std::vector<Tensor> ReferenceExecutor::SinkValues() const {
   std::vector<Tensor> values;
   for (const graph::NodeId sink : graph_.Sinks()) {
     values.push_back(Value(sink));
@@ -97,8 +89,8 @@ std::vector<Tensor> Executor::SinkValues() const {
   return values;
 }
 
-void Executor::Execute(const graph::Node& node,
-                       const std::vector<Tensor>& graph_inputs) {
+void ReferenceExecutor::Execute(const graph::Node& node,
+                                const std::vector<Tensor>& graph_inputs) {
   const std::size_t own = static_cast<std::size_t>(node.buffer);
   Tensor& out = buffer_tensors_[own];
   const auto in_value = [&](std::size_t i) {
@@ -118,6 +110,10 @@ void Executor::Execute(const graph::Node& node,
     for (const Tensor& t : ts) ps.push_back(&t);
     return ps;
   };
+  // Weights are re-materialized on every execution — wasteful on purpose:
+  // the reference runtime trades speed for statelessness. Identical values
+  // to the ArenaExecutor's per-session materialization by construction.
+  const auto weights = [&]() { return MaterializeNodeWeights(node); };
 
   switch (node.kind) {
     case graph::OpKind::kInput: {
@@ -134,44 +130,27 @@ void Executor::Execute(const graph::Node& node,
       out = provided;
       break;
     }
-    case graph::OpKind::kConv2d: {
-      const ConvWeights w =
-          MakeConvWeights(node.weight_seed, node.conv.kernel_h,
-                          node.conv.kernel_w, node.weight_in_channels,
-                          node.shape.c);
-      out = Conv2d(in_value(0), w, node.conv);
+    case graph::OpKind::kConv2d:
+      out = Conv2d(in_value(0), weights().conv, node.conv);
       break;
-    }
     case graph::OpKind::kPartialConv2d:
     case graph::OpKind::kPartialConv2dAccum: {
       const bool first = node.kind == graph::OpKind::kPartialConv2d;
-      const ConvWeights w =
-          MakeConvWeights(node.weight_seed, node.conv.kernel_h,
-                          node.conv.kernel_w, node.weight_in_channels,
-                          node.shape.c);
       // Operand layout: first partial reads {x_i}; accumulating partials
       // read {accumulator, x_i} and update the shared buffer in place.
       const Tensor x = first ? in_value(0) : in_value(1);
-      Conv2dPartial(x, w, node.conv, node.in_channel_offset,
+      Conv2dPartial(x, weights().conv, node.conv, node.in_channel_offset,
                     /*overwrite=*/first, /*add_bias=*/first, out);
       break;
     }
-    case graph::OpKind::kDepthwiseConv2d: {
-      const DepthwiseWeights w = MakeDepthwiseWeights(
-          node.weight_seed, node.conv.kernel_h, node.conv.kernel_w,
-          node.weight_in_channels);
-      out = DepthwiseConv2d(in_value(0), w, node.conv);
+    case graph::OpKind::kDepthwiseConv2d:
+      out = DepthwiseConv2d(in_value(0), weights().dw, node.conv);
       break;
-    }
-    case graph::OpKind::kPartialDepthwiseConv2d: {
-      const DepthwiseWeights w = MakeDepthwiseWeights(
-          node.weight_seed, node.conv.kernel_h, node.conv.kernel_w,
-          node.weight_in_channels);
-      DepthwiseConv2dPartial(in_value(0), w, node.conv,
+    case graph::OpKind::kPartialDepthwiseConv2d:
+      DepthwiseConv2dPartial(in_value(0), weights().dw, node.conv,
                              node.in_channel_offset, out,
                              node.buffer_channel_offset);
       break;
-    }
     case graph::OpKind::kConcatView:
       // The partial depthwise writers already populated the shared buffer.
       break;
@@ -194,8 +173,7 @@ void Executor::Execute(const graph::Node& node,
       out = Relu(in_value(0));
       break;
     case graph::OpKind::kBatchNorm:
-      out = BatchNorm(in_value(0),
-                      MakeBatchNormWeights(node.weight_seed, node.shape.c));
+      out = BatchNorm(in_value(0), weights().bn);
       break;
     case graph::OpKind::kIdentity:
       out = in_value(0);
@@ -209,29 +187,18 @@ void Executor::Execute(const graph::Node& node,
     case graph::OpKind::kGlobalAvgPool2d:
       out = GlobalAvgPool2d(in_value(0));
       break;
-    case graph::OpKind::kDense: {
-      const DenseWeights w = MakeDenseWeights(
-          node.weight_seed, node.weight_in_channels, node.shape.c);
-      out = Dense(in_value(0), w);
+    case graph::OpKind::kDense:
+      out = Dense(in_value(0), weights().dense);
       break;
-    }
     case graph::OpKind::kFusedCell: {
       const std::vector<Tensor> values = in_values();
+      const NodeWeights w = weights();
       Tensor x = values.size() == 1 ? values[0] : Add(pointers(values));
       x = Relu(x);
-      const int in_c = x.shape().c;
-      const DepthwiseWeights dw = MakeDepthwiseWeights(
-          node.weight_seed ^ kFusedDepthwiseSalt, node.conv.kernel_h,
-          node.conv.kernel_w, in_c);
-      x = DepthwiseConv2d(x, dw, node.conv);
-      const ConvWeights pw =
-          MakeConvWeights(node.weight_seed ^ kFusedPointwiseSalt, 1, 1, in_c,
-                          node.shape.c);
+      x = DepthwiseConv2d(x, w.dw, node.conv);
       const graph::ConvAttrs pointwise{1, 1, 1, 1, graph::Padding::kSame};
-      x = Conv2d(x, pw, pointwise);
-      out = BatchNorm(x, MakeBatchNormWeights(
-                             node.weight_seed ^ kFusedBatchNormSalt,
-                             node.shape.c));
+      x = Conv2d(x, w.conv, pointwise);
+      out = BatchNorm(x, w.bn);
       break;
     }
   }

@@ -1,10 +1,18 @@
 // Buffer-aware reference graph executor.
 //
 // Executes a SERENITY graph on concrete float tensors, materializing one
-// Tensor per *buffer* (not per value), so in-place accumulation and concat
-// views behave exactly as the memory model says they do. Used by the tests
-// to certify that identity graph rewriting preserves the network function
-// and that results are schedule-invariant.
+// owning Tensor per *buffer* (not per value), so in-place accumulation and
+// concat views behave exactly as the memory model says they do. Used by the
+// tests to certify that identity graph rewriting preserves the network
+// function, that results are schedule-invariant, and as the correctness
+// twin of the plan-driven ArenaExecutor (runtime/arena_executor.h), whose
+// sink outputs must be bit-identical to this executor's.
+//
+// This is the *reference* runtime: it heap-allocates freely (one tensor per
+// buffer, weight materialization per op execution, slice copies in Value())
+// in exchange for being trivially auditable. The ArenaExecutor is the
+// deployment-shaped twin that runs out of the planned arena with zero
+// per-inference allocation.
 #ifndef SERENITY_RUNTIME_EXECUTOR_H_
 #define SERENITY_RUNTIME_EXECUTOR_H_
 
@@ -16,9 +24,9 @@
 
 namespace serenity::runtime {
 
-class Executor {
+class ReferenceExecutor {
  public:
-  explicit Executor(const graph::Graph& graph);
+  explicit ReferenceExecutor(const graph::Graph& graph);
 
   // Runs the graph in the given order (any topological order gives identical
   // results). `inputs` correspond to the graph's kInput nodes in ascending

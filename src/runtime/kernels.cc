@@ -29,9 +29,13 @@ Padding2d ComputePadding(const graph::TensorShape& in,
   return {pad_h / 2, pad_w / 2};
 }
 
-graph::TensorShape ConvOutShape(const graph::TensorShape& in,
-                                const graph::ConvAttrs& attrs, int out_c) {
-  return graph::InferConv2dShape(in, attrs, out_c);
+bool AllContiguous(const std::vector<const Tensor*>& inputs,
+                   const Tensor& out) {
+  if (!out.contiguous()) return false;
+  for (const Tensor* t : inputs) {
+    if (!t->contiguous()) return false;
+  }
+  return true;
 }
 
 void CheckSameShape(const std::vector<const Tensor*>& inputs) {
@@ -52,12 +56,11 @@ void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
   SERENITY_CHECK_LE(ic_offset + in.c, weights.in_c);
   const Padding2d pad = ComputePadding(in, attrs, out.h, out.w);
 
-  if (overwrite) std::fill(acc.data().begin(), acc.data().end(), 0.0f);
   for (int n = 0; n < out.n; ++n) {
     for (int oh = 0; oh < out.h; ++oh) {
       for (int ow = 0; ow < out.w; ++ow) {
         for (int oc = 0; oc < out.c; ++oc) {
-          float sum = acc.At(n, oh, ow, oc);
+          float sum = overwrite ? 0.0f : acc.At(n, oh, ow, oc);
           for (int ky = 0; ky < attrs.kernel_h; ++ky) {
             const int ih = oh * attrs.stride - pad.top + ky * attrs.dilation;
             if (ih < 0 || ih >= in.h) continue;
@@ -79,12 +82,20 @@ void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
   }
 }
 
-Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
-              const graph::ConvAttrs& attrs) {
+void Conv2dInto(const Tensor& input, const ConvWeights& weights,
+                const graph::ConvAttrs& attrs, Tensor& out) {
   SERENITY_CHECK_EQ(input.shape().c, weights.in_c);
-  Tensor out(ConvOutShape(input.shape(), attrs, weights.out_c));
+  SERENITY_CHECK(out.shape() ==
+                 graph::InferConv2dShape(input.shape(), attrs, weights.out_c))
+      << "Conv2d output shape mismatch";
   Conv2dPartial(input, weights, attrs, /*ic_offset=*/0, /*overwrite=*/true,
                 /*add_bias=*/true, out);
+}
+
+Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
+              const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferConv2dShape(input.shape(), attrs, weights.out_c));
+  Conv2dInto(input, weights, attrs, out);
   return out;
 }
 
@@ -121,29 +132,37 @@ void DepthwiseConv2dPartial(const Tensor& input,
   }
 }
 
-Tensor DepthwiseConv2d(const Tensor& input, const DepthwiseWeights& weights,
-                       const graph::ConvAttrs& attrs) {
+void DepthwiseConv2dInto(const Tensor& input, const DepthwiseWeights& weights,
+                         const graph::ConvAttrs& attrs, Tensor& out) {
   SERENITY_CHECK_EQ(input.shape().c, weights.c);
-  Tensor out(graph::InferDepthwiseShape(input.shape(), attrs));
+  SERENITY_CHECK(out.shape() ==
+                 graph::InferDepthwiseShape(input.shape(), attrs))
+      << "DepthwiseConv2d output shape mismatch";
   DepthwiseConv2dPartial(input, weights, attrs, /*weight_c_offset=*/0, out,
                          /*out_c_offset=*/0);
+}
+
+Tensor DepthwiseConv2d(const Tensor& input, const DepthwiseWeights& weights,
+                       const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferDepthwiseShape(input.shape(), attrs));
+  DepthwiseConv2dInto(input, weights, attrs, out);
   return out;
 }
 
-Tensor Concat(const std::vector<const Tensor*>& inputs) {
+void ConcatInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
   SERENITY_CHECK_GE(inputs.size(), 2u);
-  graph::TensorShape out_shape = inputs[0]->shape();
-  out_shape.c = 0;
+  graph::TensorShape cat_shape = inputs[0]->shape();
+  cat_shape.c = 0;
   for (const Tensor* t : inputs) {
     SERENITY_CHECK_EQ(t->shape().n, inputs[0]->shape().n);
     SERENITY_CHECK_EQ(t->shape().h, inputs[0]->shape().h);
     SERENITY_CHECK_EQ(t->shape().w, inputs[0]->shape().w);
-    out_shape.c += t->shape().c;
+    cat_shape.c += t->shape().c;
   }
-  Tensor out(out_shape);
-  for (int n = 0; n < out_shape.n; ++n) {
-    for (int h = 0; h < out_shape.h; ++h) {
-      for (int w = 0; w < out_shape.w; ++w) {
+  SERENITY_CHECK(out.shape() == cat_shape) << "Concat output shape mismatch";
+  for (int n = 0; n < cat_shape.n; ++n) {
+    for (int h = 0; h < cat_shape.h; ++h) {
+      for (int w = 0; w < cat_shape.w; ++w) {
         int c_base = 0;
         for (const Tensor* t : inputs) {
           for (int c = 0; c < t->shape().c; ++c) {
@@ -154,53 +173,151 @@ Tensor Concat(const std::vector<const Tensor*>& inputs) {
       }
     }
   }
+}
+
+Tensor Concat(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  graph::TensorShape cat_shape = inputs[0]->shape();
+  cat_shape.c = 0;
+  for (const Tensor* t : inputs) cat_shape.c += t->shape().c;
+  Tensor out(cat_shape);
+  ConcatInto(inputs, out);
   return out;
+}
+
+void AddInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
+  CheckSameShape(inputs);
+  const graph::TensorShape s = inputs[0]->shape();
+  SERENITY_CHECK(out.shape() == s) << "Add output shape mismatch";
+  if (AllContiguous(inputs, out)) {  // flat loop, identical arithmetic
+    float* o = out.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      float sum = 0.0f;
+      for (const Tensor* t : inputs) sum += t->data()[i];
+      o[i] = sum;
+    }
+    return;
+  }
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      for (int w = 0; w < s.w; ++w) {
+        for (int c = 0; c < s.c; ++c) {
+          float sum = 0.0f;
+          for (const Tensor* t : inputs) sum += t->At(n, h, w, c);
+          out.At(n, h, w, c) = sum;
+        }
+      }
+    }
+  }
 }
 
 Tensor Add(const std::vector<const Tensor*>& inputs) {
   CheckSameShape(inputs);
   Tensor out(inputs[0]->shape());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    float sum = 0.0f;
-    for (const Tensor* t : inputs) sum += t->data()[i];
-    out.data()[i] = sum;
-  }
+  AddInto(inputs, out);
   return out;
+}
+
+void MulInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
+  CheckSameShape(inputs);
+  const graph::TensorShape s = inputs[0]->shape();
+  SERENITY_CHECK(out.shape() == s) << "Mul output shape mismatch";
+  if (AllContiguous(inputs, out)) {  // flat loop, identical arithmetic
+    float* o = out.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      float product = 1.0f;
+      for (const Tensor* t : inputs) product *= t->data()[i];
+      o[i] = product;
+    }
+    return;
+  }
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      for (int w = 0; w < s.w; ++w) {
+        for (int c = 0; c < s.c; ++c) {
+          float product = 1.0f;
+          for (const Tensor* t : inputs) product *= t->At(n, h, w, c);
+          out.At(n, h, w, c) = product;
+        }
+      }
+    }
+  }
 }
 
 Tensor Mul(const std::vector<const Tensor*>& inputs) {
   CheckSameShape(inputs);
   Tensor out(inputs[0]->shape());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    float product = 1.0f;
-    for (const Tensor* t : inputs) product *= t->data()[i];
-    out.data()[i] = product;
-  }
+  MulInto(inputs, out);
   return out;
+}
+
+void ReluInto(const Tensor& input, Tensor& out) {
+  const graph::TensorShape s = input.shape();
+  SERENITY_CHECK(out.shape() == s) << "Relu output shape mismatch";
+  if (input.contiguous() && out.contiguous()) {
+    const float* in = input.data();
+    float* o = out.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      o[i] = std::max(0.0f, in[i]);
+    }
+    return;
+  }
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      for (int w = 0; w < s.w; ++w) {
+        for (int c = 0; c < s.c; ++c) {
+          out.At(n, h, w, c) = std::max(0.0f, input.At(n, h, w, c));
+        }
+      }
+    }
+  }
 }
 
 Tensor Relu(const Tensor& input) {
   Tensor out(input.shape());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::max(0.0f, input.data()[i]);
-  }
+  ReluInto(input, out);
   return out;
+}
+
+void BatchNormInto(const Tensor& input, const BatchNormWeights& weights,
+                   Tensor& out) {
+  const graph::TensorShape s = input.shape();
+  SERENITY_CHECK_EQ(weights.scale.size(), static_cast<std::size_t>(s.c));
+  SERENITY_CHECK(out.shape() == s) << "BatchNorm output shape mismatch";
+  if (input.contiguous() && out.contiguous()) {
+    const float* in = input.data();
+    float* o = out.data();
+    const std::size_t channels = static_cast<std::size_t>(s.c);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t c = i % channels;
+      o[i] = in[i] * weights.scale[c] + weights.shift[c];
+    }
+    return;
+  }
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      for (int w = 0; w < s.w; ++w) {
+        for (int c = 0; c < s.c; ++c) {
+          const std::size_t ci = static_cast<std::size_t>(c);
+          out.At(n, h, w, c) =
+              input.At(n, h, w, c) * weights.scale[ci] + weights.shift[ci];
+        }
+      }
+    }
+  }
 }
 
 Tensor BatchNorm(const Tensor& input, const BatchNormWeights& weights) {
-  const int channels = input.shape().c;
-  SERENITY_CHECK_EQ(weights.scale.size(), static_cast<std::size_t>(channels));
   Tensor out(input.shape());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const std::size_t c = i % static_cast<std::size_t>(channels);
-    out.data()[i] = input.data()[i] * weights.scale[c] + weights.shift[c];
-  }
+  BatchNormInto(input, weights, out);
   return out;
 }
 
-Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+void MaxPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
+                   Tensor& out) {
   const graph::TensorShape in = input.shape();
-  Tensor out(graph::InferPoolShape(in, attrs));
+  SERENITY_CHECK(out.shape() == graph::InferPoolShape(in, attrs))
+      << "MaxPool2d output shape mismatch";
   const Padding2d pad = ComputePadding(in, attrs, out.shape().h,
                                        out.shape().w);
   for (int n = 0; n < out.shape().n; ++n) {
@@ -222,12 +339,19 @@ Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
       }
     }
   }
+}
+
+Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferPoolShape(input.shape(), attrs));
+  MaxPool2dInto(input, attrs, out);
   return out;
 }
 
-Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+void AvgPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
+                   Tensor& out) {
   const graph::TensorShape in = input.shape();
-  Tensor out(graph::InferPoolShape(in, attrs));
+  SERENITY_CHECK(out.shape() == graph::InferPoolShape(in, attrs))
+      << "AvgPool2d output shape mismatch";
   const Padding2d pad = ComputePadding(in, attrs, out.shape().h,
                                        out.shape().w);
   for (int n = 0; n < out.shape().n; ++n) {
@@ -252,12 +376,18 @@ Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
       }
     }
   }
+}
+
+Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferPoolShape(input.shape(), attrs));
+  AvgPool2dInto(input, attrs, out);
   return out;
 }
 
-Tensor GlobalAvgPool2d(const Tensor& input) {
+void GlobalAvgPool2dInto(const Tensor& input, Tensor& out) {
   const graph::TensorShape in = input.shape();
-  Tensor out(graph::TensorShape{in.n, 1, 1, in.c});
+  SERENITY_CHECK(out.shape() == (graph::TensorShape{in.n, 1, 1, in.c}))
+      << "GlobalAvgPool2d output shape mismatch";
   const float denom = static_cast<float>(in.h) * static_cast<float>(in.w);
   for (int n = 0; n < in.n; ++n) {
     for (int c = 0; c < in.c; ++c) {
@@ -268,25 +398,56 @@ Tensor GlobalAvgPool2d(const Tensor& input) {
       out.At(n, 0, 0, c) = sum / denom;
     }
   }
+}
+
+Tensor GlobalAvgPool2d(const Tensor& input) {
+  Tensor out(graph::TensorShape{input.shape().n, 1, 1, input.shape().c});
+  GlobalAvgPool2dInto(input, out);
   return out;
 }
 
-Tensor Dense(const Tensor& input, const DenseWeights& weights) {
+void DenseInto(const Tensor& input, const DenseWeights& weights,
+               Tensor& out) {
   const graph::TensorShape in = input.shape();
   SERENITY_CHECK_EQ(in.NumElements() / in.n, weights.in);
-  Tensor out(graph::TensorShape{in.n, 1, 1, weights.units});
-  const std::size_t per_batch = static_cast<std::size_t>(weights.in);
+  SERENITY_CHECK(out.shape() == (graph::TensorShape{in.n, 1, 1,
+                                                    weights.units}))
+      << "Dense output shape mismatch";
+  if (input.contiguous() && out.contiguous()) {
+    const float* flat = input.data();
+    const std::size_t per_batch = static_cast<std::size_t>(weights.in);
+    for (int n = 0; n < in.n; ++n) {
+      for (int u = 0; u < weights.units; ++u) {
+        float sum = weights.bias[static_cast<std::size_t>(u)];
+        for (int i = 0; i < weights.in; ++i) {
+          sum += flat[static_cast<std::size_t>(n) * per_batch +
+                      static_cast<std::size_t>(i)] *
+                 weights.KernelAt(i, u);
+        }
+        out.At(n, 0, 0, u) = sum;
+      }
+    }
+    return;
+  }
   for (int n = 0; n < in.n; ++n) {
     for (int u = 0; u < weights.units; ++u) {
       float sum = weights.bias[static_cast<std::size_t>(u)];
-      for (int i = 0; i < weights.in; ++i) {
-        sum += input.data()[static_cast<std::size_t>(n) * per_batch +
-                            static_cast<std::size_t>(i)] *
-               weights.KernelAt(i, u);
+      int i = 0;  // flattened (h, w, c) index into the virtual kernel rows
+      for (int h = 0; h < in.h; ++h) {
+        for (int w = 0; w < in.w; ++w) {
+          for (int c = 0; c < in.c; ++c) {
+            sum += input.At(n, h, w, c) * weights.KernelAt(i++, u);
+          }
+        }
       }
       out.At(n, 0, 0, u) = sum;
     }
   }
+}
+
+Tensor Dense(const Tensor& input, const DenseWeights& weights) {
+  Tensor out(graph::TensorShape{input.shape().n, 1, 1, weights.units});
+  DenseInto(input, weights, out);
   return out;
 }
 

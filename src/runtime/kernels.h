@@ -6,6 +6,17 @@
 // ops: channel-slice convolution accumulating into a shared output
 // (Eq. 3-6) and per-branch depthwise convolution writing into a channel
 // slice of the shared output (Eq. 7-8).
+//
+// Every kernel exists in two forms:
+//   * `...Into(inputs, out)` writes into caller-provided storage — the form
+//     the ArenaExecutor drives, with `out` a view bound into the planned
+//     arena, so inference performs zero heap allocations. Inputs may be
+//     channel-window views (values living inside shared buffers); the
+//     elementwise kernels accept `out` aliasing their input (in-place).
+//   * the returning form allocates an owning output tensor and forwards to
+//     `...Into` — the convenient form for tests and the ReferenceExecutor.
+// Both forms perform the identical arithmetic in the identical order, so
+// their outputs are bit-identical.
 #ifndef SERENITY_RUNTIME_KERNELS_H_
 #define SERENITY_RUNTIME_KERNELS_H_
 
@@ -20,6 +31,8 @@ namespace serenity::runtime {
 // Dense convolution over all input channels: bias + Σ_ic w ∗ x.
 Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
               const graph::ConvAttrs& attrs);
+void Conv2dInto(const Tensor& input, const ConvWeights& weights,
+                const graph::ConvAttrs& attrs, Tensor& out);
 
 // Channel-wise partial convolution: convolves `input` (a channel slice of
 // the virtual concatenated input) against kernel in-channels
@@ -32,6 +45,8 @@ void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
 
 Tensor DepthwiseConv2d(const Tensor& input, const DepthwiseWeights& weights,
                        const graph::ConvAttrs& attrs);
+void DepthwiseConv2dInto(const Tensor& input, const DepthwiseWeights& weights,
+                         const graph::ConvAttrs& attrs, Tensor& out);
 
 // Kernel-wise partial depthwise convolution: filters `input` with kernel
 // channels [weight_c_offset, +input.c) and writes the result into channels
@@ -43,14 +58,34 @@ void DepthwiseConv2dPartial(const Tensor& input,
                             int out_c_offset);
 
 Tensor Concat(const std::vector<const Tensor*>& inputs);
+void ConcatInto(const std::vector<const Tensor*>& inputs, Tensor& out);
+
 Tensor Add(const std::vector<const Tensor*>& inputs);
+void AddInto(const std::vector<const Tensor*>& inputs, Tensor& out);
+
 Tensor Mul(const std::vector<const Tensor*>& inputs);
+void MulInto(const std::vector<const Tensor*>& inputs, Tensor& out);
+
 Tensor Relu(const Tensor& input);
+void ReluInto(const Tensor& input, Tensor& out);
+
 Tensor BatchNorm(const Tensor& input, const BatchNormWeights& weights);
+void BatchNormInto(const Tensor& input, const BatchNormWeights& weights,
+                   Tensor& out);
+
 Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs);
+void MaxPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
+                   Tensor& out);
+
 Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs);
+void AvgPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
+                   Tensor& out);
+
 Tensor GlobalAvgPool2d(const Tensor& input);
+void GlobalAvgPool2dInto(const Tensor& input, Tensor& out);
+
 Tensor Dense(const Tensor& input, const DenseWeights& weights);
+void DenseInto(const Tensor& input, const DenseWeights& weights, Tensor& out);
 
 }  // namespace serenity::runtime
 

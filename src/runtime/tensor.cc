@@ -7,10 +7,25 @@ namespace serenity::runtime {
 float Tensor::MaxAbsDiff(const Tensor& other) const {
   SERENITY_CHECK(shape_ == other.shape_) << "shape mismatch in MaxAbsDiff";
   float worst = 0.0f;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
-  }
+  ForEachIndex([&](int n, int h, int w, int c) {
+    worst = std::max(worst, std::fabs(At(n, h, w, c) - other.At(n, h, w, c)));
+  });
   return worst;
+}
+
+std::vector<float> Tensor::ToVector() const {
+  std::vector<float> flat;
+  flat.reserve(size());
+  ForEachIndex(
+      [&](int n, int h, int w, int c) { flat.push_back(At(n, h, w, c)); });
+  return flat;
+}
+
+void Tensor::Assign(std::initializer_list<float> values) {
+  SERENITY_CHECK_EQ(values.size(), size())
+      << "Assign value count does not match the tensor shape";
+  auto it = values.begin();
+  ForEachIndex([&](int n, int h, int w, int c) { At(n, h, w, c) = *it++; });
 }
 
 }  // namespace serenity::runtime

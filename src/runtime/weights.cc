@@ -49,6 +49,44 @@ BatchNormWeights MakeBatchNormWeights(std::uint64_t seed, int c) {
   return w;
 }
 
+NodeWeights MaterializeNodeWeights(const graph::Node& node) {
+  NodeWeights w;
+  switch (node.kind) {
+    case graph::OpKind::kConv2d:
+    case graph::OpKind::kPartialConv2d:
+    case graph::OpKind::kPartialConv2dAccum:
+      w.conv = MakeConvWeights(node.weight_seed, node.conv.kernel_h,
+                               node.conv.kernel_w, node.weight_in_channels,
+                               node.shape.c);
+      break;
+    case graph::OpKind::kDepthwiseConv2d:
+    case graph::OpKind::kPartialDepthwiseConv2d:
+      w.dw = MakeDepthwiseWeights(node.weight_seed, node.conv.kernel_h,
+                                  node.conv.kernel_w,
+                                  node.weight_in_channels);
+      break;
+    case graph::OpKind::kBatchNorm:
+      w.bn = MakeBatchNormWeights(node.weight_seed, node.shape.c);
+      break;
+    case graph::OpKind::kDense:
+      w.dense = MakeDenseWeights(node.weight_seed, node.weight_in_channels,
+                                 node.shape.c);
+      break;
+    case graph::OpKind::kFusedCell:
+      w.dw = MakeDepthwiseWeights(node.weight_seed ^ kFusedDepthwiseSalt,
+                                  node.conv.kernel_h, node.conv.kernel_w,
+                                  node.weight_in_channels);
+      w.conv = MakeConvWeights(node.weight_seed ^ kFusedPointwiseSalt, 1, 1,
+                               node.weight_in_channels, node.shape.c);
+      w.bn = MakeBatchNormWeights(node.weight_seed ^ kFusedBatchNormSalt,
+                                  node.shape.c);
+      break;
+    default:
+      break;  // weightless op
+  }
+  return w;
+}
+
 DenseWeights MakeDenseWeights(std::uint64_t seed, int in, int units) {
   util::Rng rng(seed);
   DenseWeights w;

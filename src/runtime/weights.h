@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/graph.h"
+
 namespace serenity::runtime {
 
 // Dense convolution kernel, layout [kh][kw][in_c][out_c], plus bias[out_c].
@@ -62,6 +64,28 @@ DepthwiseWeights MakeDepthwiseWeights(std::uint64_t seed, int kh, int kw,
                                       int c);
 BatchNormWeights MakeBatchNormWeights(std::uint64_t seed, int c);
 DenseWeights MakeDenseWeights(std::uint64_t seed, int in, int units);
+
+// Sub-seed salts for ops that bundle several weight tensors (kFusedCell's
+// depthwise + pointwise + batch-norm stages).
+inline constexpr std::uint64_t kFusedDepthwiseSalt = 0x5eed0001;
+inline constexpr std::uint64_t kFusedPointwiseSalt = 0x5eed0002;
+inline constexpr std::uint64_t kFusedBatchNormSalt = 0x5eed0003;
+
+// Every weight tensor one node's execution reads, materialized from the
+// node's seed. Weights live outside the activation arena: the
+// ReferenceExecutor materializes them per Execute call, the ArenaExecutor
+// once per session at construction, and both read the *same* virtual weight
+// tensors — the mechanism behind the identity-preservation and
+// arena-vs-reference bit-identity tests. Only the members the node's kind
+// uses are populated; the rest stay empty.
+struct NodeWeights {
+  ConvWeights conv;      // kConv2d / kPartialConv2d* / fused pointwise
+  DepthwiseWeights dw;   // depthwise kinds / fused depthwise
+  BatchNormWeights bn;   // kBatchNorm / fused batch norm
+  DenseWeights dense;    // kDense
+};
+
+NodeWeights MaterializeNodeWeights(const graph::Node& node);
 
 }  // namespace serenity::runtime
 

@@ -1,6 +1,7 @@
 #include "serialize/plan.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.h"
@@ -19,6 +20,7 @@ ExecutionPlan MakePlan(const graph::Graph& graph,
 
 std::string PlanToText(const ExecutionPlan& plan) {
   std::ostringstream os;
+  os << "serenity-plan v" << kPlanFormatVersion << "\n";
   os << "plan " << (plan.graph_name.empty() ? "_" : plan.graph_name) << " "
      << plan.schedule.size() << " " << plan.arena.arena_bytes << "\n";
   os << "order";
@@ -37,25 +39,53 @@ ExecutionPlan PlanFromText(const std::string& text,
   std::istringstream is(text);
   std::string line;
   std::int64_t declared_arena = -1;
+  std::size_t declared_nodes = 0;
+  bool saw_version = false;
+  bool saw_plan = false;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
-    if (tag == "plan") {
-      std::size_t num_nodes = 0;
-      ls >> plan.graph_name >> num_nodes >> declared_arena;
-      SERENITY_CHECK_EQ(num_nodes,
+    if (!saw_version) {
+      // The very first record must be the format header.
+      SERENITY_CHECK(tag == "serenity-plan")
+          << "not a serenity plan: missing format header";
+      std::string version;
+      ls >> version;
+      SERENITY_CHECK(!ls.fail()) << "truncated plan format header";
+      SERENITY_CHECK(version ==
+                     "v" + std::to_string(kPlanFormatVersion))
+          << "unsupported plan format version '" << version
+          << "' (this build reads v" << kPlanFormatVersion << ")";
+      saw_version = true;
+    } else if (tag == "plan") {
+      SERENITY_CHECK(!saw_plan) << "duplicate plan record";
+      ls >> plan.graph_name >> declared_nodes >> declared_arena;
+      SERENITY_CHECK(!ls.fail()) << "malformed plan record '" << line << "'";
+      SERENITY_CHECK_EQ(declared_nodes,
                         static_cast<std::size_t>(graph.num_nodes()))
           << "plan was compiled for a different graph";
+      saw_plan = true;
     } else if (tag == "order") {
+      SERENITY_CHECK(saw_plan) << "order record before plan record";
       graph::NodeId id;
       while (ls >> id) plan.schedule.push_back(id);
+      SERENITY_CHECK(ls.eof())
+          << "malformed order record '" << line << "'";
     } else if (tag == "place") {
+      SERENITY_CHECK(saw_plan) << "place record before plan record";
       alloc::BufferPlacement p;
       ls >> p.buffer >> p.offset >> p.size >> p.first_step >> p.last_step;
+      SERENITY_CHECK(!ls.fail())
+          << "malformed place record '" << line << "'";
       SERENITY_CHECK_GE(p.buffer, 0);
       SERENITY_CHECK_LT(p.buffer, graph.num_buffers());
+      SERENITY_CHECK_GE(p.offset, 0);
+      SERENITY_CHECK_GT(p.size, 0);
+      SERENITY_CHECK_LE(p.size,
+                        std::numeric_limits<std::int64_t>::max() - p.offset)
+          << "placement of buffer " << p.buffer << " overflows the arena";
       plan.arena.placements.push_back(p);
       plan.arena.arena_bytes =
           std::max(plan.arena.arena_bytes, p.offset + p.size);
@@ -63,6 +93,10 @@ ExecutionPlan PlanFromText(const std::string& text,
       SERENITY_CHECK(false) << "unknown plan record '" << tag << "'";
     }
   }
+  SERENITY_CHECK(saw_plan) << "truncated plan: no plan record";
+  SERENITY_CHECK_EQ(plan.schedule.size(), declared_nodes)
+      << "truncated plan: order lists " << plan.schedule.size() << " of "
+      << declared_nodes << " nodes";
   SERENITY_CHECK(sched::IsTopologicalOrder(graph, plan.schedule))
       << "plan schedule is not a valid order for this graph";
   SERENITY_CHECK_EQ(plan.arena.arena_bytes, declared_arena)
@@ -70,6 +104,8 @@ ExecutionPlan PlanFromText(const std::string& text,
   // Rebuild the derived high-water trace so loaded plans are fully usable.
   plan.arena.highwater_at_step.assign(plan.schedule.size(), 0);
   for (const alloc::BufferPlacement& p : plan.arena.placements) {
+    SERENITY_CHECK_LE(p.first_step, p.last_step)
+        << "inverted lifetime for buffer " << p.buffer;
     for (int step = p.first_step; step <= p.last_step; ++step) {
       SERENITY_CHECK_GE(step, 0);
       SERENITY_CHECK_LT(static_cast<std::size_t>(step),
@@ -78,6 +114,15 @@ ExecutionPlan PlanFromText(const std::string& text,
       hw = std::max(hw, p.offset + p.size);
     }
   }
+  // Everything an executor binds against must hold before the plan is
+  // handed back — placement completeness and exact sizes, lifetimes
+  // covering every producer/consumer step, pairwise non-overlap. A corrupt
+  // or truncated cache file must die here, not execute.
+  const std::vector<std::string> problems =
+      alloc::ValidatePlanForGraph(plan.arena, graph, plan.schedule);
+  SERENITY_CHECK(problems.empty())
+      << "invalid plan: " << problems.front() << " (" << problems.size()
+      << " problem(s))";
   return plan;
 }
 

@@ -1,10 +1,21 @@
 // Execution-plan persistence: the compilation artifact an edge runtime
 // consumes — the node execution order plus the arena offset of every
-// activation buffer. Text format, one record per line:
+// activation buffer. This is the single artifact that flows scheduler ->
+// arena planner -> plan cache -> ArenaExecutor (runtime/arena_executor.h).
 //
+// Text format (versioned; see DESIGN.md "Plan text format"):
+//
+//   serenity-plan v2
 //   plan <graph_name> <num_nodes> <arena_bytes>
 //   order <id0> <id1> ...
 //   place <buffer_id> <offset> <size> <first_step> <last_step>
+//
+// The header line names the format version; PlanFromText rejects unknown
+// versions outright, so a runtime never mis-parses a plan written by a
+// different serializer generation. Loading also re-validates everything an
+// executor depends on — topological order, placement geometry
+// (alloc::ValidatePlacements), declared-vs-derived arena size — so a
+// corrupt or truncated cache file dies at load instead of executing.
 #ifndef SERENITY_SERIALIZE_PLAN_H_
 #define SERENITY_SERIALIZE_PLAN_H_
 
@@ -15,6 +26,10 @@
 #include "sched/schedule.h"
 
 namespace serenity::serialize {
+
+// Bump when the text format changes shape. v1 (pre-header) files are no
+// longer accepted; re-plan and re-persist.
+inline constexpr int kPlanFormatVersion = 2;
 
 struct ExecutionPlan {
   std::string graph_name;
@@ -28,8 +43,9 @@ ExecutionPlan MakePlan(const graph::Graph& graph,
 
 std::string PlanToText(const ExecutionPlan& plan);
 
-// Parses a plan; dies on malformed input. `graph` is used to validate the
-// schedule (must be a topological order of it) and the buffer references.
+// Parses a plan; dies on malformed, truncated, unversioned or
+// wrong-version input. `graph` is used to validate the schedule (must be a
+// topological order of it) and the buffer references.
 ExecutionPlan PlanFromText(const std::string& text,
                            const graph::Graph& graph);
 

@@ -1,0 +1,40 @@
+#include "serve/inference_session.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace serenity::serve {
+
+InferenceSession::InferenceSession(std::shared_ptr<const CachedPlan> plan,
+                                   InferenceSessionOptions options)
+    : plan_(std::move(plan)) {
+  SERENITY_CHECK(plan_ != nullptr)
+      << "cannot open an inference session without a plan";
+  SERENITY_CHECK(plan_->result.success);
+  executor_ = std::make_unique<runtime::ArenaExecutor>(
+      plan_->result.scheduled_graph, plan_->plan, options.executor);
+}
+
+InferenceSession InferenceSession::Open(SchedulerService& service,
+                                        const graph::Graph& graph,
+                                        InferenceSessionOptions options) {
+  ServeResult result = service.Schedule(graph);
+  SERENITY_CHECK(result.plan != nullptr)
+      << "planning '" << graph.name() << "' failed: "
+      << result.failure_reason;
+  return InferenceSession(std::move(result.plan), options);
+}
+
+void InferenceSession::Run(const std::vector<runtime::Tensor>& inputs) {
+  executor_->Run(inputs);
+  ++inferences_;
+}
+
+void InferenceSession::RunBatch(
+    const std::vector<std::vector<runtime::Tensor>>& batch) {
+  for (const std::vector<runtime::Tensor>& inputs : batch) Run(inputs);
+}
+
+}  // namespace serenity::serve
+

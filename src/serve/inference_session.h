@@ -1,0 +1,76 @@
+// InferenceSession: the last hop of the serve path — from a served plan to
+// numbers.
+//
+// SchedulerService hands back immutable CachedPlan snapshots (schedule +
+// arena placements); this class binds one to a per-session
+// runtime::ArenaExecutor, so a caller goes graph -> plan (cold, coalesced
+// or warm from the persisted cache) -> batched inference out of one
+// preallocated arena, with zero per-inference heap allocation. This closes
+// the loop the ROADMAP's serve axis aims at: the expensive memory-aware
+// search runs once per structural graph, and every inference after that
+// executes the cached artifact directly.
+//
+// Sessions are single-threaded by design — the arena is the session's
+// mutable state. Run sessions on separate plans (or separate sessions over
+// the same shared CachedPlan: the plan is immutable) for parallel serving.
+#ifndef SERENITY_SERVE_INFERENCE_SESSION_H_
+#define SERENITY_SERVE_INFERENCE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/arena_executor.h"
+#include "serve/scheduler_service.h"
+
+namespace serenity::serve {
+
+struct InferenceSessionOptions {
+  runtime::ArenaExecutorOptions executor;
+};
+
+class InferenceSession {
+ public:
+  // Builds a session over a served plan. Dies if `plan` is null; keeps the
+  // plan (and the scheduled graph inside it) alive for the session's life.
+  explicit InferenceSession(std::shared_ptr<const CachedPlan> plan,
+                            InferenceSessionOptions options = {});
+
+  // Schedules `graph` through `service` — cache hit, coalesced, or a fresh
+  // planning run — and opens a session over the result. Dies if planning
+  // failed (a serving caller that wants to degrade gracefully should call
+  // service.Schedule itself and check the ServeResult).
+  static InferenceSession Open(SchedulerService& service,
+                               const graph::Graph& graph,
+                               InferenceSessionOptions options = {});
+
+  InferenceSession(InferenceSession&&) = default;
+  InferenceSession& operator=(InferenceSession&&) = default;
+
+  // One inference. `inputs` correspond to the scheduled graph's kInput
+  // nodes in ascending node-id order. Zero heap allocations inside.
+  void Run(const std::vector<runtime::Tensor>& inputs);
+
+  // Batched inputs, executed sequentially out of the same arena (the edge
+  // deployment model: one arena, many inferences).
+  void RunBatch(const std::vector<std::vector<runtime::Tensor>>& batch);
+
+  // The scheduled (possibly rewritten) graph inferences execute against —
+  // build inputs and read sinks relative to *this* graph.
+  const graph::Graph& graph() const { return plan_->result.scheduled_graph; }
+  const CachedPlan& plan() const { return *plan_; }
+  const runtime::ArenaExecutor& executor() const { return *executor_; }
+  runtime::ArenaExecutor& executor() { return *executor_; }
+
+  std::int64_t arena_bytes() const { return executor_->arena_bytes(); }
+  std::uint64_t inferences() const { return inferences_; }
+
+ private:
+  std::shared_ptr<const CachedPlan> plan_;
+  std::unique_ptr<runtime::ArenaExecutor> executor_;
+  std::uint64_t inferences_ = 0;
+};
+
+}  // namespace serenity::serve
+
+#endif  // SERENITY_SERVE_INFERENCE_SESSION_H_

@@ -1,5 +1,6 @@
 #include "serve/plan_cache.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -123,7 +124,10 @@ void PlanCache::SaveToFile(const std::string& path) const {
   }
   std::ofstream os(path, std::ios::binary);
   SERENITY_CHECK(os.good()) << "cannot open '" << path << "' for writing";
-  os << "serenity-plan-cache v1 " << snapshot.size() << "\n";
+  // v2: the embedded plan texts carry the "serenity-plan v2" header of
+  // serialize::kPlanFormatVersion. Bump in lockstep with that format so a
+  // loader never feeds an old-generation plan text to the new parser.
+  os << "serenity-plan-cache v2 " << snapshot.size() << "\n";
   for (const auto& plan : snapshot) {
     const std::string graph_text =
         serialize::ToText(plan->result.scheduled_graph);
@@ -147,8 +151,22 @@ int PlanCache::LoadFromFile(const std::string& path) {
   std::string magic, version;
   std::size_t num_entries = 0;
   is >> magic >> version >> num_entries;
-  SERENITY_CHECK(magic == "serenity-plan-cache" && version == "v1")
-      << "'" << path << "' is not a v1 plan-cache file";
+  // A header that cannot be read at all is corruption, not staleness —
+  // only a fully parsed header may take the graceful stale-version exit.
+  SERENITY_CHECK(is.good() && magic == "serenity-plan-cache")
+      << "'" << path << "' is not a plan-cache file (or its header is "
+      << "truncated)";
+  if (version != "v2") {
+    // A cache persisted by a different serializer generation is stale, not
+    // fatal: skip the warm start, serve cold, and let the caller re-persist
+    // in the current format. Aborting here would wedge a service upgrade on
+    // a file that only exists as an optimization.
+    std::fprintf(stderr,
+                 "plan cache '%s' has format %s (this build writes v2); "
+                 "ignoring it and starting cold\n",
+                 path.c_str(), version.c_str());
+    return 0;
+  }
 
   // Read back in reverse-recency order so re-insertion leaves the saved
   // most-recently-used entry at the front of our LRU list again.

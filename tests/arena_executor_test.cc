@@ -1,0 +1,180 @@
+// Unit tests for the plan-driven arena executor: bit-identity with the
+// reference executor, the measured-peak == planned-arena invariant, the
+// zero-allocation guarantee, and the static plan certification that keeps
+// corrupt plans from executing.
+#include "runtime/arena_executor.h"
+
+#include <gtest/gtest.h>
+
+
+#include "core/pipeline.h"
+#include "graph/builder.h"
+#include "models/swiftnet.h"
+#include "rewrite/rewriter.h"
+#include "runtime/executor.h"
+#include "sched/baselines.h"
+#include "serialize/plan.h"
+#include "testing/alloc_counter.h"
+#include "testing/runtime_inputs.h"
+#include "testing/sink_compare.h"
+#include "util/rng.h"
+
+
+namespace serenity::runtime {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TensorShape;
+
+void ExpectBitIdentical(const std::vector<Tensor>& a,
+                        const std::vector<Tensor>& b) {
+  EXPECT_EQ(serenity::testing::DescribeSinkDivergence(a, b), "");
+}
+
+TEST(ArenaExecutor, BitIdenticalToReferenceOnPipelinePlan) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const core::PipelineResult r = core::Pipeline().Run(g);
+  ASSERT_TRUE(r.success);
+  const serialize::ExecutionPlan plan =
+      serialize::MakePlan(r.scheduled_graph, r.schedule);
+
+  const std::vector<Tensor> inputs =
+      serenity::testing::RandomInputsFor(r.scheduled_graph, 42);
+  ReferenceExecutor reference(r.scheduled_graph);
+  reference.Run(inputs, r.schedule);
+  ArenaExecutor arena(r.scheduled_graph, plan);
+  arena.Run(inputs);
+  ExpectBitIdentical(arena.SinkValues(), reference.SinkValues());
+}
+
+TEST(ArenaExecutor, RewrittenTwinSharesArenaBytesCorrectly) {
+  // In-place accumulation and concat views bind into the same placements;
+  // outputs must still match the unrewritten graph's function.
+  const graph::Graph original = models::MakeSwiftNetCellA();
+  const rewrite::RewriteResult rw = rewrite::RewriteGraph(original);
+  ASSERT_GT(rw.report.TotalPatterns(), 0);
+  const sched::Schedule s = sched::GreedyMemorySchedule(rw.graph);
+  const serialize::ExecutionPlan plan = serialize::MakePlan(rw.graph, s);
+
+  const std::vector<Tensor> inputs =
+      serenity::testing::RandomInputsFor(rw.graph, 7);
+  ReferenceExecutor reference(rw.graph);
+  reference.Run(inputs, s);
+  ArenaExecutor arena(rw.graph, plan);
+  arena.Run(inputs);
+  ExpectBitIdentical(arena.SinkValues(), reference.SinkValues());
+}
+
+TEST(ArenaExecutor, TouchedPeakEqualsPlannedArena) {
+  const graph::Graph g = models::MakeSwiftNetCellB();
+  const sched::Schedule s = sched::GreedyMemorySchedule(g);
+  const serialize::ExecutionPlan plan = serialize::MakePlan(g, s);
+
+  ArenaExecutorOptions options;
+  options.measure_touched_peak = true;
+  ArenaExecutor arena(g, plan, options);
+  EXPECT_EQ(arena.touched_peak_bytes(), -1);  // no Run yet
+  arena.Run(serenity::testing::RandomInputsFor(g, 3));
+  EXPECT_EQ(arena.touched_peak_bytes(), plan.arena.arena_bytes);
+  EXPECT_EQ(arena.arena_bytes(), plan.arena.arena_bytes);
+}
+
+TEST(ArenaExecutor, ZeroHeapAllocationsPerInference) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const core::PipelineResult r = core::Pipeline().Run(g);
+  ASSERT_TRUE(r.success);
+  const serialize::ExecutionPlan plan =
+      serialize::MakePlan(r.scheduled_graph, r.schedule);
+  const std::vector<Tensor> inputs =
+      serenity::testing::RandomInputsFor(r.scheduled_graph, 11);
+  ArenaExecutor arena(r.scheduled_graph, plan);
+
+  arena.Run(inputs);  // cold run: also must not allocate, but warm it anyway
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t before = serenity::testing::ThreadAllocationCount();
+    arena.Run(inputs);
+    EXPECT_EQ(serenity::testing::ThreadAllocationCount() - before, 0u)
+        << "inference " << i;
+  }
+  // The zero-copy sink accessors allocate nothing either.
+  const std::uint64_t before = serenity::testing::ThreadAllocationCount();
+  const std::vector<const Tensor*>& sinks = arena.SinkViews();
+  EXPECT_EQ(serenity::testing::ThreadAllocationCount() - before, 0u);
+  EXPECT_FALSE(sinks.empty());
+}
+
+TEST(ArenaExecutor, SinkViewsAliasTheArena) {
+  const graph::Graph g = models::MakeSwiftNetCellC();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  const serialize::ExecutionPlan plan = serialize::MakePlan(g, s);
+  ArenaExecutor arena(g, plan);
+  arena.Run(serenity::testing::RandomInputsFor(g, 9));
+  const std::vector<Tensor> copies = arena.SinkValues();
+  ASSERT_EQ(copies.size(), arena.SinkViews().size());
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    EXPECT_EQ(copies[i].ToVector(), arena.SinkViews()[i]->ToVector());
+  }
+}
+
+// --- Static plan certification -------------------------------------------
+
+TEST(ArenaExecutorDeath, RejectsLifetimeLies) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  serialize::ExecutionPlan plan = serialize::MakePlan(g, s);
+  // Shrink the graph input's buffer lifetime to its producing step: every
+  // consumer now reads after its planned death. Non-overlap still holds
+  // (shrinking frees space), so only the executor's liveness certification
+  // can catch it.
+  const graph::BufferId target = g.node(0).buffer;
+  ASSERT_EQ(g.node(0).kind, graph::OpKind::kInput);
+  bool tampered = false;
+  for (alloc::BufferPlacement& p : plan.arena.placements) {
+    if (p.buffer == target) {
+      ASSERT_GT(p.last_step, p.first_step);
+      p.last_step = p.first_step;
+      tampered = true;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  EXPECT_DEATH(ArenaExecutor(g, plan), "outside its planned lifetime");
+}
+
+TEST(ArenaExecutorDeath, RejectsWrongPlacementSize) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  serialize::ExecutionPlan plan = serialize::MakePlan(g, s);
+  plan.arena.placements.front().size -= 4;
+  EXPECT_DEATH(ArenaExecutor(g, plan), "disagrees with its byte size");
+}
+
+TEST(ArenaExecutorDeath, RejectsMissingPlacement) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const sched::Schedule s = sched::TfLiteOrderSchedule(g);
+  serialize::ExecutionPlan plan = serialize::MakePlan(g, s);
+  plan.arena.placements.pop_back();
+  EXPECT_DEATH(ArenaExecutor(g, plan), "has no placement");
+}
+
+TEST(ArenaExecutorDeath, RejectsPlanForDifferentGraph) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const serialize::ExecutionPlan plan =
+      serialize::MakePlan(g, sched::TfLiteOrderSchedule(g));
+  GraphBuilder b("other");
+  const NodeId in = b.Input(TensorShape{1, 4, 4, 2}, "in");
+  (void)b.Relu(in, "out");
+  const graph::Graph other = std::move(b).Build();
+  EXPECT_DEATH(ArenaExecutor(other, plan), "different node count");
+}
+
+TEST(ArenaExecutorDeath, WrongInputCountRejected) {
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  const serialize::ExecutionPlan plan =
+      serialize::MakePlan(g, sched::TfLiteOrderSchedule(g));
+  ArenaExecutor arena(g, plan);
+  EXPECT_DEATH(arena.Run({}), "tensor per kInput");
+}
+
+}  // namespace
+}  // namespace serenity::runtime

@@ -10,6 +10,7 @@
 #include "runtime/kernels.h"
 #include "runtime/weights.h"
 #include "sched/baselines.h"
+#include "testing/runtime_inputs.h"
 #include "util/rng.h"
 
 namespace serenity::runtime {
@@ -21,45 +22,36 @@ using graph::TensorShape;
 
 constexpr float kTol = 2e-3f;  // accumulated fp error across deep cells
 
-std::vector<Tensor> InputsFor(const graph::Graph& g, std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<Tensor> inputs;
-  for (const graph::Node& n : g.nodes()) {
-    if (n.kind == graph::OpKind::kInput) {
-      inputs.push_back(Tensor::Random(n.shape, rng));
-    }
-  }
-  return inputs;
-}
+using serenity::testing::RandomInputsFor;
 
 // Executes `g` in declaration order and returns its sink values.
 std::vector<Tensor> RunGraph(const graph::Graph& g, std::uint64_t seed) {
-  Executor exec(g);
-  exec.Run(InputsFor(g, seed));
+  ReferenceExecutor exec(g);
+  exec.Run(RandomInputsFor(g, seed));
   return exec.SinkValues();
 }
 
-TEST(Executor, IdentityOpPassesThrough) {
+TEST(ReferenceExecutor, IdentityOpPassesThrough) {
   GraphBuilder b("id");
   const NodeId in = b.Input(TensorShape{1, 4, 4, 2}, "in");
   (void)b.Identity(in, "out");
   const graph::Graph g = std::move(b).Build();
-  Executor exec(g);
-  const std::vector<Tensor> inputs = InputsFor(g, 1);
+  ReferenceExecutor exec(g);
+  const std::vector<Tensor> inputs = RandomInputsFor(g, 1);
   exec.Run(inputs);
   EXPECT_LE(exec.Value(1).MaxAbsDiff(inputs[0]), 1e-6f);
 }
 
-TEST(Executor, ScheduleInvariance) {
+TEST(ReferenceExecutor, ScheduleInvariance) {
   // Any topological order computes identical results — the mathematical
   // basis for reordering schedules at all.
   const graph::Graph g = models::MakeSwiftNetCellA();
-  const std::vector<Tensor> inputs = InputsFor(g, 5);
-  Executor declaration(g);
+  const std::vector<Tensor> inputs = RandomInputsFor(g, 5);
+  ReferenceExecutor declaration(g);
   declaration.Run(inputs);
   util::Rng rng(99);
   for (int trial = 0; trial < 3; ++trial) {
-    Executor shuffled(g);
+    ReferenceExecutor shuffled(g);
     shuffled.Run(inputs, sched::RandomTopologicalSchedule(g, rng));
     const auto a = declaration.SinkValues();
     const auto c = shuffled.SinkValues();
@@ -125,17 +117,17 @@ TEST(RewriteIdentity, RandomizedConcatConvShapes) {
   }
 }
 
-TEST(Executor, RewrittenResultsScheduleInvariantToo) {
+TEST(ReferenceExecutor, RewrittenResultsScheduleInvariantToo) {
   // Aliased buffers (accumulators, views) must not introduce order
   // sensitivity beyond data dependencies.
   const rewrite::RewriteResult rw =
       rewrite::RewriteGraph(models::MakeSwiftNetCellA());
-  const std::vector<Tensor> inputs = InputsFor(rw.graph, 31);
-  Executor reference(rw.graph);
+  const std::vector<Tensor> inputs = RandomInputsFor(rw.graph, 31);
+  ReferenceExecutor reference(rw.graph);
   reference.Run(inputs);
   util::Rng rng(1234);
   for (int trial = 0; trial < 3; ++trial) {
-    Executor shuffled(rw.graph);
+    ReferenceExecutor shuffled(rw.graph);
     shuffled.Run(inputs, sched::RandomTopologicalSchedule(rw.graph, rng));
     const auto a = reference.SinkValues();
     const auto b = shuffled.SinkValues();
@@ -146,7 +138,7 @@ TEST(Executor, RewrittenResultsScheduleInvariantToo) {
   }
 }
 
-TEST(Executor, FusedCellMatchesManualComposition) {
+TEST(ReferenceExecutor, FusedCellMatchesManualComposition) {
   // FusedCell(sum -> relu -> dw3 -> pw -> bn) against the equivalent
   // unfused graph with the same weight seeds.
   GraphBuilder fused_b("fused");
@@ -155,8 +147,8 @@ TEST(Executor, FusedCellMatchesManualComposition) {
   const NodeId cell = fused_b.FusedCell({fin0, fin1}, 6, 1, "cell");
   const graph::Graph fused = std::move(fused_b).Build();
 
-  const std::vector<Tensor> inputs = InputsFor(fused, 8);
-  Executor exec(fused);
+  const std::vector<Tensor> inputs = RandomInputsFor(fused, 8);
+  ReferenceExecutor exec(fused);
   exec.Run(inputs);
   const Tensor got = exec.Value(cell);
 
@@ -175,17 +167,17 @@ TEST(Executor, FusedCellMatchesManualComposition) {
   EXPECT_LE(got.MaxAbsDiff(expect), 1e-5f);
 }
 
-TEST(ExecutorDeath, WrongInputCountRejected) {
+TEST(ReferenceExecutorDeath, WrongInputCountRejected) {
   const graph::Graph g = models::MakeSwiftNetCellA();
-  Executor exec(g);
+  ReferenceExecutor exec(g);
   EXPECT_DEATH(exec.Run({}), "tensor per kInput");
 }
 
-TEST(ExecutorDeath, WrongInputShapeRejected) {
+TEST(ReferenceExecutorDeath, WrongInputShapeRejected) {
   GraphBuilder b("shape");
   (void)b.Input(TensorShape{1, 4, 4, 2}, "in");
   const graph::Graph g = std::move(b).Build();
-  Executor exec(g);
+  ReferenceExecutor exec(g);
   EXPECT_DEATH(exec.Run({Tensor(TensorShape{1, 4, 4, 3})}),
                "shape mismatch");
 }

@@ -91,9 +91,9 @@ TEST(InPlace, PreservesTheNetworkFunction) {
         inputs.push_back(runtime::Tensor::Random(n.shape, rng));
       }
     }
-    runtime::Executor original(g);
+    runtime::ReferenceExecutor original(g);
     original.Run(inputs);
-    runtime::Executor inplace(r.graph);
+    runtime::ReferenceExecutor inplace(r.graph);
     inplace.Run(inputs);
     const auto a = original.SinkValues();
     const auto c = inplace.SinkValues();

@@ -143,9 +143,9 @@ TEST(Integration, RewritingPlusExecutionOnEveryConcatCell) {
         inputs.push_back(runtime::Tensor::Random(n.shape, rng));
       }
     }
-    runtime::Executor original(g);
+    runtime::ReferenceExecutor original(g);
     original.Run(inputs);
-    runtime::Executor rewritten(full.scheduled_graph);
+    runtime::ReferenceExecutor rewritten(full.scheduled_graph);
     rewritten.Run(inputs, full.schedule);  // the memory-optimal order
     const auto a = original.SinkValues();
     const auto b = rewritten.SinkValues();

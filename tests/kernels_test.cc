@@ -38,7 +38,7 @@ TEST(Conv2d, HandComputed3x3) {
   w.kernel.assign(9, 1.0f);
   w.bias = {0.0f};
   Tensor x(TensorShape{1, 3, 3, 1});
-  std::fill(x.data().begin(), x.data().end(), 1.0f);
+  std::fill(x.data(), x.data() + x.size(), 1.0f);
   const Tensor y = Conv2d(x, w, ConvAttrs{3, 3, 1, 1, Padding::kSame});
   EXPECT_NEAR(y.At(0, 0, 0, 0), 4.0f, kTol);
   EXPECT_NEAR(y.At(0, 0, 1, 0), 6.0f, kTol);
@@ -124,37 +124,37 @@ TEST(DepthwisePartial, SlicesMatchFullDepthwise) {
 
 TEST(Concat, OrdersChannels) {
   Tensor a(TensorShape{1, 1, 1, 2});
-  a.data() = {1, 2};
+  a.Assign({1, 2});
   Tensor b(TensorShape{1, 1, 1, 1});
-  b.data() = {3};
+  b.Assign({3});
   const Tensor y = Concat({&a, &b});
   EXPECT_EQ(y.shape(), (TensorShape{1, 1, 1, 3}));
-  EXPECT_EQ(y.data(), (std::vector<float>{1, 2, 3}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{1, 2, 3}));
 }
 
 TEST(AddMulRelu, Elementwise) {
   Tensor a(TensorShape{1, 1, 1, 3});
-  a.data() = {1, -2, 3};
+  a.Assign({1, -2, 3});
   Tensor b(TensorShape{1, 1, 1, 3});
-  b.data() = {4, 5, -6};
-  EXPECT_EQ(Add({&a, &b}).data(), (std::vector<float>{5, 3, -3}));
-  EXPECT_EQ(Mul({&a, &b}).data(), (std::vector<float>{4, -10, -18}));
-  EXPECT_EQ(Relu(a).data(), (std::vector<float>{1, 0, 3}));
+  b.Assign({4, 5, -6});
+  EXPECT_EQ(Add({&a, &b}).ToVector(), (std::vector<float>{5, 3, -3}));
+  EXPECT_EQ(Mul({&a, &b}).ToVector(), (std::vector<float>{4, -10, -18}));
+  EXPECT_EQ(Relu(a).ToVector(), (std::vector<float>{1, 0, 3}));
 }
 
 TEST(BatchNorm, ScaleAndShift) {
   Tensor x(TensorShape{1, 1, 2, 2});
-  x.data() = {1, 2, 3, 4};
+  x.Assign({1, 2, 3, 4});
   BatchNormWeights w;
   w.scale = {2, 10};
   w.shift = {0.5f, -1};
   const Tensor y = BatchNorm(x, w);
-  EXPECT_EQ(y.data(), (std::vector<float>{2.5f, 19, 6.5f, 39}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{2.5f, 19, 6.5f, 39}));
 }
 
 TEST(Pooling, MaxAndAvg) {
   Tensor x(TensorShape{1, 2, 2, 1});
-  x.data() = {1, 2, 3, 4};
+  x.Assign({1, 2, 3, 4});
   const ConvAttrs attrs{2, 2, 2, 1, Padding::kSame};
   EXPECT_NEAR(MaxPool2d(x, attrs).At(0, 0, 0, 0), 4.0f, kTol);
   EXPECT_NEAR(AvgPool2d(x, attrs).At(0, 0, 0, 0), 2.5f, kTol);
@@ -163,7 +163,7 @@ TEST(Pooling, MaxAndAvg) {
 TEST(Pooling, AvgCountsOnlyValidTaps) {
   // 3x3 SAME avg over a 2x2 input: the corner window sees 4 valid values.
   Tensor x(TensorShape{1, 2, 2, 1});
-  x.data() = {1, 2, 3, 4};
+  x.Assign({1, 2, 3, 4});
   const ConvAttrs attrs{3, 3, 1, 1, Padding::kSame};
   const Tensor y = AvgPool2d(x, attrs);
   EXPECT_NEAR(y.At(0, 0, 0, 0), 2.5f, kTol);
@@ -171,7 +171,7 @@ TEST(Pooling, AvgCountsOnlyValidTaps) {
 
 TEST(GlobalAvgPool, AveragesSpatial) {
   Tensor x(TensorShape{1, 2, 2, 2});
-  x.data() = {1, 10, 2, 20, 3, 30, 4, 40};
+  x.Assign({1, 10, 2, 20, 3, 30, 4, 40});
   const Tensor y = GlobalAvgPool2d(x);
   EXPECT_EQ(y.shape(), (TensorShape{1, 1, 1, 2}));
   EXPECT_NEAR(y.At(0, 0, 0, 0), 2.5f, kTol);
@@ -180,7 +180,7 @@ TEST(GlobalAvgPool, AveragesSpatial) {
 
 TEST(Dense, MatrixVector) {
   Tensor x(TensorShape{1, 1, 1, 2});
-  x.data() = {1, 2};
+  x.Assign({1, 2});
   DenseWeights w;
   w.in = 2;
   w.units = 2;

@@ -184,7 +184,21 @@ TEST(PlanCacheDeath, RejectsCorruptCacheFiles) {
   std::fputs("not-a-cache v9 1\n", f);
   std::fclose(f);
   PlanCache cache;
-  EXPECT_DEATH(cache.LoadFromFile(path), "not a v1 plan-cache");
+  EXPECT_DEATH(cache.LoadFromFile(path), "not a plan-cache");
+  std::remove(path.c_str());
+}
+
+TEST(PlanCache, StaleFormatVersionLoadsNothingInsteadOfAborting) {
+  // A cache persisted by a previous serializer generation is an
+  // optimization gone stale, not a fatal error: the service must start
+  // cold, not wedge on the file.
+  const std::string path = ::testing::TempDir() + "/stale_cache.v1";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("serenity-plan-cache v1 1\nentry deadbeef 0 0\n", f);
+  std::fclose(f);
+  PlanCache cache;
+  EXPECT_EQ(cache.LoadFromFile(path), 0);
+  EXPECT_EQ(cache.stats().entries, 0u);
   std::remove(path.c_str());
 }
 

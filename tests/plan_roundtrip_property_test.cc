@@ -1,0 +1,97 @@
+// Property suite for the versioned plan text format: over 1000 random
+// cells, plan -> text -> plan is bit-identical in every field, and
+// malformed or truncated inputs die cleanly instead of loading.
+#include <gtest/gtest.h>
+
+#include "models/random_cell.h"
+#include "sched/baselines.h"
+#include "serialize/plan.h"
+#include "util/rng.h"
+
+namespace serenity::serialize {
+namespace {
+
+models::RandomCellParams ParamsForSeed(int seed) {
+  models::RandomCellParams p;
+  p.seed = static_cast<std::uint64_t>(seed) * 2654435761u + 977;
+  p.num_intermediates = 4 + seed % 7;
+  p.concat_branches = (seed % 3 == 0) ? 0 : 3 + seed % 3;
+  p.depthwise_block = seed % 2 == 0;
+  p.num_cells = 1 + seed % 3;
+  p.spatial = 4;
+  p.channels = 4 + seed % 5;
+  p.name = "roundtrip_net";
+  return p;
+}
+
+void ExpectBitIdentical(const ExecutionPlan& a, const ExecutionPlan& b) {
+  EXPECT_EQ(a.graph_name, b.graph_name);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.arena.arena_bytes, b.arena.arena_bytes);
+  EXPECT_EQ(a.arena.highwater_at_step, b.arena.highwater_at_step);
+  ASSERT_EQ(a.arena.placements.size(), b.arena.placements.size());
+  for (std::size_t i = 0; i < a.arena.placements.size(); ++i) {
+    const alloc::BufferPlacement& pa = a.arena.placements[i];
+    const alloc::BufferPlacement& pb = b.arena.placements[i];
+    EXPECT_EQ(pa.buffer, pb.buffer) << i;
+    EXPECT_EQ(pa.offset, pb.offset) << i;
+    EXPECT_EQ(pa.size, pb.size) << i;
+    EXPECT_EQ(pa.first_step, pb.first_step) << i;
+    EXPECT_EQ(pa.last_step, pb.last_step) << i;
+  }
+}
+
+TEST(PlanRoundTripProperty, ThousandRandomCellsBitIdentical) {
+  for (int seed = 0; seed < 1000; ++seed) {
+    const graph::Graph g =
+        models::MakeRandomCellNetwork(ParamsForSeed(seed));
+    // Alternate schedule flavors so placements exercise different
+    // lifetime/fragmentation shapes.
+    const sched::Schedule s = (seed % 2 == 0)
+                                  ? sched::TfLiteOrderSchedule(g)
+                                  : sched::GreedyMemorySchedule(g);
+    const ExecutionPlan plan = MakePlan(g, s);
+    const ExecutionPlan back = PlanFromText(PlanToText(plan), g);
+    ExpectBitIdentical(plan, back);
+    // And the round trip is a fixed point of the text form too.
+    ASSERT_EQ(PlanToText(back), PlanToText(plan)) << "seed " << seed;
+  }
+}
+
+// Truncation anywhere before the last record must die cleanly (a CHECK
+// abort with a diagnostic), never load a half plan. Death tests fork, so
+// sample cut points rather than sweeping every byte.
+TEST(PlanRoundTripPropertyDeath, TruncatedInputsDieCleanly) {
+  const graph::Graph g = models::MakeRandomCellNetwork(ParamsForSeed(1));
+  const std::string text =
+      PlanToText(MakePlan(g, sched::TfLiteOrderSchedule(g)));
+  // Any strict prefix that ends before the final place record is invalid.
+  const std::size_t last_record = text.rfind("\nplace");
+  ASSERT_NE(last_record, std::string::npos);
+  for (const double fraction : {0.05, 0.2, 0.4, 0.6, 0.8, 0.97}) {
+    const std::size_t cut = std::min(
+        last_record,
+        static_cast<std::size_t>(static_cast<double>(text.size()) *
+                                 fraction));
+    EXPECT_DEATH(PlanFromText(text.substr(0, cut), g), "CHECK failed")
+        << "cut at " << cut << " of " << text.size();
+  }
+}
+
+TEST(PlanRoundTripPropertyDeath, GarbageRecordsRejected) {
+  const graph::Graph g = models::MakeRandomCellNetwork(ParamsForSeed(2));
+  const std::string text =
+      PlanToText(MakePlan(g, sched::TfLiteOrderSchedule(g)));
+  EXPECT_DEATH(PlanFromText("not a plan at all", g),
+               "missing format header");
+  EXPECT_DEATH(PlanFromText(text + "gibberish 1 2 3\n", g),
+               "unknown plan record");
+  std::string bad_number = text;
+  const std::size_t at = bad_number.find("\nplace ");
+  ASSERT_NE(at, std::string::npos);
+  bad_number.replace(at + 7, 1, "x");
+  EXPECT_DEATH(PlanFromText(bad_number, g), "malformed place record");
+}
+
+}  // namespace
+}  // namespace serenity::serialize

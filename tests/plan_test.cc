@@ -68,17 +68,69 @@ TEST(PlanDeath, RejectsPlansForOtherGraphs) {
   EXPECT_DEATH(PlanFromText(PlanToText(plan), other), "different graph");
 }
 
+TEST(Plan, TextStartsWithVersionHeader) {
+  const ExecutionPlan plan = SwiftNetPlan();
+  const std::string text = PlanToText(plan);
+  EXPECT_EQ(text.rfind("serenity-plan v2\n", 0), 0u) << text.substr(0, 40);
+}
+
 TEST(PlanDeath, RejectsCorruptedArenaSize) {
   const graph::Graph g = models::MakeSwiftNet();
   const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
   std::string text = PlanToText(plan);
-  // Tamper with the declared arena size.
-  const std::size_t at = text.find(' ', text.find("plan "));
-  text.replace(text.rfind(' ', text.find('\n')) + 1,
-               text.find('\n') - text.rfind(' ', text.find('\n')) - 1,
-               "12345");
-  (void)at;
+  // Tamper with the declared arena size (last token of the plan record;
+  // "\nplan " skips the "serenity-plan v2" header).
+  const std::size_t plan_at = text.find("\nplan ") + 1;
+  const std::size_t line_end = text.find('\n', plan_at);
+  const std::size_t value_at = text.rfind(' ', line_end) + 1;
+  text.replace(value_at, line_end - value_at, "12345");
   EXPECT_DEATH(PlanFromText(text, g), "disagrees");
+}
+
+TEST(PlanDeath, RejectsMissingVersionHeader) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  std::string text = PlanToText(plan);
+  text.erase(0, text.find('\n') + 1);  // drop the header line
+  EXPECT_DEATH(PlanFromText(text, g), "missing format header");
+}
+
+TEST(PlanDeath, RejectsUnknownFormatVersion) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  std::string text = PlanToText(plan);
+  const std::size_t at = text.find("v2");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 2, "v7");
+  EXPECT_DEATH(PlanFromText(text, g), "unsupported plan format version");
+}
+
+TEST(PlanDeath, RejectsTruncatedOrder) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  std::string text = PlanToText(plan);
+  // Cut the order line short: the declared node count no longer matches.
+  const std::size_t order_at = text.find("order");
+  const std::size_t order_end = text.find('\n', order_at);
+  const std::size_t cut = text.rfind(' ', order_end);
+  text.erase(cut, order_end - cut);
+  EXPECT_DEATH(PlanFromText(text, g), "order lists");
+}
+
+TEST(PlanDeath, RejectsPlacementForUnusedBuffer) {
+  // A spurious extra place record for a buffer no node touches would
+  // silently inflate the arena (nothing ever writes those bytes); it must
+  // die at load like every other corruption.
+  graph::GraphBuilder b("spurious");
+  const graph::NodeId in = b.Input(graph::TensorShape{1, 4, 4, 2}, "in");
+  (void)b.Relu(in, "out");
+  graph::Graph g = std::move(b).Build();
+  const graph::BufferId orphan = g.AddBuffer(64);
+  ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  plan.arena.placements.push_back(
+      alloc::BufferPlacement{orphan, plan.arena.arena_bytes, 64, 0, 0});
+  plan.arena.arena_bytes += 64;
+  EXPECT_DEATH(PlanFromText(PlanToText(plan), g), "no node uses");
 }
 
 TEST(PlanDeath, RejectsInvalidScheduleOrder) {

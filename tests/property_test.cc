@@ -96,9 +96,9 @@ TEST_P(RandomNetworkProperties, RewritingInvariants) {
       inputs.push_back(runtime::Tensor::Random(n.shape, rng));
     }
   }
-  runtime::Executor original(g);
+  runtime::ReferenceExecutor original(g);
   original.Run(inputs);
-  runtime::Executor rewritten(rw.graph);
+  runtime::ReferenceExecutor rewritten(rw.graph);
   rewritten.Run(inputs, after.schedule);
   const auto a = original.SinkValues();
   const auto b = rewritten.SinkValues();
@@ -142,9 +142,9 @@ TEST_P(RandomNetworkProperties, InPlacePassInvariants) {
       inputs.push_back(runtime::Tensor::Random(n.shape, rng));
     }
   }
-  runtime::Executor original(g);
+  runtime::ReferenceExecutor original(g);
   original.Run(inputs);
-  runtime::Executor inplace(ip.graph);
+  runtime::ReferenceExecutor inplace(ip.graph);
   inplace.Run(inputs);
   const auto a = original.SinkValues();
   const auto b = inplace.SinkValues();

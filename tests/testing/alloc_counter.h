@@ -1,0 +1,101 @@
+// Global operator new/delete replacement that counts this thread's heap
+// allocations — the measurement behind the ArenaExecutor's
+// zero-allocations-per-inference guarantee (arena_executor_test,
+// bench_infer_latency).
+//
+// Replacement allocation functions must be defined at global scope exactly
+// once per binary, so unlike the other testing/ helpers this header may be
+// included from ONE translation unit of a binary only. All throwing,
+// nothrow and sized forms route through malloc/free consistently (mixing
+// replaced and default forms trips ASan's alloc-dealloc-mismatch check);
+// the count is thread-local so worker threads (e.g. SchedulerService
+// planners) cannot pollute a measurement on the driving thread.
+#ifndef SERENITY_TESTS_TESTING_ALLOC_COUNTER_H_
+#define SERENITY_TESTS_TESTING_ALLOC_COUNTER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace serenity::testing {
+
+inline thread_local std::uint64_t g_thread_allocations = 0;
+
+// Allocations performed by the calling thread since process start.
+inline std::uint64_t ThreadAllocationCount() { return g_thread_allocations; }
+
+}  // namespace serenity::testing
+
+void* operator new(std::size_t size) {
+  ++serenity::testing::g_thread_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++serenity::testing::g_thread_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++serenity::testing::g_thread_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++serenity::testing::g_thread_allocations;
+  return std::malloc(size ? size : 1);
+}
+// C++17 over-aligned forms: counted too, so a future alignas-heavy kernel
+// buffer cannot slip past the zero-allocation gate unmeasured.
+// std::aligned_alloc requires the size to be a multiple of the alignment.
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++serenity::testing::g_thread_allocations;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  ++serenity::testing::g_thread_allocations;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  ++serenity::testing::g_thread_allocations;
+  const std::size_t a = static_cast<std::size_t>(align);
+  return std::aligned_alloc(a, (size + a - 1) / a * a);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  ++serenity::testing::g_thread_allocations;
+  const std::size_t a = static_cast<std::size_t>(align);
+  return std::aligned_alloc(a, (size + a - 1) / a * a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // SERENITY_TESTS_TESTING_ALLOC_COUNTER_H_

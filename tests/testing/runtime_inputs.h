@@ -1,0 +1,31 @@
+// Shared helper for everything that feeds the runtime executors:
+// deterministic random input tensors for a graph's kInput nodes, in
+// ascending node-id order (the operand convention of ReferenceExecutor,
+// ArenaExecutor and InferenceSession).
+#ifndef SERENITY_TESTS_TESTING_RUNTIME_INPUTS_H_
+#define SERENITY_TESTS_TESTING_RUNTIME_INPUTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/tensor.h"
+#include "util/rng.h"
+
+namespace serenity::testing {
+
+inline std::vector<runtime::Tensor> RandomInputsFor(const graph::Graph& g,
+                                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<runtime::Tensor> inputs;
+  for (const graph::Node& n : g.nodes()) {
+    if (n.kind == graph::OpKind::kInput) {
+      inputs.push_back(runtime::Tensor::Random(n.shape, rng));
+    }
+  }
+  return inputs;
+}
+
+}  // namespace serenity::testing
+
+#endif  // SERENITY_TESTS_TESTING_RUNTIME_INPUTS_H_

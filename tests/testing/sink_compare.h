@@ -1,0 +1,50 @@
+// Shared bit-identity comparator for executor sink values: the comparison
+// point between ReferenceExecutor, ArenaExecutor and InferenceSession runs
+// (tests, bench_infer_latency, and both runnable examples all gate on it).
+#ifndef SERENITY_TESTS_TESTING_SINK_COMPARE_H_
+#define SERENITY_TESTS_TESTING_SINK_COMPARE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/tensor.h"
+
+namespace serenity::testing {
+
+// Empty string when `got` and `expect` are element-for-element bit
+// identical; otherwise a human-readable description of the first
+// divergence (count, shape, or value mismatch with its flat index).
+inline std::string DescribeSinkDivergence(
+    const std::vector<runtime::Tensor>& got,
+    const std::vector<runtime::Tensor>& expect) {
+  if (got.size() != expect.size()) {
+    return "sink count " + std::to_string(got.size()) + " != " +
+           std::to_string(expect.size());
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (!(got[i].shape() == expect[i].shape())) {
+      return "sink " + std::to_string(i) + " shape " +
+             got[i].shape().ToString() + " != " +
+             expect[i].shape().ToString();
+    }
+    const std::vector<float> a = got[i].ToVector();
+    const std::vector<float> b = expect[i].ToVector();
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      // Bit comparison, not float ==: +0.0 vs -0.0 is a divergence here,
+      // and two identical NaNs would not be.
+      if (std::bit_cast<std::uint32_t>(a[j]) !=
+          std::bit_cast<std::uint32_t>(b[j])) {
+        return "sink " + std::to_string(i) + " diverges at element " +
+               std::to_string(j) + ": " + std::to_string(a[j]) + " vs " +
+               std::to_string(b[j]);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace serenity::testing
+
+#endif  // SERENITY_TESTS_TESTING_SINK_COMPARE_H_
