@@ -50,7 +50,7 @@ double DriveWarmTraffic(serve::SchedulerService& service,
           &graphs[static_cast<std::size_t>(issued) % graphs.size()]);
     }
     for (const serve::ServeResult& r : service.ScheduleBatch(batch)) {
-      SERENITY_CHECK(r.plan != nullptr) << r.failure_reason;
+      SERENITY_CHECK(r.plan != nullptr) << r.status.ToString();
       SERENITY_CHECK(r.cache_hit) << "warm traffic must be all cache hits";
     }
   }
@@ -70,7 +70,7 @@ bool RunServeBench(const std::string& json_path) {
   for (const graph::Graph& g : graphs) {
     cold.push_back(service.Schedule(g));
     SERENITY_CHECK(cold.back().plan != nullptr)
-        << g.name() << ": " << cold.back().failure_reason;
+        << g.name() << ": " << cold.back().status.ToString();
     SERENITY_CHECK(!cold.back().cache_hit);
   }
   const double cold_seconds = cold_clock.ElapsedSeconds();

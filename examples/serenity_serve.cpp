@@ -8,7 +8,18 @@
 // printing planned vs measured-touched peak.
 //
 //   $ build/serenity_serve [cache_file]
+//
+// Fault-tolerance drill (the CI corrupt-cache smoke):
+//
+//   $ build/serenity_serve --warm-only [cache_file]
+//
+// loads a previously persisted cache — possibly damaged — and serves the
+// same request set. Entries quarantined by the per-entry checksum are
+// simply re-planned; the process exits 0 as long as every request ends up
+// with a plan, because losing one cache entry must never cost more than
+// one re-plan.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -41,14 +52,15 @@ void PrintStats(const serve::SchedulerService& service) {
               static_cast<unsigned long long>(s.coalesced),
               static_cast<unsigned long long>(s.cache.entries),
               static_cast<double>(s.cache.bytes_in_use) / 1024.0);
+  std::printf("  faults:  %llu load errors, %llu entries quarantined, "
+              "%llu degraded plans, %llu upgrades\n",
+              static_cast<unsigned long long>(s.cache.load_errors),
+              static_cast<unsigned long long>(s.cache.entries_quarantined),
+              static_cast<unsigned long long>(s.degraded_plans),
+              static_cast<unsigned long long>(s.upgrades));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::string cache_path =
-      argc > 1 ? argv[1] : "/tmp/serenity_serve.cache";
-
+std::vector<graph::Graph> BuildRequests(std::size_t* distinct) {
   // The request stream: four distinct cells, each requested twice, plus a
   // relabeled twin of one of them (same structure, different node order and
   // names — the canonical hash maps it to the same plan).
@@ -59,13 +71,71 @@ int main(int argc, char** argv) {
   }
   requests.push_back(
       models::FindBenchmarkCell("DARTS ImageNet", "Normal Cell").factory());
-  const std::size_t distinct = requests.size();
-  for (std::size_t i = 0; i < distinct; ++i) {
+  *distinct = requests.size();
+  for (std::size_t i = 0; i < *distinct; ++i) {
     requests.push_back(requests[i]);
   }
   util::Rng rng(42);
   requests.push_back(
       serenity::testing::RelabelIsomorphic(requests[0], rng, "twin"));
+  return requests;
+}
+
+// --warm-only: serve from a persisted (possibly damaged) cache, re-planning
+// whatever the checksum quarantined. Success = every request served.
+int RunWarmOnly(const std::string& cache_path) {
+  std::size_t distinct = 0;
+  const std::vector<graph::Graph> requests = BuildRequests(&distinct);
+
+  serve::ServeOptions options;
+  options.num_workers = 2;
+  serve::SchedulerService service(options);
+  const util::StatusOr<serve::CacheLoadReport> load =
+      service.cache().LoadFromFile(cache_path);
+  if (!load.ok()) {
+    std::fprintf(stderr, "cache '%s' unusable (%s); serving cold\n",
+                 cache_path.c_str(), load.status().ToString().c_str());
+  } else {
+    std::printf("loaded %d plans, quarantined %d from %s\n",
+                load.value().entries_loaded,
+                load.value().entries_quarantined, cache_path.c_str());
+  }
+
+  int replanned = 0;
+  for (std::size_t i = 0; i < distinct; ++i) {
+    const serve::ServeResult r = service.Schedule(requests[i]);
+    if (r.plan == nullptr) {
+      std::fprintf(stderr, "request %zu failed: %s\n", i,
+                   r.status.ToString().c_str());
+      return 1;
+    }
+    if (!r.cache_hit) ++replanned;
+    std::printf("  %-28s %-10s peak %8.1f KB\n",
+                requests[i].name().c_str(), PathOf(r),
+                static_cast<double>(r.plan->result.peak_bytes) / 1024.0);
+  }
+  std::printf("served %zu requests: %zu warm, %d re-planned\n", distinct,
+              distinct - static_cast<std::size_t>(replanned), replanned);
+  PrintStats(service);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool warm_only = false;
+  std::string cache_path = "/tmp/serenity_serve.cache";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--warm-only") == 0) {
+      warm_only = true;
+    } else {
+      cache_path = argv[a];
+    }
+  }
+  if (warm_only) return RunWarmOnly(cache_path);
+
+  std::size_t distinct = 0;
+  const std::vector<graph::Graph> requests = BuildRequests(&distinct);
 
   std::printf("serving %zu requests (%zu distinct graphs) with 2 workers\n",
               requests.size(), distinct);
@@ -85,7 +155,7 @@ int main(int argc, char** argv) {
       const serve::ServeResult& r = results[i];
       if (r.plan == nullptr) {
         std::fprintf(stderr, "request %zu failed: %s\n", i,
-                     r.failure_reason.c_str());
+                     r.status.ToString().c_str());
         return 1;
       }
       std::printf("  %-28s %-10s peak %8.1f KB  arena %8.1f KB  "
@@ -99,7 +169,12 @@ int main(int argc, char** argv) {
     std::printf("batch served in %.3f s\n", seconds);
     PrintStats(service);
 
-    service.cache().SaveToFile(cache_path);
+    const util::Status saved = service.cache().SaveToFile(cache_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cache save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
     std::printf("cache persisted to %s\n\n", cache_path.c_str());
   }
 
@@ -107,8 +182,16 @@ int main(int argc, char** argv) {
   // answers every request without planning anything.
   std::printf("restarting with the persisted cache...\n");
   serve::SchedulerService restarted(options);
-  const int loaded = restarted.cache().LoadFromFile(cache_path);
-  std::printf("  loaded %d plans\n", loaded);
+  const util::StatusOr<serve::CacheLoadReport> load =
+      restarted.cache().LoadFromFile(cache_path);
+  if (!load.ok()) {
+    std::fprintf(stderr, "cache load failed: %s\n",
+                 load.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  loaded %d plans (%d quarantined)\n",
+              load.value().entries_loaded,
+              load.value().entries_quarantined);
 
   util::Stopwatch warm_clock;
   std::vector<serve::ServeResult> warm;
@@ -129,22 +212,29 @@ int main(int argc, char** argv) {
   // measurement certifies the inference really peaks at the planned arena.
   std::printf("\nrunning inference through the warm plans:\n");
   for (std::size_t i = 0; i < distinct; ++i) {
-    serve::InferenceSessionOptions options;
-    options.executor.measure_touched_peak = true;
-    serve::InferenceSession session(warm[i].plan, options);
+    serve::InferenceSessionOptions session_options;
+    session_options.executor.measure_touched_peak = true;
+    util::StatusOr<serve::InferenceSession> session =
+        serve::InferenceSession::Create(warm[i].plan, session_options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "session open failed: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
     const std::vector<runtime::Tensor> inputs =
         serenity::testing::RandomInputsFor(
-            session.graph(), 7000 + static_cast<std::uint64_t>(i));
+            session.value().graph(), 7000 + static_cast<std::uint64_t>(i));
     util::Stopwatch infer_clock;
-    session.Run(inputs);
-    const bool certified =
-        session.executor().touched_peak_bytes() == session.arena_bytes();
+    session.value().Run(inputs);
+    const bool certified = session.value().executor().touched_peak_bytes() ==
+                           session.value().arena_bytes();
     std::printf("  %-28s planned %8.1f KB  touched %8.1f KB  %-8s "
                 "(%.4f s/infer)\n",
                 requests[i].name().c_str(),
-                static_cast<double>(session.arena_bytes()) / 1024.0,
-                static_cast<double>(session.executor().touched_peak_bytes())
-                    / 1024.0,
+                static_cast<double>(session.value().arena_bytes()) / 1024.0,
+                static_cast<double>(
+                    session.value().executor().touched_peak_bytes()) /
+                    1024.0,
                 certified ? "certified" : "DIVERGED",
                 infer_clock.ElapsedSeconds());
     if (!certified) return 1;

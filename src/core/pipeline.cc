@@ -5,10 +5,20 @@
 
 #include "sched/baselines.h"
 #include "sched/beam.h"
+#include "testing/fault_injection.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace serenity::core {
+
+const char* ToString(PlanQuality quality) {
+  switch (quality) {
+    case PlanQuality::kExact: return "exact";
+    case PlanQuality::kBeam: return "beam";
+    case PlanQuality::kGreedy: return "greedy";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -34,6 +44,17 @@ std::int64_t SeedIncumbent(const graph::Graph& segment, int beam_width) {
 PipelineResult Pipeline::Run(const graph::Graph& graph) const {
   util::Stopwatch total_clock;
   PipelineResult result;
+
+  // Soft wall-clock budget for the whole run. Checked between segments and
+  // attempts; forwarded into the soft-budget meta-search so a single DP
+  // attempt cannot silently outlive it. The fault-injection point lets the
+  // chaos suite force the deadline-expired path deterministically.
+  const double deadline = options_.deadline_seconds;
+  const bool injected_timeout =
+      testing::FaultTriggered(testing::FaultPoint::kSchedulerTimeout);
+  const auto remaining = [&] {
+    return deadline - total_clock.ElapsedSeconds();
+  };
 
   // Stage 1: identity graph rewriting.
   util::Stopwatch stage_clock;
@@ -69,11 +90,17 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
   result.segment_sizes = partition.SegmentSizes();
   result.partition_seconds = stage_clock.ElapsedSeconds();
 
-  // Stage 3: schedule each segment (conquer), then combine.
+  // Stage 3: schedule each segment (conquer), then combine. A blown
+  // deadline (real or injected) either degrades — beam/greedy over the
+  // whole rewritten graph, always feasible — or fails, per options.
   stage_clock.Restart();
+  bool deadline_blown = injected_timeout || remaining() <= 0;
+  bool infeasible = false;  // kNoSolution: degradation cannot help
+  std::string segment_failure;
   std::vector<sched::Schedule> segment_schedules;
   segment_schedules.reserve(partition.segments.size());
   for (const Segment& segment : partition.segments) {
+    if (deadline_blown) break;
     // Branch-and-bound seeding (strict pruning: same peak, same schedule,
     // fewer states — DESIGN.md "Branch-and-bound over levels").
     std::int64_t incumbent = kNoBudget;
@@ -93,6 +120,8 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
                                         sb_options.enable_bound_pruning;
       sb_options.adaptive_parallelism = sb_options.adaptive_parallelism ||
                                         options_.adaptive_parallelism;
+      sb_options.deadline_seconds =
+          std::min(sb_options.deadline_seconds, remaining());
       SoftBudgetResult sb =
           ScheduleWithSoftBudget(segment.subgraph, sb_options);
       result.states_expanded += sb.TotalStates();
@@ -100,11 +129,17 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
       result.max_level_states =
           std::max(result.max_level_states, sb.max_level_states);
       if (sb.status != DpStatus::kSolution) {
-        result.failure_reason = "segment '" + segment.subgraph.name() +
-                                "' did not converge: " + ToString(sb.status);
-        result.schedule_seconds = stage_clock.ElapsedSeconds();
-        result.total_seconds = total_clock.ElapsedSeconds();
-        return result;
+        // A timeout is degradable (beam/greedy still satisfy the caller);
+        // kNoSolution means the hard budget itself is infeasible — no
+        // fallback schedule could honor it either, so fail cleanly.
+        if (sb.status == DpStatus::kNoSolution) {
+          infeasible = true;
+        } else {
+          deadline_blown = true;
+        }
+        segment_failure = "segment '" + segment.subgraph.name() +
+                          "' did not converge: " + ToString(sb.status);
+        break;
       }
       segment_schedules.push_back(std::move(sb.schedule));
     } else {
@@ -113,21 +148,87 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
           std::min(dp_options.incumbent_bytes, incumbent);
       dp_options.adaptive_parallelism = dp_options.adaptive_parallelism ||
                                         options_.adaptive_parallelism;
+      dp_options.step_timeout_seconds =
+          std::min(dp_options.step_timeout_seconds, remaining());
       const DpResult dp = ScheduleDp(segment.subgraph, dp_options);
       result.states_expanded += dp.states_expanded;
       result.states_pruned_by_bound += dp.states_pruned_by_bound;
       result.max_level_states =
           std::max(result.max_level_states, dp.max_level_states);
       if (dp.status != DpStatus::kSolution) {
-        result.failure_reason = "segment '" + segment.subgraph.name() +
-                                "' failed: " + ToString(dp.status);
-        result.schedule_seconds = stage_clock.ElapsedSeconds();
-        result.total_seconds = total_clock.ElapsedSeconds();
-        return result;
+        if (dp.status == DpStatus::kNoSolution) {
+          infeasible = true;
+        } else {
+          deadline_blown = true;
+        }
+        segment_failure = "segment '" + segment.subgraph.name() +
+                          "' failed: " + ToString(dp.status);
+        break;
       }
       segment_schedules.push_back(dp.schedule);
     }
+    if (remaining() <= 0) deadline_blown = true;
   }
+
+  if (infeasible) {
+    result.failure_reason = segment_failure;
+    result.schedule_seconds = stage_clock.ElapsedSeconds();
+    result.total_seconds = total_clock.ElapsedSeconds();
+    return result;
+  }
+
+  if (deadline_blown) {
+    result.deadline_exceeded = true;
+    if (!options_.degrade_on_deadline) {
+      result.failure_reason =
+          !segment_failure.empty()
+              ? segment_failure
+              : "deadline of " + std::to_string(deadline) +
+                    "s expired before scheduling completed";
+      result.schedule_seconds = stage_clock.ElapsedSeconds();
+      result.total_seconds = total_clock.ElapsedSeconds();
+      return result;
+    }
+    // Degradation ladder: beam, then the greedy floor, over the whole
+    // rewritten graph (partial segment schedules are discarded — both
+    // fallbacks are orders of magnitude cheaper than what just timed
+    // out). The better peak wins; quality records the winning rung.
+    const sched::Schedule greedy =
+        sched::GreedyMemorySchedule(result.scheduled_graph);
+    const std::int64_t greedy_peak =
+        sched::PeakFootprint(result.scheduled_graph, greedy);
+    result.schedule = greedy;
+    result.peak_bytes = greedy_peak;
+    result.quality = PlanQuality::kGreedy;
+    result.best_known_peak_bytes = greedy_peak;
+    if (options_.degraded_beam_width > 0) {
+      sched::BeamOptions beam_options;
+      beam_options.width = options_.degraded_beam_width;
+      sched::BeamResult beam =
+          sched::ScheduleBeam(result.scheduled_graph, beam_options);
+      result.states_expanded += beam.states_expanded;
+      result.best_known_peak_bytes =
+          std::min(result.best_known_peak_bytes, beam.peak_bytes);
+      if (beam.peak_bytes < greedy_peak) {
+        result.schedule = std::move(beam.schedule);
+        result.peak_bytes = beam.peak_bytes;
+        result.quality = PlanQuality::kBeam;
+      }
+    }
+    if (result.incumbent_seed_bytes >= 0) {
+      result.best_known_peak_bytes = std::min(result.best_known_peak_bytes,
+                                              result.incumbent_seed_bytes);
+    }
+    result.degraded = true;
+    result.success = true;
+    result.schedule_seconds = stage_clock.ElapsedSeconds();
+    result.total_seconds = total_clock.ElapsedSeconds();
+    SERENITY_CHECK(
+        sched::IsTopologicalOrder(result.scheduled_graph, result.schedule))
+        << "degraded schedule is not a valid topological order";
+    return result;
+  }
+
   result.schedule = CombineSegmentSchedules(partition, segment_schedules);
   result.schedule_seconds = stage_clock.ElapsedSeconds();
 
@@ -136,6 +237,8 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
       << "combined schedule is not a valid topological order";
   result.peak_bytes =
       sched::PeakFootprint(result.scheduled_graph, result.schedule);
+  result.quality = PlanQuality::kExact;
+  result.best_known_peak_bytes = result.peak_bytes;
   result.success = true;
   result.total_seconds = total_clock.ElapsedSeconds();
   return result;

@@ -8,6 +8,7 @@
 #ifndef SERENITY_CORE_PIPELINE_H_
 #define SERENITY_CORE_PIPELINE_H_
 
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +21,19 @@
 #include "sched/schedule.h"
 
 namespace serenity::core {
+
+// Quality tier of a produced schedule — the degradation ladder. Exact is
+// the full DP search (memory-optimal); beam and greedy are the admissible
+// fallbacks a deadline-pressured run degrades to (beam first, greedy as the
+// always-feasible floor; Liberis & Lane 2019 treat the cheap topological
+// order the same way). Ordered best-first so callers can compare tiers.
+enum class PlanQuality {
+  kExact = 0,
+  kBeam,
+  kGreedy,
+};
+
+const char* ToString(PlanQuality quality);
 
 struct PipelineOptions {
   // Stage toggles. All on = full SERENITY; rewrite off = the paper's
@@ -53,6 +67,23 @@ struct PipelineOptions {
   // core count.
   bool adaptive_parallelism = true;
 
+  // Wall-clock budget for the whole Run (seconds; infinity = none). The
+  // deadline is *soft*: it is checked between segments and between
+  // soft-budget attempts, and clamps each DP attempt's per-level timeout,
+  // so overshoot is bounded by one level-timeout granule rather than a
+  // whole search.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  // What to do when the deadline expires (or a segment search times out)
+  // before the exact schedule lands. Off: Run fails with
+  // deadline_exceeded set. On: Run *degrades* instead of failing — it
+  // schedules the whole rewritten graph with a narrow beam and the greedy
+  // baseline (both always feasible), returns the better one, and tags the
+  // result with its PlanQuality tier. Serving callers turn this on; batch
+  // tooling that prefers hard failure leaves it off.
+  bool degrade_on_deadline = false;
+  // Beam width for the degraded fallback (0 = greedy only).
+  int degraded_beam_width = 64;
+
   rewrite::RewriteOptions rewrite;
   PartitionOptions partition;
   SoftBudgetOptions soft_budget;
@@ -67,6 +98,22 @@ struct PipelineResult {
   graph::Graph scheduled_graph;  // the (possibly rewritten) graph s* indexes
   sched::Schedule schedule;      // s*, over scheduled_graph's node ids
   std::int64_t peak_bytes = -1;  // µpeak of s* on scheduled_graph
+
+  // Which rung of the degradation ladder produced `schedule`. kExact unless
+  // the run degraded under deadline pressure (degrade_on_deadline).
+  PlanQuality quality = PlanQuality::kExact;
+  // True when the run degraded instead of completing the exact search; the
+  // schedule is then valid and feasible but possibly above µ*.
+  bool degraded = false;
+  // True when the wall-clock deadline expired (set for both the degraded
+  // and the failed outcome).
+  bool deadline_exceeded = false;
+  // Lowest peak among every complete schedule this run computed (exact,
+  // beam, greedy, incumbent seeds). For an exact run this equals
+  // peak_bytes; for a degraded run it is the best-known achievable peak the
+  // served schedule is measured against (peak_bytes - best_known_peak_bytes
+  // = how far the degraded choice is above the best schedule in hand).
+  std::int64_t best_known_peak_bytes = -1;
 
   rewrite::RewriteReport rewrite_report;  // zeros when rewriting disabled
   std::vector<int> segment_sizes;         // Table 2's "{21, 19, 22}"

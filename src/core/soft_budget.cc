@@ -40,8 +40,21 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
         std::min(options.incumbent_bytes, result.tau_max);
   }
 
+  // Wall-clock guard: seconds left before the caller's deadline. Checked
+  // between attempts and clamped onto each attempt's per-level timeout, so
+  // overshoot is bounded by one level granule.
+  const auto remaining = [&] {
+    return options.deadline_seconds - clock.ElapsedSeconds();
+  };
+
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    if (remaining() <= 0) {
+      result.total_seconds = clock.ElapsedSeconds();
+      return result;  // status stays kTimeout; caller may degrade
+    }
     dp_options.budget_bytes = tau;
+    dp_options.step_timeout_seconds =
+        std::min(options.step_timeout_seconds, remaining());
     const DpResult attempt = ScheduleDp(graph, dp_options);
     result.max_level_states =
         std::max(result.max_level_states, attempt.max_level_states);
@@ -74,9 +87,17 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   // exceeds it, the graph is genuinely intractable at this granularity and
   // the caller sees kTimeout (the paper's "N/A: infeasible within practical
   // time").
+  if (remaining() <= 0) {
+    result.total_seconds = clock.ElapsedSeconds();
+    return result;  // deadline expired: skip the uncapped fallback run
+  }
   result.used_fallback = true;
   DpOptions fallback;
   fallback.budget_bytes = result.tau_max;
+  // The fallback is normally untimed, but a finite caller deadline bounds
+  // it too — a fallback that overruns is reported as kTimeout and the
+  // caller degrades rather than blocking the serving thread.
+  fallback.step_timeout_seconds = remaining();
   fallback.num_threads = options.num_threads;
   fallback.adaptive_parallelism = options.adaptive_parallelism;
   fallback.incumbent_bytes = dp_options.incumbent_bytes;

@@ -18,6 +18,7 @@
 #define SERENITY_CORE_SOFT_BUDGET_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/dp_scheduler.h"
@@ -49,6 +50,11 @@ struct SoftBudgetOptions {
   // Escape hatch for apples-to-apples ablations: disables bound pruning
   // entirely (including the Kahn tightening).
   bool enable_bound_pruning = true;
+  // Soft wall-clock budget for the whole meta-search (seconds; infinity =
+  // none). Checked before each attempt and it clamps each attempt's
+  // per-level timeout; once expired the search returns kTimeout without
+  // running the uncapped fallback, so the caller can degrade instead.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
 };
 
 struct BudgetAttempt {

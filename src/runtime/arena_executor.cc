@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <new>
 
 #include "alloc/arena_planner.h"
 #include "runtime/kernels.h"
 #include "sched/schedule.h"
+#include "testing/fault_injection.h"
 #include "util/logging.h"
 
 namespace serenity::runtime {
@@ -64,6 +66,12 @@ ArenaExecutor::ArenaExecutor(const graph::Graph& graph,
     }
   }
 
+  // Fault-injection point: arena exhaustion surfaces as the same
+  // std::bad_alloc the real allocation below would throw, so callers'
+  // kResourceExhausted mapping is exercised end to end.
+  if (testing::FaultTriggered(testing::FaultPoint::kArenaAllocation)) {
+    throw std::bad_alloc();
+  }
   arena_.assign(
       static_cast<std::size_t>(plan_.arena.arena_bytes / sizeof(float)),
       0.0f);

@@ -1,5 +1,7 @@
 #include "serve/inference_session.h"
 
+#include <exception>
+#include <new>
 #include <utility>
 
 #include "util/logging.h"
@@ -22,8 +24,38 @@ InferenceSession InferenceSession::Open(SchedulerService& service,
   ServeResult result = service.Schedule(graph);
   SERENITY_CHECK(result.plan != nullptr)
       << "planning '" << graph.name() << "' failed: "
-      << result.failure_reason;
+      << result.status.ToString();
   return InferenceSession(std::move(result.plan), options);
+}
+
+util::StatusOr<InferenceSession> InferenceSession::Create(
+    std::shared_ptr<const CachedPlan> plan,
+    InferenceSessionOptions options) {
+  if (plan == nullptr) {
+    return util::InvalidArgumentError(
+        "cannot open an inference session without a plan");
+  }
+  try {
+    return InferenceSession(std::move(plan), options);
+  } catch (const std::bad_alloc&) {
+    return util::ResourceExhaustedError(
+        "arena allocation failed opening the inference session");
+  } catch (const std::exception& e) {
+    return util::InternalError(
+        std::string("opening the inference session threw: ") + e.what());
+  }
+}
+
+util::StatusOr<InferenceSession> InferenceSession::TryOpen(
+    SchedulerService& service, const graph::Graph& graph,
+    const RequestOptions& request, InferenceSessionOptions options) {
+  ServeResult result = service.Schedule(graph, request);
+  if (result.plan == nullptr) {
+    return result.status.ok()
+               ? util::InternalError("planning returned no plan")
+               : result.status;
+  }
+  return Create(std::move(result.plan), options);
 }
 
 void InferenceSession::Run(const std::vector<runtime::Tensor>& inputs) {

@@ -22,6 +22,7 @@
 
 #include "runtime/arena_executor.h"
 #include "serve/scheduler_service.h"
+#include "util/status.h"
 
 namespace serenity::serve {
 
@@ -38,11 +39,27 @@ class InferenceSession {
 
   // Schedules `graph` through `service` — cache hit, coalesced, or a fresh
   // planning run — and opens a session over the result. Dies if planning
-  // failed (a serving caller that wants to degrade gracefully should call
-  // service.Schedule itself and check the ServeResult).
+  // failed (a serving caller that wants to degrade gracefully should use
+  // TryOpen, or call service.Schedule itself and check the ServeResult).
   static InferenceSession Open(SchedulerService& service,
                                const graph::Graph& graph,
                                InferenceSessionOptions options = {});
+
+  // Status-returning construction for serving callers (DESIGN.md "Failure
+  // taxonomy"): a null plan is kInvalidArgument; executor construction
+  // failure maps std::bad_alloc (arena exhaustion — real or injected) to
+  // kResourceExhausted and any other exception to kInternal. Never aborts
+  // on environment-caused failure.
+  static util::StatusOr<InferenceSession> Create(
+      std::shared_ptr<const CachedPlan> plan,
+      InferenceSessionOptions options = {});
+
+  // Schedule-then-Create with the planning Status propagated: deadline and
+  // planner failures surface here instead of aborting.
+  static util::StatusOr<InferenceSession> TryOpen(
+      SchedulerService& service, const graph::Graph& graph,
+      const RequestOptions& request = {},
+      InferenceSessionOptions options = {});
 
   InferenceSession(InferenceSession&&) = default;
   InferenceSession& operator=(InferenceSession&&) = default;

@@ -14,13 +14,16 @@
 // snapshots, so an entry evicted mid-use stays alive for its holders.
 //
 // Persistence ("warm restart"): SaveToFile writes every entry as
-//   entry <hash_hex> <graph_bytes> <plan_bytes> <peak> <states> ...
+//   entry <hash_hex> <graph_bytes> <plan_bytes> <crc> <peak> <quality> ...
 // followed by the length-prefixed serialized scheduled graph and plan
-// texts. LoadFromFile parses the graphs back (serialize::FromText), re-reads
-// each plan against its graph (full validation) and re-inserts, so a
-// restarted service answers its first request for a known graph from cache
-// instead of re-planning. Search timings are not persisted — they describe
-// the planning run, not the plan — and load as zero.
+// texts, through the atomic write-temp-then-rename path
+// (serialize::AtomicWriteFile) so a crash mid-save never tears the file.
+// Each entry carries a CRC-32 over its metadata and payloads; LoadFromFile
+// verifies it *before* parsing, quarantines-and-skips entries that fail
+// (resynchronizing at the next "entry " record), and reports how many were
+// loaded vs quarantined — a torn write or bit flip costs one entry, not the
+// warm start. Search timings are not persisted — they describe the planning
+// run, not the plan — and load as zero.
 #ifndef SERENITY_SERVE_PLAN_CACHE_H_
 #define SERENITY_SERVE_PLAN_CACHE_H_
 
@@ -34,6 +37,7 @@
 #include "core/pipeline.h"
 #include "graph/canonical_hash.h"
 #include "serialize/plan.h"
+#include "util/status.h"
 
 namespace serenity::serve {
 
@@ -43,6 +47,13 @@ struct CachedPlan {
   std::string plan_text;        // serialize::PlanToText of `plan`
   serialize::ExecutionPlan plan;  // arena plan over result.scheduled_graph
   std::int64_t bytes = 0;       // retained-footprint charge for eviction
+  // Which rung of the degradation ladder produced this plan. Anything below
+  // kExact marks the entry upgradeable: SchedulerService re-plans it in the
+  // background and replaces it in place.
+  core::PlanQuality quality = core::PlanQuality::kExact;
+  // How far this plan's peak sits above the best peak known when it was
+  // inserted (0 for exact plans) — the price paid for degrading.
+  std::int64_t peak_delta_bytes = 0;
 };
 
 struct PlanCacheStats {
@@ -53,6 +64,23 @@ struct PlanCacheStats {
   std::int64_t bytes_in_use = 0;
   std::int64_t capacity_bytes = 0;
   std::uint64_t entries = 0;
+  // Cumulative persistence-failure counters: files that failed to load at
+  // all, and per-entry quarantines (checksum/parse failures skipped during
+  // otherwise-successful loads).
+  std::uint64_t load_errors = 0;
+  std::uint64_t entries_quarantined = 0;
+  // Entries currently in the cache whose quality is below kExact.
+  std::uint64_t degraded_entries = 0;
+};
+
+// What LoadFromFile accomplished (returned even when some entries were
+// damaged — partial warm starts are the point of per-entry checksums).
+struct CacheLoadReport {
+  int entries_loaded = 0;
+  int entries_quarantined = 0;
+  // True when the file was a valid cache of an older format version and was
+  // skipped wholesale (stale, not corrupt).
+  bool stale_version = false;
 };
 
 class PlanCache {
@@ -66,7 +94,9 @@ class PlanCache {
   // Builds a CachedPlan from a successful pipeline run (serializes the
   // execution plan internally), inserts it and returns it. Replaces any
   // existing entry for `hash`; evicts LRU entries beyond the byte budget.
-  // Dies if `result.success` is false — failures are not cacheable.
+  // Degradation metadata (quality, peak delta) is carried over from
+  // `result`. Dies if `result.success` is false — failures are not
+  // cacheable.
   std::shared_ptr<const CachedPlan> Insert(const graph::GraphHash& hash,
                                            core::PipelineResult result);
 
@@ -74,13 +104,19 @@ class PlanCache {
   void ResetStats();
 
   // Persists all entries, most-recently-used first (so a truncated LoadFrom
-  // of a smaller cache keeps the hottest plans). Dies on I/O failure.
-  void SaveToFile(const std::string& path) const;
+  // of a smaller cache keeps the hottest plans), atomically: the file is
+  // staged as `path`.tmp and renamed over `path` only once fully written
+  // and synced. Returns a non-OK Status on I/O failure (the old file, if
+  // any, is untouched).
+  util::Status SaveToFile(const std::string& path) const;
 
   // Loads entries from `path` into this cache (on top of whatever it
-  // holds); counts as insertions, not hits. Returns entries loaded. Dies on
-  // malformed input.
-  int LoadFromFile(const std::string& path);
+  // holds); counts as insertions, not hits. Entries whose checksum or
+  // payload fails verification are quarantined (skipped, counted, load
+  // continues at the next entry record). Returns a report on success; a
+  // non-OK Status only when the file itself is unreadable or not a plan
+  // cache at all. Never aborts on damaged input.
+  util::StatusOr<CacheLoadReport> LoadFromFile(const std::string& path);
 
  private:
   struct Entry {
@@ -91,14 +127,16 @@ class PlanCache {
   // All private helpers assume mu_ is held.
   void InsertLocked(std::shared_ptr<const CachedPlan> plan);
   void EvictToCapacityLocked();
+  void EraseLocked(const graph::GraphHash& hash);
 
   mutable std::mutex mu_;
   std::int64_t capacity_bytes_;
   std::int64_t bytes_in_use_ = 0;
+  std::uint64_t degraded_entries_ = 0;
   std::list<graph::GraphHash> lru_;  // front = most recently used
   std::unordered_map<graph::GraphHash, Entry, graph::GraphHashHasher>
       entries_;
-  PlanCacheStats counters_;  // hits/misses/insertions/evictions only
+  PlanCacheStats counters_;  // cumulative counters only
 };
 
 // The retained-footprint charge of one entry (exposed for tests).

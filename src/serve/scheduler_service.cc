@@ -1,10 +1,22 @@
 #include "serve/scheduler_service.h"
 
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
 #include <utility>
 
+#include "testing/fault_injection.h"
 #include "util/logging.h"
 
 namespace serenity::serve {
+
+namespace {
+
+std::chrono::duration<double> Seconds(double s) {
+  return std::chrono::duration<double>(s);
+}
+
+}  // namespace
 
 SchedulerService::SchedulerService(ServeOptions options)
     : options_(std::move(options)), cache_(options_.cache_capacity_bytes) {
@@ -24,7 +36,8 @@ SchedulerService::~SchedulerService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-Submission SchedulerService::Submit(const graph::Graph& graph) {
+Submission SchedulerService::Submit(const graph::Graph& graph,
+                                    const RequestOptions& request) {
   Submission submission;
   submission.hash = graph::CanonicalGraphHash(graph);
 
@@ -33,7 +46,9 @@ Submission SchedulerService::Submit(const graph::Graph& graph) {
   ++counters_.requests;
 
   // Path 2 first: attaching to an in-flight planning run also covers the
-  // window where its result is not yet in the cache.
+  // window where its result is not yet in the cache. (Background upgrades
+  // are not in in_flight_, so requests during an upgrade fall through to
+  // the cache and hit the degraded entry instead of waiting.)
   const auto flight = in_flight_.find(submission.hash);
   if (flight != in_flight_.end()) {
     ++counters_.coalesced;
@@ -47,10 +62,14 @@ Submission SchedulerService::Submit(const graph::Graph& graph) {
           cache_.Lookup(submission.hash)) {
     ++counters_.cache_hits;
     submission.cache_hit = true;
+    ServeResult ready_result;
+    ready_result.hash = submission.hash;
+    ready_result.cache_hit = true;
+    ready_result.quality = plan->quality;
+    ready_result.peak_delta_bytes = plan->peak_delta_bytes;
+    ready_result.plan = std::move(plan);
     std::promise<ServeResult> ready;
-    ready.set_value(ServeResult{submission.hash, std::move(plan),
-                                /*cache_hit=*/true, /*coalesced=*/false,
-                                /*failure_reason=*/""});
+    ready.set_value(std::move(ready_result));
     submission.future = ready.get_future().share();
     return submission;
   }
@@ -60,6 +79,8 @@ Submission SchedulerService::Submit(const graph::Graph& graph) {
   job.hash = submission.hash;
   job.graph = graph;
   job.promise = std::make_shared<std::promise<ServeResult>>();
+  job.request = request;
+  job.submitted = Clock::now();
   submission.future = job.promise->get_future().share();
   in_flight_.emplace(submission.hash, submission.future);
   queue_.push_back(std::move(job));
@@ -72,39 +93,169 @@ void SchedulerService::WorkerLoop() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
+      for (;;) {
+        // Promote upgrade retries whose backoff has elapsed.
+        const Clock::time_point now = Clock::now();
+        for (auto it = delayed_.begin(); it != delayed_.end();) {
+          if (it->not_before <= now) {
+            queue_.push_back(std::move(*it));
+            it = delayed_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (!queue_.empty()) break;
+        if (stopping_) return;  // drained; pending retries are dropped
+        if (delayed_.empty()) {
+          work_ready_.wait(lock);
+        } else {
+          Clock::time_point next = delayed_.front().not_before;
+          for (const Job& d : delayed_) next = std::min(next, d.not_before);
+          work_ready_.wait_until(lock, next);
+        }
+      }
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-
-    ServeResult result;
-    result.hash = job.hash;
-    core::PipelineResult planned =
-        core::Pipeline(options_.pipeline).Run(job.graph);
-    if (planned.success) {
-      result.plan = cache_.Insert(job.hash, std::move(planned));
+    if (job.is_upgrade) {
+      RunUpgradeJob(std::move(job));
     } else {
-      result.failure_reason = std::move(planned.failure_reason);
+      RunRequestJob(std::move(job));
     }
-
-    {
-      // The cache insert above happens before the in-flight erase, so a
-      // concurrent Submit always finds the plan on one path or the other.
-      std::lock_guard<std::mutex> lock(mu_);
-      if (result.plan != nullptr) {
-        ++counters_.planned;
-      } else {
-        ++counters_.failures;
-      }
-      in_flight_.erase(job.hash);
-    }
-    job.promise->set_value(std::move(result));
   }
 }
 
-ServeResult SchedulerService::Schedule(const graph::Graph& graph) {
-  const Submission submission = Submit(graph);
+void SchedulerService::RunRequestJob(Job job) {
+  ServeResult result;
+  result.hash = job.hash;
+
+  // Seconds left of the request's budget; queue wait already counts.
+  const double remaining =
+      job.request.deadline_seconds -
+      std::chrono::duration<double>(Clock::now() - job.submitted).count();
+
+  bool enqueue_upgrade = false;
+  try {
+    // Fault-injection point: a worker-thread exception must fail this one
+    // request with a clean Status and leave the worker serving.
+    if (testing::FaultTriggered(testing::FaultPoint::kWorkerException)) {
+      throw std::runtime_error("injected worker exception");
+    }
+    if (remaining <= 0 && !job.request.allow_degraded) {
+      result.status = util::DeadlineExceededError(
+          "deadline of " + std::to_string(job.request.deadline_seconds) +
+          "s expired before planning started");
+    } else {
+      core::PipelineOptions popts = options_.pipeline;
+      popts.deadline_seconds =
+          std::min(popts.deadline_seconds, std::max(remaining, 0.0));
+      popts.degrade_on_deadline = job.request.allow_degraded;
+      popts.degraded_beam_width = options_.degraded_beam_width;
+      core::PipelineResult planned = core::Pipeline(popts).Run(job.graph);
+      if (planned.success) {
+        result.quality = planned.quality;
+        const bool degraded = planned.degraded;
+        result.plan = cache_.Insert(job.hash, std::move(planned));
+        result.peak_delta_bytes = result.plan->peak_delta_bytes;
+        enqueue_upgrade = degraded && options_.upgrade_degraded_plans;
+      } else if (planned.deadline_exceeded) {
+        result.status =
+            util::DeadlineExceededError(planned.failure_reason);
+      } else {
+        result.status = util::InternalError(planned.failure_reason);
+      }
+    }
+  } catch (const std::exception& e) {
+    result.status =
+        util::InternalError(std::string("planning threw: ") + e.what());
+  } catch (...) {
+    result.status = util::InternalError("planning threw a non-exception");
+  }
+
+  {
+    // The cache insert above happens before the in-flight erase, so a
+    // concurrent Submit always finds the plan on one path or the other.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.plan != nullptr) {
+      ++counters_.planned;
+      if (result.quality != core::PlanQuality::kExact) {
+        ++counters_.degraded_plans;
+      }
+    } else {
+      ++counters_.failures;
+    }
+    if (enqueue_upgrade && !stopping_) {
+      EnqueueUpgradeLocked(job.hash, job.graph);
+    }
+    in_flight_.erase(job.hash);
+  }
+  job.promise->set_value(std::move(result));
+}
+
+void SchedulerService::EnqueueUpgradeLocked(const graph::GraphHash& hash,
+                                            const graph::Graph& graph) {
+  if (!upgrading_.insert(hash).second) return;  // one upgrade per hash
+  Job upgrade;
+  upgrade.hash = hash;
+  upgrade.graph = graph;
+  upgrade.request = RequestOptions{};  // no deadline: the exact search
+  upgrade.submitted = Clock::now();
+  upgrade.is_upgrade = true;
+  upgrade.not_before = Clock::now();
+  queue_.push_back(std::move(upgrade));
+  work_ready_.notify_one();
+}
+
+void SchedulerService::RunUpgradeJob(Job job) {
+  bool success = false;
+  try {
+    core::PipelineOptions popts = options_.pipeline;
+    popts.deadline_seconds = std::numeric_limits<double>::infinity();
+    popts.degrade_on_deadline = false;
+    core::PipelineResult planned = core::Pipeline(popts).Run(job.graph);
+    if (planned.success && !planned.degraded) {
+      const std::shared_ptr<const CachedPlan> current =
+          cache_.Lookup(job.hash);
+      std::int64_t saved = 0;
+      if (current != nullptr) {
+        saved = current->result.peak_bytes - planned.peak_bytes;
+      }
+      // Replace only while the entry is still degraded (or evicted): a
+      // concurrent exact plan must not be clobbered.
+      if (current == nullptr ||
+          current->quality != core::PlanQuality::kExact) {
+        cache_.Insert(job.hash, std::move(planned));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.upgrades;
+      counters_.upgrade_saved_bytes += std::max<std::int64_t>(0, saved);
+      upgrading_.erase(job.hash);
+      success = true;
+    }
+  } catch (...) {
+    // Fall through to the retry path; the worker must survive.
+  }
+  if (success) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  job.attempt += 1;
+  if (job.attempt >= options_.max_upgrade_attempts || stopping_) {
+    ++counters_.upgrade_failures;
+    upgrading_.erase(job.hash);
+    return;
+  }
+  // Exponential backoff: base * 2^(attempt-1).
+  const double backoff = options_.upgrade_backoff_seconds *
+                         static_cast<double>(1 << (job.attempt - 1));
+  job.not_before = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      Seconds(backoff));
+  delayed_.push_back(std::move(job));
+  work_ready_.notify_one();
+}
+
+ServeResult SchedulerService::Schedule(const graph::Graph& graph,
+                                       const RequestOptions& request) {
+  const Submission submission = Submit(graph, request);
   ServeResult result = submission.future.get();
   result.cache_hit = submission.cache_hit;
   result.coalesced = submission.coalesced;
@@ -112,12 +263,13 @@ ServeResult SchedulerService::Schedule(const graph::Graph& graph) {
 }
 
 std::vector<ServeResult> SchedulerService::ScheduleBatch(
-    const std::vector<const graph::Graph*>& batch) {
+    const std::vector<const graph::Graph*>& batch,
+    const RequestOptions& request) {
   std::vector<Submission> submissions;
   submissions.reserve(batch.size());
   for (const graph::Graph* graph : batch) {
     SERENITY_CHECK(graph != nullptr);
-    submissions.push_back(Submit(*graph));
+    submissions.push_back(Submit(*graph, request));
   }
   std::vector<ServeResult> results;
   results.reserve(batch.size());

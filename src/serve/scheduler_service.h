@@ -19,25 +19,46 @@
 // distinct graphs plan concurrently across the pool while duplicates
 // coalesce — then gathers the results in request order.
 //
+// Fault tolerance (DESIGN.md "Failure taxonomy"):
+//
+//   * Requests carry a soft deadline. When the exact search cannot finish
+//     in time the worker degrades down the ladder (beam, then greedy —
+//     always feasible), tags the plan with its PlanQuality tier, and serves
+//     it; with degradation disallowed the caller gets a clean
+//     kDeadlineExceeded Status instead. Workers never abort on a failed
+//     planning run — every outcome is a Status.
+//   * Degraded cache entries are upgraded in place: a background re-plan
+//     (no deadline) replaces the entry with the exact plan when it lands,
+//     with bounded retry-and-backoff on failure. Requests arriving
+//     meanwhile are served the degraded entry from cache — upgrades never
+//     block the hot path.
+//   * A worker-thread exception (injected or real) fails that one request
+//     with kInternal and the worker survives.
+//
 // Persistence rides on the cache: cache().SaveToFile / LoadFromFile give a
-// restarted service a warm start (see examples/serenity_serve.cpp).
+// restarted service a warm start (see examples/serenity_serve.cpp); the
+// cache file is written atomically and checksummed per entry.
 #ifndef SERENITY_SERVE_SCHEDULER_SERVICE_H_
 #define SERENITY_SERVE_SCHEDULER_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "graph/canonical_hash.h"
 #include "serve/plan_cache.h"
+#include "util/status.h"
 
 namespace serenity::serve {
 
@@ -45,15 +66,39 @@ struct ServeOptions {
   core::PipelineOptions pipeline;    // how misses are planned
   int num_workers = 1;               // planning threads in the pool
   std::int64_t cache_capacity_bytes = 256ll << 20;
+  // Background upgrade of degraded cache entries: re-plan without a
+  // deadline and replace the entry with the exact plan. Retries with
+  // exponential backoff on failure, up to max_upgrade_attempts total.
+  bool upgrade_degraded_plans = true;
+  int max_upgrade_attempts = 3;
+  double upgrade_backoff_seconds = 0.05;  // doubles per retry
+  // Beam width for deadline-degraded plans (0 = greedy only).
+  int degraded_beam_width = 64;
+};
+
+// Per-request serving knobs.
+struct RequestOptions {
+  // Soft wall-clock budget from submission to plan (seconds; infinity =
+  // none). Queue wait counts against it.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  // On deadline expiry: true = serve a degraded (beam/greedy) plan tagged
+  // with its PlanQuality; false = fail with kDeadlineExceeded.
+  bool allow_degraded = true;
 };
 
 struct ServeResult {
   graph::GraphHash hash;
-  // The served plan; nullptr iff planning failed (failure_reason says why).
+  // The served plan; nullptr iff planning failed (status says why).
   std::shared_ptr<const CachedPlan> plan;
   bool cache_hit = false;   // path 1: served from cache, no wait
   bool coalesced = false;   // path 2: waited on another request's planning
-  std::string failure_reason;
+  // OK whenever `plan` is non-null. kDeadlineExceeded when the deadline
+  // expired and degradation was disallowed (or even the fallbacks could
+  // not run); kInternal for planner failures and worker exceptions.
+  util::Status status;
+  // Degradation metadata of the served plan (kExact / 0 when exact).
+  core::PlanQuality quality = core::PlanQuality::kExact;
+  std::int64_t peak_delta_bytes = 0;
 };
 
 // An in-flight submission. `cache_hit`/`coalesced` describe *this*
@@ -71,41 +116,68 @@ struct ServiceStats {
   std::uint64_t coalesced = 0;
   std::uint64_t planned = 0;
   std::uint64_t failures = 0;
+  // Requests answered with a below-exact plan (deadline degradation).
+  std::uint64_t degraded_plans = 0;
+  // Background upgrades of degraded cache entries: completed, and given up
+  // after max_upgrade_attempts.
+  std::uint64_t upgrades = 0;
+  std::uint64_t upgrade_failures = 0;
+  // Total peak-bytes improvement realized by completed upgrades.
+  std::int64_t upgrade_saved_bytes = 0;
   PlanCacheStats cache;
 };
 
 class SchedulerService {
  public:
   explicit SchedulerService(ServeOptions options = {});
-  // Drains the queue (queued requests still complete) and joins the pool.
+  // Drains the queue (queued requests still complete; pending upgrade
+  // retries are dropped) and joins the pool.
   ~SchedulerService();
 
   SchedulerService(const SchedulerService&) = delete;
   SchedulerService& operator=(const SchedulerService&) = delete;
 
   // Hashes `graph` and serves it via the fastest applicable path. The graph
-  // is copied only when a planning job must be enqueued.
-  Submission Submit(const graph::Graph& graph);
+  // is copied only when a planning job must be enqueued. A coalesced
+  // submission attaches to the in-flight run and inherits its options.
+  Submission Submit(const graph::Graph& graph,
+                    const RequestOptions& request = {});
 
   // Submit + wait, with the per-submission path flags folded in.
-  ServeResult Schedule(const graph::Graph& graph);
+  ServeResult Schedule(const graph::Graph& graph,
+                       const RequestOptions& request = {});
 
   // Submits the whole batch, then gathers results in request order.
   std::vector<ServeResult> ScheduleBatch(
-      const std::vector<const graph::Graph*>& batch);
+      const std::vector<const graph::Graph*>& batch,
+      const RequestOptions& request = {});
 
   ServiceStats stats() const;
   PlanCache& cache() { return cache_; }
   const ServeOptions& options() const { return options_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Job {
     graph::GraphHash hash;
     graph::Graph graph;
+    // Null for background upgrade jobs — nobody waits on those.
     std::shared_ptr<std::promise<ServeResult>> promise;
+    RequestOptions request;
+    Clock::time_point submitted;
+    bool is_upgrade = false;
+    int attempt = 0;                 // upgrade attempts so far
+    Clock::time_point not_before{};  // earliest start (upgrade backoff)
   };
 
   void WorkerLoop();
+  void RunRequestJob(Job job);
+  void RunUpgradeJob(Job job);
+  // Assumes mu_ is held. Enqueues a background exact re-plan for `hash`
+  // unless one is already pending/running.
+  void EnqueueUpgradeLocked(const graph::GraphHash& hash,
+                            const graph::Graph& graph);
 
   ServeOptions options_;
   PlanCache cache_;
@@ -113,9 +185,15 @@ class SchedulerService {
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::deque<Job> queue_;
+  // Upgrade retries waiting out their backoff; moved to queue_ when ripe.
+  std::vector<Job> delayed_;
   std::unordered_map<graph::GraphHash, std::shared_future<ServeResult>,
                      graph::GraphHashHasher>
       in_flight_;
+  // Hashes with a background upgrade pending or running. Deliberately
+  // separate from in_flight_: requests arriving during an upgrade must hit
+  // the degraded cache entry, not coalesce onto the slow exact re-plan.
+  std::unordered_set<graph::GraphHash, graph::GraphHashHasher> upgrading_;
   ServiceStats counters_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

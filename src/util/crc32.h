@@ -1,0 +1,49 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte strings.
+//
+// Used by the persistence layer (serialize/plan.cc, serve/plan_cache.cc) to
+// detect corruption — bit flips, torn writes, truncation — in stored plan
+// artifacts before any parser consumes them. Integrity first, parsing
+// second: once a payload's checksum verifies, the strict parsers' internal
+// CHECKs are back to guarding programming errors only (DESIGN.md "Failure
+// taxonomy").
+#ifndef SERENITY_UTIL_CRC32_H_
+#define SERENITY_UTIL_CRC32_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace serenity::util {
+
+namespace internal {
+
+inline const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace internal
+
+// One-shot CRC-32 of `data`. Matches zlib's crc32() for the same bytes.
+inline std::uint32_t Crc32(std::string_view data) {
+  const auto& table = internal::Crc32Table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace serenity::util
+
+#endif  // SERENITY_UTIL_CRC32_H_

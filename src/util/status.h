@@ -1,0 +1,169 @@
+// Status / StatusOr<T>: propagated errors for *recoverable* failures.
+//
+// SERENITY's failure taxonomy (DESIGN.md "Failure taxonomy") splits failures
+// in two. Programming errors — violated invariants, preconditions broken by
+// our own code — stay SERENITY_CHECK aborts (util/logging.h): they indicate
+// a bug and the only safe reaction is to stop. Everything the *environment*
+// can cause — corrupt or truncated files, expired deadlines, exhausted
+// resources, a planning run that did not converge — is recoverable by
+// policy (degrade, skip the entry, serve cold, retry) and therefore
+// propagates as a Status instead of killing a serving process.
+//
+// The shape follows absl::Status/StatusOr (the de-facto C++ idiom) but is
+// self-contained: an enum code, a message, and a value-or-status wrapper.
+// StatusOr<T>::value() CHECK-aborts on an error status — extracting a value
+// without checking ok() first is a programming error, closing the loop on
+// the taxonomy above.
+#ifndef SERENITY_UTIL_STATUS_H_
+#define SERENITY_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace serenity::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // malformed input the caller handed us
+  kNotFound,           // a named resource (file, cache entry) is absent
+  kDeadlineExceeded,   // a wall-clock budget expired before completion
+  kResourceExhausted,  // allocation failure, state-cap blowout
+  kFailedPrecondition, // the operation is valid, the current state is not
+  kDataLoss,           // corruption detected: checksum mismatch, truncation
+  kUnavailable,        // transient environment failure (I/O), retryable
+  kInternal,           // an invariant almost broke; caught at a boundary
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Value-or-error. Construction from T is an OK result; construction from a
+// non-OK Status is an error result (an OK Status here is a programming
+// error — there would be no value to return).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SERENITY_CHECK(!status_.ok())
+        << "StatusOr must not be built from an OK status without a value";
+  }
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    SERENITY_CHECK(ok()) << "StatusOr::value on error: "
+                         << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    SERENITY_CHECK(ok()) << "StatusOr::value on error: "
+                         << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SERENITY_CHECK(ok()) << "StatusOr::value on error: "
+                         << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace serenity::util
+
+// Propagate a non-OK Status to the caller.
+#define SERENITY_RETURN_IF_ERROR(expr)                \
+  do {                                                \
+    ::serenity::util::Status _serenity_st = (expr);   \
+    if (!_serenity_st.ok()) return _serenity_st;      \
+  } while (0)
+
+// Unwrap a StatusOr into `lhs` or propagate its error status.
+#define SERENITY_ASSIGN_OR_RETURN(lhs, expr)              \
+  SERENITY_ASSIGN_OR_RETURN_IMPL_(                        \
+      SERENITY_STATUS_CONCAT_(_serenity_sor, __LINE__), lhs, expr)
+#define SERENITY_STATUS_CONCAT_(a, b) SERENITY_STATUS_CONCAT_2_(a, b)
+#define SERENITY_STATUS_CONCAT_2_(a, b) a##b
+#define SERENITY_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return std::move(tmp).status();        \
+  lhs = std::move(tmp).value()
+
+#endif  // SERENITY_UTIL_STATUS_H_

@@ -8,6 +8,7 @@
 
 #include "models/swiftnet.h"
 #include "runtime/executor.h"
+#include "testing/fault_injection.h"
 #include "testing/runtime_inputs.h"
 #include "testing/sink_compare.h"
 #include "util/rng.h"
@@ -59,13 +60,16 @@ TEST(InferenceSession, WarmRestartServesIdenticalNumbers) {
     InferenceSession session = InferenceSession::Open(service, g);
     session.Run(serenity::testing::RandomInputsFor(session.graph(), 77));
     cold_sink = session.executor().SinkValues().front().ToVector();
-    service.cache().SaveToFile(cache_path);
+    ASSERT_TRUE(service.cache().SaveToFile(cache_path).ok());
   }
 
   // A fresh service process: the plan loads from disk (validated by
   // PlanFromText) and the session must serve without planning anything.
   SchedulerService restarted;
-  ASSERT_GT(restarted.cache().LoadFromFile(cache_path), 0);
+  const util::StatusOr<CacheLoadReport> report =
+      restarted.cache().LoadFromFile(cache_path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GT(report.value().entries_loaded, 0);
   const ServeResult r = restarted.Schedule(g);
   ASSERT_NE(r.plan, nullptr);
   EXPECT_TRUE(r.cache_hit);
@@ -87,6 +91,56 @@ TEST(InferenceSession, MeasuredPeakMatchesPlannedArena) {
 
 TEST(InferenceSessionDeath, RefusesNullPlan) {
   EXPECT_DEATH(InferenceSession(nullptr), "without a plan");
+}
+
+TEST(InferenceSession, CreateRejectsNullPlanWithStatus) {
+  const util::StatusOr<InferenceSession> session =
+      InferenceSession::Create(nullptr);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(InferenceSession, TryOpenPropagatesPlanningStatus) {
+  SchedulerService service;
+  const graph::Graph g = models::MakeSwiftNetCellA();
+  RequestOptions rushed;
+  rushed.deadline_seconds = 0.0;
+  rushed.allow_degraded = false;
+  const util::StatusOr<InferenceSession> denied =
+      InferenceSession::TryOpen(service, g, rushed);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), util::StatusCode::kDeadlineExceeded);
+
+  util::StatusOr<InferenceSession> session =
+      InferenceSession::TryOpen(service, g);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  session.value().Run(
+      serenity::testing::RandomInputsFor(session.value().graph(), 5));
+  EXPECT_EQ(session.value().inferences(), 1u);
+}
+
+TEST(InferenceSession, InjectedArenaFailureIsResourceExhausted) {
+  SchedulerService service;
+  const graph::Graph g = models::MakeSwiftNetCellB();
+  const ServeResult r = service.Schedule(g);
+  ASSERT_NE(r.plan, nullptr) << r.status.ToString();
+
+  {
+    serenity::testing::ScopedFault fault(
+        serenity::testing::FaultPoint::kArenaAllocation);
+    const util::StatusOr<InferenceSession> session =
+        InferenceSession::Create(r.plan);
+    ASSERT_FALSE(session.ok());
+    EXPECT_EQ(session.status().code(),
+              util::StatusCode::kResourceExhausted);
+  }
+
+  // One-shot fault: the retry succeeds and serves real numbers.
+  util::StatusOr<InferenceSession> retry = InferenceSession::Create(r.plan);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  retry.value().Run(
+      serenity::testing::RandomInputsFor(retry.value().graph(), 6));
+  EXPECT_EQ(retry.value().inferences(), 1u);
 }
 
 }  // namespace

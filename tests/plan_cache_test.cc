@@ -12,6 +12,7 @@
 #include "graph/canonical_hash.h"
 #include "models/zoo.h"
 #include "sched/schedule.h"
+#include "testing/fault_injection.h"
 
 namespace serenity::serve {
 namespace {
@@ -145,10 +146,13 @@ TEST(PlanCache, PersistenceRoundTripsThroughPlanText) {
                  PlanCell("SwiftNet HPD", name));
   }
   const std::string path = ::testing::TempDir() + "/plan_cache.v1";
-  cache.SaveToFile(path);
+  ASSERT_TRUE(cache.SaveToFile(path).ok());
 
   PlanCache warm;
-  EXPECT_EQ(warm.LoadFromFile(path), 2);
+  const util::StatusOr<CacheLoadReport> report = warm.LoadFromFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().entries_loaded, 2);
+  EXPECT_EQ(report.value().entries_quarantined, 0);
   std::remove(path.c_str());
 
   for (const char* name : {"Cell A", "Cell C"}) {
@@ -178,14 +182,28 @@ TEST(PlanCacheDeath, RejectsFailedResults) {
                "cacheable");
 }
 
-TEST(PlanCacheDeath, RejectsCorruptCacheFiles) {
+TEST(PlanCache, RejectsCorruptCacheFilesWithStatus) {
   const std::string path = ::testing::TempDir() + "/bogus_cache.v1";
   std::FILE* f = std::fopen(path.c_str(), "w");
   std::fputs("not-a-cache v9 1\n", f);
   std::fclose(f);
   PlanCache cache;
-  EXPECT_DEATH(cache.LoadFromFile(path), "not a plan-cache");
+  const util::StatusOr<CacheLoadReport> report = cache.LoadFromFile(path);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(report.status().message().find("not a plan-cache"),
+            std::string::npos);
+  EXPECT_EQ(cache.stats().load_errors, 1u);
   std::remove(path.c_str());
+}
+
+TEST(PlanCache, MissingCacheFileIsNotFound) {
+  PlanCache cache;
+  const util::StatusOr<CacheLoadReport> report =
+      cache.LoadFromFile(::testing::TempDir() + "/no_such_cache.v1");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(cache.stats().load_errors, 1u);
 }
 
 TEST(PlanCache, StaleFormatVersionLoadsNothingInsteadOfAborting) {
@@ -197,8 +215,102 @@ TEST(PlanCache, StaleFormatVersionLoadsNothingInsteadOfAborting) {
   std::fputs("serenity-plan-cache v1 1\nentry deadbeef 0 0\n", f);
   std::fclose(f);
   PlanCache cache;
-  EXPECT_EQ(cache.LoadFromFile(path), 0);
+  const util::StatusOr<CacheLoadReport> report = cache.LoadFromFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().stale_version);
+  EXPECT_EQ(report.value().entries_loaded, 0);
   EXPECT_EQ(cache.stats().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCache, BitFlipQuarantinesOneEntryNotTheWarmStart) {
+  PlanCache cache;
+  for (const char* name : {"Cell A", "Cell B", "Cell C"}) {
+    cache.Insert(CellHash("SwiftNet HPD", name),
+                 PlanCell("SwiftNet HPD", name));
+  }
+  const std::string path = ::testing::TempDir() + "/flipped_cache.v3";
+  ASSERT_TRUE(cache.SaveToFile(path).ok());
+
+  // Flip one bit ~60% into the file: inside some entry's payload or
+  // metadata, past the header.
+  const std::int64_t size = serenity::testing::FileSizeBytes(path);
+  ASSERT_GT(size, 0);
+  ASSERT_TRUE(serenity::testing::CorruptFileBit(
+      path, static_cast<std::uint64_t>(size) * 8 * 6 / 10));
+
+  PlanCache warm;
+  const util::StatusOr<CacheLoadReport> report = warm.LoadFromFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().entries_quarantined, 1);
+  EXPECT_EQ(report.value().entries_loaded, 2);
+  EXPECT_EQ(warm.stats().entries_quarantined, 1u);
+  EXPECT_EQ(warm.stats().entries, 2u);
+  // Every surviving entry is fully validated and usable.
+  int usable = 0;
+  for (const char* name : {"Cell A", "Cell B", "Cell C"}) {
+    const auto hit = warm.Lookup(CellHash("SwiftNet HPD", name));
+    if (hit == nullptr) continue;
+    EXPECT_TRUE(alloc::ValidatePlacements(hit->plan.arena)) << name;
+    ++usable;
+  }
+  EXPECT_EQ(usable, 2);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCache, TruncationCostsOnlyTheTornEntry) {
+  PlanCache cache;
+  for (const char* name : {"Cell A", "Cell B", "Cell C"}) {
+    cache.Insert(CellHash("SwiftNet HPD", name),
+                 PlanCell("SwiftNet HPD", name));
+  }
+  const std::string path = ::testing::TempDir() + "/torn_cache.v3";
+  ASSERT_TRUE(cache.SaveToFile(path).ok());
+  const std::int64_t size = serenity::testing::FileSizeBytes(path);
+  ASSERT_GT(size, 0);
+  // Tear the tail off mid-entry (a crash between write and rename cannot
+  // produce this file thanks to AtomicWriteFile, but a disk that lies
+  // about durability can).
+  ASSERT_TRUE(serenity::testing::TruncateFile(
+      path, static_cast<std::uint64_t>(size) * 7 / 10));
+
+  PlanCache warm;
+  const util::StatusOr<CacheLoadReport> report = warm.LoadFromFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report.value().entries_loaded, 1);
+  EXPECT_LE(report.value().entries_loaded, 2);
+  EXPECT_GE(report.value().entries_quarantined, 1);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCache, DegradedEntryMetadataRoundTrips) {
+  // A degraded plan persists its quality tier and peak delta, so a warm
+  // restart still knows the entry is upgradeable.
+  const graph::Graph g =
+      models::FindBenchmarkCell("SwiftNet HPD", "Cell C").factory();
+  core::PipelineOptions popts;
+  popts.deadline_seconds = 0.0;  // expire immediately
+  popts.degrade_on_deadline = true;
+  core::PipelineResult degraded = core::Pipeline(popts).Run(g);
+  ASSERT_TRUE(degraded.success);
+  ASSERT_TRUE(degraded.degraded);
+  ASSERT_NE(degraded.quality, core::PlanQuality::kExact);
+
+  PlanCache cache;
+  const graph::GraphHash hash = graph::CanonicalGraphHash(g);
+  const auto inserted = cache.Insert(hash, std::move(degraded));
+  EXPECT_EQ(cache.stats().degraded_entries, 1u);
+
+  const std::string path = ::testing::TempDir() + "/degraded_cache.v3";
+  ASSERT_TRUE(cache.SaveToFile(path).ok());
+  PlanCache warm;
+  ASSERT_TRUE(warm.LoadFromFile(path).ok());
+  const auto loaded = warm.Lookup(hash);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->quality, inserted->quality);
+  EXPECT_EQ(loaded->peak_delta_bytes, inserted->peak_delta_bytes);
+  EXPECT_TRUE(loaded->result.degraded);
+  EXPECT_EQ(warm.stats().degraded_entries, 1u);
   std::remove(path.c_str());
 }
 

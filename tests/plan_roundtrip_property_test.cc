@@ -1,6 +1,7 @@
-// Property suite for the versioned plan text format: over 1000 random
-// cells, plan -> text -> plan is bit-identical in every field, and
-// malformed or truncated inputs die cleanly instead of loading.
+// Property suite for the versioned, checksummed plan text format: over
+// 1000 random cells, plan -> text -> plan is bit-identical in every field;
+// malformed, truncated or bit-flipped inputs yield a clean Status error —
+// never an abort, never a silently accepted plan.
 #include <gtest/gtest.h>
 
 #include "models/random_cell.h"
@@ -51,21 +52,56 @@ TEST(PlanRoundTripProperty, ThousandRandomCellsBitIdentical) {
                                   ? sched::TfLiteOrderSchedule(g)
                                   : sched::GreedyMemorySchedule(g);
     const ExecutionPlan plan = MakePlan(g, s);
-    const ExecutionPlan back = PlanFromText(PlanToText(plan), g);
-    ExpectBitIdentical(plan, back);
+    const util::StatusOr<ExecutionPlan> back =
+        PlanFromText(PlanToText(plan), g);
+    ASSERT_TRUE(back.ok()) << "seed " << seed << ": "
+                           << back.status().ToString();
+    ExpectBitIdentical(plan, back.value());
     // And the round trip is a fixed point of the text form too.
-    ASSERT_EQ(PlanToText(back), PlanToText(plan)) << "seed " << seed;
+    ASSERT_EQ(PlanToText(back.value()), PlanToText(plan)) << "seed " << seed;
   }
 }
 
-// Truncation anywhere before the last record must die cleanly (a CHECK
-// abort with a diagnostic), never load a half plan. Death tests fork, so
-// sample cut points rather than sweeping every byte.
-TEST(PlanRoundTripPropertyDeath, TruncatedInputsDieCleanly) {
+// The corruption property: over 1000 serialized plans, a seeded single-bit
+// flip or a mid-line truncation must always yield a clean Status error —
+// the checksum (or, for tail corruption the CRC cannot distinguish from a
+// record boundary, the structural validators) rejects every mutation
+// before a half plan can load.
+TEST(PlanRoundTripProperty, ThousandSeededMutationsAllRejected) {
+  for (int seed = 0; seed < 1000; ++seed) {
+    const graph::Graph g =
+        models::MakeRandomCellNetwork(ParamsForSeed(seed));
+    const std::string text =
+        PlanToText(MakePlan(g, sched::TfLiteOrderSchedule(g)));
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 40'503 + 13);
+    std::string mutated = text;
+    if (seed % 2 == 0) {
+      // Single-bit flip anywhere in the text.
+      const std::size_t bit =
+          static_cast<std::size_t>(rng.NextInt(
+              0, static_cast<int>(text.size() * 8) - 1));
+      mutated[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(mutated[bit / 8]) ^ (1u << (bit % 8)));
+    } else {
+      // Truncate mid-line: cut at a byte that is not a record boundary.
+      const std::size_t cut = 1 + static_cast<std::size_t>(rng.NextInt(
+                                      0, static_cast<int>(text.size()) - 2));
+      mutated.resize(cut);
+    }
+    if (mutated == text) continue;  // flip landed on an ignored byte? never.
+    const util::StatusOr<ExecutionPlan> parsed = PlanFromText(mutated, g);
+    ASSERT_FALSE(parsed.ok())
+        << "seed " << seed << ": mutation silently accepted";
+    ASSERT_FALSE(parsed.status().message().empty()) << "seed " << seed;
+  }
+}
+
+// Truncation anywhere before the last record must be rejected cleanly with
+// a diagnostic, never load a half plan.
+TEST(PlanRoundTripProperty, TruncatedInputsRejectedCleanly) {
   const graph::Graph g = models::MakeRandomCellNetwork(ParamsForSeed(1));
   const std::string text =
       PlanToText(MakePlan(g, sched::TfLiteOrderSchedule(g)));
-  // Any strict prefix that ends before the final place record is invalid.
   const std::size_t last_record = text.rfind("\nplace");
   ASSERT_NE(last_record, std::string::npos);
   for (const double fraction : {0.05, 0.2, 0.4, 0.6, 0.8, 0.97}) {
@@ -73,24 +109,42 @@ TEST(PlanRoundTripPropertyDeath, TruncatedInputsDieCleanly) {
         last_record,
         static_cast<std::size_t>(static_cast<double>(text.size()) *
                                  fraction));
-    EXPECT_DEATH(PlanFromText(text.substr(0, cut), g), "CHECK failed")
-        << "cut at " << cut << " of " << text.size();
+    const util::StatusOr<ExecutionPlan> parsed =
+        PlanFromText(text.substr(0, cut), g);
+    ASSERT_FALSE(parsed.ok()) << "cut at " << cut << " of " << text.size();
+    EXPECT_EQ(parsed.status().code(), util::StatusCode::kDataLoss)
+        << parsed.status().ToString();
   }
 }
 
-TEST(PlanRoundTripPropertyDeath, GarbageRecordsRejected) {
+TEST(PlanRoundTripProperty, GarbageRecordsRejected) {
   const graph::Graph g = models::MakeRandomCellNetwork(ParamsForSeed(2));
   const std::string text =
       PlanToText(MakePlan(g, sched::TfLiteOrderSchedule(g)));
-  EXPECT_DEATH(PlanFromText("not a plan at all", g),
-               "missing format header");
-  EXPECT_DEATH(PlanFromText(text + "gibberish 1 2 3\n", g),
-               "unknown plan record");
-  std::string bad_number = text;
+
+  EXPECT_FALSE(PlanFromText("not a plan at all", g).ok());
+
+  // Restamp the checksum after each structural tamper so the structural
+  // validator — not the integrity gate — is what rejects it.
+  const std::size_t crc_at = text.rfind("\ncrc ");
+  ASSERT_NE(crc_at, std::string::npos);
+  const std::string body = text.substr(0, crc_at + 1);
+
+  const util::StatusOr<ExecutionPlan> unknown_record =
+      PlanFromText(AppendPlanChecksum(body + "gibberish 1 2 3\n"), g);
+  ASSERT_FALSE(unknown_record.ok());
+  EXPECT_NE(unknown_record.status().message().find("unknown plan record"),
+            std::string::npos);
+
+  std::string bad_number = body;
   const std::size_t at = bad_number.find("\nplace ");
   ASSERT_NE(at, std::string::npos);
   bad_number.replace(at + 7, 1, "x");
-  EXPECT_DEATH(PlanFromText(bad_number, g), "malformed place record");
+  const util::StatusOr<ExecutionPlan> malformed =
+      PlanFromText(AppendPlanChecksum(bad_number), g);
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.status().message().find("malformed place record"),
+            std::string::npos);
 }
 
 }  // namespace

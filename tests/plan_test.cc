@@ -18,12 +18,25 @@ ExecutionPlan SwiftNetPlan() {
   return MakePlan(r.scheduled_graph, r.schedule);
 }
 
+// Strips the trailing crc record from serialized plan text so a test can
+// tamper with the body, then re-stamps the checksum. This keeps the
+// corruption tests aimed at the *structural* validators — without the
+// re-stamp every edit would (correctly) die at the integrity gate instead.
+std::string Restamped(std::string text) {
+  const std::size_t at = text.rfind("\ncrc ");
+  EXPECT_NE(at, std::string::npos);
+  text.resize(at + 1);
+  return AppendPlanChecksum(text);
+}
+
 TEST(Plan, RoundTripsExactly) {
   const graph::Graph g = models::MakeSwiftNet();
   const core::PipelineResult r = core::Pipeline().Run(g);
   const ExecutionPlan plan = MakePlan(r.scheduled_graph, r.schedule);
-  const ExecutionPlan back =
+  const util::StatusOr<ExecutionPlan> parsed =
       PlanFromText(PlanToText(plan), r.scheduled_graph);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ExecutionPlan& back = parsed.value();
   EXPECT_EQ(back.graph_name, plan.graph_name);
   EXPECT_EQ(back.schedule, plan.schedule);
   EXPECT_EQ(back.arena.arena_bytes, plan.arena.arena_bytes);
@@ -43,69 +56,104 @@ TEST(Plan, FileRoundTrip) {
   const sched::Schedule s = sched::TfLiteOrderSchedule(g);
   const ExecutionPlan plan = MakePlan(g, s);
   const std::string path = ::testing::TempDir() + "/swiftnet.plan";
-  SavePlanToFile(plan, path);
-  const ExecutionPlan back = LoadPlanFromFile(path, g);
-  EXPECT_EQ(back.schedule, plan.schedule);
-  EXPECT_EQ(back.arena.arena_bytes, plan.arena.arena_bytes);
+  ASSERT_TRUE(SavePlanToFile(plan, path).ok());
+  const util::StatusOr<ExecutionPlan> back = LoadPlanFromFile(path, g);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().schedule, plan.schedule);
+  EXPECT_EQ(back.value().arena.arena_bytes, plan.arena.arena_bytes);
   std::remove(path.c_str());
+}
+
+TEST(Plan, LoadMissingFileIsNotFound) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const util::StatusOr<ExecutionPlan> missing =
+      LoadPlanFromFile(::testing::TempDir() + "/no-such.plan", g);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
 }
 
 TEST(Plan, LoadedPlacementsStillNonOverlapping) {
   const ExecutionPlan plan = SwiftNetPlan();
   const graph::Graph g = models::MakeSwiftNet();
   const core::PipelineResult r = core::Pipeline().Run(g);
-  const ExecutionPlan back =
+  const util::StatusOr<ExecutionPlan> back =
       PlanFromText(PlanToText(plan), r.scheduled_graph);
-  EXPECT_TRUE(alloc::ValidatePlacements(back.arena));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(alloc::ValidatePlacements(back.value().arena));
 }
 
-TEST(PlanDeath, RejectsPlansForOtherGraphs) {
+TEST(Plan, RejectsPlansForOtherGraphs) {
   const ExecutionPlan plan = SwiftNetPlan();
   graph::GraphBuilder b("other");
   const graph::NodeId in = b.Input(graph::TensorShape{1, 4, 4, 2}, "in");
   (void)b.Relu(in, "out");
   const graph::Graph other = std::move(b).Build();
-  EXPECT_DEATH(PlanFromText(PlanToText(plan), other), "different graph");
+  const util::StatusOr<ExecutionPlan> parsed =
+      PlanFromText(PlanToText(plan), other);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("different graph"),
+            std::string::npos);
 }
 
 TEST(Plan, TextStartsWithVersionHeader) {
   const ExecutionPlan plan = SwiftNetPlan();
   const std::string text = PlanToText(plan);
-  EXPECT_EQ(text.rfind("serenity-plan v2\n", 0), 0u) << text.substr(0, 40);
+  EXPECT_EQ(text.rfind("serenity-plan v3\n", 0), 0u) << text.substr(0, 40);
 }
 
-TEST(PlanDeath, RejectsCorruptedArenaSize) {
+TEST(Plan, TextEndsWithChecksumRecord) {
+  const std::string text = PlanToText(SwiftNetPlan());
+  ASSERT_GE(text.size(), 13u);
+  const std::string record = text.substr(text.size() - 13);
+  EXPECT_EQ(record.rfind("crc ", 0), 0u) << record;
+  EXPECT_EQ(record.back(), '\n');
+}
+
+TEST(Plan, RejectsCorruptedArenaSize) {
   const graph::Graph g = models::MakeSwiftNet();
   const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
   std::string text = PlanToText(plan);
   // Tamper with the declared arena size (last token of the plan record;
-  // "\nplan " skips the "serenity-plan v2" header).
+  // "\nplan " skips the "serenity-plan v3" header).
   const std::size_t plan_at = text.find("\nplan ") + 1;
   const std::size_t line_end = text.find('\n', plan_at);
   const std::size_t value_at = text.rfind(' ', line_end) + 1;
   text.replace(value_at, line_end - value_at, "12345");
-  EXPECT_DEATH(PlanFromText(text, g), "disagrees");
+  const util::StatusOr<ExecutionPlan> parsed =
+      PlanFromText(Restamped(text), g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("disagrees"), std::string::npos);
 }
 
-TEST(PlanDeath, RejectsMissingVersionHeader) {
+TEST(Plan, RejectsMissingVersionHeader) {
   const graph::Graph g = models::MakeSwiftNet();
   const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
   std::string text = PlanToText(plan);
   text.erase(0, text.find('\n') + 1);  // drop the header line
-  EXPECT_DEATH(PlanFromText(text, g), "missing format header");
+  const util::StatusOr<ExecutionPlan> parsed =
+      PlanFromText(Restamped(text), g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("missing format header"),
+            std::string::npos);
 }
 
-TEST(PlanDeath, RejectsUnknownFormatVersion) {
+TEST(Plan, RejectsUnknownFormatVersion) {
   const graph::Graph g = models::MakeSwiftNet();
   const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
   std::string text = PlanToText(plan);
-  const std::size_t at = text.find("v2");
+  const std::size_t at = text.find("v3");
   ASSERT_NE(at, std::string::npos);
   text.replace(at, 2, "v7");
-  EXPECT_DEATH(PlanFromText(text, g), "unsupported plan format version");
+  const util::StatusOr<ExecutionPlan> parsed =
+      PlanFromText(Restamped(text), g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(parsed.status().message().find("unsupported plan format version"),
+            std::string::npos);
 }
 
-TEST(PlanDeath, RejectsTruncatedOrder) {
+TEST(Plan, RejectsTruncatedOrder) {
   const graph::Graph g = models::MakeSwiftNet();
   const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
   std::string text = PlanToText(plan);
@@ -114,13 +162,16 @@ TEST(PlanDeath, RejectsTruncatedOrder) {
   const std::size_t order_end = text.find('\n', order_at);
   const std::size_t cut = text.rfind(' ', order_end);
   text.erase(cut, order_end - cut);
-  EXPECT_DEATH(PlanFromText(text, g), "order lists");
+  const util::StatusOr<ExecutionPlan> parsed =
+      PlanFromText(Restamped(text), g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("order lists"), std::string::npos);
 }
 
-TEST(PlanDeath, RejectsPlacementForUnusedBuffer) {
+TEST(Plan, RejectsPlacementForUnusedBuffer) {
   // A spurious extra place record for a buffer no node touches would
   // silently inflate the arena (nothing ever writes those bytes); it must
-  // die at load like every other corruption.
+  // be rejected at load like every other corruption.
   graph::GraphBuilder b("spurious");
   const graph::NodeId in = b.Input(graph::TensorShape{1, 4, 4, 2}, "in");
   (void)b.Relu(in, "out");
@@ -130,10 +181,14 @@ TEST(PlanDeath, RejectsPlacementForUnusedBuffer) {
   plan.arena.placements.push_back(
       alloc::BufferPlacement{orphan, plan.arena.arena_bytes, 64, 0, 0});
   plan.arena.arena_bytes += 64;
-  EXPECT_DEATH(PlanFromText(PlanToText(plan), g), "no node uses");
+  const util::StatusOr<ExecutionPlan> parsed =
+      PlanFromText(PlanToText(plan), g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("no node uses"),
+            std::string::npos);
 }
 
-TEST(PlanDeath, RejectsInvalidScheduleOrder) {
+TEST(Plan, RejectsInvalidScheduleOrder) {
   const graph::Graph g = models::MakeSwiftNet();
   const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
   std::string text = PlanToText(plan);
@@ -141,7 +196,45 @@ TEST(PlanDeath, RejectsInvalidScheduleOrder) {
   const std::size_t order_at = text.find("order 0 1");
   ASSERT_NE(order_at, std::string::npos);
   text.replace(order_at, 9, "order 1 0");
-  EXPECT_DEATH(PlanFromText(text, g), "not a valid order");
+  const util::StatusOr<ExecutionPlan> parsed =
+      PlanFromText(Restamped(text), g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("not a valid order"),
+            std::string::npos);
+}
+
+TEST(Plan, RejectsBitFlipWithoutRestamp) {
+  // The same arena-size tamper *without* re-stamping the checksum dies at
+  // the integrity gate — a mutated artifact can never be silently parsed.
+  const graph::Graph g = models::MakeSwiftNet();
+  const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  std::string text = PlanToText(plan);
+  const std::size_t plan_at = text.find("\nplan ") + 1;
+  text[plan_at + 8] ^= 0x01;
+  const util::StatusOr<ExecutionPlan> parsed = PlanFromText(text, g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(Plan, RejectsMissingChecksumRecord) {
+  const graph::Graph g = models::MakeSwiftNet();
+  const ExecutionPlan plan = MakePlan(g, sched::TfLiteOrderSchedule(g));
+  std::string text = PlanToText(plan);
+  text.resize(text.rfind("\ncrc ") + 1);  // drop the crc record entirely
+  const util::StatusOr<ExecutionPlan> parsed = PlanFromText(text, g);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(parsed.status().message().find("crc"), std::string::npos);
+}
+
+TEST(Plan, AtomicWriteLeavesNoTempFile) {
+  const std::string path = ::testing::TempDir() + "/atomic.plan";
+  const ExecutionPlan plan = SwiftNetPlan();
+  ASSERT_TRUE(SavePlanToFile(plan, path).ok());
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "temporary staging file left behind";
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -10,6 +11,8 @@
 #include "core/pipeline.h"
 #include "graph/canonical_hash.h"
 #include "models/zoo.h"
+#include "sched/schedule.h"
+#include "testing/fault_injection.h"
 #include "testing/random_graphs.h"
 #include "util/rng.h"
 
@@ -25,7 +28,7 @@ TEST(SchedulerService, ServesAndThenHitsTheCache) {
   const graph::Graph g = Cell("SwiftNet HPD", "Cell C");
 
   const ServeResult cold = service.Schedule(g);
-  ASSERT_NE(cold.plan, nullptr) << cold.failure_reason;
+  ASSERT_NE(cold.plan, nullptr) << cold.status.ToString();
   EXPECT_FALSE(cold.cache_hit);
 
   const ServeResult warm = service.Schedule(g);
@@ -98,7 +101,7 @@ TEST(SchedulerService, BatchPlansDistinctGraphsAndCoalescesDuplicates) {
   const std::vector<ServeResult> results = service.ScheduleBatch(batch);
   ASSERT_EQ(results.size(), batch.size());
   for (const ServeResult& r : results) {
-    ASSERT_NE(r.plan, nullptr) << r.failure_reason;
+    ASSERT_NE(r.plan, nullptr) << r.status.ToString();
   }
   EXPECT_EQ(results[0].hash, results[3].hash);
   EXPECT_EQ(results[0].plan.get(), results[3].plan.get());
@@ -119,8 +122,9 @@ TEST(SchedulerService, PlanningFailuresAreReportedAndNotCached) {
 
   const ServeResult failed = service.Schedule(g);
   EXPECT_EQ(failed.plan, nullptr);
-  EXPECT_NE(failed.failure_reason.find("no solution"), std::string::npos)
-      << failed.failure_reason;
+  EXPECT_EQ(failed.status.code(), util::StatusCode::kInternal);
+  EXPECT_NE(failed.status.message().find("no solution"), std::string::npos)
+      << failed.status.ToString();
 
   // Failures are not cached: the next request plans (and fails) again.
   const ServeResult again = service.Schedule(g);
@@ -140,11 +144,14 @@ TEST(SchedulerService, WarmRestartServesFromPersistedCache) {
     const ServeResult cold = service.Schedule(g);
     ASSERT_NE(cold.plan, nullptr);
     cold_schedule = cold.plan->result.schedule;
-    service.cache().SaveToFile(path);
+    ASSERT_TRUE(service.cache().SaveToFile(path).ok());
   }
   {
     SchedulerService restarted;
-    ASSERT_EQ(restarted.cache().LoadFromFile(path), 1);
+    const util::StatusOr<CacheLoadReport> report =
+        restarted.cache().LoadFromFile(path);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_EQ(report.value().entries_loaded, 1);
     const ServeResult warm = restarted.Schedule(g);
     ASSERT_NE(warm.plan, nullptr);
     EXPECT_TRUE(warm.cache_hit) << "warm restart must skip re-planning";
@@ -191,6 +198,116 @@ TEST(SchedulerService, ConcurrentMixedTrafficIsRaceFree) {
   EXPECT_EQ(stats.planned, graphs.size());
   EXPECT_EQ(stats.cache_hits + stats.coalesced + stats.planned,
             stats.requests);
+}
+
+TEST(SchedulerService, ExpiredDeadlineDegradesToAFeasiblePlan) {
+  SchedulerService service;
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell C");
+  RequestOptions request;
+  request.deadline_seconds = 0.0;  // already expired at submission
+  request.allow_degraded = true;
+
+  const ServeResult r = service.Schedule(g, request);
+  ASSERT_NE(r.plan, nullptr) << r.status.ToString();
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_NE(r.quality, core::PlanQuality::kExact);
+  EXPECT_TRUE(r.plan->result.degraded);
+  EXPECT_TRUE(sched::IsTopologicalOrder(r.plan->result.scheduled_graph,
+                                        r.plan->result.schedule));
+  EXPECT_GE(r.peak_delta_bytes, 0);
+  EXPECT_GE(service.stats().degraded_plans, 1u);
+}
+
+TEST(SchedulerService, ExpiredDeadlineWithoutDegradationIsACleanError) {
+  ServeOptions options;
+  options.upgrade_degraded_plans = false;
+  SchedulerService service(options);
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell C");
+  RequestOptions request;
+  request.deadline_seconds = 0.0;
+  request.allow_degraded = false;
+
+  const ServeResult r = service.Schedule(g, request);
+  EXPECT_EQ(r.plan, nullptr);
+  EXPECT_EQ(r.status.code(), util::StatusCode::kDeadlineExceeded);
+
+  // The failure is not cached, and the service still serves afterwards.
+  const ServeResult ok = service.Schedule(g);
+  ASSERT_NE(ok.plan, nullptr) << ok.status.ToString();
+  EXPECT_EQ(ok.quality, core::PlanQuality::kExact);
+}
+
+TEST(SchedulerService, DegradedEntryIsUpgradedToExactInPlace) {
+  ServeOptions options;
+  options.upgrade_degraded_plans = true;
+  options.max_upgrade_attempts = 3;
+  options.upgrade_backoff_seconds = 0.01;
+  SchedulerService service(options);
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell C");
+  const graph::GraphHash hash = graph::CanonicalGraphHash(g);
+
+  RequestOptions rushed;
+  rushed.deadline_seconds = 0.0;
+  const ServeResult degraded = service.Schedule(g, rushed);
+  ASSERT_NE(degraded.plan, nullptr) << degraded.status.ToString();
+  ASSERT_NE(degraded.quality, core::PlanQuality::kExact);
+
+  // The background upgrade replaces the cache entry with the exact plan.
+  for (int i = 0; i < 1000; ++i) {
+    const auto entry = service.cache().Lookup(hash);
+    ASSERT_NE(entry, nullptr);
+    if (entry->quality == core::PlanQuality::kExact) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto upgraded = service.cache().Lookup(hash);
+  ASSERT_NE(upgraded, nullptr);
+  EXPECT_EQ(upgraded->quality, core::PlanQuality::kExact);
+  EXPECT_EQ(upgraded->peak_delta_bytes, 0);
+  EXPECT_GE(service.stats().upgrades, 1u);
+
+  // A later un-rushed request observes the upgraded entry as a cache hit —
+  // bit-identical to a fresh exact run.
+  const ServeResult warm = service.Schedule(g);
+  ASSERT_NE(warm.plan, nullptr);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.quality, core::PlanQuality::kExact);
+  const core::PipelineResult fresh =
+      core::Pipeline(service.options().pipeline).Run(g);
+  EXPECT_EQ(warm.plan->result.schedule, fresh.schedule);
+  EXPECT_EQ(warm.plan->result.peak_bytes, fresh.peak_bytes);
+}
+
+TEST(SchedulerService, InjectedWorkerExceptionFailsOneRequestNotTheWorker) {
+  SchedulerService service;
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell B");
+
+  {
+    serenity::testing::ScopedFault fault(
+        serenity::testing::FaultPoint::kWorkerException);
+    const ServeResult faulted = service.Schedule(g);
+    EXPECT_EQ(faulted.plan, nullptr);
+    EXPECT_EQ(faulted.status.code(), util::StatusCode::kInternal);
+    EXPECT_NE(faulted.status.message().find("injected"), std::string::npos);
+  }
+
+  // The worker thread survived the exception and serves the next request.
+  const ServeResult ok = service.Schedule(g);
+  ASSERT_NE(ok.plan, nullptr) << ok.status.ToString();
+  EXPECT_EQ(service.stats().failures, 1u);
+}
+
+TEST(SchedulerService, InjectedSchedulerTimeoutDegradesDeterministically) {
+  SchedulerService service;
+  const graph::Graph g = Cell("SwiftNet HPD", "Cell A");
+
+  serenity::testing::ScopedFault fault(
+      serenity::testing::FaultPoint::kSchedulerTimeout);
+  RequestOptions request;
+  request.allow_degraded = true;  // no wall-clock deadline needed
+  const ServeResult r = service.Schedule(g, request);
+  ASSERT_NE(r.plan, nullptr) << r.status.ToString();
+  EXPECT_NE(r.quality, core::PlanQuality::kExact);
+  EXPECT_TRUE(r.plan->result.deadline_exceeded);
 }
 
 }  // namespace

@@ -40,11 +40,29 @@ def is_timing_field(name):
 
 
 def load_rows(path):
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
+    """Loads one BENCH_*.json payload, raising ValueError — never a raw
+    traceback — for every malformed shape a torn emission can produce."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as err:
+        raise ValueError(f"{path}: unreadable ({err.strerror})") from err
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path}: not valid JSON ({err})") from err
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: top level is {type(payload).__name__}, expected an "
+            f"object with a 'rows' list")
     rows = payload.get("rows")
+    if rows is None:
+        raise ValueError(f"{path}: missing 'rows' key")
     if not isinstance(rows, list) or not rows:
         raise ValueError(f"{path}: no rows (truncated or empty emission)")
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise ValueError(
+                f"{path}: row {index} is {type(row).__name__}, expected an "
+                f"object of metric fields")
     return rows
 
 
@@ -112,6 +130,16 @@ def main():
     parser.add_argument("--timing-alarm", type=float, default=2.0,
                         help="warn when a timing moves beyond this factor")
     args = parser.parse_args()
+
+    if not os.path.isdir(args.baselines):
+        print(f"error: baseline directory '{args.baselines}' does not exist "
+              f"(expected the committed bench/baselines checkout)",
+              file=sys.stderr)
+        return 1
+    if not os.path.isdir(args.fresh):
+        print(f"error: fresh-results directory '{args.fresh}' does not "
+              f"exist (did the bench step run?)", file=sys.stderr)
+        return 1
 
     baseline_files = sorted(
         f for f in os.listdir(args.baselines)
