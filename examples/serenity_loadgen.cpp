@@ -1,0 +1,236 @@
+// Load generator for the serve TCP front end.
+//
+//   $ build/serenity_serve --serve 0 &      # prints "serving on port N"
+//   $ build/serenity_loadgen --port N [--connections 4] [--requests 8]
+//
+// Plans a set of zoo cells over the wire, then hammers the server with
+// --connections concurrent clients, each replaying the SAME deterministic
+// request sequence (same plans, same input seeds). Verification is twofold:
+//
+//   1. bit-identity across connections — every connection's reply for
+//      request r must match connection 0's reply for request r, bit for
+//      bit. A server that leaks activations between pooled sessions, races
+//      arena reuse, or corrupts frames under concurrency fails here.
+//   2. a tolerance check against a local ReferenceExecutor run of the
+//      original (pre-rewrite) graph — catching a server that is
+//      self-consistent but wrong.
+//
+// Load sheds (kResourceExhausted) are retried after the server's
+// retry-after hint; anything else fails the run. Exit 0 = all requests
+// served and verified.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/zoo.h"
+#include "runtime/executor.h"
+#include "serialize/serialize.h"
+#include "serve/tcp_client.h"
+#include "testing/runtime_inputs.h"
+#include "testing/sink_compare.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace serenity;
+
+struct RequestSpec {
+  std::size_t plan_index = 0;
+  std::uint64_t input_seed = 0;
+};
+
+struct ConnectionReport {
+  std::string error;          // empty = clean
+  int served = 0;
+  int sheds_retried = 0;
+  std::vector<std::vector<runtime::Tensor>> sinks;  // per request
+};
+
+constexpr int kMaxShedRetries = 50;
+
+// Runs the shared request sequence on one fresh connection.
+ConnectionReport RunConnection(int port,
+                               const std::vector<serve::RemotePlan>& plans,
+                               const std::vector<graph::Graph>& graphs,
+                               const std::vector<RequestSpec>& sequence) {
+  ConnectionReport report;
+  util::StatusOr<serve::TcpClient> client = serve::TcpClient::Connect(port);
+  if (!client.ok()) {
+    report.error = client.status().ToString();
+    return report;
+  }
+  for (const RequestSpec& spec : sequence) {
+    const std::vector<runtime::Tensor> inputs =
+        serenity::testing::RandomInputsFor(graphs[spec.plan_index],
+                                           spec.input_seed);
+    util::StatusOr<std::vector<runtime::Tensor>> sinks =
+        util::UnavailableError("not attempted");
+    for (int attempt = 0; attempt <= kMaxShedRetries; ++attempt) {
+      sinks = client->Infer(plans[spec.plan_index].hash, inputs,
+                            /*deadline_seconds=*/30.0);
+      if (sinks.ok() ||
+          sinks.status().code() != util::StatusCode::kResourceExhausted) {
+        break;
+      }
+      ++report.sheds_retried;  // honor the server's back-off hint
+      const std::uint32_t backoff =
+          client->retry_after_millis() ? client->retry_after_millis() : 10;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    if (!sinks.ok()) {
+      report.error = sinks.status().ToString();
+      return report;
+    }
+    report.sinks.push_back(std::move(*sinks));
+    ++report.served;
+  }
+  return report;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--connections N] [--requests M]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  int connections = 4;
+  int requests = 8;
+  for (int a = 1; a < argc; ++a) {
+    auto next_int = [&](int* out) {
+      if (a + 1 >= argc) return false;
+      *out = std::atoi(argv[++a]);
+      return true;
+    };
+    if (std::strcmp(argv[a], "--port") == 0) {
+      if (!next_int(&port)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[a], "--connections") == 0) {
+      if (!next_int(&connections)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[a], "--requests") == 0) {
+      if (!next_int(&requests)) return Usage(argv[0]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port <= 0 || connections < 1 || requests < 1) return Usage(argv[0]);
+
+  // Plan the working set over the wire on a control connection.
+  std::vector<graph::Graph> graphs;
+  for (const char* name : {"Cell A", "Cell B", "Cell C"}) {
+    graphs.push_back(
+        models::FindBenchmarkCell("SwiftNet HPD", name).factory());
+  }
+  util::StatusOr<serve::TcpClient> control = serve::TcpClient::Connect(port);
+  if (!control.ok()) {
+    std::fprintf(stderr, "connect: %s\n", control.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<serve::RemotePlan> plans;
+  for (const graph::Graph& g : graphs) {
+    util::StatusOr<serve::RemotePlan> plan =
+        control->Plan(serialize::ToText(g));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan '%s': %s\n", g.name().c_str(),
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("planned %-24s %s arena %.1f KB\n", g.name().c_str(),
+                plan->cache_hit ? "(cache hit)" : "           ",
+                static_cast<double>(plan->arena_bytes) / 1024.0);
+    plans.push_back(*plan);
+  }
+
+  // One deterministic sequence, replayed verbatim by every connection.
+  std::vector<RequestSpec> sequence;
+  for (int r = 0; r < requests; ++r) {
+    sequence.push_back(RequestSpec{static_cast<std::size_t>(r) % plans.size(),
+                                   9000 + static_cast<std::uint64_t>(r)});
+  }
+
+  std::printf("loadgen: %d connections x %d requests against port %d\n",
+              connections, requests, port);
+  util::Stopwatch clock;
+  std::vector<ConnectionReport> reports(
+      static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      reports[static_cast<std::size_t>(c)] =
+          RunConnection(port, plans, graphs, sequence);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = clock.ElapsedSeconds();
+
+  int served = 0;
+  int sheds_retried = 0;
+  for (int c = 0; c < connections; ++c) {
+    const ConnectionReport& report = reports[static_cast<std::size_t>(c)];
+    if (!report.error.empty()) {
+      std::fprintf(stderr, "connection %d failed: %s\n", c,
+                   report.error.c_str());
+      return 1;
+    }
+    served += report.served;
+    sheds_retried += report.sheds_retried;
+  }
+
+  // Gate 1: every connection's replies are bit-identical to connection 0's.
+  for (int c = 1; c < connections; ++c) {
+    for (int r = 0; r < requests; ++r) {
+      const std::string divergence =
+          serenity::testing::DescribeSinkDivergence(
+              reports[static_cast<std::size_t>(c)]
+                  .sinks[static_cast<std::size_t>(r)],
+              reports[0].sinks[static_cast<std::size_t>(r)]);
+      if (!divergence.empty()) {
+        std::fprintf(stderr,
+                     "connection %d request %d diverged from connection 0: "
+                     "%s\n",
+                     c, r, divergence.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Gate 2: connection 0's replies agree with a local reference run of the
+  // original graph (tolerance: the server executes a rewritten twin).
+  for (int r = 0; r < requests; ++r) {
+    const RequestSpec& spec = sequence[static_cast<std::size_t>(r)];
+    const graph::Graph& g = graphs[spec.plan_index];
+    runtime::ReferenceExecutor reference(g);
+    reference.Run(serenity::testing::RandomInputsFor(g, spec.input_seed));
+    const std::vector<runtime::Tensor> expect = reference.SinkValues();
+    const std::vector<runtime::Tensor>& got =
+        reports[0].sinks[static_cast<std::size_t>(r)];
+    if (got.size() != expect.size()) {
+      std::fprintf(stderr, "request %d: %zu sinks, reference has %zu\n", r,
+                   got.size(), expect.size());
+      return 1;
+    }
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      const float diff = got[s].MaxAbsDiff(expect[s]);
+      if (!(diff <= 1e-4f)) {
+        std::fprintf(stderr, "request %d sink %zu off reference by %g\n", r,
+                     s, static_cast<double>(diff));
+        return 1;
+      }
+    }
+  }
+
+  std::printf("served %d requests in %.3f s (%.1f req/s), %d sheds retried\n",
+              served, seconds, static_cast<double>(served) / seconds,
+              sheds_retried);
+  std::printf("bit-identity: %d connections agree on all %d requests\n",
+              connections, requests);
+  util::StatusOr<std::string> stats = control->Stats();
+  if (stats.ok()) std::printf("--- server stats ---\n%s", stats->c_str());
+  return 0;
+}

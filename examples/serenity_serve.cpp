@@ -18,8 +18,20 @@
 // simply re-planned; the process exits 0 as long as every request ends up
 // with a plan, because losing one cache entry must never cost more than
 // one re-plan.
+//
+// Network mode (the front end serenity_loadgen talks to):
+//
+//   $ build/serenity_serve --serve <port> [cache_file]
+//
+// starts the TCP server (port 0 = pick an ephemeral port, printed as
+// "serving on port N"), warm-loads the cache if present, and serves until
+// SIGTERM/SIGINT — then drains gracefully: stop accepting, finish
+// in-flight requests, persist the plan cache, exit 0.
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -27,6 +39,8 @@
 #include "models/zoo.h"
 #include "serve/inference_session.h"
 #include "serve/scheduler_service.h"
+#include "serve/session_pool.h"
+#include "serve/tcp_server.h"
 #include "testing/random_graphs.h"
 #include "testing/runtime_inputs.h"
 #include "util/rng.h"
@@ -120,18 +134,86 @@ int RunWarmOnly(const std::string& cache_path) {
   return 0;
 }
 
+// --serve: run the TCP front end until SIGTERM/SIGINT, then drain.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int RunServer(int port, const std::string& cache_path) {
+  serve::ServeOptions serve_options;
+  serve_options.num_workers = 2;
+  serve::SchedulerService service(serve_options);
+  const util::StatusOr<serve::CacheLoadReport> load =
+      service.cache().LoadFromFile(cache_path);
+  if (load.ok()) {
+    std::printf("warm cache: %d plans loaded, %d quarantined\n",
+                load.value().entries_loaded,
+                load.value().entries_quarantined);
+  }
+
+  serve::SessionPool pool;
+  serve::TcpServerOptions options;
+  options.port = port;
+  serve::TcpServer server(service, pool, options);
+  const util::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  std::printf("serving on port %d\n", server.port());
+  std::fflush(stdout);  // scripts parse the port from this line
+
+  // The signal handler only flips a flag; this loop turns it into a drain.
+  while (!g_stop_requested && !server.draining()) {
+    timespec nap{0, 100 * 1000 * 1000};
+    ::nanosleep(&nap, nullptr);  // EINTR on signal re-checks the flag
+  }
+  std::printf("drain requested, finishing in-flight requests...\n");
+  server.RequestDrain();
+  server.Join();
+
+  const util::Status saved = service.cache().SaveToFile(cache_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cache save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const serve::TcpServerStats stats = server.stats();
+  const serve::SessionPoolStats pool_stats = pool.stats();
+  std::printf("drained: %llu requests served (%llu ok, %llu error), "
+              "%llu admission sheds, %llu pool sheds; cache persisted to %s\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.replies_ok),
+              static_cast<unsigned long long>(stats.replies_error),
+              static_cast<unsigned long long>(stats.admission_sheds),
+              static_cast<unsigned long long>(pool_stats.sheds),
+              cache_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool warm_only = false;
+  bool serve_mode = false;
+  int serve_port = 0;
   std::string cache_path = "/tmp/serenity_serve.cache";
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--warm-only") == 0) {
       warm_only = true;
+    } else if (std::strcmp(argv[a], "--serve") == 0 && a + 1 < argc) {
+      serve_mode = true;
+      serve_port = std::atoi(argv[++a]);
     } else {
       cache_path = argv[a];
     }
   }
+  if (serve_mode) return RunServer(serve_port, cache_path);
   if (warm_only) return RunWarmOnly(cache_path);
 
   std::size_t distinct = 0;

@@ -71,6 +71,12 @@ class ArenaExecutor {
   Tensor Value(graph::NodeId id) const;
   std::vector<Tensor> SinkValues() const;
 
+  // Wipes the arena (and the fused-cell scratch) to zeros in place — no
+  // deallocation, no reallocation — so a pooled executor can be handed to
+  // the next request without leaking the previous request's activations.
+  // The plan, views and weights are immutable and stay bound.
+  void ResetArena();
+
   const serialize::ExecutionPlan& plan() const { return plan_; }
   std::int64_t arena_bytes() const { return plan_.arena.arena_bytes; }
 

@@ -1,5 +1,7 @@
 #include "serialize/serialize.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -65,16 +67,41 @@ std::string UnescapeName(const std::string& escaped) {
   return out;
 }
 
-std::vector<std::int64_t> ParseIntList(const std::string& csv) {
-  std::vector<std::int64_t> values;
-  if (csv.empty()) return values;
+// Exception-free number parsing (untrusted input never reaches std::stoll,
+// which throws). Requires the token to be fully numeric; rejects overflow.
+bool ParseI64(const std::string& token, std::int64_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseU64(const std::string& token, std::uint64_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseIntListOr(const std::string& csv, std::vector<std::int64_t>* out) {
+  out->clear();
+  if (csv.empty()) return true;
   std::istringstream is(csv);
   std::string token;
   while (std::getline(is, token, ',')) {
-    values.push_back(std::stoll(token));
+    std::int64_t value = 0;
+    if (!ParseI64(token, &value)) return false;
+    out->push_back(value);
   }
-  return values;
+  return true;
 }
+
 
 // key=value field extraction; returns empty string if absent.
 std::string Field(const std::vector<std::string>& tokens,
@@ -119,10 +146,28 @@ std::string ToText(const graph::Graph& graph) {
 }
 
 graph::Graph FromText(const std::string& text) {
+  util::StatusOr<graph::Graph> graph = GraphFromTextOr(text);
+  SERENITY_CHECK(graph.ok()) << "malformed graph text: "
+                             << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+util::StatusOr<graph::Graph> GraphFromTextOr(const std::string& text) {
+  // Every value is range-checked before it reaches Graph::AddNode /
+  // AddBuffer, whose contracts are CHECKs — untrusted bytes must earn a
+  // kInvalidArgument, not an abort. Dimension bounds keep element counts
+  // (and therefore OutputBytes) far from int64 overflow.
+  constexpr std::int64_t kMaxDim = 1 << 20;
+  constexpr std::int64_t kMaxElements = 1ll << 31;
+  const auto bad = [](const std::string& why) {
+    return util::InvalidArgumentError("graph text: " + why);
+  };
+
   std::istringstream is(text);
   std::string line;
   graph::Graph graph;
   int buffers_declared = 0;
+  std::vector<std::int64_t> list;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
@@ -131,38 +176,71 @@ graph::Graph FromText(const std::string& text) {
     while (ls >> token) tokens.push_back(token);
     if (tokens.empty()) continue;
     if (tokens[0] == "graph") {
-      SERENITY_CHECK_GE(tokens.size(), 2u);
+      if (tokens.size() < 2u) return bad("graph record missing name");
       graph.set_name(UnescapeName(tokens[1]));
     } else if (tokens[0] == "buffer") {
-      SERENITY_CHECK_EQ(tokens.size(), 3u);
-      const graph::BufferId id =
-          static_cast<graph::BufferId>(std::stoi(tokens[1]));
-      SERENITY_CHECK_EQ(id, buffers_declared) << "buffers must be in order";
-      graph.AddBuffer(std::stoll(tokens[2]));
+      if (tokens.size() != 3u) return bad("buffer record wants id + size");
+      std::int64_t id = 0;
+      std::int64_t size_bytes = 0;
+      if (!ParseI64(tokens[1], &id) || !ParseI64(tokens[2], &size_bytes)) {
+        return bad("unparsable buffer record '" + line + "'");
+      }
+      if (id != buffers_declared) return bad("buffers must be in order");
+      if (size_bytes < 0 || size_bytes > kMaxElements * 4) {
+        return bad("buffer size out of range");
+      }
+      graph.AddBuffer(size_bytes);
       ++buffers_declared;
     } else if (tokens[0] == "node") {
-      SERENITY_CHECK_GE(tokens.size(), 7u);
+      if (tokens.size() < 7u) return bad("truncated node record");
       graph::Node node;
-      const graph::NodeId id =
-          static_cast<graph::NodeId>(std::stoi(tokens[1]));
-      SERENITY_CHECK_EQ(id, graph.num_nodes()) << "nodes must be in order";
+      std::int64_t id = 0;
+      if (!ParseI64(tokens[1], &id)) return bad("unparsable node id");
+      if (id != graph.num_nodes()) return bad("nodes must be in order");
       const auto kind_it = KindByName().find(tokens[2]);
-      SERENITY_CHECK(kind_it != KindByName().end())
-          << "unknown op kind '" << tokens[2] << "'";
+      if (kind_it == KindByName().end()) {
+        return bad("unknown op kind '" + tokens[2] + "'");
+      }
       node.kind = kind_it->second;
       const auto dtype_it = DtypeByName().find(tokens[3]);
-      SERENITY_CHECK(dtype_it != DtypeByName().end());
+      if (dtype_it == DtypeByName().end()) {
+        return bad("unknown dtype '" + tokens[3] + "'");
+      }
       node.dtype = dtype_it->second;
       node.name = UnescapeName(tokens[4]);
-      const auto shape = ParseIntList(Field(tokens, "shape"));
-      SERENITY_CHECK_EQ(shape.size(), 4u);
+      if (!ParseIntListOr(Field(tokens, "shape"), &list) ||
+          list.size() != 4u) {
+        return bad("node shape wants four integers");
+      }
+      std::int64_t elements = 1;
+      for (const std::int64_t dim : list) {
+        if (dim < 0 || dim > kMaxDim) return bad("shape dimension out of range");
+        elements *= dim;  // bounded: 4 factors of <= 2^20 fit in int64
+      }
+      if (elements > kMaxElements) return bad("shape element count too large");
       node.shape = graph::TensorShape{
-          static_cast<int>(shape[0]), static_cast<int>(shape[1]),
-          static_cast<int>(shape[2]), static_cast<int>(shape[3])};
-      node.buffer =
-          static_cast<graph::BufferId>(std::stoll(Field(tokens, "buffer")));
-      for (const std::int64_t i : ParseIntList(Field(tokens, "inputs"))) {
-        node.inputs.push_back(static_cast<graph::NodeId>(i));
+          static_cast<int>(list[0]), static_cast<int>(list[1]),
+          static_cast<int>(list[2]), static_cast<int>(list[3])};
+      std::int64_t buffer = 0;
+      if (!ParseI64(Field(tokens, "buffer"), &buffer)) {
+        return bad("unparsable node buffer id");
+      }
+      if (buffer == graph::kInvalidBuffer) {
+        if (graph::MayAliasBuffer(node.kind)) {
+          return bad("aliasing node without an explicit buffer");
+        }
+      } else if (buffer < 0 || buffer >= buffers_declared) {
+        return bad("node buffer id out of range");
+      }
+      node.buffer = static_cast<graph::BufferId>(buffer);
+      if (!ParseIntListOr(Field(tokens, "inputs"), &list)) {
+        return bad("unparsable node inputs");
+      }
+      for (const std::int64_t input : list) {
+        if (input < 0 || input >= graph.num_nodes()) {
+          return bad("node input id out of range");
+        }
+        node.inputs.push_back(static_cast<graph::NodeId>(input));
       }
       const std::string conv = Field(tokens, "conv");
       if (!conv.empty()) {
@@ -170,39 +248,64 @@ graph::Graph FromText(const std::string& text) {
         std::string part;
         std::vector<std::string> parts;
         while (std::getline(cs, part, ',')) parts.push_back(part);
-        SERENITY_CHECK_EQ(parts.size(), 5u);
-        node.conv.kernel_h = std::stoi(parts[0]);
-        node.conv.kernel_w = std::stoi(parts[1]);
-        node.conv.stride = std::stoi(parts[2]);
-        node.conv.dilation = std::stoi(parts[3]);
+        if (parts.size() != 5u) return bad("conv attrs want five fields");
+        std::int64_t attrs[4] = {0, 0, 0, 0};
+        for (int i = 0; i < 4; ++i) {
+          if (!ParseI64(parts[static_cast<std::size_t>(i)], &attrs[i]) ||
+              attrs[i] < 0 || attrs[i] > kMaxDim) {
+            return bad("conv attr out of range");
+          }
+        }
+        node.conv.kernel_h = static_cast<int>(attrs[0]);
+        node.conv.kernel_w = static_cast<int>(attrs[1]);
+        node.conv.stride = static_cast<int>(attrs[2]);
+        node.conv.dilation = static_cast<int>(attrs[3]);
+        if (parts[4] != "same" && parts[4] != "valid") {
+          return bad("conv padding wants same|valid");
+        }
         node.conv.padding = parts[4] == "same" ? graph::Padding::kSame
                                                : graph::Padding::kValid;
       }
-      const auto int_field = [&](const char* key, auto setter) {
+      bool fields_ok = true;
+      const auto int_field = [&](const char* key, std::int64_t lo,
+                                 std::int64_t hi, auto setter) {
         const std::string value = Field(tokens, key);
-        if (!value.empty()) setter(std::stoll(value));
+        if (value.empty()) return;
+        std::int64_t v = 0;
+        if (!ParseI64(value, &v) || v < lo || v > hi) {
+          fields_ok = false;
+          return;
+        }
+        setter(v);
       };
-      int_field("coff", [&](std::int64_t v) {
+      int_field("coff", 0, kMaxDim, [&](std::int64_t v) {
         node.buffer_channel_offset = static_cast<int>(v);
       });
       const std::string wseed = Field(tokens, "wseed");
-      if (!wseed.empty()) node.weight_seed = std::stoull(wseed);
-      int_field("wic", [&](std::int64_t v) {
+      if (!wseed.empty() && !ParseU64(wseed, &node.weight_seed)) {
+        return bad("unparsable weight seed");
+      }
+      int_field("wic", 0, kMaxDim, [&](std::int64_t v) {
         node.weight_in_channels = static_cast<int>(v);
       });
-      int_field("woff", [&](std::int64_t v) {
+      int_field("woff", 0, kMaxDim, [&](std::int64_t v) {
         node.in_channel_offset = static_cast<int>(v);
       });
-      int_field("wcount", [&](std::int64_t v) { node.weight_count = v; });
-      int_field("axis", [&](std::int64_t v) {
+      int_field("wcount", 0, kMaxElements,
+                [&](std::int64_t v) { node.weight_count = v; });
+      int_field("axis", 0, 3, [&](std::int64_t v) {
         node.concat_axis = static_cast<int>(v);
       });
+      if (!fields_ok) return bad("node attribute out of range");
       graph.AddNode(std::move(node));
     } else {
-      SERENITY_CHECK(false) << "unknown record '" << tokens[0] << "'";
+      return bad("unknown record '" + tokens[0] + "'");
     }
   }
-  graph.ValidateOrDie();
+  std::vector<std::string> problems = graph.Validate();
+  if (!problems.empty()) {
+    return bad("validation failed: " + problems.front());
+  }
   return graph;
 }
 

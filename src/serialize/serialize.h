@@ -17,6 +17,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace serenity::serialize {
 
@@ -25,8 +26,17 @@ std::string ToText(const graph::Graph& graph);
 void WriteText(const graph::Graph& graph, std::ostream& os);
 
 // Parses a graph from the text format. Dies (SERENITY_CHECK) on malformed
-// input; validates the result.
+// input; validates the result. For trusted inputs (files this process
+// wrote, test fixtures).
 graph::Graph FromText(const std::string& text);
+
+// The same parse for *untrusted* bytes (the serve wire path): malformed
+// records, unparsable numbers, out-of-range ids, absurd shapes and
+// structurally invalid graphs all come back as kInvalidArgument — never an
+// abort, never a thrown exception. Every id is range-checked here, before
+// Graph::AddNode/AddBuffer (whose contracts are CHECKs), and the result is
+// graph::Validate()d.
+util::StatusOr<graph::Graph> GraphFromTextOr(const std::string& text);
 
 // Graphviz DOT rendering (topology + per-node tensor sizes).
 std::string ToDot(const graph::Graph& graph);

@@ -63,6 +63,8 @@ void InferenceSession::Run(const std::vector<runtime::Tensor>& inputs) {
   ++inferences_;
 }
 
+void InferenceSession::Reset() { executor_->ResetArena(); }
+
 void InferenceSession::RunBatch(
     const std::vector<std::vector<runtime::Tensor>>& batch) {
   for (const std::vector<runtime::Tensor>& inputs : batch) Run(inputs);

@@ -72,6 +72,13 @@ class InferenceSession {
   // deployment model: one arena, many inferences).
   void RunBatch(const std::vector<std::vector<runtime::Tensor>>& batch);
 
+  // Wipes the arena in place — no deallocation, no reallocation — so the
+  // session can be pooled and handed to the next request without leaking
+  // the previous request's activations (serve/session_pool.h returns every
+  // lease through here). The plan binding and the cumulative inference
+  // counter survive; performs no heap allocation.
+  void Reset();
+
   // The scheduled (possibly rewritten) graph inferences execute against —
   // build inputs and read sinks relative to *this* graph.
   const graph::Graph& graph() const { return plan_->result.scheduled_graph; }

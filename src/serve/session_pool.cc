@@ -1,0 +1,219 @@
+#include "serve/session_pool.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "testing/fault_injection.h"
+#include "util/logging.h"
+
+namespace serenity::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+util::Status ShedStatus(const char* why) {
+  return util::ResourceExhaustedError(
+      std::string("session checkout shed: ") + why);
+}
+
+}  // namespace
+
+SessionPool::SessionPool(SessionPoolOptions options)
+    : options_(std::move(options)) {
+  SERENITY_CHECK_GT(options_.max_total_arena_bytes, 0);
+  SERENITY_CHECK_GT(options_.max_sessions_per_plan, 0);
+}
+
+SessionPool::~SessionPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SERENITY_CHECK_EQ(leased_, 0u)
+      << "SessionPool destroyed with live leases";
+}
+
+SessionPool::Lease& SessionPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && session_ != nullptr) {
+      pool_->Return(std::move(session_));
+    }
+    pool_ = other.pool_;
+    session_ = std::move(other.session_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+SessionPool::Lease::~Lease() {
+  if (pool_ != nullptr && session_ != nullptr) {
+    pool_->Return(std::move(session_));
+  }
+}
+
+void SessionPool::TouchLocked(const graph::GraphHash& hash, PlanPool& pool) {
+  // Most recently touched moves to the back; EvictIdleForLocked scans from
+  // the front. splice reuses the list node — no allocation on this path.
+  if (pool.in_lru) {
+    idle_lru_.splice(idle_lru_.end(), idle_lru_, pool.lru_pos);
+  } else {
+    pool.lru_pos = idle_lru_.insert(idle_lru_.end(), hash);
+    pool.in_lru = true;
+  }
+}
+
+bool SessionPool::EvictIdleForLocked(const graph::GraphHash& keep,
+                                     std::int64_t needed) {
+  auto it = idle_lru_.begin();
+  while (arena_bytes_pooled_ + needed > options_.max_total_arena_bytes &&
+         it != idle_lru_.end()) {
+    if (*it == keep) {
+      ++it;
+      continue;
+    }
+    auto pools_it = pools_.find(*it);
+    SERENITY_CHECK(pools_it != pools_.end());
+    PlanPool& victim = pools_it->second;
+    if (victim.idle.empty()) {
+      ++it;
+      continue;
+    }
+    std::unique_ptr<InferenceSession> evicted =
+        std::move(victim.idle.back());
+    victim.idle.pop_back();
+    victim.live -= 1;
+    arena_bytes_pooled_ -= evicted->arena_bytes();
+    counters_.evictions += 1;
+    if (victim.idle.empty()) {
+      // Keep the LRU node (re-insertion on the next return would allocate);
+      // just advance past it. Empty entries are skipped above.
+      ++it;
+    }
+    // `evicted` destructs here: pure deallocation, safe under the lock.
+  }
+  return arena_bytes_pooled_ + needed <= options_.max_total_arena_bytes;
+}
+
+util::StatusOr<SessionPool::Lease> SessionPool::Checkout(
+    std::shared_ptr<const CachedPlan> plan, double timeout_seconds) {
+  if (plan == nullptr) {
+    return util::InvalidArgumentError("checkout requires a plan");
+  }
+  const std::int64_t need = plan->plan.arena.arena_bytes;
+  if (testing::FaultTriggered(testing::FaultPoint::kSessionCheckout)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.sheds += 1;
+    return ShedStatus("injected pooled-arena exhaustion");
+  }
+  if (need > options_.max_total_arena_bytes) {
+    // This plan's single arena can never fit under the cap: fail fast, a
+    // wait could not help.
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.sheds += 1;
+    return ShedStatus("plan arena exceeds the pool byte cap");
+  }
+
+  const bool fail_fast = timeout_seconds <= 0;
+  const bool wait_forever = std::isinf(timeout_seconds);
+  const Clock::time_point deadline =
+      (fail_fast || wait_forever)
+          ? Clock::time_point::max()
+          : Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(timeout_seconds));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto [pools_it, inserted] = pools_.try_emplace(plan->hash);
+  PlanPool& pool = pools_it->second;
+  if (inserted) {
+    // One-time reservation so the steady-state return push_back (and the
+    // checkout pop_back) never touch the allocator.
+    pool.idle.reserve(static_cast<std::size_t>(options_.max_sessions_per_plan));
+  }
+
+  bool counted_wait = false;
+  while (true) {
+    // 1. Reuse an idle session of this plan.
+    if (!pool.idle.empty()) {
+      std::unique_ptr<InferenceSession> session = std::move(pool.idle.back());
+      pool.idle.pop_back();
+      leased_ += 1;
+      counters_.checkouts += 1;
+      counters_.reuses += 1;
+      return Lease(this, std::move(session));
+    }
+
+    // 2. Build a new session if both caps allow (evicting other plans' idle
+    //    sessions to make byte room).
+    if (pool.live < options_.max_sessions_per_plan &&
+        EvictIdleForLocked(plan->hash, need)) {
+      // Account first so concurrent checkouts see the bytes as taken, then
+      // construct outside the lock (arena allocation + weight
+      // materialization are the expensive part).
+      pool.live += 1;
+      arena_bytes_pooled_ += need;
+      lock.unlock();
+      util::StatusOr<InferenceSession> session =
+          InferenceSession::Create(plan, options_.session);
+      lock.lock();
+      if (!session.ok()) {
+        pool.live -= 1;
+        arena_bytes_pooled_ -= need;
+        counters_.sheds += 1;
+        returned_.notify_all();  // the undone bytes may unblock a waiter
+        return session.status();
+      }
+      leased_ += 1;
+      counters_.checkouts += 1;
+      counters_.creations += 1;
+      return Lease(this,
+                   std::make_unique<InferenceSession>(std::move(*session)));
+    }
+
+    // 3. Saturated: shed or wait for a return, bounded by the deadline.
+    if (fail_fast) {
+      counters_.sheds += 1;
+      return ShedStatus("pool saturated and the request had no wait budget");
+    }
+    if (!counted_wait) {
+      counters_.waits += 1;
+      counted_wait = true;
+    }
+    if (wait_forever) {
+      returned_.wait(lock);
+    } else if (returned_.wait_until(lock, deadline) ==
+               std::cv_status::timeout) {
+      counters_.sheds += 1;
+      return ShedStatus("pool saturated past the request deadline");
+    }
+  }
+}
+
+void SessionPool::Return(std::unique_ptr<InferenceSession> session) {
+  // Wipe outside the lock — a large arena memset must not serialize other
+  // checkouts — then hand the clean session back.
+  session->Reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto pools_it = pools_.find(session->plan().hash);
+  SERENITY_CHECK(pools_it != pools_.end())
+      << "returned a session the pool never issued";
+  PlanPool& pool = pools_it->second;
+  SERENITY_CHECK_LT(pool.idle.size(), pool.idle.capacity())
+      << "more returns than issued leases";
+  pool.idle.push_back(std::move(session));
+  TouchLocked(pools_it->first, pool);
+  SERENITY_CHECK_GT(leased_, 0u);
+  leased_ -= 1;
+  counters_.returns += 1;
+  returned_.notify_all();
+}
+
+SessionPoolStats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionPoolStats out = counters_;
+  out.sessions_leased = leased_;
+  std::uint64_t idle = 0;
+  for (const auto& [hash, pool] : pools_) idle += pool.idle.size();
+  out.sessions_idle = idle;
+  out.arena_bytes_pooled = arena_bytes_pooled_;
+  return out;
+}
+
+}  // namespace serenity::serve

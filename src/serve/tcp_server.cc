@@ -1,0 +1,495 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "serialize/serialize.h"
+#include "util/logging.h"
+
+namespace serenity::serve {
+namespace {
+
+// Drain responsiveness: the connection loop polls in slices this long, so
+// an idle connection notices a drain within one slice.
+constexpr double kPollSliceSeconds = 0.25;
+// Budget for best-effort shed replies sent outside the worker loop.
+constexpr double kShedWriteSeconds = 1.0;
+
+util::StatusCode ClampCode(util::StatusCode code) {
+  return code == util::StatusCode::kOk ? util::StatusCode::kInternal : code;
+}
+
+// Tensor body codec: u32 n,h,w,c then the bit-exact f32 payload. Mirrored
+// by serve::TcpClient — change both or neither (DESIGN.md "Wire protocol").
+void AppendTensor(std::string* out, const runtime::Tensor& tensor) {
+  const graph::TensorShape& s = tensor.shape();
+  wire::AppendU32(out, static_cast<std::uint32_t>(s.n));
+  wire::AppendU32(out, static_cast<std::uint32_t>(s.h));
+  wire::AppendU32(out, static_cast<std::uint32_t>(s.w));
+  wire::AppendU32(out, static_cast<std::uint32_t>(s.c));
+  wire::AppendF32Array(out, tensor.data(),
+                       static_cast<std::uint32_t>(tensor.size()));
+}
+
+}  // namespace
+
+TcpServer::TcpServer(SchedulerService& service, SessionPool& pool,
+                     TcpServerOptions options)
+    : service_(service), pool_(pool), options_(std::move(options)) {
+  SERENITY_CHECK_GT(options_.num_workers, 0);
+  SERENITY_CHECK_GE(options_.max_pending, 0);
+}
+
+TcpServer::~TcpServer() {
+  if (started_ && !joined_) {
+    RequestDrain();
+    Join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+util::Status TcpServer::Start() {
+  SERENITY_CHECK(!started_) << "Start called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::UnavailableError(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const util::Status status = util::UnavailableError(
+        "bind to port " + std::to_string(options_.port) + ": " +
+        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const util::Status status =
+        util::UnavailableError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return util::OkStatus();
+}
+
+void TcpServer::RequestDrain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unblocks the accept loop: on Linux, shutdown on a listening socket
+  // makes a blocked accept return with an error.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_ready_.notify_all();
+}
+
+void TcpServer::Join() {
+  if (!started_ || joined_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accept_done_ = true;
+  }
+  queue_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  joined_ = true;
+}
+
+void TcpServer::SendShedAndClose(int fd, const char* why,
+                                 std::uint64_t TcpServerStats::* counter) {
+  wire::Reply reply;
+  reply.code = draining_.load(std::memory_order_acquire)
+                   ? util::StatusCode::kUnavailable
+                   : util::StatusCode::kResourceExhausted;
+  reply.retry_after_millis = options_.retry_after_millis;
+  reply.message = why;
+  // Best-effort: a shed peer that also stopped reading just loses the hint.
+  (void)wire::WriteFrame(fd, wire::EncodeReply(reply), kShedWriteSeconds,
+                         options_.max_frame_bytes);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.*counter += 1;
+  counters_.replies_error += 1;
+}
+
+void TcpServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EINVAL/EBADF: the listen socket was shut down for drain. Anything
+      // else on a healthy socket is transient (EMFILE, ECONNABORTED).
+      if (draining_.load(std::memory_order_acquire)) break;
+      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.accepted += 1;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.drain_rejects += 1;
+      // Close without a reply: drain shutdown already raced this accept.
+      ::close(fd);
+      continue;
+    }
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (static_cast<int>(pending_.size()) < options_.max_pending) {
+        pending_.push_back(fd);
+        counters_.admitted += 1;
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_ready_.notify_one();
+    } else {
+      SendShedAndClose(fd, "admission queue full",
+                       &TcpServerStats::admission_sheds);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accept_done_ = true;
+  }
+  queue_ready_.notify_all();
+}
+
+void TcpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_ready_.wait(lock,
+                        [this] { return !pending_.empty() || accept_done_; });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else {
+        return;  // accept loop gone and nothing queued
+      }
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      SendShedAndClose(fd, "server draining", &TcpServerStats::drain_rejects);
+      continue;
+    }
+    ServeConnection(fd);
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  const auto bump = [this](std::uint64_t TcpServerStats::* field) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.*field += 1;
+  };
+  double idle_left = options_.idle_timeout_seconds;
+  while (true) {
+    if (draining_.load(std::memory_order_acquire)) break;
+    const double slice = std::min(kPollSliceSeconds, idle_left);
+    util::StatusOr<bool> readable = wire::WaitReadable(fd, slice);
+    if (!readable.ok()) {
+      bump(&TcpServerStats::timeout_closes);
+      break;
+    }
+    if (!*readable) {
+      idle_left -= slice;
+      if (idle_left <= 0) {
+        bump(&TcpServerStats::idle_closes);
+        break;
+      }
+      continue;
+    }
+    // Data is ready: the frame has effectively begun, so both phases of
+    // ReadFrame run under the frame budget.
+    util::StatusOr<std::string> frame =
+        wire::ReadFrame(fd, options_.max_frame_bytes,
+                        options_.frame_timeout_seconds,
+                        options_.frame_timeout_seconds);
+    if (!frame.ok()) {
+      if (frame.status().code() == util::StatusCode::kUnavailable) {
+        // Peer closed or reset: the normal end of a persistent connection.
+        break;
+      }
+      if (frame.status().code() == util::StatusCode::kDeadlineExceeded) {
+        bump(&TcpServerStats::timeout_closes);
+        break;
+      }
+      // Oversize, empty or corrupt frame: answer with the structured error
+      // (best-effort) and cut the connection — the stream cannot be
+      // resynchronized after a damaged frame.
+      bump(&TcpServerStats::bad_frames);
+      wire::Reply reply;
+      reply.code = ClampCode(frame.status().code());
+      reply.message = frame.status().message();
+      (void)wire::WriteFrame(fd, wire::EncodeReply(reply), kShedWriteSeconds,
+                             options_.max_frame_bytes);
+      bump(&TcpServerStats::replies_error);
+      break;
+    }
+    idle_left = options_.idle_timeout_seconds;
+    util::StatusOr<wire::Request> request = wire::DecodeRequest(*frame);
+    wire::Reply reply;
+    if (!request.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.bad_frames += 1;
+    }
+    if (request.ok()) {
+      bump(&TcpServerStats::requests);
+      reply = Handle(*request);
+    } else {
+      reply.code = ClampCode(request.status().code());
+      reply.message = request.status().message();
+    }
+    const util::Status wrote =
+        wire::WriteFrame(fd, wire::EncodeReply(reply),
+                         options_.write_timeout_seconds,
+                         options_.max_frame_bytes);
+    if (!wrote.ok()) {
+      bump(&TcpServerStats::timeout_closes);
+      break;
+    }
+    bump(reply.code == util::StatusCode::kOk ? &TcpServerStats::replies_ok
+                                             : &TcpServerStats::replies_error);
+    if (!request.ok()) break;  // undecodable stream: close after the reply
+  }
+  ::close(fd);
+}
+
+wire::Reply TcpServer::Handle(const wire::Request& request) {
+  wire::Reply reply;
+  switch (request.verb) {
+    case wire::Verb::kHealth:
+      reply.body = draining() ? "draining" : "ok";
+      return reply;
+    case wire::Verb::kDrain:
+      RequestDrain();
+      reply.body = "draining";
+      return reply;
+    case wire::Verb::kStats:
+      return HandleStats();
+    case wire::Verb::kPlan:
+    case wire::Verb::kInfer:
+      if (draining()) {
+        reply.code = util::StatusCode::kUnavailable;
+        reply.retry_after_millis = options_.retry_after_millis;
+        reply.message = "server draining";
+        return reply;
+      }
+      return request.verb == wire::Verb::kPlan ? HandlePlan(request)
+                                               : HandleInfer(request);
+  }
+  reply.code = util::StatusCode::kInvalidArgument;
+  reply.message = "unknown verb";
+  return reply;
+}
+
+wire::Reply TcpServer::HandlePlan(const wire::Request& request) {
+  wire::Reply reply;
+  util::StatusOr<graph::Graph> graph =
+      serialize::GraphFromTextOr(request.body);
+  if (!graph.ok()) {
+    reply.code = ClampCode(graph.status().code());
+    reply.message = graph.status().message();
+    return reply;
+  }
+  RequestOptions options;
+  if (request.deadline_seconds > 0) {
+    options.deadline_seconds = request.deadline_seconds;
+  }
+  options.allow_degraded = request.allow_degraded;
+  const ServeResult result = service_.Schedule(*graph, options);
+  if (result.plan == nullptr) {
+    reply.code = ClampCode(result.status.code());
+    reply.message = result.status.message();
+    if (reply.code == util::StatusCode::kResourceExhausted) {
+      reply.retry_after_millis = options_.retry_after_millis;
+    }
+    return reply;
+  }
+  wire::AppendU64(&reply.body, result.hash.hi);
+  wire::AppendU64(&reply.body, result.hash.lo);
+  wire::AppendU8(&reply.body, static_cast<std::uint8_t>(result.quality));
+  wire::AppendU8(&reply.body, result.cache_hit ? 1 : 0);
+  wire::AppendU64(&reply.body, static_cast<std::uint64_t>(
+                                   result.plan->plan.arena.arena_bytes));
+  return reply;
+}
+
+wire::Reply TcpServer::HandleInfer(const wire::Request& request) {
+  wire::Reply reply;
+  const auto fail = [&reply](util::StatusCode code, std::string message) {
+    reply.code = code;
+    reply.message = std::move(message);
+    return reply;
+  };
+
+  wire::ByteReader reader(request.body);
+  graph::GraphHash hash;
+  std::uint32_t num_inputs = 0;
+  util::Status parsed = reader.ReadU64(&hash.hi);
+  if (parsed.ok()) parsed = reader.ReadU64(&hash.lo);
+  if (parsed.ok()) parsed = reader.ReadU32(&num_inputs);
+  if (!parsed.ok()) {
+    return fail(util::StatusCode::kInvalidArgument, parsed.message());
+  }
+
+  std::shared_ptr<const CachedPlan> plan = service_.cache().Lookup(hash);
+  if (plan == nullptr) {
+    return fail(util::StatusCode::kNotFound,
+                "unknown plan hash " + hash.ToHex() +
+                    "; send the graph via the plan verb first");
+  }
+
+  // Validate the wire inputs against the scheduled graph's kInput nodes
+  // *before* touching the pool: shape mismatches must never reach
+  // ArenaExecutor::Run, whose contract is a CHECK.
+  const graph::Graph& graph = plan->result.scheduled_graph;
+  std::vector<const graph::Node*> input_nodes;
+  for (const graph::Node& node : graph.nodes()) {
+    if (node.kind == graph::OpKind::kInput) input_nodes.push_back(&node);
+  }
+  if (num_inputs != input_nodes.size()) {
+    return fail(util::StatusCode::kInvalidArgument,
+                "graph wants " + std::to_string(input_nodes.size()) +
+                    " input tensors, request carries " +
+                    std::to_string(num_inputs));
+  }
+  std::vector<runtime::Tensor> inputs;
+  inputs.reserve(input_nodes.size());
+  for (const graph::Node* node : input_nodes) {
+    std::uint32_t dims[4];
+    for (std::uint32_t& d : dims) {
+      parsed = reader.ReadU32(&d);
+      if (!parsed.ok()) {
+        return fail(util::StatusCode::kInvalidArgument, parsed.message());
+      }
+    }
+    const graph::TensorShape& want = node->shape;
+    if (dims[0] != static_cast<std::uint32_t>(want.n) ||
+        dims[1] != static_cast<std::uint32_t>(want.h) ||
+        dims[2] != static_cast<std::uint32_t>(want.w) ||
+        dims[3] != static_cast<std::uint32_t>(want.c)) {
+      return fail(util::StatusCode::kInvalidArgument,
+                  "input tensor shape mismatch for node '" + node->name +
+                      "'");
+    }
+    runtime::Tensor tensor(want);
+    parsed = reader.ReadF32Array(tensor.data(),
+                                 static_cast<std::uint32_t>(tensor.size()));
+    if (!parsed.ok()) {
+      return fail(util::StatusCode::kInvalidArgument, parsed.message());
+    }
+    inputs.push_back(std::move(tensor));
+  }
+  if (!reader.exhausted()) {
+    return fail(util::StatusCode::kInvalidArgument,
+                "trailing bytes after the input tensors");
+  }
+
+  // The client's budget bounds the checkout wait — a request that cannot
+  // get a session before its deadline is shed now, not served late.
+  const double wait = request.deadline_seconds > 0
+                          ? request.deadline_seconds
+                          : options_.default_checkout_wait_seconds;
+  util::StatusOr<SessionPool::Lease> lease = pool_.Checkout(plan, wait);
+  if (!lease.ok()) {
+    reply.code = ClampCode(lease.status().code());
+    reply.message = lease.status().message();
+    if (reply.code == util::StatusCode::kResourceExhausted) {
+      reply.retry_after_millis = options_.retry_after_millis;
+    }
+    return reply;
+  }
+  (*lease)->Run(inputs);
+  const std::vector<runtime::Tensor> sinks = (*lease)->executor().SinkValues();
+  wire::AppendU32(&reply.body, static_cast<std::uint32_t>(sinks.size()));
+  for (const runtime::Tensor& sink : sinks) AppendTensor(&reply.body, sink);
+  return reply;
+}
+
+wire::Reply TcpServer::HandleStats() {
+  wire::Reply reply;
+  const ServiceStats service = service_.stats();
+  const SessionPoolStats pool = pool_.stats();
+  TcpServerStats server;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    server = counters_;
+  }
+  server.draining = draining();
+  std::ostringstream os;
+  os << "server.accepted " << server.accepted << "\n"
+     << "server.admitted " << server.admitted << "\n"
+     << "server.admission_sheds " << server.admission_sheds << "\n"
+     << "server.drain_rejects " << server.drain_rejects << "\n"
+     << "server.requests " << server.requests << "\n"
+     << "server.replies_ok " << server.replies_ok << "\n"
+     << "server.replies_error " << server.replies_error << "\n"
+     << "server.bad_frames " << server.bad_frames << "\n"
+     << "server.idle_closes " << server.idle_closes << "\n"
+     << "server.timeout_closes " << server.timeout_closes << "\n"
+     << "server.draining " << (server.draining ? 1 : 0) << "\n"
+     << "pool.checkouts " << pool.checkouts << "\n"
+     << "pool.reuses " << pool.reuses << "\n"
+     << "pool.creations " << pool.creations << "\n"
+     << "pool.returns " << pool.returns << "\n"
+     << "pool.waits " << pool.waits << "\n"
+     << "pool.sheds " << pool.sheds << "\n"
+     << "pool.evictions " << pool.evictions << "\n"
+     << "pool.sessions_idle " << pool.sessions_idle << "\n"
+     << "pool.sessions_leased " << pool.sessions_leased << "\n"
+     << "pool.arena_bytes_pooled " << pool.arena_bytes_pooled << "\n"
+     << "service.requests " << service.requests << "\n"
+     << "service.cache_hits " << service.cache_hits << "\n"
+     << "service.coalesced " << service.coalesced << "\n"
+     << "service.planned " << service.planned << "\n"
+     << "service.failures " << service.failures << "\n"
+     << "service.degraded_plans " << service.degraded_plans << "\n"
+     << "cache.entries " << service.cache.entries << "\n"
+     << "cache.bytes_in_use " << service.cache.bytes_in_use << "\n";
+  reply.body = os.str();
+  return reply;
+}
+
+TcpServerStats TcpServer::stats() const {
+  TcpServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = counters_;
+  }
+  out.draining = draining();
+  return out;
+}
+
+}  // namespace serenity::serve

@@ -1,0 +1,407 @@
+#include "serve/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "testing/fault_injection.h"
+#include "util/crc32.h"
+
+namespace serenity::serve::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point DeadlineFrom(double timeout_seconds) {
+  if (!(timeout_seconds < std::numeric_limits<double>::infinity())) {
+    return Clock::time_point::max();
+  }
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                timeout_seconds < 0 ? 0 : timeout_seconds));
+}
+
+// Remaining budget in whole milliseconds for poll(); -1 = infinite.
+int PollMillis(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;  // re-poll; keeps int range sane
+  return static_cast<int>(left.count());
+}
+
+util::Status ErrnoError(const char* what) {
+  return util::UnavailableError(std::string(what) + ": " +
+                                std::strerror(errno));
+}
+
+util::Status SendAllUntil(int fd, const char* data, std::size_t len,
+                          Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const int wait = PollMillis(deadline);
+    if (wait == 0 && deadline <= Clock::now()) {
+      return util::DeadlineExceededError("socket write timed out");
+    }
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("poll(POLLOUT)");
+    }
+    if (ready == 0) {
+      return util::DeadlineExceededError("socket write timed out");
+    }
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return util::UnavailableError("connection closed by peer");
+      }
+      return ErrnoError("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return util::OkStatus();
+}
+
+util::Status RecvAllUntil(int fd, char* data, std::size_t len,
+                          Clock::time_point deadline, bool* got_any) {
+  std::size_t received = 0;
+  while (received < len) {
+    const int wait = PollMillis(deadline);
+    if (wait == 0 && deadline <= Clock::now()) {
+      return util::DeadlineExceededError("socket read timed out");
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("poll(POLLIN)");
+    }
+    if (ready == 0) {
+      return util::DeadlineExceededError("socket read timed out");
+    }
+    const ssize_t n = ::recv(fd, data + received, len - received, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == ECONNRESET) {
+        return util::UnavailableError("connection reset by peer");
+      }
+      return ErrnoError("recv");
+    }
+    if (n == 0) {
+      return util::UnavailableError("connection closed by peer");
+    }
+    received += static_cast<std::size_t>(n);
+    if (got_any != nullptr) *got_any = true;
+  }
+  return util::OkStatus();
+}
+
+}  // namespace
+
+const char* ToString(Verb verb) {
+  switch (verb) {
+    case Verb::kPlan: return "plan";
+    case Verb::kInfer: return "infer";
+    case Verb::kStats: return "stats";
+    case Verb::kHealth: return "health";
+    case Verb::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+void AppendU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendBytes(std::string* out, const std::string& bytes) {
+  AppendU32(out, static_cast<std::uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+void AppendF32Array(std::string* out, const float* values,
+                    std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AppendU32(out, std::bit_cast<std::uint32_t>(values[i]));
+  }
+}
+
+util::Status ByteReader::ReadU8(std::uint8_t* v) {
+  if (remaining() < 1) {
+    return util::InvalidArgumentError("truncated payload: u8 missing");
+  }
+  *v = static_cast<std::uint8_t>(data_[pos_++]);
+  return util::OkStatus();
+}
+
+util::Status ByteReader::ReadU32(std::uint32_t* v) {
+  if (remaining() < 4) {
+    return util::InvalidArgumentError("truncated payload: u32 missing");
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  *v = value;
+  return util::OkStatus();
+}
+
+util::Status ByteReader::ReadU64(std::uint64_t* v) {
+  if (remaining() < 8) {
+    return util::InvalidArgumentError("truncated payload: u64 missing");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  *v = value;
+  return util::OkStatus();
+}
+
+util::Status ByteReader::ReadBytes(std::string* bytes) {
+  std::uint32_t len = 0;
+  SERENITY_RETURN_IF_ERROR(ReadU32(&len));
+  if (remaining() < len) {
+    return util::InvalidArgumentError(
+        "truncated payload: declared " + std::to_string(len) +
+        " bytes, only " + std::to_string(remaining()) + " present");
+  }
+  bytes->assign(data_, pos_, len);
+  pos_ += len;
+  return util::OkStatus();
+}
+
+util::Status ByteReader::ReadF32Array(float* out, std::uint32_t count) {
+  if (remaining() < static_cast<std::size_t>(count) * 4) {
+    return util::InvalidArgumentError(
+        "truncated payload: float array under-run");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t bits = 0;
+    SERENITY_RETURN_IF_ERROR(ReadU32(&bits));
+    out[i] = std::bit_cast<float>(bits);
+  }
+  return util::OkStatus();
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload;
+  AppendU8(&payload, static_cast<std::uint8_t>(request.verb));
+  std::uint32_t deadline_millis = 0;
+  if (request.deadline_seconds > 0 &&
+      request.deadline_seconds < std::numeric_limits<double>::infinity()) {
+    const double millis = request.deadline_seconds * 1e3;
+    deadline_millis = millis >= 4e9 ? 0xFFFFFFFFu
+                                    : static_cast<std::uint32_t>(millis) + 1;
+  }
+  AppendU32(&payload, deadline_millis);
+  AppendU8(&payload, request.allow_degraded ? 1 : 0);
+  payload.append(request.body);
+  return payload;
+}
+
+util::StatusOr<Request> DecodeRequest(const std::string& payload) {
+  ByteReader reader(payload);
+  std::uint8_t verb = 0;
+  std::uint32_t deadline_millis = 0;
+  std::uint8_t flags = 0;
+  SERENITY_RETURN_IF_ERROR(reader.ReadU8(&verb));
+  SERENITY_RETURN_IF_ERROR(reader.ReadU32(&deadline_millis));
+  SERENITY_RETURN_IF_ERROR(reader.ReadU8(&flags));
+  if (verb < static_cast<std::uint8_t>(Verb::kPlan) ||
+      verb > static_cast<std::uint8_t>(Verb::kDrain)) {
+    return util::InvalidArgumentError("unknown verb " + std::to_string(verb));
+  }
+  Request request;
+  request.verb = static_cast<Verb>(verb);
+  request.deadline_seconds =
+      deadline_millis == 0 ? 0 : static_cast<double>(deadline_millis) / 1e3;
+  request.allow_degraded = (flags & 1) != 0;
+  request.body = payload.substr(payload.size() - reader.remaining());
+  return request;
+}
+
+std::string EncodeReply(const Reply& reply) {
+  std::string payload;
+  AppendU8(&payload, static_cast<std::uint8_t>(reply.code));
+  AppendU32(&payload, reply.retry_after_millis);
+  AppendBytes(&payload, reply.message);
+  payload.append(reply.body);
+  return payload;
+}
+
+util::StatusOr<Reply> DecodeReply(const std::string& payload) {
+  ByteReader reader(payload);
+  std::uint8_t code = 0;
+  Reply reply;
+  SERENITY_RETURN_IF_ERROR(reader.ReadU8(&code));
+  if (code > static_cast<std::uint8_t>(util::StatusCode::kInternal)) {
+    return util::InvalidArgumentError("unknown status code " +
+                                      std::to_string(code));
+  }
+  reply.code = static_cast<util::StatusCode>(code);
+  SERENITY_RETURN_IF_ERROR(reader.ReadU32(&reply.retry_after_millis));
+  SERENITY_RETURN_IF_ERROR(reader.ReadBytes(&reply.message));
+  reply.body = payload.substr(payload.size() - reader.remaining());
+  return reply;
+}
+
+util::Status SendAll(int fd, const void* data, std::size_t len,
+                     double timeout_seconds) {
+  return SendAllUntil(fd, static_cast<const char*>(data), len,
+                      DeadlineFrom(timeout_seconds));
+}
+
+util::Status RecvAll(int fd, void* data, std::size_t len,
+                     double timeout_seconds) {
+  return RecvAllUntil(fd, static_cast<char*>(data), len,
+                      DeadlineFrom(timeout_seconds), nullptr);
+}
+
+util::StatusOr<bool> WaitReadable(int fd, double timeout_seconds) {
+  const Clock::time_point deadline = DeadlineFrom(timeout_seconds);
+  while (true) {
+    const int wait = PollMillis(deadline);
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("poll(POLLIN)");
+    }
+    if (ready > 0) return true;
+    if (deadline <= Clock::now()) return false;
+  }
+}
+
+util::Status WriteFrame(int fd, const std::string& payload,
+                        double timeout_seconds,
+                        std::uint32_t max_frame_bytes) {
+  if (payload.empty()) {
+    return util::InvalidArgumentError("refusing to write an empty frame");
+  }
+  if (payload.size() > max_frame_bytes) {
+    return util::InvalidArgumentError(
+        "frame of " + std::to_string(payload.size()) +
+        " bytes exceeds the max-frame limit of " +
+        std::to_string(max_frame_bytes));
+  }
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  AppendU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(&frame, util::Crc32(payload));
+  frame.append(payload);
+  const Clock::time_point deadline = DeadlineFrom(timeout_seconds);
+
+  if (testing::FaultTriggered(testing::FaultPoint::kSocketTornFrame)) {
+    const std::size_t half = frame.size() / 2;
+    SERENITY_RETURN_IF_ERROR(
+        SendAllUntil(fd, frame.data(), half, deadline));
+    return util::DataLossError("injected torn frame: wrote " +
+                               std::to_string(half) + " of " +
+                               std::to_string(frame.size()) + " bytes");
+  }
+  if (testing::FaultTriggered(testing::FaultPoint::kSocketDelayedByte)) {
+    // Slow-loris: start the frame, stall, then finish. A receiver with a
+    // frame deadline must cut us off during the stall.
+    const std::size_t head = 2;
+    SERENITY_RETURN_IF_ERROR(
+        SendAllUntil(fd, frame.data(), head, deadline));
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(testing::SocketDelayMillis()));
+    return SendAllUntil(fd, frame.data() + head, frame.size() - head,
+                        deadline);
+  }
+  if (testing::FaultTriggered(testing::FaultPoint::kSocketMidStreamClose)) {
+    SERENITY_RETURN_IF_ERROR(
+        SendAllUntil(fd, frame.data(), frame.size(), deadline));
+    ::shutdown(fd, SHUT_RDWR);
+    return util::DataLossError(
+        "injected mid-stream close after a full frame");
+  }
+  return SendAllUntil(fd, frame.data(), frame.size(), deadline);
+}
+
+util::StatusOr<std::string> ReadFrame(int fd, std::uint32_t max_frame_bytes,
+                                      double idle_timeout_seconds,
+                                      double frame_timeout_seconds) {
+  // Phase 1: wait for the frame to begin under the idle budget. Reading the
+  // header byte-at-a-time until the first byte lands lets the frame budget
+  // start exactly when data first arrives.
+  char header[8];
+  bool got_any = false;
+  {
+    const util::Status first =
+        RecvAllUntil(fd, header, 1, DeadlineFrom(idle_timeout_seconds),
+                     &got_any);
+    if (!first.ok()) {
+      if (first.code() == util::StatusCode::kDeadlineExceeded) {
+        return util::DeadlineExceededError("idle: no frame began within " +
+                                           std::to_string(
+                                               idle_timeout_seconds) +
+                                           "s");
+      }
+      return first;
+    }
+  }
+  // Phase 2: the rest of the frame under the frame budget (slow-loris
+  // guard: a peer trickling bytes cannot hold the worker past this).
+  const Clock::time_point deadline = DeadlineFrom(frame_timeout_seconds);
+  SERENITY_RETURN_IF_ERROR(RecvAllUntil(fd, header + 1, 7, deadline, nullptr));
+  std::uint32_t declared = 0;
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    declared |= static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(header[i]))
+                << (8 * i);
+    crc |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(header[4 + i]))
+           << (8 * i);
+  }
+  if (declared == 0) {
+    return util::InvalidArgumentError("frame declares an empty payload");
+  }
+  if (declared > max_frame_bytes) {
+    return util::InvalidArgumentError(
+        "frame declares " + std::to_string(declared) +
+        " bytes, above the max-frame limit of " +
+        std::to_string(max_frame_bytes));
+  }
+  std::string payload(declared, '\0');
+  SERENITY_RETURN_IF_ERROR(
+      RecvAllUntil(fd, payload.data(), declared, deadline, nullptr));
+  if (util::Crc32(payload) != crc) {
+    return util::DataLossError("frame checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace serenity::serve::wire

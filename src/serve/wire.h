@@ -1,0 +1,153 @@
+// The serve wire protocol: length-prefixed, checksummed binary frames over
+// a byte stream (TCP), plus deadline-bounded socket I/O.
+//
+// Framing (DESIGN.md "Wire protocol"):
+//
+//   frame := u32 payload_bytes (LE) | u32 crc32(payload) (LE) | payload
+//
+// Integrity first, parsing second — the same stance as the persisted plan
+// cache: a frame whose CRC does not verify is rejected as kDataLoss before
+// any field of it is decoded, so torn writes and bit rot on the wire cost a
+// structured error, never a confused parser. A declared length above the
+// receiver's max-frame limit is rejected *before* reading the payload, so
+// a malicious 4-byte header cannot make a worker buffer gigabytes.
+//
+// Request payload:
+//
+//   u8 verb | u32 deadline_millis (0 = none) | u8 flags | body
+//
+// verbs: 1 plan, 2 infer, 3 stats, 4 health, 5 drain. flags bit0 =
+// allow_degraded. The deadline propagates into serve::RequestOptions (plan)
+// and the SessionPool checkout wait (infer), so a client's budget bounds
+// queue time on the server.
+//
+// Reply payload:
+//
+//   u8 status (util::StatusCode) | u32 retry_after_millis |
+//   u32 message_bytes | message | body (present iff status == kOk)
+//
+// retry_after_millis is nonzero exactly when the failure is load — an
+// admission shed, a pool checkout that could not be satisfied, a draining
+// server — and tells a well-behaved client when to come back.
+//
+// All reads and writes run against an absolute deadline: ReadFrame
+// distinguishes an *idle* timeout (waiting for a frame to begin — benign on
+// a persistent connection) from a *frame* timeout (a frame that started but
+// trickles — the slow-loris signature, answered by closing the connection).
+// Fault-injection hooks for torn frames, delayed bytes and mid-stream
+// closes live in WriteFrame (testing/fault_injection.h), which is how the
+// net chaos suite manufactures wire damage deterministically.
+#ifndef SERENITY_SERVE_WIRE_H_
+#define SERENITY_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace serenity::serve::wire {
+
+inline constexpr std::uint32_t kMaxFrameBytesDefault = 64u << 20;
+
+enum class Verb : std::uint8_t {
+  kPlan = 1,
+  kInfer = 2,
+  kStats = 3,
+  kHealth = 4,
+  kDrain = 5,
+};
+
+const char* ToString(Verb verb);
+
+struct Request {
+  Verb verb = Verb::kHealth;
+  // Client budget for the whole request (0 on the wire = none/infinity).
+  double deadline_seconds = 0;  // 0 means "no deadline"
+  bool allow_degraded = true;
+  std::string body;
+};
+
+struct Reply {
+  util::StatusCode code = util::StatusCode::kOk;
+  std::uint32_t retry_after_millis = 0;  // nonzero iff retryable load shed
+  std::string message;                   // empty on kOk
+  std::string body;                      // present iff code == kOk
+};
+
+std::string EncodeRequest(const Request& request);
+util::StatusOr<Request> DecodeRequest(const std::string& payload);
+
+std::string EncodeReply(const Reply& reply);
+util::StatusOr<Reply> DecodeReply(const std::string& payload);
+
+// ------------------------------------------------------------ body codecs
+//
+// Little-endian append/extract helpers for the verb bodies. ByteReader is
+// Status-returning on under-run so a truncated body is a clean
+// kInvalidArgument, never an out-of-range read.
+
+void AppendU8(std::string* out, std::uint8_t v);
+void AppendU32(std::string* out, std::uint32_t v);
+void AppendU64(std::string* out, std::uint64_t v);
+void AppendBytes(std::string* out, const std::string& bytes);  // u32 len + bytes
+void AppendF32Array(std::string* out, const float* values, std::uint32_t count);
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  util::Status ReadU8(std::uint8_t* v);
+  util::Status ReadU32(std::uint32_t* v);
+  util::Status ReadU64(std::uint64_t* v);
+  util::Status ReadBytes(std::string* bytes);  // u32 len + bytes
+  // Reads `count` floats (bit-exact: u32 patterns reinterpreted).
+  util::Status ReadF32Array(float* out, std::uint32_t count);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- socket I/O
+//
+// fd-based so the server, the client and the chaos suite share one
+// implementation. Every call takes a wall-clock budget in seconds
+// (infinity = block); expiry yields kDeadlineExceeded, a peer close yields
+// kUnavailable, and local I/O errors yield kUnavailable with errno text.
+// Writes use MSG_NOSIGNAL so a dead peer is an error code, never SIGPIPE.
+
+// Writes the framed payload. Rejects payloads above max_frame_bytes with
+// kInvalidArgument (nothing is written). Carries the socket fault hooks.
+util::Status WriteFrame(int fd, const std::string& payload,
+                        double timeout_seconds,
+                        std::uint32_t max_frame_bytes = kMaxFrameBytesDefault);
+
+// Reads one frame. idle_timeout_seconds bounds the wait for the first
+// header byte (expiry = kDeadlineExceeded with "idle" in the message);
+// frame_timeout_seconds bounds the rest of the frame once it has begun
+// (expiry = the slow-loris case). A declared length of 0 or above
+// max_frame_bytes is kInvalidArgument; a CRC mismatch is kDataLoss; a
+// clean close before any header byte is kUnavailable("connection closed").
+util::StatusOr<std::string> ReadFrame(
+    int fd, std::uint32_t max_frame_bytes, double idle_timeout_seconds,
+    double frame_timeout_seconds);
+
+// Raw deadline-bounded primitives (exposed for the chaos suite's
+// hand-built damaged frames).
+util::Status SendAll(int fd, const void* data, std::size_t len,
+                     double timeout_seconds);
+util::Status RecvAll(int fd, void* data, std::size_t len,
+                     double timeout_seconds);
+
+// Waits up to timeout_seconds for fd to become readable. Returns true when
+// data (or EOF) is ready, false on timeout; kUnavailable on poll failure.
+// The server's connection loop polls in short slices through this so a
+// drain request interrupts an idle connection promptly.
+util::StatusOr<bool> WaitReadable(int fd, double timeout_seconds);
+
+}  // namespace serenity::serve::wire
+
+#endif  // SERENITY_SERVE_WIRE_H_

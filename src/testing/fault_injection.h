@@ -35,8 +35,31 @@ enum class FaultPoint : int {
   // runtime::ArenaExecutor's arena allocation throws std::bad_alloc; the
   // session factory must surface kResourceExhausted.
   kArenaAllocation,
+  // serve::SessionPool::Checkout behaves as if the pooled-arena byte cap
+  // were exhausted: the checkout is shed with kResourceExhausted instead of
+  // creating or waiting for a session.
+  kSessionCheckout,
+  // Wire-level faults, hooked into serve::wire::WriteFrame (the chaos
+  // client arms them; the server under test must stay correct):
+  //   * kSocketTornFrame — only the first half of the frame reaches the
+  //     peer, then the write stops (the caller is told via kDataLoss and
+  //     closes, leaving the peer with a torn frame).
+  kSocketTornFrame,
+  //   * kSocketDelayedByte — the frame trickles out with a long stall after
+  //     the first bytes (slow-loris); a peer enforcing a frame deadline
+  //     must cut the connection instead of wedging a worker.
+  kSocketDelayedByte,
+  //   * kSocketMidStreamClose — the frame is written in full and the socket
+  //     is immediately shut down, so the peer's reply hits a dead
+  //     connection (EPIPE path, which must never raise SIGPIPE or abort).
+  kSocketMidStreamClose,
   kNumFaultPoints,  // sentinel
 };
+
+// Stall length used when kSocketDelayedByte fires (settable so tests can
+// size it against the server's frame deadline). Thread-safe.
+void SetSocketDelayMillis(int millis);
+int SocketDelayMillis();
 
 const char* ToString(FaultPoint point);
 

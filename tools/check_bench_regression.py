@@ -15,9 +15,10 @@ reproductions of the scheduler's output) from wall-clock timings. The gate:
     and noisy; the deterministic metrics are the regression signal.
 
 Deterministic vs timing is decided by field name: anything containing
-"seconds", "per_sec", "speedup", "wall" or "rps" is a timing; every other
-numeric field must match the baseline exactly (1e-9 relative tolerance for
-float formatting). String fields identify rows and must match exactly.
+"seconds", "per_sec", "speedup", "wall", "rps", "p50", "p99" or "latency"
+is a timing; every other numeric field must match the baseline exactly
+(1e-9 relative tolerance for float formatting). String fields identify rows
+and must match exactly.
 
 Usage:
   tools/check_bench_regression.py --baselines bench/baselines --fresh . \
@@ -31,7 +32,8 @@ import json
 import os
 import sys
 
-TIMING_MARKERS = ("seconds", "per_sec", "speedup", "wall", "rps")
+TIMING_MARKERS = ("seconds", "per_sec", "speedup", "wall", "rps", "p50",
+                  "p99", "latency")
 
 
 def is_timing_field(name):
