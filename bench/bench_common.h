@@ -156,23 +156,27 @@ class JsonRows {
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
-// Extracts a --json=PATH flag from argv (removing it so google-benchmark
-// does not see an unknown flag). Returns the path, or "" when absent.
-inline std::string TakeJsonFlag(int* argc, char** argv) {
-  const std::string prefix = "--json=";
-  std::string path;
+// Extracts a --<name>=VALUE flag from argv (removing it so google-benchmark
+// does not see an unknown flag). Returns the value, or "" when absent.
+inline std::string TakePrefixFlag(const std::string& prefix, int* argc,
+                                  char** argv) {
+  std::string value;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
-      path = arg.substr(prefix.size());
+      value = arg.substr(prefix.size());
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
   argv[out] = nullptr;  // keep main's argv null-terminated
-  return path;
+  return value;
+}
+
+inline std::string TakeJsonFlag(int* argc, char** argv) {
+  return TakePrefixFlag("--json=", argc, argv);
 }
 
 }  // namespace serenity::bench

@@ -20,11 +20,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "runtime/executor.h"
+#include "runtime/kernel_backend.h"
 #include "serve/inference_session.h"
 #include "testing/alloc_counter.h"
 #include "testing/runtime_inputs.h"
@@ -40,6 +42,7 @@ using namespace serenity;
 
 struct CellRun {
   std::string label;
+  runtime::Backend backend = runtime::Backend::kAuto;
   std::int64_t nodes = 0;
   std::int64_t arena_bytes = 0;
   std::int64_t touched_peak_bytes = 0;
@@ -49,14 +52,17 @@ struct CellRun {
 };
 
 CellRun MeasureCell(serve::SchedulerService& service,
-                    const models::BenchmarkCell& cell) {
+                    const models::BenchmarkCell& cell,
+                    runtime::Backend backend) {
   CellRun run;
   run.label = bench::CellLabel(cell);
+  run.backend = backend;
   const graph::Graph g = cell.factory();
 
   // Certification session: canary-measured peak + reference bit-identity.
   serve::InferenceSessionOptions measured;
   measured.executor.measure_touched_peak = true;
+  measured.executor.backend = backend;
   serve::InferenceSession certify =
       serve::InferenceSession::Open(service, g, measured);
   const std::vector<runtime::Tensor> inputs =
@@ -79,7 +85,10 @@ CellRun MeasureCell(serve::SchedulerService& service,
       << divergence;
 
   // Timed session: no canary passes, allocation-counted.
-  serve::InferenceSession session = serve::InferenceSession::Open(service, g);
+  serve::InferenceSessionOptions timed;
+  timed.executor.backend = backend;
+  serve::InferenceSession session =
+      serve::InferenceSession::Open(service, g, timed);
   session.Run(inputs);  // touch everything once
   std::vector<double> seconds;
   seconds.reserve(5);  // growth must not land inside the counted window
@@ -97,38 +106,61 @@ CellRun MeasureCell(serve::SchedulerService& service,
   return run;
 }
 
+// The requested-backend row set is fixed (machine-independent) so the CI
+// baseline compare sees the same rows everywhere; an unavailable ISA
+// backend resolves to the blocked kernels (runtime::ResolveBackend), which
+// the "resolved" column makes visible.
+std::vector<runtime::Backend> RowBackends(const std::string& backend_flag) {
+  if (!backend_flag.empty()) {
+    const std::optional<runtime::Backend> parsed =
+        runtime::ParseBackend(backend_flag);
+    SERENITY_CHECK(parsed.has_value())
+        << "unknown --backend=" << backend_flag
+        << " (want reference|blocked|avx2|auto)";
+    return {*parsed};
+  }
+  return {runtime::Backend::kReference, runtime::Backend::kBlocked,
+          runtime::Backend::kAvx2};
+}
+
 // Returns false iff a requested --json write failed.
-bool PrintRows(const std::string& json_path) {
+bool PrintRows(const std::string& json_path,
+               const std::string& backend_flag) {
   std::printf("Inference latency through InferenceSession (plan once, run "
               "out of the planned arena)\n\n");
-  std::printf("%-32s %6s %10s %10s %7s %12s\n", "cell", "nodes", "arena KB",
-              "touch KB", "allocs", "median s");
-  bench::PrintRule(82);
+  std::printf("%-32s %-10s %-10s %6s %10s %7s %12s\n", "cell", "backend",
+              "resolved", "nodes", "arena KB", "allocs", "median s");
+  bench::PrintRule(94);
   serve::ServeOptions options;
   options.num_workers = 2;
   serve::SchedulerService service(options);
   bench::JsonRows rows;
   for (const models::BenchmarkCell& cell : models::AllBenchmarkCells()) {
-    const CellRun run = MeasureCell(service, cell);
-    std::printf("%-32s %6lld %10.1f %10.1f %7llu %12.6f\n",
-                run.label.c_str(), static_cast<long long>(run.nodes),
-                bench::Kb(run.arena_bytes), bench::Kb(run.touched_peak_bytes),
-                static_cast<unsigned long long>(run.allocs_per_inference),
-                run.infer_seconds);
-    rows.Begin();
-    rows.Field("cell", run.label);
-    rows.Field("nodes", run.nodes);
-    rows.Field("arena_bytes", run.arena_bytes);
-    rows.Field("touched_peak_bytes", run.touched_peak_bytes);
-    rows.Field("plan_text_bytes", run.plan_text_bytes);
-    rows.Field("allocs_per_inference",
-               static_cast<std::int64_t>(run.allocs_per_inference));
-    rows.Field("infer_seconds", run.infer_seconds);
+    for (const runtime::Backend backend : RowBackends(backend_flag)) {
+      const CellRun run = MeasureCell(service, cell, backend);
+      std::printf("%-32s %-10s %-10s %6lld %10.1f %7llu %12.6f\n",
+                  run.label.c_str(), runtime::ToString(backend),
+                  runtime::ToString(runtime::ResolveBackend(backend)),
+                  static_cast<long long>(run.nodes),
+                  bench::Kb(run.arena_bytes),
+                  static_cast<unsigned long long>(run.allocs_per_inference),
+                  run.infer_seconds);
+      rows.Begin();
+      rows.Field("cell", run.label);
+      rows.Field("backend", std::string(runtime::ToString(backend)));
+      rows.Field("nodes", run.nodes);
+      rows.Field("arena_bytes", run.arena_bytes);
+      rows.Field("touched_peak_bytes", run.touched_peak_bytes);
+      rows.Field("plan_text_bytes", run.plan_text_bytes);
+      rows.Field("allocs_per_inference",
+                 static_cast<std::int64_t>(run.allocs_per_inference));
+      rows.Field("infer_seconds", run.infer_seconds);
+    }
   }
-  bench::PrintRule(82);
-  std::printf("\nall cells: touched peak == planned arena, 0 allocations "
-              "per inference, sinks bit-identical to the reference "
-              "executor\n\n");
+  bench::PrintRule(94);
+  std::printf("\nall cells x backends: touched peak == planned arena, 0 "
+              "allocations per inference, sinks bit-identical to the "
+              "reference executor\n\n");
   if (!json_path.empty()) return rows.WriteTo(json_path);
   return true;
 }
@@ -153,7 +185,9 @@ BENCHMARK(BM_InferLatency)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const std::string json_path = serenity::bench::TakeJsonFlag(&argc, argv);
-  const bool json_ok = PrintRows(json_path);
+  const std::string backend =
+      serenity::bench::TakePrefixFlag("--backend=", &argc, argv);
+  const bool json_ok = PrintRows(json_path, backend);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return json_ok ? 0 : 1;

@@ -21,12 +21,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "models/zoo.h"
 #include "runtime/executor.h"
+#include "runtime/kernel_backend.h"
 #include "serialize/serialize.h"
 #include "serve/tcp_client.h"
 #include "testing/runtime_inputs.h"
@@ -92,7 +94,8 @@ ConnectionReport RunConnection(int port,
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port N [--connections N] [--requests M]\n",
+               "usage: %s --port N [--connections N] [--requests M] "
+               "[--backend=reference|blocked|avx2|auto]\n",
                argv0);
   return 2;
 }
@@ -103,6 +106,10 @@ int main(int argc, char** argv) {
   int port = -1;
   int connections = 4;
   int requests = 8;
+  // Backend for the local cross-check executor (gate 2). Defaults to the
+  // reference oracle; any other choice checks the server against that
+  // backend's (bit-identical) kernels instead.
+  runtime::Backend backend = runtime::Backend::kReference;
   for (int a = 1; a < argc; ++a) {
     auto next_int = [&](int* out) {
       if (a + 1 >= argc) return false;
@@ -115,6 +122,11 @@ int main(int argc, char** argv) {
       if (!next_int(&connections)) return Usage(argv[0]);
     } else if (std::strcmp(argv[a], "--requests") == 0) {
       if (!next_int(&requests)) return Usage(argv[0]);
+    } else if (std::strncmp(argv[a], "--backend=", 10) == 0) {
+      const std::optional<runtime::Backend> parsed =
+          runtime::ParseBackend(argv[a] + 10);
+      if (!parsed.has_value()) return Usage(argv[0]);
+      backend = *parsed;
     } else {
       return Usage(argv[0]);
     }
@@ -205,7 +217,7 @@ int main(int argc, char** argv) {
   for (int r = 0; r < requests; ++r) {
     const RequestSpec& spec = sequence[static_cast<std::size_t>(r)];
     const graph::Graph& g = graphs[spec.plan_index];
-    runtime::ReferenceExecutor reference(g);
+    runtime::ReferenceExecutor reference(g, backend);
     reference.Run(serenity::testing::RandomInputsFor(g, spec.input_seed));
     const std::vector<runtime::Tensor> expect = reference.SinkValues();
     const std::vector<runtime::Tensor>& got =

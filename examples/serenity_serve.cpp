@@ -32,11 +32,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/canonical_hash.h"
 #include "models/zoo.h"
+#include "runtime/kernel_backend.h"
 #include "serve/inference_session.h"
 #include "serve/scheduler_service.h"
 #include "serve/session_pool.h"
@@ -49,6 +51,10 @@
 namespace {
 
 using namespace serenity;
+
+// --backend= selection, applied to every inference session this binary
+// opens (kAuto: fastest kernel backend available on this machine).
+runtime::Backend g_backend = runtime::Backend::kAuto;
 
 const char* PathOf(const serve::ServeResult& r) {
   if (r.cache_hit) return "cache hit";
@@ -151,7 +157,9 @@ int RunServer(int port, const std::string& cache_path) {
                 load.value().entries_quarantined);
   }
 
-  serve::SessionPool pool;
+  serve::SessionPoolOptions pool_options;
+  pool_options.session.executor.backend = g_backend;
+  serve::SessionPool pool(pool_options);
   serve::TcpServerOptions options;
   options.port = port;
   serve::TcpServer server(service, pool, options);
@@ -209,10 +217,23 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--serve") == 0 && a + 1 < argc) {
       serve_mode = true;
       serve_port = std::atoi(argv[++a]);
+    } else if (std::strncmp(argv[a], "--backend=", 10) == 0) {
+      const std::optional<runtime::Backend> parsed =
+          runtime::ParseBackend(argv[a] + 10);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "unknown %s (want reference|blocked|avx2|auto)\n",
+                     argv[a]);
+        return 1;
+      }
+      g_backend = *parsed;
     } else {
       cache_path = argv[a];
     }
   }
+  std::printf("kernel backend: %s (resolved: %s)\n",
+              runtime::ToString(g_backend),
+              runtime::ToString(runtime::ResolveBackend(g_backend)));
   if (serve_mode) return RunServer(serve_port, cache_path);
   if (warm_only) return RunWarmOnly(cache_path);
 
@@ -296,6 +317,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < distinct; ++i) {
     serve::InferenceSessionOptions session_options;
     session_options.executor.measure_touched_peak = true;
+    session_options.executor.backend = g_backend;
     util::StatusOr<serve::InferenceSession> session =
         serve::InferenceSession::Create(warm[i].plan, session_options);
     if (!session.ok()) {

@@ -279,7 +279,8 @@ bool ValidatePlacementsPairwise(const ArenaPlan& plan) {
 
 }  // namespace
 
-bool ValidatePlacements(const ArenaPlan& plan) {
+bool ValidatePlacements(const ArenaPlan& plan, std::int64_t alignment) {
+  SERENITY_CHECK_GT(alignment, 0);
   // Start/end sweep over steps: placements active at the same time must be
   // pairwise disjoint in address range, so keeping the active set ordered
   // by offset reduces the check to each insertion's two neighbours —
@@ -295,6 +296,7 @@ bool ValidatePlacements(const ArenaPlan& plan) {
   for (std::size_t i = 0; i < plan.placements.size(); ++i) {
     const BufferPlacement& p = plan.placements[i];
     if (p.offset < 0 || p.size <= 0) return false;
+    if (p.offset % alignment != 0) return false;
     if (p.offset + p.size > plan.arena_bytes) return false;
     inverted_lifetime |= p.first_step > p.last_step;
     events.push_back(Event{p.first_step, true, static_cast<std::int32_t>(i)});
@@ -334,7 +336,8 @@ bool ValidatePlacements(const ArenaPlan& plan) {
 
 std::vector<std::string> ValidatePlanForGraph(
     const ArenaPlan& plan, const graph::Graph& graph,
-    const sched::Schedule& schedule) {
+    const sched::Schedule& schedule, std::int64_t alignment) {
+  SERENITY_CHECK_GT(alignment, 0);
   std::vector<std::string> problems;
   const auto complain = [&problems](std::string message) {
     problems.push_back(std::move(message));
@@ -376,6 +379,9 @@ std::vector<std::string> ValidatePlanForGraph(
     if (p.offset % static_cast<std::int64_t>(sizeof(float)) != 0) {
       complain("placement offset of buffer " + std::to_string(p.buffer) +
                " is not float-aligned");
+    } else if (p.offset % alignment != 0) {
+      complain("placement offset of buffer " + std::to_string(p.buffer) +
+               " is not " + std::to_string(alignment) + "-byte aligned");
     }
     if (p.size != graph.buffer(p.buffer).size_bytes) {
       complain("placement of buffer " + std::to_string(p.buffer) +

@@ -68,23 +68,29 @@ ArenaPlan PlanArena(const graph::Graph& graph,
                     std::int64_t alignment = 64);
 
 // True if no two placements with overlapping lifetimes overlap in address
-// range — the allocator's safety invariant (exercised by tests). Runs a
-// start/end sweep over steps with an offset-ordered active set, so large
-// randomized plans validate in O(n log n).
-bool ValidatePlacements(const ArenaPlan& plan);
+// range — the allocator's safety invariant (exercised by tests) — and, when
+// `alignment` is given, every offset is a multiple of it (the contract a
+// SIMD kernel backend relies on for its vector loads; see
+// runtime::PlacementAlignment). Runs a start/end sweep over steps with an
+// offset-ordered active set, so large randomized plans validate in
+// O(n log n).
+bool ValidatePlacements(const ArenaPlan& plan,
+                        std::int64_t alignment = sizeof(float));
 
 // Cross-validates a plan against the graph and schedule an executor would
 // bind it to: exactly one placement per buffer the graph uses, each exactly
-// the buffer's byte size at a float-aligned offset inside the arena, every
-// producer AND consumer step inside its buffer's planned lifetime, and
-// pairwise non-overlap (ValidatePlacements). `schedule` must already be a
-// topological order of `graph`. Returns human-readable problems; empty
-// means the plan is safe to execute. Shared by serialize::PlanFromText (so
-// a corrupt cache file dies at load) and runtime::ArenaExecutor (so a plan
-// handed in directly dies at construction).
-std::vector<std::string> ValidatePlanForGraph(const ArenaPlan& plan,
-                                              const graph::Graph& graph,
-                                              const sched::Schedule& schedule);
+// the buffer's byte size at an `alignment`-aligned offset inside the arena
+// (float-aligned at minimum; executors pass the resolved kernel backend's
+// PlacementAlignment), every producer AND consumer step inside its buffer's
+// planned lifetime, and pairwise non-overlap (ValidatePlacements).
+// `schedule` must already be a topological order of `graph`. Returns
+// human-readable problems; empty means the plan is safe to execute. Shared
+// by serialize::PlanFromText (so a corrupt cache file dies at load) and
+// runtime::ArenaExecutor (so a plan handed in directly dies at
+// construction).
+std::vector<std::string> ValidatePlanForGraph(
+    const ArenaPlan& plan, const graph::Graph& graph,
+    const sched::Schedule& schedule, std::int64_t alignment = sizeof(float));
 
 }  // namespace serenity::alloc
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <new>
 
 #include "alloc/arena_planner.h"
-#include "runtime/kernels.h"
 #include "sched/schedule.h"
 #include "testing/fault_injection.h"
 #include "util/logging.h"
@@ -22,12 +22,20 @@ namespace {
 // diagnostic.
 constexpr std::uint32_t kCanaryBits = 0x7fe5a5a5u;
 
+// The arena base is aligned up to this many bytes (a cache line, and a
+// multiple of every backend's PlacementAlignment), so a placement's
+// alignment relative to the plan is its alignment in memory.
+constexpr std::size_t kArenaBaseAlign = 64;
+
 }  // namespace
 
 ArenaExecutor::ArenaExecutor(const graph::Graph& graph,
                              const serialize::ExecutionPlan& plan,
                              ArenaExecutorOptions options)
-    : graph_(graph), plan_(plan), options_(options) {
+    : graph_(graph),
+      plan_(plan),
+      options_(options),
+      kernels_(&GetKernelBackend(options.backend)) {
   const std::size_t num_nodes = static_cast<std::size_t>(graph.num_nodes());
   const std::size_t num_buffers =
       static_cast<std::size_t>(graph.num_buffers());
@@ -40,8 +48,11 @@ ArenaExecutor::ArenaExecutor(const graph::Graph& graph,
       << "plan schedules a different node count than the graph";
   SERENITY_CHECK(sched::IsTopologicalOrder(graph_, plan_.schedule))
       << "plan schedule is not a topological order of the graph";
-  const std::vector<std::string> problems =
-      alloc::ValidatePlanForGraph(plan_.arena, graph_, plan_.schedule);
+  // Placements must be aligned for the resolved backend's vector loads
+  // (sizeof(float) for kReference, 32 B for the blocked/SIMD backends); the
+  // planner's 64-byte default satisfies every backend.
+  const std::vector<std::string> problems = alloc::ValidatePlanForGraph(
+      plan_.arena, graph_, plan_.schedule, PlacementAlignment(kernels_->id));
   SERENITY_CHECK(problems.empty())
       << "invalid execution plan: " << problems.front() << " ("
       << problems.size() << " problem(s))";
@@ -72,9 +83,17 @@ ArenaExecutor::ArenaExecutor(const graph::Graph& graph,
   if (testing::FaultTriggered(testing::FaultPoint::kArenaAllocation)) {
     throw std::bad_alloc();
   }
-  arena_.assign(
-      static_cast<std::size_t>(plan_.arena.arena_bytes / sizeof(float)),
-      0.0f);
+  // One allocation, over-sized by a cache line of slack so the usable base
+  // can be aligned up to kArenaBaseAlign regardless of what the allocator
+  // returned — placements then hit memory at their planned alignment.
+  arena_floats_ =
+      static_cast<std::size_t>(plan_.arena.arena_bytes / sizeof(float));
+  arena_.assign(arena_floats_ + kArenaBaseAlign / sizeof(float), 0.0f);
+  const std::uintptr_t raw =
+      reinterpret_cast<std::uintptr_t>(arena_.data());
+  const std::uintptr_t aligned =
+      (raw + kArenaBaseAlign - 1) & ~(std::uintptr_t{kArenaBaseAlign} - 1);
+  arena_base_ = arena_.data() + (aligned - raw) / sizeof(float);
 
   // --- Bind one view per used buffer at its planned placement (validated
   // above: present, exact byte size, float-aligned, inside the arena).
@@ -88,7 +107,7 @@ ArenaExecutor::ArenaExecutor(const graph::Graph& graph,
         << "buffer " << b << " size does not match its widest value";
     const alloc::BufferPlacement* p = placement[b];
     buffer_views_[b] = Tensor::View(
-        arena_.data() + p->offset / static_cast<std::int64_t>(sizeof(float)),
+        arena_base_ + p->offset / static_cast<std::int64_t>(sizeof(float)),
         static_cast<std::size_t>(widest_elems[b]), widest[b]);
   }
 
@@ -109,7 +128,7 @@ ArenaExecutor::ArenaExecutor(const graph::Graph& graph,
     // The node's value view: the whole buffer, or a channel window of it.
     if (node.shape == widest[b]) {
       value_views_[id] = Tensor::View(
-          arena_.data() +
+          arena_base_ +
               p->offset / static_cast<std::int64_t>(sizeof(float)),
           static_cast<std::size_t>(widest_elems[b]), node.shape);
     } else {
@@ -119,7 +138,7 @@ ArenaExecutor::ArenaExecutor(const graph::Graph& graph,
           << "value of '" << node.name
           << "' is not a channel slice of its buffer";
       value_views_[id] = Tensor::ChannelView(
-          arena_.data() +
+          arena_base_ +
               p->offset / static_cast<std::int64_t>(sizeof(float)),
           static_cast<std::size_t>(widest_elems[b]), node.shape,
           widest[b].c, node.buffer_channel_offset);
@@ -156,8 +175,8 @@ void ArenaExecutor::Run(const std::vector<Tensor>& inputs) {
       << "graph expects a tensor per kInput node";
   touched_peak_bytes_ = -1;
   if (options_.measure_touched_peak) {
-    std::fill(arena_.begin(), arena_.end(),
-              std::bit_cast<float>(kCanaryBits));
+    std::fill_n(arena_base_, arena_floats_,
+                std::bit_cast<float>(kCanaryBits));
   }
   for (const graph::NodeId id : plan_.schedule) {
     const graph::Node& node = graph_.node(id);
@@ -172,9 +191,9 @@ void ArenaExecutor::Run(const std::vector<Tensor>& inputs) {
     }
   }
   if (options_.measure_touched_peak) {
-    std::size_t top = arena_.size();
-    while (top > 0 &&
-           std::bit_cast<std::uint32_t>(arena_[top - 1]) == kCanaryBits) {
+    std::size_t top = arena_floats_;
+    while (top > 0 && std::bit_cast<std::uint32_t>(arena_base_[top - 1]) ==
+                          kCanaryBits) {
       --top;
     }
     touched_peak_bytes_ =
@@ -198,30 +217,31 @@ void ArenaExecutor::Execute(const graph::Node& node) {
   Tensor& out = value_views_[id];
   const std::vector<const Tensor*>& in = input_views_[id];
   const NodeWeights& w = weights_[id];
+  const KernelBackend& k = *kernels_;
 
   switch (node.kind) {
     case graph::OpKind::kInput:
       SERENITY_CHECK(false) << "inputs are bound in Run";
       break;
     case graph::OpKind::kConv2d:
-      Conv2dInto(*in[0], w.conv, node.conv, out);
+      k.Conv2dInto(*in[0], w.conv, node.conv, out);
       break;
     case graph::OpKind::kPartialConv2d:
-      Conv2dPartial(*in[0], w.conv, node.conv, node.in_channel_offset,
-                    /*overwrite=*/true, /*add_bias=*/true, out);
+      k.Conv2dPartial(*in[0], w.conv, node.conv, node.in_channel_offset,
+                      /*overwrite=*/true, /*add_bias=*/true, out);
       break;
     case graph::OpKind::kPartialConv2dAccum:
       // Operand layout {accumulator, x_i}: the accumulator is `out` itself
       // (same buffer, same placement), updated in place.
-      Conv2dPartial(*in[1], w.conv, node.conv, node.in_channel_offset,
-                    /*overwrite=*/false, /*add_bias=*/false, out);
+      k.Conv2dPartial(*in[1], w.conv, node.conv, node.in_channel_offset,
+                      /*overwrite=*/false, /*add_bias=*/false, out);
       break;
     case graph::OpKind::kDepthwiseConv2d:
-      DepthwiseConv2dInto(*in[0], w.dw, node.conv, out);
+      k.DepthwiseConv2dInto(*in[0], w.dw, node.conv, out);
       break;
     case graph::OpKind::kPartialDepthwiseConv2d:
       // Writes channels [buffer_channel_offset, +in.c) of the shared buffer.
-      DepthwiseConv2dPartial(
+      k.DepthwiseConv2dPartial(
           *in[0], w.dw, node.conv, node.in_channel_offset,
           buffer_views_[static_cast<std::size_t>(node.buffer)],
           node.buffer_channel_offset);
@@ -230,48 +250,48 @@ void ArenaExecutor::Execute(const graph::Node& node) {
       // The partial depthwise writers already populated the shared buffer.
       break;
     case graph::OpKind::kConcat:
-      ConcatInto(in, out);
+      k.ConcatInto(in, out);
       break;
     case graph::OpKind::kAdd:
-      AddInto(in, out);
+      k.AddInto(in, out);
       break;
     case graph::OpKind::kMul:
-      MulInto(in, out);
+      k.MulInto(in, out);
       break;
     case graph::OpKind::kRelu:
-      ReluInto(*in[0], out);
+      k.ReluInto(*in[0], out);
       break;
     case graph::OpKind::kBatchNorm:
-      BatchNormInto(*in[0], w.bn, out);
+      k.BatchNormInto(*in[0], w.bn, out);
       break;
     case graph::OpKind::kIdentity:
       out.CopyFrom(*in[0]);
       break;
     case graph::OpKind::kMaxPool2d:
-      MaxPool2dInto(*in[0], node.conv, out);
+      k.MaxPool2dInto(*in[0], node.conv, out);
       break;
     case graph::OpKind::kAvgPool2d:
-      AvgPool2dInto(*in[0], node.conv, out);
+      k.AvgPool2dInto(*in[0], node.conv, out);
       break;
     case graph::OpKind::kGlobalAvgPool2d:
-      GlobalAvgPool2dInto(*in[0], out);
+      k.GlobalAvgPool2dInto(*in[0], out);
       break;
     case graph::OpKind::kDense:
-      DenseInto(*in[0], w.dense, out);
+      k.DenseInto(*in[0], w.dense, out);
       break;
     case graph::OpKind::kFusedCell: {
       Tensor& sum = fused_sum_scratch_[id];
       if (in.size() == 1) {
         sum.CopyFrom(*in[0]);
       } else {
-        AddInto(in, sum);
+        k.AddInto(in, sum);
       }
-      ReluInto(sum, sum);  // elementwise, in place
+      k.ReluInto(sum, sum);  // elementwise, in place
       Tensor& dw = fused_dw_scratch_[id];
-      DepthwiseConv2dInto(sum, w.dw, node.conv, dw);
+      k.DepthwiseConv2dInto(sum, w.dw, node.conv, dw);
       const graph::ConvAttrs pointwise{1, 1, 1, 1, graph::Padding::kSame};
-      Conv2dInto(dw, w.conv, pointwise, out);
-      BatchNormInto(out, w.bn, out);  // elementwise, in place
+      k.Conv2dInto(dw, w.conv, pointwise, out);
+      k.BatchNormInto(out, w.bn, out);  // elementwise, in place
       break;
     }
   }

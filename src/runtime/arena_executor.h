@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "runtime/kernel_backend.h"
 #include "runtime/tensor.h"
 #include "runtime/weights.h"
 #include "serialize/plan.h"
@@ -46,6 +47,13 @@ struct ArenaExecutorOptions {
   // highest byte written. Costs two linear passes over the arena per
   // inference (still allocation-free); leave off on the hot path.
   bool measure_touched_peak = false;
+
+  // Kernel backend to execute with (runtime/kernel_backend.h). Resolved
+  // exactly once, at construction: kAuto picks the fastest backend available
+  // on this machine, and an unavailable ISA backend degrades to kBlocked.
+  // Any backend produces bit-identical sink values (the parity suite pins
+  // this), so serving defaults to the fast path.
+  Backend backend = Backend::kAuto;
 };
 
 class ArenaExecutor {
@@ -80,6 +88,9 @@ class ArenaExecutor {
   const serialize::ExecutionPlan& plan() const { return plan_; }
   std::int64_t arena_bytes() const { return plan_.arena.arena_bytes; }
 
+  // The backend options.backend resolved to at construction (never kAuto).
+  Backend backend() const { return kernels_->id; }
+
   // Highest arena byte overwritten by the last Run, or -1 when the last Run
   // did not measure (options.measure_touched_peak off or no Run yet). When
   // every planned placement is actually written this equals arena_bytes.
@@ -91,8 +102,14 @@ class ArenaExecutor {
   const graph::Graph& graph_;
   serialize::ExecutionPlan plan_;
   ArenaExecutorOptions options_;
+  const KernelBackend* kernels_;  // resolved once at construction
 
-  std::vector<float> arena_;  // the single preallocated activation block
+  // The single preallocated activation block. The vector carries slack so
+  // arena_base_ can start at a 64-byte boundary regardless of what the
+  // allocator returned; all views bind relative to arena_base_.
+  std::vector<float> arena_;
+  float* arena_base_ = nullptr;
+  std::size_t arena_floats_ = 0;  // floats addressable from arena_base_
   // Per buffer: view over the buffer's full placement (widest value shape);
   // default-constructed for buffers no node uses.
   std::vector<Tensor> buffer_views_;

@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <utility>
 
-#include "runtime/kernels.h"
 #include "runtime/weights.h"
 #include "util/logging.h"
 
 namespace serenity::runtime {
 
-ReferenceExecutor::ReferenceExecutor(const graph::Graph& graph)
-    : graph_(graph) {
+ReferenceExecutor::ReferenceExecutor(const graph::Graph& graph,
+                                     Backend backend)
+    : graph_(graph), kernels_(&GetKernelBackend(backend)) {
   buffer_tensors_.resize(static_cast<std::size_t>(graph.num_buffers()));
   buffer_ready_.assign(static_cast<std::size_t>(graph.num_buffers()), false);
   // Shape each buffer tensor after its widest value (the full accumulator /
@@ -114,6 +114,7 @@ void ReferenceExecutor::Execute(const graph::Node& node,
   // the reference runtime trades speed for statelessness. Identical values
   // to the ArenaExecutor's per-session materialization by construction.
   const auto weights = [&]() { return MaterializeNodeWeights(node); };
+  const KernelBackend& k = *kernels_;
 
   switch (node.kind) {
     case graph::OpKind::kInput: {
@@ -130,75 +131,113 @@ void ReferenceExecutor::Execute(const graph::Node& node,
       out = provided;
       break;
     }
-    case graph::OpKind::kConv2d:
-      out = Conv2d(in_value(0), weights().conv, node.conv);
+    case graph::OpKind::kConv2d: {
+      Tensor r(node.shape);
+      k.Conv2dInto(in_value(0), weights().conv, node.conv, r);
+      out = std::move(r);
       break;
+    }
     case graph::OpKind::kPartialConv2d:
     case graph::OpKind::kPartialConv2dAccum: {
       const bool first = node.kind == graph::OpKind::kPartialConv2d;
       // Operand layout: first partial reads {x_i}; accumulating partials
       // read {accumulator, x_i} and update the shared buffer in place.
       const Tensor x = first ? in_value(0) : in_value(1);
-      Conv2dPartial(x, weights().conv, node.conv, node.in_channel_offset,
-                    /*overwrite=*/first, /*add_bias=*/first, out);
+      k.Conv2dPartial(x, weights().conv, node.conv, node.in_channel_offset,
+                      /*overwrite=*/first, /*add_bias=*/first, out);
       break;
     }
-    case graph::OpKind::kDepthwiseConv2d:
-      out = DepthwiseConv2d(in_value(0), weights().dw, node.conv);
+    case graph::OpKind::kDepthwiseConv2d: {
+      Tensor r(node.shape);
+      k.DepthwiseConv2dInto(in_value(0), weights().dw, node.conv, r);
+      out = std::move(r);
       break;
+    }
     case graph::OpKind::kPartialDepthwiseConv2d:
-      DepthwiseConv2dPartial(in_value(0), weights().dw, node.conv,
-                             node.in_channel_offset, out,
-                             node.buffer_channel_offset);
+      k.DepthwiseConv2dPartial(in_value(0), weights().dw, node.conv,
+                               node.in_channel_offset, out,
+                               node.buffer_channel_offset);
       break;
     case graph::OpKind::kConcatView:
       // The partial depthwise writers already populated the shared buffer.
       break;
     case graph::OpKind::kConcat: {
       const std::vector<Tensor> values = in_values();
-      out = Concat(pointers(values));
+      Tensor r(node.shape);
+      k.ConcatInto(pointers(values), r);
+      out = std::move(r);
       break;
     }
     case graph::OpKind::kAdd: {
       const std::vector<Tensor> values = in_values();
-      out = Add(pointers(values));
+      Tensor r(node.shape);
+      k.AddInto(pointers(values), r);
+      out = std::move(r);
       break;
     }
     case graph::OpKind::kMul: {
       const std::vector<Tensor> values = in_values();
-      out = Mul(pointers(values));
+      Tensor r(node.shape);
+      k.MulInto(pointers(values), r);
+      out = std::move(r);
       break;
     }
-    case graph::OpKind::kRelu:
-      out = Relu(in_value(0));
+    case graph::OpKind::kRelu: {
+      Tensor r = in_value(0);
+      k.ReluInto(r, r);  // elementwise, in place on the owned copy
+      out = std::move(r);
       break;
-    case graph::OpKind::kBatchNorm:
-      out = BatchNorm(in_value(0), weights().bn);
+    }
+    case graph::OpKind::kBatchNorm: {
+      Tensor r = in_value(0);
+      k.BatchNormInto(r, weights().bn, r);
+      out = std::move(r);
       break;
+    }
     case graph::OpKind::kIdentity:
       out = in_value(0);
       break;
-    case graph::OpKind::kMaxPool2d:
-      out = MaxPool2d(in_value(0), node.conv);
+    case graph::OpKind::kMaxPool2d: {
+      Tensor r(node.shape);
+      k.MaxPool2dInto(in_value(0), node.conv, r);
+      out = std::move(r);
       break;
-    case graph::OpKind::kAvgPool2d:
-      out = AvgPool2d(in_value(0), node.conv);
+    }
+    case graph::OpKind::kAvgPool2d: {
+      Tensor r(node.shape);
+      k.AvgPool2dInto(in_value(0), node.conv, r);
+      out = std::move(r);
       break;
-    case graph::OpKind::kGlobalAvgPool2d:
-      out = GlobalAvgPool2d(in_value(0));
+    }
+    case graph::OpKind::kGlobalAvgPool2d: {
+      Tensor r(node.shape);
+      k.GlobalAvgPool2dInto(in_value(0), r);
+      out = std::move(r);
       break;
-    case graph::OpKind::kDense:
-      out = Dense(in_value(0), weights().dense);
+    }
+    case graph::OpKind::kDense: {
+      Tensor r(node.shape);
+      k.DenseInto(in_value(0), weights().dense, r);
+      out = std::move(r);
       break;
+    }
     case graph::OpKind::kFusedCell: {
       const std::vector<Tensor> values = in_values();
       const NodeWeights w = weights();
-      Tensor x = values.size() == 1 ? values[0] : Add(pointers(values));
-      x = Relu(x);
-      x = DepthwiseConv2d(x, w.dw, node.conv);
+      Tensor x(values[0].shape());
+      if (values.size() == 1) {
+        x = values[0];
+      } else {
+        k.AddInto(pointers(values), x);
+      }
+      k.ReluInto(x, x);  // elementwise, in place
+      Tensor dw(graph::InferDepthwiseShape(x.shape(), node.conv));
+      k.DepthwiseConv2dInto(x, w.dw, node.conv, dw);
       const graph::ConvAttrs pointwise{1, 1, 1, 1, graph::Padding::kSame};
-      x = Conv2d(x, w.conv, pointwise);
-      out = BatchNorm(x, w.bn);
+      Tensor pw(node.shape);
+      k.Conv2dInto(dw, w.conv, pointwise, pw);
+      k.BatchNormInto(pw, w.bn, pw);  // elementwise, in place
+      out = std::move(pw);
       break;
     }
   }

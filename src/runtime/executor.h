@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "runtime/kernel_backend.h"
 #include "runtime/tensor.h"
 #include "sched/schedule.h"
 
@@ -26,7 +27,12 @@ namespace serenity::runtime {
 
 class ReferenceExecutor {
  public:
-  explicit ReferenceExecutor(const graph::Graph& graph);
+  // Defaults to Backend::kReference — the bit-exact oracle configuration
+  // every parity test compares against. A different backend makes this a
+  // buffer-aware executor over that backend's kernels (what loadgen's local
+  // verification uses); resolution happens once, here.
+  explicit ReferenceExecutor(const graph::Graph& graph,
+                             Backend backend = Backend::kReference);
 
   // Runs the graph in the given order (any topological order gives identical
   // results). `inputs` correspond to the graph's kInput nodes in ascending
@@ -48,6 +54,7 @@ class ReferenceExecutor {
   void Execute(const graph::Node& node, const std::vector<Tensor>& inputs);
 
   const graph::Graph& graph_;
+  const KernelBackend* kernels_;        // resolved once at construction
   std::vector<Tensor> buffer_tensors_;  // indexed by BufferId
   std::vector<bool> buffer_ready_;
 };

@@ -3,31 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "runtime/kernels_backends.h"
 #include "util/logging.h"
 
 namespace serenity::runtime {
 
 namespace {
 
-struct Padding2d {
-  int top = 0;
-  int left = 0;
-};
-
-// TF-style padding: SAME pads to ceil(in/stride) outputs with the smaller
-// half before; VALID pads nothing.
-Padding2d ComputePadding(const graph::TensorShape& in,
-                         const graph::ConvAttrs& attrs, int out_h,
-                         int out_w) {
-  if (attrs.padding == graph::Padding::kValid) return {};
-  const int eff_kh = attrs.dilation * (attrs.kernel_h - 1) + 1;
-  const int eff_kw = attrs.dilation * (attrs.kernel_w - 1) + 1;
-  const int pad_h =
-      std::max(0, (out_h - 1) * attrs.stride + eff_kh - in.h);
-  const int pad_w =
-      std::max(0, (out_w - 1) * attrs.stride + eff_kw - in.w);
-  return {pad_h / 2, pad_w / 2};
-}
+using internal::ComputePadding;
+using internal::Padding2d;
 
 bool AllContiguous(const std::vector<const Tensor*>& inputs,
                    const Tensor& out) {
@@ -92,13 +76,6 @@ void Conv2dInto(const Tensor& input, const ConvWeights& weights,
                 /*add_bias=*/true, out);
 }
 
-Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
-              const graph::ConvAttrs& attrs) {
-  Tensor out(graph::InferConv2dShape(input.shape(), attrs, weights.out_c));
-  Conv2dInto(input, weights, attrs, out);
-  return out;
-}
-
 void DepthwiseConv2dPartial(const Tensor& input,
                             const DepthwiseWeights& weights,
                             const graph::ConvAttrs& attrs,
@@ -142,13 +119,6 @@ void DepthwiseConv2dInto(const Tensor& input, const DepthwiseWeights& weights,
                          /*out_c_offset=*/0);
 }
 
-Tensor DepthwiseConv2d(const Tensor& input, const DepthwiseWeights& weights,
-                       const graph::ConvAttrs& attrs) {
-  Tensor out(graph::InferDepthwiseShape(input.shape(), attrs));
-  DepthwiseConv2dInto(input, weights, attrs, out);
-  return out;
-}
-
 void ConcatInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
   SERENITY_CHECK_GE(inputs.size(), 2u);
   graph::TensorShape cat_shape = inputs[0]->shape();
@@ -173,16 +143,6 @@ void ConcatInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
       }
     }
   }
-}
-
-Tensor Concat(const std::vector<const Tensor*>& inputs) {
-  SERENITY_CHECK_GE(inputs.size(), 2u);
-  graph::TensorShape cat_shape = inputs[0]->shape();
-  cat_shape.c = 0;
-  for (const Tensor* t : inputs) cat_shape.c += t->shape().c;
-  Tensor out(cat_shape);
-  ConcatInto(inputs, out);
-  return out;
 }
 
 void AddInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
@@ -211,13 +171,6 @@ void AddInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
   }
 }
 
-Tensor Add(const std::vector<const Tensor*>& inputs) {
-  CheckSameShape(inputs);
-  Tensor out(inputs[0]->shape());
-  AddInto(inputs, out);
-  return out;
-}
-
 void MulInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
   CheckSameShape(inputs);
   const graph::TensorShape s = inputs[0]->shape();
@@ -244,13 +197,6 @@ void MulInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
   }
 }
 
-Tensor Mul(const std::vector<const Tensor*>& inputs) {
-  CheckSameShape(inputs);
-  Tensor out(inputs[0]->shape());
-  MulInto(inputs, out);
-  return out;
-}
-
 void ReluInto(const Tensor& input, Tensor& out) {
   const graph::TensorShape s = input.shape();
   SERENITY_CHECK(out.shape() == s) << "Relu output shape mismatch";
@@ -271,12 +217,6 @@ void ReluInto(const Tensor& input, Tensor& out) {
       }
     }
   }
-}
-
-Tensor Relu(const Tensor& input) {
-  Tensor out(input.shape());
-  ReluInto(input, out);
-  return out;
 }
 
 void BatchNormInto(const Tensor& input, const BatchNormWeights& weights,
@@ -307,12 +247,6 @@ void BatchNormInto(const Tensor& input, const BatchNormWeights& weights,
   }
 }
 
-Tensor BatchNorm(const Tensor& input, const BatchNormWeights& weights) {
-  Tensor out(input.shape());
-  BatchNormInto(input, weights, out);
-  return out;
-}
-
 void MaxPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
                    Tensor& out) {
   const graph::TensorShape in = input.shape();
@@ -339,12 +273,6 @@ void MaxPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
       }
     }
   }
-}
-
-Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
-  Tensor out(graph::InferPoolShape(input.shape(), attrs));
-  MaxPool2dInto(input, attrs, out);
-  return out;
 }
 
 void AvgPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
@@ -378,12 +306,6 @@ void AvgPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
   }
 }
 
-Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
-  Tensor out(graph::InferPoolShape(input.shape(), attrs));
-  AvgPool2dInto(input, attrs, out);
-  return out;
-}
-
 void GlobalAvgPool2dInto(const Tensor& input, Tensor& out) {
   const graph::TensorShape in = input.shape();
   SERENITY_CHECK(out.shape() == (graph::TensorShape{in.n, 1, 1, in.c}))
@@ -398,12 +320,6 @@ void GlobalAvgPool2dInto(const Tensor& input, Tensor& out) {
       out.At(n, 0, 0, c) = sum / denom;
     }
   }
-}
-
-Tensor GlobalAvgPool2d(const Tensor& input) {
-  Tensor out(graph::TensorShape{input.shape().n, 1, 1, input.shape().c});
-  GlobalAvgPool2dInto(input, out);
-  return out;
 }
 
 void DenseInto(const Tensor& input, const DenseWeights& weights,
@@ -443,12 +359,6 @@ void DenseInto(const Tensor& input, const DenseWeights& weights,
       out.At(n, 0, 0, u) = sum;
     }
   }
-}
-
-Tensor Dense(const Tensor& input, const DenseWeights& weights) {
-  Tensor out(graph::TensorShape{input.shape().n, 1, 1, weights.units});
-  DenseInto(input, weights, out);
-  return out;
 }
 
 }  // namespace serenity::runtime

@@ -1,4 +1,7 @@
-// Reference operator kernels (naive loops, NHWC, float32).
+// Reference operator kernels (naive loops, NHWC, float32) — the
+// `Backend::kReference` implementations behind the kernel-dispatch API
+// (runtime/kernel_backend.h) and the arithmetic oracle every other backend
+// is pinned against.
 //
 // Conventions follow TensorFlow/TFLite: SAME padding splits the total pad
 // with the smaller half first; average pooling divides by the number of
@@ -7,16 +10,14 @@
 // (Eq. 3-6) and per-branch depthwise convolution writing into a channel
 // slice of the shared output (Eq. 7-8).
 //
-// Every kernel exists in two forms:
-//   * `...Into(inputs, out)` writes into caller-provided storage — the form
-//     the ArenaExecutor drives, with `out` a view bound into the planned
-//     arena, so inference performs zero heap allocations. Inputs may be
-//     channel-window views (values living inside shared buffers); the
-//     elementwise kernels accept `out` aliasing their input (in-place).
-//   * the returning form allocates an owning output tensor and forwards to
-//     `...Into` — the convenient form for tests and the ReferenceExecutor.
-// Both forms perform the identical arithmetic in the identical order, so
-// their outputs are bit-identical.
+// Every kernel exists only in `...Into(inputs, out)` form, writing into
+// caller-provided storage — the form both executors drive, with `out` a
+// view bound into the planned arena, so inference performs zero heap
+// allocations. Inputs may be channel-window views (values living inside
+// shared buffers); the elementwise kernels accept `out` aliasing their
+// input (in-place). Allocating conveniences for tests live in
+// tests/testing/kernel_wrappers.h; production code routes through a
+// resolved KernelBackend instead of calling these directly.
 #ifndef SERENITY_RUNTIME_KERNELS_H_
 #define SERENITY_RUNTIME_KERNELS_H_
 
@@ -29,8 +30,6 @@
 namespace serenity::runtime {
 
 // Dense convolution over all input channels: bias + Σ_ic w ∗ x.
-Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
-              const graph::ConvAttrs& attrs);
 void Conv2dInto(const Tensor& input, const ConvWeights& weights,
                 const graph::ConvAttrs& attrs, Tensor& out);
 
@@ -43,8 +42,6 @@ void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
                    const graph::ConvAttrs& attrs, int ic_offset,
                    bool overwrite, bool add_bias, Tensor& acc);
 
-Tensor DepthwiseConv2d(const Tensor& input, const DepthwiseWeights& weights,
-                       const graph::ConvAttrs& attrs);
 void DepthwiseConv2dInto(const Tensor& input, const DepthwiseWeights& weights,
                          const graph::ConvAttrs& attrs, Tensor& out);
 
@@ -57,34 +54,25 @@ void DepthwiseConv2dPartial(const Tensor& input,
                             int weight_c_offset, Tensor& out,
                             int out_c_offset);
 
-Tensor Concat(const std::vector<const Tensor*>& inputs);
 void ConcatInto(const std::vector<const Tensor*>& inputs, Tensor& out);
 
-Tensor Add(const std::vector<const Tensor*>& inputs);
 void AddInto(const std::vector<const Tensor*>& inputs, Tensor& out);
 
-Tensor Mul(const std::vector<const Tensor*>& inputs);
 void MulInto(const std::vector<const Tensor*>& inputs, Tensor& out);
 
-Tensor Relu(const Tensor& input);
 void ReluInto(const Tensor& input, Tensor& out);
 
-Tensor BatchNorm(const Tensor& input, const BatchNormWeights& weights);
 void BatchNormInto(const Tensor& input, const BatchNormWeights& weights,
                    Tensor& out);
 
-Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs);
 void MaxPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
                    Tensor& out);
 
-Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs);
 void AvgPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
                    Tensor& out);
 
-Tensor GlobalAvgPool2d(const Tensor& input);
 void GlobalAvgPool2dInto(const Tensor& input, Tensor& out);
 
-Tensor Dense(const Tensor& input, const DenseWeights& weights);
 void DenseInto(const Tensor& input, const DenseWeights& weights, Tensor& out);
 
 }  // namespace serenity::runtime

@@ -1,0 +1,470 @@
+// AVX2 kernel backend (Backend::kAvx2). This TU is compiled with -mavx2
+// (and ONLY -mavx2 — see the FMA note below); every entry point is reached
+// exclusively through the dispatch table's runtime cpuid guard
+// (runtime/kernel_backend.cc), so building it in never executes AVX2 on a
+// machine without it.
+//
+// Vectorization runs 8-lane across *independent* outputs — output channels
+// for conv/depthwise, units for dense, channels for the elementwise ops —
+// the dimension that is contiguous in the weight layouts. Each output
+// element's summation order is exactly the reference's (taps (ky, kx, ic)
+// ascending, dense i ascending), just computed for 8 outputs at once.
+//
+// NO FMA, by construction twice over: the arithmetic is explicit
+// _mm256_mul_ps followed by _mm256_add_ps, and the TU's ISA (-mavx2 without
+// -mfma) has no FMA instructions for GCC's default fp-contract to fuse
+// into. Mul-then-add with one rounding each is precisely the scalar float
+// arithmetic of the reference kernels, which is what makes every lane
+// bit-identical to Backend::kReference (pinned by
+// tests/kernel_parity_property_test.cc).
+#if defined(SERENITY_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+
+#include "runtime/kernels_backends.h"
+#include "util/logging.h"
+
+namespace serenity::runtime::avx2 {
+
+namespace {
+
+constexpr int kLanes = 8;       // floats per __m256
+constexpr int kMaxInputs = 16;  // elementwise arity cap (stack row arrays)
+constexpr int kMaxKernelH = 16; // per-pixel tap-row pointer cache bound
+
+template <int N>
+using VecCount = std::integral_constant<int, N>;
+
+void CheckSameShape(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  SERENITY_CHECK_LE(inputs.size(), static_cast<std::size_t>(kMaxInputs));
+  for (const Tensor* t : inputs) {
+    SERENITY_CHECK(t->shape() == inputs[0]->shape());
+  }
+}
+
+}  // namespace
+
+void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
+                   const graph::ConvAttrs& attrs, int ic_offset,
+                   bool overwrite, bool add_bias, Tensor& acc) {
+  const graph::TensorShape in = input.shape();
+  const graph::TensorShape out = acc.shape();
+  SERENITY_CHECK_EQ(out.c, weights.out_c);
+  SERENITY_CHECK_LE(ic_offset + in.c, weights.in_c);
+  SERENITY_CHECK_LE(attrs.kernel_h, kMaxKernelH);
+  const internal::Padding2d pad =
+      internal::ComputePadding(in, attrs, out.h, out.w);
+  const float* kern = weights.kernel.data();
+  const float* bias = weights.bias.data();
+  const std::size_t kern_in_c = static_cast<std::size_t>(weights.in_c);
+  const std::size_t kern_out_c = static_cast<std::size_t>(weights.out_c);
+  const int in_stride = input.pixel_stride();
+
+  for (int n = 0; n < out.n; ++n) {
+    for (int oh = 0; oh < out.h; ++oh) {
+      const int ph = oh * attrs.stride - pad.top;
+      const int ky_lo = internal::FirstValidTap(ph, attrs.dilation);
+      const int ky_end =
+          internal::EndValidTap(ph, attrs.dilation, attrs.kernel_h, in.h);
+      for (int ow = 0; ow < out.w; ++ow) {
+        const int pw = ow * attrs.stride - pad.left;
+        const int kx_lo = internal::FirstValidTap(pw, attrs.dilation);
+        const int kx_end =
+            internal::EndValidTap(pw, attrs.dilation, attrs.kernel_w, in.w);
+        const bool any_taps = ky_lo < ky_end && kx_lo < kx_end;
+        // One bounds-checked PixelRun per valid tap row, cached for every
+        // output-channel chunk of this pixel.
+        const float* tap_rows[kMaxKernelH];
+        if (any_taps) {
+          const int iw0 = pw + kx_lo * attrs.dilation;
+          const int iw_run = (kx_end - 1 - kx_lo) * attrs.dilation + 1;
+          for (int ky = ky_lo; ky < ky_end; ++ky) {
+            tap_rows[ky - ky_lo] =
+                input.PixelRun(n, ph + ky * attrs.dilation, iw0, iw_run);
+          }
+        }
+        float* acc_px = acc.PixelRun(n, oh, ow, 1);
+
+        const auto chunk = [&](int oc, auto vecs) {
+          constexpr int kVecs = decltype(vecs)::value;
+          __m256 a[kVecs];
+          if (overwrite) {
+            for (int v = 0; v < kVecs; ++v) a[v] = _mm256_setzero_ps();
+          } else {
+            for (int v = 0; v < kVecs; ++v) {
+              a[v] = _mm256_loadu_ps(acc_px + oc + v * kLanes);
+            }
+          }
+          if (any_taps) {
+            for (int ky = ky_lo; ky < ky_end; ++ky) {
+              const float* row = tap_rows[ky - ky_lo];
+              for (int kx = kx_lo; kx < kx_end; ++kx) {
+                const float* in_px =
+                    row + static_cast<std::ptrdiff_t>(kx - kx_lo) *
+                              attrs.dilation * in_stride;
+                const std::size_t tap_base =
+                    (static_cast<std::size_t>(ky) * attrs.kernel_w + kx) *
+                    kern_in_c;
+                for (int ic = 0; ic < in.c; ++ic) {
+                  const __m256 x = _mm256_set1_ps(in_px[ic]);
+                  const float* w_row =
+                      kern +
+                      (tap_base + static_cast<std::size_t>(ic_offset + ic)) *
+                          kern_out_c +
+                      oc;
+                  for (int v = 0; v < kVecs; ++v) {
+                    a[v] = _mm256_add_ps(
+                        a[v],
+                        _mm256_mul_ps(x, _mm256_loadu_ps(w_row + v * kLanes)));
+                  }
+                }
+              }
+            }
+          }
+          if (add_bias) {
+            for (int v = 0; v < kVecs; ++v) {
+              a[v] = _mm256_add_ps(a[v],
+                                   _mm256_loadu_ps(bias + oc + v * kLanes));
+            }
+          }
+          for (int v = 0; v < kVecs; ++v) {
+            _mm256_storeu_ps(acc_px + oc + v * kLanes, a[v]);
+          }
+        };
+
+        int oc = 0;
+        for (; oc + 4 * kLanes <= out.c; oc += 4 * kLanes) {
+          chunk(oc, VecCount<4>{});
+        }
+        for (; oc + kLanes <= out.c; oc += kLanes) chunk(oc, VecCount<1>{});
+        for (; oc < out.c; ++oc) {  // scalar tail, reference order
+          float sum = overwrite ? 0.0f : acc_px[oc];
+          if (any_taps) {
+            for (int ky = ky_lo; ky < ky_end; ++ky) {
+              const float* row = tap_rows[ky - ky_lo];
+              for (int kx = kx_lo; kx < kx_end; ++kx) {
+                const float* in_px =
+                    row + static_cast<std::ptrdiff_t>(kx - kx_lo) *
+                              attrs.dilation * in_stride;
+                const std::size_t tap_base =
+                    (static_cast<std::size_t>(ky) * attrs.kernel_w + kx) *
+                    kern_in_c;
+                for (int ic = 0; ic < in.c; ++ic) {
+                  sum += in_px[ic] *
+                         kern[(tap_base +
+                               static_cast<std::size_t>(ic_offset + ic)) *
+                                  kern_out_c +
+                              oc];
+                }
+              }
+            }
+          }
+          if (add_bias) sum += bias[oc];
+          acc_px[oc] = sum;
+        }
+      }
+    }
+  }
+}
+
+void DepthwiseConv2dPartial(const Tensor& input,
+                            const DepthwiseWeights& weights,
+                            const graph::ConvAttrs& attrs,
+                            int weight_c_offset, Tensor& out,
+                            int out_c_offset) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK_LE(weight_c_offset + in.c, weights.c);
+  SERENITY_CHECK_LE(out_c_offset + in.c, out.shape().c);
+  SERENITY_CHECK_LE(attrs.kernel_h, kMaxKernelH);
+  const internal::Padding2d pad =
+      internal::ComputePadding(in, attrs, out.shape().h, out.shape().w);
+  const float* kern = weights.kernel.data();
+  const float* bias = weights.bias.data();
+  const std::size_t kern_c = static_cast<std::size_t>(weights.c);
+  const int in_stride = input.pixel_stride();
+
+  for (int n = 0; n < out.shape().n; ++n) {
+    for (int oh = 0; oh < out.shape().h; ++oh) {
+      const int ph = oh * attrs.stride - pad.top;
+      const int ky_lo = internal::FirstValidTap(ph, attrs.dilation);
+      const int ky_end =
+          internal::EndValidTap(ph, attrs.dilation, attrs.kernel_h, in.h);
+      for (int ow = 0; ow < out.shape().w; ++ow) {
+        const int pw = ow * attrs.stride - pad.left;
+        const int kx_lo = internal::FirstValidTap(pw, attrs.dilation);
+        const int kx_end =
+            internal::EndValidTap(pw, attrs.dilation, attrs.kernel_w, in.w);
+        const bool any_taps = ky_lo < ky_end && kx_lo < kx_end;
+        const float* tap_rows[kMaxKernelH];
+        if (any_taps) {
+          const int iw0 = pw + kx_lo * attrs.dilation;
+          const int iw_run = (kx_end - 1 - kx_lo) * attrs.dilation + 1;
+          for (int ky = ky_lo; ky < ky_end; ++ky) {
+            tap_rows[ky - ky_lo] =
+                input.PixelRun(n, ph + ky * attrs.dilation, iw0, iw_run);
+          }
+        }
+        float* out_px = out.PixelRun(n, oh, ow, 1) + out_c_offset;
+
+        int c = 0;
+        for (; c + kLanes <= in.c; c += kLanes) {
+          __m256 a =
+              _mm256_loadu_ps(bias + weight_c_offset + c);  // bias first
+          if (any_taps) {
+            for (int ky = ky_lo; ky < ky_end; ++ky) {
+              const float* row = tap_rows[ky - ky_lo];
+              for (int kx = kx_lo; kx < kx_end; ++kx) {
+                const float* in_px =
+                    row + static_cast<std::ptrdiff_t>(kx - kx_lo) *
+                              attrs.dilation * in_stride;
+                const float* w_row =
+                    kern +
+                    (static_cast<std::size_t>(ky) * attrs.kernel_w + kx) *
+                        kern_c +
+                    weight_c_offset + c;
+                a = _mm256_add_ps(
+                    a, _mm256_mul_ps(_mm256_loadu_ps(in_px + c),
+                                     _mm256_loadu_ps(w_row)));
+              }
+            }
+          }
+          _mm256_storeu_ps(out_px + c, a);
+        }
+        for (; c < in.c; ++c) {  // scalar tail, reference order
+          float sum = bias[weight_c_offset + c];
+          if (any_taps) {
+            for (int ky = ky_lo; ky < ky_end; ++ky) {
+              const float* row = tap_rows[ky - ky_lo];
+              for (int kx = kx_lo; kx < kx_end; ++kx) {
+                const float* in_px =
+                    row + static_cast<std::ptrdiff_t>(kx - kx_lo) *
+                              attrs.dilation * in_stride;
+                sum += in_px[c] *
+                       kern[(static_cast<std::size_t>(ky) * attrs.kernel_w +
+                             kx) *
+                                kern_c +
+                            weight_c_offset + c];
+              }
+            }
+          }
+          out_px[c] = sum;
+        }
+      }
+    }
+  }
+}
+
+void DenseInto(const Tensor& input, const DenseWeights& weights,
+               Tensor& out) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK_EQ(in.NumElements() / in.n, weights.in);
+  SERENITY_CHECK(out.shape() ==
+                 (graph::TensorShape{in.n, 1, 1, weights.units}))
+      << "Dense output shape mismatch";
+  const float* kern = weights.kernel.data();
+  const float* bias = weights.bias.data();
+  const std::size_t units = static_cast<std::size_t>(weights.units);
+  const int in_stride = input.pixel_stride();
+
+  for (int n = 0; n < in.n; ++n) {
+    float* out_px = out.PixelRun(n, 0, 0, 1);
+
+    const auto chunk = [&](int u, auto vecs) {
+      constexpr int kVecs = decltype(vecs)::value;
+      __m256 a[kVecs];
+      for (int v = 0; v < kVecs; ++v) {
+        a[v] = _mm256_loadu_ps(bias + u + v * kLanes);  // bias first
+      }
+      std::size_t i = 0;
+      for (int h = 0; h < in.h; ++h) {
+        const float* in_row = input.PixelRun(n, h, 0, in.w);
+        for (int w = 0; w < in.w; ++w) {
+          const float* in_px =
+              in_row + static_cast<std::ptrdiff_t>(w) * in_stride;
+          for (int c = 0; c < in.c; ++c) {
+            const __m256 x = _mm256_set1_ps(in_px[c]);
+            const float* w_row = kern + i * units + u;
+            for (int v = 0; v < kVecs; ++v) {
+              a[v] = _mm256_add_ps(
+                  a[v], _mm256_mul_ps(x, _mm256_loadu_ps(w_row + v * kLanes)));
+            }
+            ++i;
+          }
+        }
+      }
+      for (int v = 0; v < kVecs; ++v) {
+        _mm256_storeu_ps(out_px + u + v * kLanes, a[v]);
+      }
+    };
+
+    int u = 0;
+    for (; u + 4 * kLanes <= weights.units; u += 4 * kLanes) {
+      chunk(u, VecCount<4>{});
+    }
+    for (; u + kLanes <= weights.units; u += kLanes) chunk(u, VecCount<1>{});
+    for (; u < weights.units; ++u) {  // scalar tail, reference order
+      float sum = bias[u];
+      std::size_t i = 0;
+      for (int h = 0; h < in.h; ++h) {
+        const float* in_row = input.PixelRun(n, h, 0, in.w);
+        for (int w = 0; w < in.w; ++w) {
+          const float* in_px =
+              in_row + static_cast<std::ptrdiff_t>(w) * in_stride;
+          for (int c = 0; c < in.c; ++c) {
+            sum += in_px[c] * kern[i * units + u];
+            ++i;
+          }
+        }
+      }
+      out_px[u] = sum;
+    }
+  }
+}
+
+void AddInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
+  CheckSameShape(inputs);
+  const graph::TensorShape s = inputs[0]->shape();
+  SERENITY_CHECK(out.shape() == s) << "Add output shape mismatch";
+  const int num = static_cast<int>(inputs.size());
+  const int os = out.pixel_stride();
+  const float* rows[kMaxInputs];
+  int strides[kMaxInputs];
+  for (int t = 0; t < num; ++t) strides[t] = inputs[t]->pixel_stride();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int t = 0; t < num; ++t) {
+        rows[t] = inputs[t]->PixelRun(n, h, 0, s.w);
+      }
+      for (int w = 0; w < s.w; ++w) {
+        // Each 8-lane group reads every input before writing, so `out` may
+        // alias any input (the in-place contract).
+        float* o = out_row + static_cast<std::ptrdiff_t>(w) * os;
+        int c = 0;
+        for (; c + kLanes <= s.c; c += kLanes) {
+          __m256 sum = _mm256_setzero_ps();
+          for (int t = 0; t < num; ++t) {
+            sum = _mm256_add_ps(
+                sum, _mm256_loadu_ps(
+                         rows[t] +
+                         static_cast<std::ptrdiff_t>(w) * strides[t] + c));
+          }
+          _mm256_storeu_ps(o + c, sum);
+        }
+        for (; c < s.c; ++c) {
+          float sum = 0.0f;
+          for (int t = 0; t < num; ++t) {
+            sum += rows[t][static_cast<std::ptrdiff_t>(w) * strides[t] + c];
+          }
+          o[c] = sum;
+        }
+      }
+    }
+  }
+}
+
+void MulInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
+  CheckSameShape(inputs);
+  const graph::TensorShape s = inputs[0]->shape();
+  SERENITY_CHECK(out.shape() == s) << "Mul output shape mismatch";
+  const int num = static_cast<int>(inputs.size());
+  const int os = out.pixel_stride();
+  const float* rows[kMaxInputs];
+  int strides[kMaxInputs];
+  for (int t = 0; t < num; ++t) strides[t] = inputs[t]->pixel_stride();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int t = 0; t < num; ++t) {
+        rows[t] = inputs[t]->PixelRun(n, h, 0, s.w);
+      }
+      for (int w = 0; w < s.w; ++w) {
+        float* o = out_row + static_cast<std::ptrdiff_t>(w) * os;
+        int c = 0;
+        for (; c + kLanes <= s.c; c += kLanes) {
+          __m256 product = _mm256_set1_ps(1.0f);
+          for (int t = 0; t < num; ++t) {
+            product = _mm256_mul_ps(
+                product, _mm256_loadu_ps(
+                             rows[t] +
+                             static_cast<std::ptrdiff_t>(w) * strides[t] +
+                             c));
+          }
+          _mm256_storeu_ps(o + c, product);
+        }
+        for (; c < s.c; ++c) {
+          float product = 1.0f;
+          for (int t = 0; t < num; ++t) {
+            product *=
+                rows[t][static_cast<std::ptrdiff_t>(w) * strides[t] + c];
+          }
+          o[c] = product;
+        }
+      }
+    }
+  }
+}
+
+void ReluInto(const Tensor& input, Tensor& out) {
+  const graph::TensorShape s = input.shape();
+  SERENITY_CHECK(out.shape() == s) << "Relu output shape mismatch";
+  const int is = input.pixel_stride();
+  const int os = out.pixel_stride();
+  const __m256 zero = _mm256_setzero_ps();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      const float* in_row = input.PixelRun(n, h, 0, s.w);
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int w = 0; w < s.w; ++w) {
+        const float* x = in_row + static_cast<std::ptrdiff_t>(w) * is;
+        float* o = out_row + static_cast<std::ptrdiff_t>(w) * os;
+        int c = 0;
+        for (; c + kLanes <= s.c; c += kLanes) {
+          // max(x, 0) with x as the first operand: maxps returns the second
+          // operand on NaN, matching std::max(0.0f, x)'s 0-on-NaN result.
+          _mm256_storeu_ps(o + c,
+                           _mm256_max_ps(_mm256_loadu_ps(x + c), zero));
+        }
+        for (; c < s.c; ++c) o[c] = std::max(0.0f, x[c]);
+      }
+    }
+  }
+}
+
+void BatchNormInto(const Tensor& input, const BatchNormWeights& weights,
+                   Tensor& out) {
+  const graph::TensorShape s = input.shape();
+  SERENITY_CHECK_EQ(weights.scale.size(), static_cast<std::size_t>(s.c));
+  SERENITY_CHECK(out.shape() == s) << "BatchNorm output shape mismatch";
+  const float* scale = weights.scale.data();
+  const float* shift = weights.shift.data();
+  const int is = input.pixel_stride();
+  const int os = out.pixel_stride();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      const float* in_row = input.PixelRun(n, h, 0, s.w);
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int w = 0; w < s.w; ++w) {
+        const float* x = in_row + static_cast<std::ptrdiff_t>(w) * is;
+        float* o = out_row + static_cast<std::ptrdiff_t>(w) * os;
+        int c = 0;
+        for (; c + kLanes <= s.c; c += kLanes) {
+          _mm256_storeu_ps(
+              o + c, _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(x + c),
+                                                 _mm256_loadu_ps(scale + c)),
+                                   _mm256_loadu_ps(shift + c)));
+        }
+        for (; c < s.c; ++c) o[c] = x[c] * scale[c] + shift[c];
+      }
+    }
+  }
+}
+
+}  // namespace serenity::runtime::avx2
+
+#endif  // SERENITY_HAVE_AVX2

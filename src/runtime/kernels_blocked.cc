@@ -1,0 +1,470 @@
+// Portable blocked/tiled kernel backend (Backend::kBlocked).
+//
+// Same arithmetic as runtime/kernels.cc, restructured for speed:
+//
+//   * Raw pixel-run pointers (Tensor::PixelRun) — one bounds check per run
+//     of pixels instead of a checked index computation per element.
+//   * Clamped tap ranges (internal::FirstValidTap/EndValidTap) — the padding
+//     bounds checks leave the inner loops entirely.
+//   * Fixed-size output tiles (kTile floats on the stack) accumulated across
+//     *independent* output channels / units — the dimension that is
+//     contiguous in the weight layouts ([kh][kw][ic][oc], [kh][kw][c],
+//     [in][units]) — so the compiler auto-vectorizes the tile loops with
+//     unit-stride loads.
+//
+// Bit-identity with the reference backend holds because each output
+// element's summation order is untouched: taps still run (ky, kx, ic)
+// ascending, dense still runs i ascending, and only the *outputs* are
+// blocked. No FMA: plain mul-then-add float arithmetic, and this TU is
+// compiled without any FMA-bearing ISA, so GCC's default fp-contract has
+// nothing to contract to (DESIGN.md "Kernel backends & dispatch").
+//
+// Everything writes through caller-provided views (arena placements); no
+// function here allocates.
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "runtime/kernels_backends.h"
+#include "util/logging.h"
+
+namespace serenity::runtime::blocked {
+
+namespace {
+
+// Output tile width in floats: 8 AVX2 vectors / 16 SSE vectors worth of
+// accumulators, small enough to live in registers + L1 for every tc.
+constexpr int kTile = 64;
+
+// Elementwise ops take their variadic inputs as row-pointer arrays on the
+// stack (no per-call allocation); arity above this is a graph-construction
+// bug, not a runtime condition.
+constexpr int kMaxInputs = 16;
+
+void CheckSameShape(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  SERENITY_CHECK_LE(inputs.size(), static_cast<std::size_t>(kMaxInputs));
+  for (const Tensor* t : inputs) {
+    SERENITY_CHECK(t->shape() == inputs[0]->shape());
+  }
+}
+
+}  // namespace
+
+void Conv2dPartial(const Tensor& input, const ConvWeights& weights,
+                   const graph::ConvAttrs& attrs, int ic_offset,
+                   bool overwrite, bool add_bias, Tensor& acc) {
+  const graph::TensorShape in = input.shape();
+  const graph::TensorShape out = acc.shape();
+  SERENITY_CHECK_EQ(out.c, weights.out_c);
+  SERENITY_CHECK_LE(ic_offset + in.c, weights.in_c);
+  const internal::Padding2d pad =
+      internal::ComputePadding(in, attrs, out.h, out.w);
+  const float* kern = weights.kernel.data();
+  const float* bias = weights.bias.data();
+  const int in_stride = input.pixel_stride();
+
+  for (int n = 0; n < out.n; ++n) {
+    for (int oh = 0; oh < out.h; ++oh) {
+      const int ph = oh * attrs.stride - pad.top;
+      const int ky_lo = internal::FirstValidTap(ph, attrs.dilation);
+      const int ky_end =
+          internal::EndValidTap(ph, attrs.dilation, attrs.kernel_h, in.h);
+      for (int ow = 0; ow < out.w; ++ow) {
+        const int pw = ow * attrs.stride - pad.left;
+        const int kx_lo = internal::FirstValidTap(pw, attrs.dilation);
+        const int kx_end =
+            internal::EndValidTap(pw, attrs.dilation, attrs.kernel_w, in.w);
+        const bool any_taps = ky_lo < ky_end && kx_lo < kx_end;
+        const int iw0 = pw + kx_lo * attrs.dilation;
+        const int iw_run =
+            any_taps ? (kx_end - 1 - kx_lo) * attrs.dilation + 1 : 0;
+        float* acc_px = acc.PixelRun(n, oh, ow, 1);
+        for (int oc0 = 0; oc0 < out.c; oc0 += kTile) {
+          const int tc = std::min(kTile, out.c - oc0);
+          float tile[kTile];
+          if (overwrite) {
+            for (int j = 0; j < tc; ++j) tile[j] = 0.0f;
+          } else {
+            for (int j = 0; j < tc; ++j) tile[j] = acc_px[oc0 + j];
+          }
+          if (any_taps) {
+            for (int ky = ky_lo; ky < ky_end; ++ky) {
+              const int ih = ph + ky * attrs.dilation;
+              const float* in_run = input.PixelRun(n, ih, iw0, iw_run);
+              for (int kx = kx_lo; kx < kx_end; ++kx) {
+                const float* in_px =
+                    in_run + static_cast<std::ptrdiff_t>(kx - kx_lo) *
+                                 attrs.dilation * in_stride;
+                const std::size_t tap_base =
+                    (static_cast<std::size_t>(ky) * attrs.kernel_w + kx) *
+                    static_cast<std::size_t>(weights.in_c);
+                for (int ic = 0; ic < in.c; ++ic) {
+                  const float x = in_px[ic];
+                  const float* w_row =
+                      kern + (tap_base + static_cast<std::size_t>(
+                                             ic_offset + ic)) *
+                                 static_cast<std::size_t>(weights.out_c) +
+                      oc0;
+                  for (int j = 0; j < tc; ++j) tile[j] += x * w_row[j];
+                }
+              }
+            }
+          }
+          if (add_bias) {
+            for (int j = 0; j < tc; ++j) tile[j] += bias[oc0 + j];
+          }
+          for (int j = 0; j < tc; ++j) acc_px[oc0 + j] = tile[j];
+        }
+      }
+    }
+  }
+}
+
+void DepthwiseConv2dPartial(const Tensor& input,
+                            const DepthwiseWeights& weights,
+                            const graph::ConvAttrs& attrs,
+                            int weight_c_offset, Tensor& out,
+                            int out_c_offset) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK_LE(weight_c_offset + in.c, weights.c);
+  SERENITY_CHECK_LE(out_c_offset + in.c, out.shape().c);
+  const internal::Padding2d pad =
+      internal::ComputePadding(in, attrs, out.shape().h, out.shape().w);
+  const float* kern = weights.kernel.data();
+  const float* bias = weights.bias.data();
+  const int in_stride = input.pixel_stride();
+
+  for (int n = 0; n < out.shape().n; ++n) {
+    for (int oh = 0; oh < out.shape().h; ++oh) {
+      const int ph = oh * attrs.stride - pad.top;
+      const int ky_lo = internal::FirstValidTap(ph, attrs.dilation);
+      const int ky_end =
+          internal::EndValidTap(ph, attrs.dilation, attrs.kernel_h, in.h);
+      for (int ow = 0; ow < out.shape().w; ++ow) {
+        const int pw = ow * attrs.stride - pad.left;
+        const int kx_lo = internal::FirstValidTap(pw, attrs.dilation);
+        const int kx_end =
+            internal::EndValidTap(pw, attrs.dilation, attrs.kernel_w, in.w);
+        const bool any_taps = ky_lo < ky_end && kx_lo < kx_end;
+        const int iw0 = pw + kx_lo * attrs.dilation;
+        const int iw_run =
+            any_taps ? (kx_end - 1 - kx_lo) * attrs.dilation + 1 : 0;
+        float* out_px = out.PixelRun(n, oh, ow, 1) + out_c_offset;
+        for (int c0 = 0; c0 < in.c; c0 += kTile) {
+          const int tc = std::min(kTile, in.c - c0);
+          float tile[kTile];
+          for (int j = 0; j < tc; ++j) {
+            tile[j] = bias[weight_c_offset + c0 + j];
+          }
+          if (any_taps) {
+            for (int ky = ky_lo; ky < ky_end; ++ky) {
+              const int ih = ph + ky * attrs.dilation;
+              const float* in_run = input.PixelRun(n, ih, iw0, iw_run);
+              for (int kx = kx_lo; kx < kx_end; ++kx) {
+                const float* in_px =
+                    in_run + static_cast<std::ptrdiff_t>(kx - kx_lo) *
+                                 attrs.dilation * in_stride;
+                const float* w_row =
+                    kern + (static_cast<std::size_t>(ky) * attrs.kernel_w +
+                            kx) *
+                               static_cast<std::size_t>(weights.c) +
+                    weight_c_offset + c0;
+                for (int j = 0; j < tc; ++j) {
+                  tile[j] += in_px[c0 + j] * w_row[j];
+                }
+              }
+            }
+          }
+          for (int j = 0; j < tc; ++j) out_px[c0 + j] = tile[j];
+        }
+      }
+    }
+  }
+}
+
+void DenseInto(const Tensor& input, const DenseWeights& weights,
+               Tensor& out) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK_EQ(in.NumElements() / in.n, weights.in);
+  SERENITY_CHECK(out.shape() ==
+                 (graph::TensorShape{in.n, 1, 1, weights.units}))
+      << "Dense output shape mismatch";
+  const float* kern = weights.kernel.data();
+  const std::size_t units = static_cast<std::size_t>(weights.units);
+  const int in_stride = input.pixel_stride();
+
+  for (int n = 0; n < in.n; ++n) {
+    float* out_px = out.PixelRun(n, 0, 0, 1);
+    for (int u0 = 0; u0 < weights.units; u0 += kTile) {
+      const int tc = std::min(kTile, weights.units - u0);
+      float tile[kTile];
+      for (int j = 0; j < tc; ++j) tile[j] = weights.bias[u0 + j];
+      // i walks the flattened (h, w, c) kernel rows in logical order, so
+      // each unit's summation order matches the reference exactly.
+      std::size_t i = 0;
+      for (int h = 0; h < in.h; ++h) {
+        const float* in_row = input.PixelRun(n, h, 0, in.w);
+        for (int w = 0; w < in.w; ++w) {
+          const float* in_px =
+              in_row + static_cast<std::ptrdiff_t>(w) * in_stride;
+          for (int c = 0; c < in.c; ++c) {
+            const float x = in_px[c];
+            const float* w_row = kern + i * units + u0;
+            for (int j = 0; j < tc; ++j) tile[j] += x * w_row[j];
+            ++i;
+          }
+        }
+      }
+      for (int j = 0; j < tc; ++j) out_px[u0 + j] = tile[j];
+    }
+  }
+}
+
+void ConcatInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  SERENITY_CHECK_LE(inputs.size(), static_cast<std::size_t>(kMaxInputs));
+  graph::TensorShape cat_shape = inputs[0]->shape();
+  cat_shape.c = 0;
+  for (const Tensor* t : inputs) {
+    SERENITY_CHECK_EQ(t->shape().n, inputs[0]->shape().n);
+    SERENITY_CHECK_EQ(t->shape().h, inputs[0]->shape().h);
+    SERENITY_CHECK_EQ(t->shape().w, inputs[0]->shape().w);
+    cat_shape.c += t->shape().c;
+  }
+  SERENITY_CHECK(out.shape() == cat_shape) << "Concat output shape mismatch";
+  const int os = out.pixel_stride();
+  for (int n = 0; n < cat_shape.n; ++n) {
+    for (int h = 0; h < cat_shape.h; ++h) {
+      float* out_row = out.PixelRun(n, h, 0, cat_shape.w);
+      int c_base = 0;
+      for (const Tensor* t : inputs) {
+        const int tc = t->shape().c;
+        const int is = t->pixel_stride();
+        const float* in_row = t->PixelRun(n, h, 0, cat_shape.w);
+        for (int w = 0; w < cat_shape.w; ++w) {
+          float* o = out_row + static_cast<std::ptrdiff_t>(w) * os + c_base;
+          const float* x = in_row + static_cast<std::ptrdiff_t>(w) * is;
+          for (int c = 0; c < tc; ++c) o[c] = x[c];
+        }
+        c_base += tc;
+      }
+    }
+  }
+}
+
+void AddInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
+  CheckSameShape(inputs);
+  const graph::TensorShape s = inputs[0]->shape();
+  SERENITY_CHECK(out.shape() == s) << "Add output shape mismatch";
+  const int num = static_cast<int>(inputs.size());
+  const int os = out.pixel_stride();
+  const float* rows[kMaxInputs];
+  int strides[kMaxInputs];
+  for (int t = 0; t < num; ++t) strides[t] = inputs[t]->pixel_stride();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int t = 0; t < num; ++t) {
+        rows[t] = inputs[t]->PixelRun(n, h, 0, s.w);
+      }
+      for (int w = 0; w < s.w; ++w) {
+        // All inputs of an element are read before it is written, so `out`
+        // may alias any input (the in-place contract).
+        for (int c = 0; c < s.c; ++c) {
+          float sum = 0.0f;
+          for (int t = 0; t < num; ++t) {
+            sum += rows[t][static_cast<std::ptrdiff_t>(w) * strides[t] + c];
+          }
+          out_row[static_cast<std::ptrdiff_t>(w) * os + c] = sum;
+        }
+      }
+    }
+  }
+}
+
+void MulInto(const std::vector<const Tensor*>& inputs, Tensor& out) {
+  CheckSameShape(inputs);
+  const graph::TensorShape s = inputs[0]->shape();
+  SERENITY_CHECK(out.shape() == s) << "Mul output shape mismatch";
+  const int num = static_cast<int>(inputs.size());
+  const int os = out.pixel_stride();
+  const float* rows[kMaxInputs];
+  int strides[kMaxInputs];
+  for (int t = 0; t < num; ++t) strides[t] = inputs[t]->pixel_stride();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int t = 0; t < num; ++t) {
+        rows[t] = inputs[t]->PixelRun(n, h, 0, s.w);
+      }
+      for (int w = 0; w < s.w; ++w) {
+        for (int c = 0; c < s.c; ++c) {
+          float product = 1.0f;
+          for (int t = 0; t < num; ++t) {
+            product *=
+                rows[t][static_cast<std::ptrdiff_t>(w) * strides[t] + c];
+          }
+          out_row[static_cast<std::ptrdiff_t>(w) * os + c] = product;
+        }
+      }
+    }
+  }
+}
+
+void ReluInto(const Tensor& input, Tensor& out) {
+  const graph::TensorShape s = input.shape();
+  SERENITY_CHECK(out.shape() == s) << "Relu output shape mismatch";
+  const int is = input.pixel_stride();
+  const int os = out.pixel_stride();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      const float* in_row = input.PixelRun(n, h, 0, s.w);
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int w = 0; w < s.w; ++w) {
+        const float* x = in_row + static_cast<std::ptrdiff_t>(w) * is;
+        float* o = out_row + static_cast<std::ptrdiff_t>(w) * os;
+        for (int c = 0; c < s.c; ++c) o[c] = std::max(0.0f, x[c]);
+      }
+    }
+  }
+}
+
+void BatchNormInto(const Tensor& input, const BatchNormWeights& weights,
+                   Tensor& out) {
+  const graph::TensorShape s = input.shape();
+  SERENITY_CHECK_EQ(weights.scale.size(), static_cast<std::size_t>(s.c));
+  SERENITY_CHECK(out.shape() == s) << "BatchNorm output shape mismatch";
+  const float* scale = weights.scale.data();
+  const float* shift = weights.shift.data();
+  const int is = input.pixel_stride();
+  const int os = out.pixel_stride();
+  for (int n = 0; n < s.n; ++n) {
+    for (int h = 0; h < s.h; ++h) {
+      const float* in_row = input.PixelRun(n, h, 0, s.w);
+      float* out_row = out.PixelRun(n, h, 0, s.w);
+      for (int w = 0; w < s.w; ++w) {
+        const float* x = in_row + static_cast<std::ptrdiff_t>(w) * is;
+        float* o = out_row + static_cast<std::ptrdiff_t>(w) * os;
+        for (int c = 0; c < s.c; ++c) o[c] = x[c] * scale[c] + shift[c];
+      }
+    }
+  }
+}
+
+void MaxPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
+                   Tensor& out) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK(out.shape() == graph::InferPoolShape(in, attrs))
+      << "MaxPool2d output shape mismatch";
+  const internal::Padding2d pad =
+      internal::ComputePadding(in, attrs, out.shape().h, out.shape().w);
+  const int in_stride = input.pixel_stride();
+  for (int n = 0; n < out.shape().n; ++n) {
+    for (int oh = 0; oh < out.shape().h; ++oh) {
+      const int ph = oh * attrs.stride - pad.top;
+      const int ky_lo = internal::FirstValidTap(ph, 1);
+      const int ky_end = internal::EndValidTap(ph, 1, attrs.kernel_h, in.h);
+      for (int ow = 0; ow < out.shape().w; ++ow) {
+        const int pw = ow * attrs.stride - pad.left;
+        const int kx_lo = internal::FirstValidTap(pw, 1);
+        const int kx_end = internal::EndValidTap(pw, 1, attrs.kernel_w, in.w);
+        const bool any_taps = ky_lo < ky_end && kx_lo < kx_end;
+        const int iw_run = any_taps ? kx_end - kx_lo : 0;
+        float* out_px = out.PixelRun(n, oh, ow, 1);
+        for (int c0 = 0; c0 < out.shape().c; c0 += kTile) {
+          const int tc = std::min(kTile, out.shape().c - c0);
+          float tile[kTile];
+          for (int j = 0; j < tc; ++j) {
+            tile[j] = std::numeric_limits<float>::lowest();
+          }
+          if (any_taps) {
+            for (int ky = ky_lo; ky < ky_end; ++ky) {
+              const float* in_run =
+                  input.PixelRun(n, ph + ky, pw + kx_lo, iw_run);
+              for (int kx = kx_lo; kx < kx_end; ++kx) {
+                const float* in_px =
+                    in_run +
+                    static_cast<std::ptrdiff_t>(kx - kx_lo) * in_stride;
+                for (int j = 0; j < tc; ++j) {
+                  tile[j] = std::max(tile[j], in_px[c0 + j]);
+                }
+              }
+            }
+          }
+          for (int j = 0; j < tc; ++j) out_px[c0 + j] = tile[j];
+        }
+      }
+    }
+  }
+}
+
+void AvgPool2dInto(const Tensor& input, const graph::ConvAttrs& attrs,
+                   Tensor& out) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK(out.shape() == graph::InferPoolShape(in, attrs))
+      << "AvgPool2d output shape mismatch";
+  const internal::Padding2d pad =
+      internal::ComputePadding(in, attrs, out.shape().h, out.shape().w);
+  const int in_stride = input.pixel_stride();
+  for (int n = 0; n < out.shape().n; ++n) {
+    for (int oh = 0; oh < out.shape().h; ++oh) {
+      const int ph = oh * attrs.stride - pad.top;
+      const int ky_lo = internal::FirstValidTap(ph, 1);
+      const int ky_end = internal::EndValidTap(ph, 1, attrs.kernel_h, in.h);
+      for (int ow = 0; ow < out.shape().w; ++ow) {
+        const int pw = ow * attrs.stride - pad.left;
+        const int kx_lo = internal::FirstValidTap(pw, 1);
+        const int kx_end = internal::EndValidTap(pw, 1, attrs.kernel_w, in.w);
+        const int count = (ky_end - ky_lo) * (kx_end - kx_lo);
+        SERENITY_CHECK_GT(count, 0);
+        const int iw_run = kx_end - kx_lo;
+        float* out_px = out.PixelRun(n, oh, ow, 1);
+        for (int c0 = 0; c0 < out.shape().c; c0 += kTile) {
+          const int tc = std::min(kTile, out.shape().c - c0);
+          float tile[kTile];
+          for (int j = 0; j < tc; ++j) tile[j] = 0.0f;
+          for (int ky = ky_lo; ky < ky_end; ++ky) {
+            const float* in_run =
+                input.PixelRun(n, ph + ky, pw + kx_lo, iw_run);
+            for (int kx = kx_lo; kx < kx_end; ++kx) {
+              const float* in_px =
+                  in_run +
+                  static_cast<std::ptrdiff_t>(kx - kx_lo) * in_stride;
+              for (int j = 0; j < tc; ++j) tile[j] += in_px[c0 + j];
+            }
+          }
+          const float denom = static_cast<float>(count);
+          for (int j = 0; j < tc; ++j) out_px[c0 + j] = tile[j] / denom;
+        }
+      }
+    }
+  }
+}
+
+void GlobalAvgPool2dInto(const Tensor& input, Tensor& out) {
+  const graph::TensorShape in = input.shape();
+  SERENITY_CHECK(out.shape() == (graph::TensorShape{in.n, 1, 1, in.c}))
+      << "GlobalAvgPool2d output shape mismatch";
+  const float denom = static_cast<float>(in.h) * static_cast<float>(in.w);
+  const int in_stride = input.pixel_stride();
+  for (int n = 0; n < in.n; ++n) {
+    float* out_px = out.PixelRun(n, 0, 0, 1);
+    for (int c0 = 0; c0 < in.c; c0 += kTile) {
+      const int tc = std::min(kTile, in.c - c0);
+      float tile[kTile];
+      for (int j = 0; j < tc; ++j) tile[j] = 0.0f;
+      for (int h = 0; h < in.h; ++h) {
+        const float* in_row = input.PixelRun(n, h, 0, in.w);
+        for (int w = 0; w < in.w; ++w) {
+          const float* in_px =
+              in_row + static_cast<std::ptrdiff_t>(w) * in_stride;
+          for (int j = 0; j < tc; ++j) tile[j] += in_px[c0 + j];
+        }
+      }
+      for (int j = 0; j < tc; ++j) out_px[c0 + j] = tile[j] / denom;
+    }
+  }
+}
+
+}  // namespace serenity::runtime::blocked

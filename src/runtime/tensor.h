@@ -160,6 +160,27 @@ class Tensor {
   }
   float& At(int n, int h, int w, int c) { return data_[Index(n, h, w, c)]; }
 
+  // Raw pixel-run access for the blocked/SIMD kernel backends
+  // (runtime/kernel_backend.h): a pointer to the first channel of pixel
+  // (n, h, w), valid for the whole run of `w_count` consecutive pixels in w.
+  // Each pixel's shape().c channels are contiguous — channel windows
+  // included, because a window's channels are consecutive inside its backing
+  // row — and the next pixel in w is pixel_stride() floats away. ONE bounds
+  // check covers the entire run, so kernels iterating whole rows keep the
+  // no-access-escapes-its-placement guarantee without paying a checked At()
+  // per element.
+  const float* PixelRun(int n, int h, int w, int w_count) const {
+    return data_ + RunIndex(n, h, w, w_count);
+  }
+  float* PixelRun(int n, int h, int w, int w_count) {
+    return data_ + RunIndex(n, h, w, w_count);
+  }
+
+  // Floats between pixel (n, h, w) and pixel (n, h, w + 1) in storage:
+  // shape().c for contiguous tensors, the backing channel count for channel
+  // windows.
+  int pixel_stride() const { return backing_c_; }
+
   // Elementwise copy from `other` (same shape) into this tensor's existing
   // storage — never reallocates, so a bound view stays bound.
   void CopyFrom(const Tensor& other) {
@@ -191,6 +212,16 @@ class Tensor {
         }
       }
     }
+  }
+
+  // First flat index of the pixel run [(n, h, w) .. (n, h, w + w_count)),
+  // with both endpoints bounds-checked against the logical shape and the
+  // backing span.
+  std::size_t RunIndex(int n, int h, int w, int w_count) const {
+    SERENITY_CHECK_GT(w_count, 0);
+    const std::size_t first = Index(n, h, w, 0);
+    (void)Index(n, h, w + w_count - 1, shape_.c - 1);  // run stays in bounds
+    return first;
   }
 
   std::size_t Index(int n, int h, int w, int c) const {

@@ -36,24 +36,30 @@ models::RandomCellParams ParamsForSeed(int seed) {
   return p;
 }
 
-// Runs `schedule` through the arena executor and checks it against the
-// reference sinks (computed once per graph; any topological order computes
-// bit-identical results, which ReferenceExecutor.ScheduleInvariance pins).
+// Runs `schedule` through the arena executor — once per available kernel
+// backend, bit-identity being a backend contract (the blocked and AVX2
+// kernels preserve each output's summation order) — and checks every run
+// against the reference sinks (computed once per graph; any topological
+// order computes bit-identical results, which
+// ReferenceExecutor.ScheduleInvariance pins).
 void CheckSchedule(const graph::Graph& g, const sched::Schedule& schedule,
                    const std::vector<Tensor>& inputs,
                    const std::vector<Tensor>& expect_sinks,
                    const char* flavor, int seed) {
   const serialize::ExecutionPlan plan = serialize::MakePlan(g, schedule);
-  ArenaExecutorOptions options;
-  options.measure_touched_peak = true;
-  ArenaExecutor arena(g, plan, options);
-  arena.Run(inputs);
-  ASSERT_EQ(arena.touched_peak_bytes(), plan.arena.arena_bytes)
-      << flavor << " seed " << seed;
-  ASSERT_EQ(serenity::testing::DescribeSinkDivergence(arena.SinkValues(),
-                                                      expect_sinks),
-            "")
-      << flavor << " seed " << seed;
+  for (const Backend backend : AvailableBackends()) {
+    ArenaExecutorOptions options;
+    options.measure_touched_peak = true;
+    options.backend = backend;
+    ArenaExecutor arena(g, plan, options);
+    arena.Run(inputs);
+    ASSERT_EQ(arena.touched_peak_bytes(), plan.arena.arena_bytes)
+        << flavor << " seed " << seed << " backend " << ToString(backend);
+    ASSERT_EQ(serenity::testing::DescribeSinkDivergence(arena.SinkValues(),
+                                                        expect_sinks),
+              "")
+        << flavor << " seed " << seed << " backend " << ToString(backend);
+  }
 }
 
 void CheckGraph(const graph::Graph& g, int seed) {

@@ -119,7 +119,7 @@ TEST(ArenaPlannerProperty, SweepValidatorCatchesCrossPlacementOverlap) {
   plan.arena_bytes = 300;
   plan.placements.push_back(BufferPlacement{0, 0, 100, 0, 9});
   plan.placements.push_back(BufferPlacement{1, 200, 100, 0, 9});
-  plan.placements.push_back(BufferPlacement{2, 50, 100, 0, 9});
+  plan.placements.push_back(BufferPlacement{2, 48, 100, 0, 9});
   EXPECT_FALSE(ValidatePlacements(plan));
   EXPECT_FALSE(testing::ReferenceValidatePlacements(plan));
   // Same addresses, disjoint lifetimes: valid.

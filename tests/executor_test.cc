@@ -10,6 +10,7 @@
 #include "runtime/kernels.h"
 #include "runtime/weights.h"
 #include "sched/baselines.h"
+#include "testing/kernel_wrappers.h"
 #include "testing/runtime_inputs.h"
 #include "util/rng.h"
 
@@ -19,6 +20,7 @@ namespace {
 using graph::GraphBuilder;
 using graph::NodeId;
 using graph::TensorShape;
+using namespace wrappers;  // allocating test forms: Conv2d(x, w, attrs), ...
 
 constexpr float kTol = 2e-3f;  // accumulated fp error across deep cells
 

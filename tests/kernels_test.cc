@@ -5,10 +5,13 @@
 #include <cmath>
 
 #include "runtime/weights.h"
+#include "testing/kernel_wrappers.h"
 #include "util/rng.h"
 
 namespace serenity::runtime {
 namespace {
+
+using namespace wrappers;  // allocating test forms: Conv2d(x, w, attrs), ...
 
 using graph::ConvAttrs;
 using graph::Padding;

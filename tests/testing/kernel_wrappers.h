@@ -1,0 +1,106 @@
+// Allocating kernel conveniences for tests: `Tensor Foo(inputs)` forms that
+// size the output, run the Backend::kReference `...Into` kernel, and return
+// the owning result.
+//
+// These used to be the third leg of the public kernel API; production code
+// now routes exclusively through a resolved KernelBackend's `...Into`
+// surface (runtime/kernel_backend.h), so the allocating forms live here,
+// test-only. They always run the reference backend — hand-computed
+// expectations in tests are pinned against the oracle, never against
+// whatever backend happens to be fastest.
+//
+// Usage inside a test in namespace serenity::runtime:
+//   using namespace wrappers;   // Conv2d(x, w, attrs), Relu(x), ...
+#ifndef SERENITY_TESTS_TESTING_KERNEL_WRAPPERS_H_
+#define SERENITY_TESTS_TESTING_KERNEL_WRAPPERS_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "runtime/kernels.h"
+#include "runtime/tensor.h"
+#include "runtime/weights.h"
+#include "util/logging.h"
+
+namespace serenity::runtime::wrappers {
+
+inline Tensor Conv2d(const Tensor& input, const ConvWeights& weights,
+                     const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferConv2dShape(input.shape(), attrs, weights.out_c));
+  Conv2dInto(input, weights, attrs, out);
+  return out;
+}
+
+inline Tensor DepthwiseConv2d(const Tensor& input,
+                              const DepthwiseWeights& weights,
+                              const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferDepthwiseShape(input.shape(), attrs));
+  DepthwiseConv2dInto(input, weights, attrs, out);
+  return out;
+}
+
+inline Tensor Concat(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  graph::TensorShape cat_shape = inputs[0]->shape();
+  cat_shape.c = 0;
+  for (const Tensor* t : inputs) cat_shape.c += t->shape().c;
+  Tensor out(cat_shape);
+  ConcatInto(inputs, out);
+  return out;
+}
+
+inline Tensor Add(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  Tensor out(inputs[0]->shape());
+  AddInto(inputs, out);
+  return out;
+}
+
+inline Tensor Mul(const std::vector<const Tensor*>& inputs) {
+  SERENITY_CHECK_GE(inputs.size(), 2u);
+  Tensor out(inputs[0]->shape());
+  MulInto(inputs, out);
+  return out;
+}
+
+inline Tensor Relu(const Tensor& input) {
+  Tensor out(input.shape());
+  ReluInto(input, out);
+  return out;
+}
+
+inline Tensor BatchNorm(const Tensor& input,
+                        const BatchNormWeights& weights) {
+  Tensor out(input.shape());
+  BatchNormInto(input, weights, out);
+  return out;
+}
+
+inline Tensor MaxPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferPoolShape(input.shape(), attrs));
+  MaxPool2dInto(input, attrs, out);
+  return out;
+}
+
+inline Tensor AvgPool2d(const Tensor& input, const graph::ConvAttrs& attrs) {
+  Tensor out(graph::InferPoolShape(input.shape(), attrs));
+  AvgPool2dInto(input, attrs, out);
+  return out;
+}
+
+inline Tensor GlobalAvgPool2d(const Tensor& input) {
+  Tensor out(
+      graph::TensorShape{input.shape().n, 1, 1, input.shape().c});
+  GlobalAvgPool2dInto(input, out);
+  return out;
+}
+
+inline Tensor Dense(const Tensor& input, const DenseWeights& weights) {
+  Tensor out(graph::TensorShape{input.shape().n, 1, 1, weights.units});
+  DenseInto(input, weights, out);
+  return out;
+}
+
+}  // namespace serenity::runtime::wrappers
+
+#endif  // SERENITY_TESTS_TESTING_KERNEL_WRAPPERS_H_

@@ -271,6 +271,8 @@ inline bool ReferenceValidatePlacements(const alloc::ArenaPlan& plan) {
   for (std::size_t i = 0; i < plan.placements.size(); ++i) {
     const alloc::BufferPlacement& a = plan.placements[i];
     if (a.offset < 0 || a.size <= 0) return false;
+    // Mirrors ValidatePlacements' default alignment = sizeof(float).
+    if (a.offset % static_cast<std::int64_t>(sizeof(float)) != 0) return false;
     if (a.offset + a.size > plan.arena_bytes) return false;
     for (std::size_t j = i + 1; j < plan.placements.size(); ++j) {
       const alloc::BufferPlacement& b = plan.placements[j];
