@@ -21,13 +21,25 @@
 //
 // Network mode (the front end serenity_loadgen talks to):
 //
-//   $ build/serenity_serve --serve <port> [cache_file]
+//   $ build/serenity_serve --serve <port> [--mem-budget=BYTES] [cache_file]
 //
 // starts the TCP server (port 0 = pick an ephemeral port, printed as
 // "serving on port N"), warm-loads the cache if present, and serves until
 // SIGTERM/SIGINT — then drains gracefully: stop accepting, finish
 // in-flight requests, persist the plan cache, exit 0.
+//
+// --mem-budget=BYTES (suffixes k/m/g accepted) arms the resource governor:
+// one server-wide byte ledger partitioned into a planning child (every
+// concurrent planning run's search memory) and a sessions child (every
+// pooled inference arena). Each child may use up to the whole budget, but
+// the parent caps their *sum*, so planning pressure and serving pressure
+// shed each other instead of the OOM killer deciding. Graphs whose minimal
+// schedulable footprint provably exceeds the budget are shed at admission
+// with a retry hint before any planning memory is spent. The exit summary
+// and the stats verb report the governor's used/peak/denials.
+#include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +67,24 @@ using namespace serenity;
 // --backend= selection, applied to every inference session this binary
 // opens (kAuto: fastest kernel backend available on this machine).
 runtime::Backend g_backend = runtime::Backend::kAuto;
+
+// --mem-budget= in bytes; 0 = ungoverned (the pre-governor behavior).
+std::int64_t g_mem_budget_bytes = 0;
+
+// Parses "262144", "256k", "64m" or "1g" (case-insensitive suffix) into
+// bytes; returns false on anything else.
+bool ParseByteCount(const char* text, std::int64_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || value <= 0) return false;
+  std::int64_t scale = 1;
+  if (*end == 'k' || *end == 'K') { scale = 1ll << 10; ++end; }
+  else if (*end == 'm' || *end == 'M') { scale = 1ll << 20; ++end; }
+  else if (*end == 'g' || *end == 'G') { scale = 1ll << 30; ++end; }
+  if (*end != '\0') return false;
+  *out = static_cast<std::int64_t>(value) * scale;
+  return true;
+}
 
 const char* PathOf(const serve::ServeResult& r) {
   if (r.cache_hit) return "cache hit";
@@ -146,8 +176,21 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
 int RunServer(int port, const std::string& cache_path) {
+  // The resource governor: one server-wide ledger, two children. Each
+  // child may individually reach the full budget, but the parent bounds
+  // their sum — concurrent plannings and pooled arenas share one cap.
+  const bool governed = g_mem_budget_bytes > 0;
+  util::MemoryBudget root_budget(governed ? g_mem_budget_bytes : 0);
+  util::MemoryBudget planning_budget(g_mem_budget_bytes, &root_budget);
+  util::MemoryBudget session_budget(g_mem_budget_bytes, &root_budget);
+
   serve::ServeOptions serve_options;
   serve_options.num_workers = 2;
+  if (governed) {
+    serve_options.planning_budget = &planning_budget;
+    serve_options.admission_floor_budget_bytes = g_mem_budget_bytes;
+    serve_options.pipeline.degrade_on_deadline = true;
+  }
   serve::SchedulerService service(serve_options);
   const util::StatusOr<serve::CacheLoadReport> load =
       service.cache().LoadFromFile(cache_path);
@@ -159,9 +202,15 @@ int RunServer(int port, const std::string& cache_path) {
 
   serve::SessionPoolOptions pool_options;
   pool_options.session.executor.backend = g_backend;
+  if (governed) {
+    pool_options.arena_budget = &session_budget;
+    pool_options.max_total_arena_bytes =
+        std::min(pool_options.max_total_arena_bytes, g_mem_budget_bytes);
+  }
   serve::SessionPool pool(pool_options);
   serve::TcpServerOptions options;
   options.port = port;
+  if (governed) options.governor = &root_budget;
   serve::TcpServer server(service, pool, options);
   const util::Status started = server.Start();
   if (!started.ok()) {
@@ -174,6 +223,11 @@ int RunServer(int port, const std::string& cache_path) {
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
 
+  if (governed) {
+    std::printf("resource governor: %.1f MB shared across planning and "
+                "sessions\n",
+                static_cast<double>(g_mem_budget_bytes) / (1024.0 * 1024.0));
+  }
   std::printf("serving on port %d\n", server.port());
   std::fflush(stdout);  // scripts parse the port from this line
 
@@ -193,6 +247,7 @@ int RunServer(int port, const std::string& cache_path) {
   }
   const serve::TcpServerStats stats = server.stats();
   const serve::SessionPoolStats pool_stats = pool.stats();
+  const serve::ServiceStats service_stats = service.stats();
   std::printf("drained: %llu requests served (%llu ok, %llu error), "
               "%llu admission sheds, %llu pool sheds; cache persisted to %s\n",
               static_cast<unsigned long long>(stats.requests),
@@ -201,6 +256,30 @@ int RunServer(int port, const std::string& cache_path) {
               static_cast<unsigned long long>(stats.admission_sheds),
               static_cast<unsigned long long>(pool_stats.sheds),
               cache_path.c_str());
+  if (governed) {
+    std::printf("governor: root peak %.1f/%.1f MB, %llu denials "
+                "(planning peak %.1f MB, sessions peak %.1f MB)\n",
+                static_cast<double>(root_budget.peak_bytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(root_budget.limit_bytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(root_budget.denials() +
+                                                planning_budget.denials() +
+                                                session_budget.denials()),
+                static_cast<double>(planning_budget.peak_bytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(session_budget.peak_bytes()) /
+                    (1024.0 * 1024.0));
+    std::printf("governor: %llu plannings shed at admission, %llu plans "
+                "degraded on memory, %llu cancelled, %llu plan cancels on "
+                "the wire\n",
+                static_cast<unsigned long long>(
+                    service_stats.admission_sheds),
+                static_cast<unsigned long long>(
+                    service_stats.degraded_on_memory),
+                static_cast<unsigned long long>(service_stats.cancelled),
+                static_cast<unsigned long long>(stats.plan_cancels));
+  }
   return 0;
 }
 
@@ -217,6 +296,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--serve") == 0 && a + 1 < argc) {
       serve_mode = true;
       serve_port = std::atoi(argv[++a]);
+    } else if (std::strncmp(argv[a], "--mem-budget=", 13) == 0) {
+      if (!ParseByteCount(argv[a] + 13, &g_mem_budget_bytes)) {
+        std::fprintf(stderr,
+                     "bad %s (want a positive byte count, e.g. 64m)\n",
+                     argv[a]);
+        return 1;
+      }
     } else if (std::strncmp(argv[a], "--backend=", 10) == 0) {
       const std::optional<runtime::Backend> parsed =
           runtime::ParseBackend(argv[a] + 10);

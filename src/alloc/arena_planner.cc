@@ -256,6 +256,34 @@ ArenaPlan PlanArena(const graph::Graph& graph,
                    strategy, alignment);
 }
 
+std::int64_t EstimatePlannerBytes(const graph::BufferUseTable& table,
+                                  const sched::Schedule& schedule) {
+  const std::int64_t buffers =
+      static_cast<std::int64_t>(table.buffers.size());
+  const std::int64_t steps = static_cast<std::int64_t>(schedule.size());
+  // Per buffer: a Lifetime, a BufferPlacement in the plan, an index entry
+  // plus its block envelope, and an event in the highwater sweep (each
+  // well under 64 bytes). Per step: one highwater entry plus the active
+  // heap slot (<= 32 bytes). Headroom over the true footprint is fine —
+  // this is an admission estimate, not an accounting ledger.
+  return buffers * 64 + steps * 32;
+}
+
+util::StatusOr<ArenaPlan> PlanArenaGoverned(const graph::Graph& graph,
+                                            const sched::Schedule& schedule,
+                                            util::MemoryBudget* budget,
+                                            FitStrategy strategy,
+                                            std::int64_t alignment) {
+  const graph::BufferUseTable table = graph::BufferUseTable::Build(graph);
+  util::BudgetReservation reservation(budget);
+  if (!reservation.EnsureAtLeast(EstimatePlannerBytes(table, schedule))) {
+    return util::ResourceExhaustedError(
+        "arena planner: memory budget exhausted");
+  }
+  // The reservation covers the planning run and unwinds at scope exit.
+  return PlanArena(graph, table, schedule, strategy, alignment);
+}
+
 namespace {
 
 // Exact pairwise check, kept for degenerate plans the sweep cannot model

@@ -25,6 +25,8 @@
 #include "graph/analysis.h"
 #include "graph/graph.h"
 #include "sched/schedule.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
 
 namespace serenity::alloc {
 
@@ -66,6 +68,24 @@ ArenaPlan PlanArena(const graph::Graph& graph,
                     const sched::Schedule& schedule,
                     FitStrategy strategy = FitStrategy::kGreedyBySize,
                     std::int64_t alignment = 64);
+
+// Upper bound on PlanArena's transient + retained bytes for this input:
+// the placement/index/event working set plus the returned plan's vectors,
+// all linear in buffers and steps. What the governed entry charges.
+std::int64_t EstimatePlannerBytes(const graph::BufferUseTable& table,
+                                  const sched::Schedule& schedule);
+
+// Budget-governed planning (serve path): charges EstimatePlannerBytes
+// against `budget` for the duration of the run and refunds it on return —
+// the returned plan's own bytes are the caller's to account (the session
+// pool charges the arena itself when a session materializes it). A denied
+// charge surfaces as kResourceExhausted with nothing allocated; a null
+// budget is ungoverned and never fails.
+util::StatusOr<ArenaPlan> PlanArenaGoverned(
+    const graph::Graph& graph, const sched::Schedule& schedule,
+    util::MemoryBudget* budget,
+    FitStrategy strategy = FitStrategy::kGreedyBySize,
+    std::int64_t alignment = 64);
 
 // True if no two placements with overlapping lifetimes overlap in address
 // range — the allocator's safety invariant (exercised by tests) — and, when

@@ -7,6 +7,7 @@
 
 #include "core/state_store.h"
 #include "graph/analysis.h"
+#include "testing/fault_injection.h"
 #include "util/bitset.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -21,6 +22,10 @@ const char* ToString(DpStatus status) {
       return "no solution";
     case DpStatus::kTimeout:
       return "timeout";
+    case DpStatus::kResourceExhausted:
+      return "resource exhausted";
+    case DpStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -47,13 +52,24 @@ class DpRunner {
         words_(tables_.words_per_state()),
         bound_pruning_(options.incumbent_bytes != kNoBudget),
         incumbent_(options.incumbent_bytes),
-        step_limit_(std::min(options.budget_bytes, options.incumbent_bytes)) {
-  }
+        step_limit_(std::min(options.budget_bytes, options.incumbent_bytes)),
+        cancel_(options.cancel),
+        reservation_(options.memory_budget) {}
 
   DpResult Run() {
     util::Stopwatch total_clock;
     DpResult result;
     recon_.resize(num_nodes_ + 1);
+
+    // Fixed overhead of the run: graph-side expansion tables plus the two
+    // Zobrist key streams. Charged up front so a budget below even the
+    // constants fails before any level is built.
+    fixed_bytes_ = tables_.ResidentBytes() +
+                   static_cast<std::int64_t>(2 * num_nodes_ * 8);
+    if (!reservation_.EnsureAtLeast(fixed_bytes_)) {
+      result.status = DpStatus::kResourceExhausted;
+      return Finish(result, total_clock);
+    }
 
     const int configured =
         std::min(std::max(1, options_.num_threads), kMaxShards);
@@ -86,6 +102,11 @@ class DpRunner {
         result.levels_completed = static_cast<int>(i);
         return Finish(result, total_clock);
       }
+      if (CancelRequested()) {
+        result.status = DpStatus::kCancelled;
+        result.levels_completed = static_cast<int>(i);
+        return Finish(result, total_clock);
+      }
       const std::size_t hint =
           NextLevelReserveHint(current.size(), options_.max_states);
       int level_threads = configured;
@@ -93,9 +114,20 @@ class DpRunner {
           hint >= options_.parallel_threshold_states) {
         level_threads = auto_threads;
       }
+      const int level_shards =
+          level_threads > 1 ? ShardCountFor(level_threads) : 1;
+      // Charge the next level's reserve before it allocates. The estimate
+      // mirrors Init's reserve math exactly, so a successful charge means
+      // Init itself stays within the reservation.
+      if (!EnsureResident(current.ResidentBytes() +
+                          StateLevel::EstimateBytes(words_, hint,
+                                                    level_shards))) {
+        result.status = DpStatus::kResourceExhausted;
+        result.levels_completed = static_cast<int>(i);
+        return Finish(result, total_clock);
+      }
       StateLevel next;
-      next.Init(words_, hint,
-                level_threads > 1 ? ShardCountFor(level_threads) : 1);
+      next.Init(words_, hint, level_shards);
       const bool last_level = i + 1 == num_nodes_;
       // Lookahead gate: the frontier-alloc probes (lb1 + two-step) pay for
       // themselves only on memory-tight graphs. Probe by default, back off
@@ -118,7 +150,7 @@ class DpRunner {
       }
       if (!completed ||
           level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
-        result.status = DpStatus::kTimeout;
+        result.status = completed ? DpStatus::kTimeout : AbortStatus();
         result.levels_completed = static_cast<int>(i);
         return Finish(result, total_clock);
       }
@@ -129,6 +161,8 @@ class DpRunner {
       // The finished level keeps only its 8-byte reconstruction records;
       // signatures, hashes, footprints and peaks are freed here.
       recon_[i] = current.TakeReconAndRelease();
+      recon_bytes_ += static_cast<std::int64_t>(recon_[i].capacity() *
+                                                sizeof(ReconRecord));
       current = std::move(next);
       result.levels_completed = static_cast<int>(i) + 1;
     }
@@ -147,6 +181,11 @@ class DpRunner {
   }
 
  private:
+  // Why an expansion returned false. kTimeout keeps its historical meaning
+  // (step timeout or state cap); memory and cancellation get their own
+  // statuses so the pipeline can degrade or unwind accordingly.
+  enum class Abort { kTimeout, kMemory, kCancelled };
+
   DpResult Finish(DpResult result, const util::Stopwatch& clock) const {
     result.states_expanded = states_expanded_;
     result.transitions = transitions_;
@@ -154,6 +193,41 @@ class DpRunner {
     result.max_level_states = max_level_states_;
     result.seconds = clock.ElapsedSeconds();
     return result;
+  }
+
+  DpStatus AbortStatus() const {
+    switch (abort_) {
+      case Abort::kMemory: return DpStatus::kResourceExhausted;
+      case Abort::kCancelled: return DpStatus::kCancelled;
+      case Abort::kTimeout: break;
+    }
+    return DpStatus::kTimeout;
+  }
+
+  // Sticky cancellation poll. The kCancelPoll fault is consulted only when
+  // a token is attached (a cancellable context), so runs without one are
+  // immune to an armed countdown; sticky because the one-shot fault cannot
+  // re-fire on the next poll. Thread-safe: workers of a sharded level poll
+  // it concurrently.
+  bool CancelRequested() {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (cancel_ == nullptr) return false;
+    if (cancel_->cancelled() ||
+        testing::FaultTriggered(testing::FaultPoint::kCancelPoll)) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Grows the run's high-water reservation to cover the state store's
+  // current resident bytes (plus the fixed overhead and the accumulated
+  // reconstruction records). Monotone: completed-level transients are
+  // dropped eagerly but the reservation keeps the run's peak until the
+  // whole run ends — the budget governs peaks, not instantaneous usage.
+  bool EnsureResident(std::int64_t store_bytes) {
+    return reservation_.EnsureAtLeast(fixed_bytes_ + recon_bytes_ +
+                                      store_bytes);
   }
 
   // Sequential expansion of one level (Algorithm 1 lines 9-24, plus the
@@ -168,7 +242,7 @@ class DpRunner {
     ExpansionTables::TwoStepScratch scratch;
     for (std::size_t s = 0; s < current.size(); ++s) {
       if ((s & 0x3f) == 0 && s != 0 &&
-          level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+          !CheckLimits(current, next, level_clock)) {
         return false;
       }
       const std::uint64_t* sig = current.signature(s);
@@ -198,10 +272,10 @@ class DpRunner {
       const std::uint64_t hash = current.hash(s);
       for (const std::int32_t u : frontier) {
         ++transitions_;
-        // Re-check the step timeout every ~4096 transitions so a single
-        // pathological state expansion cannot overshoot it unboundedly.
+        // Re-check the limits every ~4096 transitions so a single
+        // pathological state expansion cannot overshoot them unboundedly.
         if ((transitions_ & 0xfff) == 0 &&
-            level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+            !CheckLimits(current, next, level_clock)) {
           return false;
         }
         const ExpansionTables::Transition t =
@@ -242,7 +316,30 @@ class DpRunner {
           ++states_expanded_;
         }
       }
-      if (states_expanded_ > options_.max_states) return false;
+      if (states_expanded_ > options_.max_states) {
+        abort_ = Abort::kTimeout;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // The sequential per-cadence limit probe: step timeout (and state cap,
+  // checked per parent below) stay kTimeout; cancellation and a denied
+  // budget true-up get their own abort reasons.
+  bool CheckLimits(const StateLevel& current, const StateLevel& next,
+                   const util::Stopwatch& level_clock) {
+    if (level_clock.ElapsedSeconds() > options_.step_timeout_seconds) {
+      abort_ = Abort::kTimeout;
+      return false;
+    }
+    if (CancelRequested()) {
+      abort_ = Abort::kCancelled;
+      return false;
+    }
+    if (!EnsureResident(current.ResidentBytes() + next.ResidentBytes())) {
+      abort_ = Abort::kMemory;
+      return false;
     }
     return true;
   }
@@ -262,10 +359,18 @@ class DpRunner {
                           int num_threads, bool last_level, bool lookahead,
                           const util::Stopwatch& level_clock) {
     std::atomic<bool> abort{false};
+    std::atomic<int> abort_reason{-1};  // first aborting worker's Abort
     std::atomic<std::uint64_t> transitions{0};
     std::atomic<std::uint64_t> created{0};
     std::atomic<std::uint64_t> pruned{0};
     std::atomic<std::uint64_t> lookahead_pruned{0};
+    auto request_abort = [&](Abort reason) {
+      int expected = -1;
+      abort_reason.compare_exchange_strong(expected,
+                                           static_cast<int>(reason),
+                                           std::memory_order_relaxed);
+      abort.store(true, std::memory_order_relaxed);
+    };
     auto worker = [&](int thread_index) {
       std::vector<std::int32_t> frontier;
       std::vector<std::uint64_t> child(words_);
@@ -322,7 +427,14 @@ class DpRunner {
                     options_.step_timeout_seconds ||
                 states_expanded_ + created.load(std::memory_order_relaxed) >
                     options_.max_states) {
-              abort.store(true, std::memory_order_relaxed);
+              request_abort(Abort::kTimeout);
+              break;
+            }
+            // Budget true-ups wait for the level boundary (a worker cannot
+            // read sibling shards' capacities while they grow), but
+            // cancellation is just an atomic poll.
+            if (CancelRequested()) {
+              request_abort(Abort::kCancelled);
               break;
             }
           }
@@ -371,8 +483,15 @@ class DpRunner {
     states_expanded_ += created.load();
     states_pruned_by_bound_ += pruned.load();
     level_lookahead_prunes_ += lookahead_pruned.load();
-    if (abort.load()) return false;
-    return states_expanded_ <= options_.max_states;
+    if (abort.load()) {
+      abort_ = static_cast<Abort>(abort_reason.load());
+      return false;
+    }
+    if (states_expanded_ > options_.max_states) {
+      abort_ = Abort::kTimeout;
+      return false;
+    }
+    return true;
   }
 
   sched::Schedule Reconstruct() const {
@@ -397,6 +516,14 @@ class DpRunner {
   // Transitions peaking above min(τ, incumbent) are dead either way, so
   // Apply may skip their free scan.
   const std::int64_t step_limit_;
+  const util::CancelToken* const cancel_;
+  // High-water byte reservation against options_.memory_budget; refunded
+  // in full when the runner is destroyed.
+  util::BudgetReservation reservation_;
+  std::int64_t fixed_bytes_ = 0;
+  std::int64_t recon_bytes_ = 0;
+  std::atomic<bool> cancelled_{false};
+  Abort abort_ = Abort::kTimeout;
   std::vector<std::vector<ReconRecord>> recon_;
   std::uint64_t states_expanded_ = 0;
   std::uint64_t transitions_ = 0;

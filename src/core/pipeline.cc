@@ -27,14 +27,24 @@ namespace {
 // schedules, so their peaks are incumbents the branch-and-bound search can
 // prune against; the beam usually tightens the greedy seed substantially at
 // a cost that is negligible next to the DP it accelerates.
-std::int64_t SeedIncumbent(const graph::Graph& segment, int beam_width) {
+std::int64_t SeedIncumbent(const graph::Graph& segment, int beam_width,
+                           util::MemoryBudget* budget,
+                           const util::CancelToken* cancel) {
+  // Greedy is O(|V|+|E|) with no level storage — it stays ungoverned; the
+  // beam pass charges the budget and polls the token, and a refused or
+  // cancelled beam simply leaves the greedy seed in place (the DP that
+  // follows will surface the budget/cancel signal itself).
   std::int64_t incumbent = sched::PeakFootprint(
       segment, sched::GreedyMemorySchedule(segment));
   if (beam_width > 0) {
     sched::BeamOptions beam_options;
     beam_options.width = beam_width;
-    incumbent = std::min(incumbent,
-                         sched::ScheduleBeam(segment, beam_options).peak_bytes);
+    beam_options.memory_budget = budget;
+    beam_options.cancel = cancel;
+    const sched::BeamResult beam = sched::ScheduleBeam(segment, beam_options);
+    if (beam.status.ok()) {
+      incumbent = std::min(incumbent, beam.peak_bytes);
+    }
   }
   return incumbent;
 }
@@ -95,18 +105,25 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
   // whole rewritten graph, always feasible — or fails, per options.
   stage_clock.Restart();
   bool deadline_blown = injected_timeout || remaining() <= 0;
+  bool memory_blown = false;   // kResourceExhausted: degradable like time
+  bool cancelled = false;      // kCancelled: clean failure, never degrade
   bool infeasible = false;  // kNoSolution: degradation cannot help
   std::string segment_failure;
   std::vector<sched::Schedule> segment_schedules;
   segment_schedules.reserve(partition.segments.size());
   for (const Segment& segment : partition.segments) {
-    if (deadline_blown) break;
+    if (deadline_blown || memory_blown) break;
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      cancelled = true;
+      break;
+    }
     // Branch-and-bound seeding (strict pruning: same peak, same schedule,
     // fewer states — DESIGN.md "Branch-and-bound over levels").
     std::int64_t incumbent = kNoBudget;
     if (options_.enable_bound_pruning) {
       incumbent =
-          SeedIncumbent(segment.subgraph, options_.incumbent_beam_width);
+          SeedIncumbent(segment.subgraph, options_.incumbent_beam_width,
+                        options_.memory_budget, options_.cancel);
       result.incumbent_seed_bytes =
           result.incumbent_seed_bytes < 0
               ? incumbent
@@ -122,6 +139,8 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
                                         options_.adaptive_parallelism;
       sb_options.deadline_seconds =
           std::min(sb_options.deadline_seconds, remaining());
+      sb_options.memory_budget = options_.memory_budget;
+      sb_options.cancel = options_.cancel;
       SoftBudgetResult sb =
           ScheduleWithSoftBudget(segment.subgraph, sb_options);
       result.states_expanded += sb.TotalStates();
@@ -129,11 +148,16 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
       result.max_level_states =
           std::max(result.max_level_states, sb.max_level_states);
       if (sb.status != DpStatus::kSolution) {
-        // A timeout is degradable (beam/greedy still satisfy the caller);
-        // kNoSolution means the hard budget itself is infeasible — no
-        // fallback schedule could honor it either, so fail cleanly.
+        // A timeout or exhausted byte budget is degradable (beam/greedy
+        // still satisfy the caller); kCancelled fails cleanly (the caller
+        // left); kNoSolution means the hard budget itself is infeasible —
+        // no fallback schedule could honor it either, so fail cleanly.
         if (sb.status == DpStatus::kNoSolution) {
           infeasible = true;
+        } else if (sb.status == DpStatus::kCancelled) {
+          cancelled = true;
+        } else if (sb.status == DpStatus::kResourceExhausted) {
+          memory_blown = true;
         } else {
           deadline_blown = true;
         }
@@ -150,6 +174,8 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
                                         options_.adaptive_parallelism;
       dp_options.step_timeout_seconds =
           std::min(dp_options.step_timeout_seconds, remaining());
+      dp_options.memory_budget = options_.memory_budget;
+      dp_options.cancel = options_.cancel;
       const DpResult dp = ScheduleDp(segment.subgraph, dp_options);
       result.states_expanded += dp.states_expanded;
       result.states_pruned_by_bound += dp.states_pruned_by_bound;
@@ -158,6 +184,10 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
       if (dp.status != DpStatus::kSolution) {
         if (dp.status == DpStatus::kNoSolution) {
           infeasible = true;
+        } else if (dp.status == DpStatus::kCancelled) {
+          cancelled = true;
+        } else if (dp.status == DpStatus::kResourceExhausted) {
+          memory_blown = true;
         } else {
           deadline_blown = true;
         }
@@ -170,6 +200,19 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
     if (remaining() <= 0) deadline_blown = true;
   }
 
+  if (cancelled) {
+    // Clean failure: the requester is gone, so degrading would burn work
+    // nobody reads. Partial levels were unwound (and their budget charges
+    // refunded) inside the aborted search.
+    result.cancelled = true;
+    result.failure_reason = !segment_failure.empty()
+                                ? segment_failure
+                                : "planning cancelled by the caller";
+    result.schedule_seconds = stage_clock.ElapsedSeconds();
+    result.total_seconds = total_clock.ElapsedSeconds();
+    return result;
+  }
+
   if (infeasible) {
     result.failure_reason = segment_failure;
     result.schedule_seconds = stage_clock.ElapsedSeconds();
@@ -177,8 +220,9 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
     return result;
   }
 
-  if (deadline_blown) {
-    result.deadline_exceeded = true;
+  if (deadline_blown || memory_blown) {
+    result.deadline_exceeded = deadline_blown;
+    result.memory_exhausted = memory_blown;
     if (!options_.degrade_on_deadline) {
       result.failure_reason =
           !segment_failure.empty()
@@ -204,15 +248,22 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
     if (options_.degraded_beam_width > 0) {
       sched::BeamOptions beam_options;
       beam_options.width = options_.degraded_beam_width;
+      beam_options.memory_budget = options_.memory_budget;
+      beam_options.cancel = options_.cancel;
       sched::BeamResult beam =
           sched::ScheduleBeam(result.scheduled_graph, beam_options);
       result.states_expanded += beam.states_expanded;
-      result.best_known_peak_bytes =
-          std::min(result.best_known_peak_bytes, beam.peak_bytes);
-      if (beam.peak_bytes < greedy_peak) {
-        result.schedule = std::move(beam.schedule);
-        result.peak_bytes = beam.peak_bytes;
-        result.quality = PlanQuality::kBeam;
+      // A beam refused by the budget (or cancelled) leaves the greedy
+      // floor standing — greedy needs no level storage, so a degraded
+      // answer always exists.
+      if (beam.status.ok()) {
+        result.best_known_peak_bytes =
+            std::min(result.best_known_peak_bytes, beam.peak_bytes);
+        if (beam.peak_bytes < greedy_peak) {
+          result.schedule = std::move(beam.schedule);
+          result.peak_bytes = beam.peak_bytes;
+          result.quality = PlanQuality::kBeam;
+        }
       }
     }
     if (result.incumbent_seed_bytes >= 0) {

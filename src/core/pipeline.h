@@ -84,6 +84,18 @@ struct PipelineOptions {
   // Beam width for the degraded fallback (0 = greedy only).
   int degraded_beam_width = 64;
 
+  // Byte budget for the run's search memory, forwarded into every DP
+  // attempt, the soft-budget meta-search and the beam passes (seed and
+  // degraded). Exhaustion mid-search surfaces as kResourceExhausted, which
+  // rides the same degradation ladder as a blown deadline when
+  // degrade_on_deadline is set: the greedy floor is O(|V|+|E|) and always
+  // fits. nullptr = ungoverned.
+  util::MemoryBudget* memory_budget = nullptr;
+  // Cooperative cancellation, polled between segments and inside every
+  // search at the step-timeout cadence. A cancelled run fails cleanly with
+  // `cancelled` set — it never degrades (nobody is waiting for the plan).
+  const util::CancelToken* cancel = nullptr;
+
   rewrite::RewriteOptions rewrite;
   PartitionOptions partition;
   SoftBudgetOptions soft_budget;
@@ -108,6 +120,12 @@ struct PipelineResult {
   // True when the wall-clock deadline expired (set for both the degraded
   // and the failed outcome).
   bool deadline_exceeded = false;
+  // True when the memory budget denied a charge mid-search (set for both
+  // the degraded-on-memory and the failed outcome).
+  bool memory_exhausted = false;
+  // True when the cancel token fired: the run failed cleanly without
+  // degrading, and !success.
+  bool cancelled = false;
   // Lowest peak among every complete schedule this run computed (exact,
   // beam, greedy, incumbent seeds). For an exact run this equals
   // peak_bytes; for a degraded run it is the best-known achievable peak the

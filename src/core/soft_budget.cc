@@ -35,6 +35,8 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   dp_options.max_states = options.max_states_per_attempt;
   dp_options.num_threads = options.num_threads;
   dp_options.adaptive_parallelism = options.adaptive_parallelism;
+  dp_options.memory_budget = options.memory_budget;
+  dp_options.cancel = options.cancel;
   if (options.enable_bound_pruning) {
     dp_options.incumbent_bytes =
         std::min(options.incumbent_bytes, result.tau_max);
@@ -70,8 +72,17 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
       result.total_seconds = clock.ElapsedSeconds();
       return result;
     }
-    if (attempt.status == DpStatus::kTimeout) {
-      // Too many surviving paths: tighten the budget (Algorithm 2 line 11).
+    if (attempt.status == DpStatus::kCancelled) {
+      // The caller abandoned the request: stop the meta-search on the spot.
+      result.status = DpStatus::kCancelled;
+      result.total_seconds = clock.ElapsedSeconds();
+      return result;
+    }
+    if (attempt.status == DpStatus::kTimeout ||
+        attempt.status == DpStatus::kResourceExhausted) {
+      // Too many surviving paths — in time or in bytes: either way a
+      // tighter budget prunes more, so treat both as the "too slow" signal
+      // and tighten (Algorithm 2 line 11).
       hi = tau;
       tau = lo + (tau - lo) / 2;
     } else {  // kNoSolution: pruned the optimum away (line 14)
@@ -101,8 +112,13 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   fallback.num_threads = options.num_threads;
   fallback.adaptive_parallelism = options.adaptive_parallelism;
   fallback.incumbent_bytes = dp_options.incumbent_bytes;
-  fallback.max_states = std::max<std::uint64_t>(
-      options.max_states_per_attempt * 4, 4'000'000);
+  fallback.memory_budget = options.memory_budget;
+  fallback.cancel = options.cancel;
+  // The fallback must never cost more than the attempts that failed: the
+  // caller's state cap (a memory guard) and byte budget govern it too. The
+  // historical escalation to max(attempts*4, 4M) states let a "degraded"
+  // run allocate far beyond anything the caller had sanctioned.
+  fallback.max_states = options.max_states_per_attempt;
   const DpResult final_run = ScheduleDp(graph, fallback);
   result.max_level_states =
       std::max(result.max_level_states, final_run.max_level_states);

@@ -55,6 +55,13 @@ struct SoftBudgetOptions {
   // per-level timeout; once expired the search returns kTimeout without
   // running the uncapped fallback, so the caller can degrade instead.
   double deadline_seconds = std::numeric_limits<double>::infinity();
+  // Byte budget and cancellation, forwarded to every DP attempt (including
+  // the fallback). An attempt that exhausts the budget is treated like a
+  // timeout — a tighter τ prunes more states and therefore needs less
+  // search memory, so the binary search reacts the same way; a cancelled
+  // attempt aborts the whole meta-search with kCancelled.
+  util::MemoryBudget* memory_budget = nullptr;
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct BudgetAttempt {

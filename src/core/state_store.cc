@@ -443,6 +443,41 @@ std::size_t StateLevel::size() const {
   return total;
 }
 
+std::int64_t StateLevel::ResidentBytes() const {
+  std::int64_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    bytes += static_cast<std::int64_t>(shard.sig_arena.capacity()) * 8;
+    bytes += static_cast<std::int64_t>(shard.hashes.capacity()) * 8;
+    bytes += static_cast<std::int64_t>(shard.footprint.capacity()) * 8;
+    bytes += static_cast<std::int64_t>(shard.peak.capacity()) * 8;
+    bytes += static_cast<std::int64_t>(shard.tie.capacity()) * 8;
+    bytes += static_cast<std::int64_t>(shard.recon.capacity() *
+                                       sizeof(ReconRecord));
+    bytes += static_cast<std::int64_t>(shard.slots.capacity()) * 4;
+  }
+  bytes += static_cast<std::int64_t>(evict_heap_.capacity() *
+                                     sizeof(EvictEntry));
+  bytes += static_cast<std::int64_t>(free_slots_.capacity()) * 4;
+  bytes += static_cast<std::int64_t>(slot_gen_.capacity()) * 4;
+  bytes += static_cast<std::int64_t>(slot_live_.capacity());
+  return bytes;
+}
+
+std::int64_t StateLevel::EstimateBytes(std::size_t words_per_state,
+                                       std::size_t expected_states,
+                                       int num_shards) {
+  const std::size_t per_shard =
+      expected_states / static_cast<std::size_t>(num_shards) + 1;
+  const std::size_t slots =
+      NextPowerOfTwo(std::max<std::size_t>(16, per_shard * 3 / 2));
+  const std::int64_t per_shard_bytes =
+      static_cast<std::int64_t>(per_shard * words_per_state) * 8 +  // arena
+      static_cast<std::int64_t>(per_shard) *
+          (8 + 8 + 8 + 8 + static_cast<std::int64_t>(sizeof(ReconRecord))) +
+      static_cast<std::int64_t>(slots) * 4;
+  return per_shard_bytes * num_shards;
+}
+
 std::vector<ReconRecord> StateLevel::TakeReconAndRelease() {
   SERENITY_CHECK(sealed_);
   std::vector<ReconRecord> recon = std::move(shards_[0].recon);
@@ -712,6 +747,15 @@ std::int64_t ExpansionTables::ChildNextAllocFloor(
     if (floor == 0) break;
   }
   return floor;
+}
+
+std::int64_t ExpansionTables::ResidentBytes() const {
+  return static_cast<std::int64_t>(
+      preds_.capacity() * 8 + buffer_writers_.capacity() * 8 +
+      touchers_arena_.capacity() * 8 + own_buffer_.capacity() * 4 +
+      own_size_.capacity() * 8 + freeables_.capacity() * sizeof(Freeable) +
+      freeable_begin_.capacity() * 4 + min_step_bytes_.capacity() * 8 +
+      succs_arena_.capacity() * 4 + succ_begin_.capacity() * 4);
 }
 
 ExpansionTables::Transition ExpansionTables::Apply(

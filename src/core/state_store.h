@@ -219,6 +219,19 @@ class StateLevel {
   // afterwards.
   std::vector<ReconRecord> TakeReconAndRelease();
 
+  // Bytes this level currently holds resident, by vector *capacity* (what
+  // the allocator actually handed out, not just what is filled) — the
+  // quantity a util::MemoryBudget reservation must cover. Valid in every
+  // lifecycle phase.
+  std::int64_t ResidentBytes() const;
+
+  // What Init(words_per_state, expected_states, num_shards) will reserve,
+  // computed without allocating — used to charge a budget *before* the
+  // level grows. Mirrors Init's reserve math exactly.
+  static std::int64_t EstimateBytes(std::size_t words_per_state,
+                                    std::size_t expected_states,
+                                    int num_shards);
+
   // Compacted copy holding exactly the states in `keep` (sealed, in the
   // given order) — the beam-search pruning step. Only valid after Seal().
   StateLevel Select(const std::vector<std::int32_t>& keep) const;
@@ -392,6 +405,10 @@ class ExpansionTables {
   // step_peak first.
   Transition Apply(const std::uint64_t* sig, std::int32_t node,
                    std::int64_t footprint, std::int64_t budget) const;
+
+  // Bytes of the flattened graph-side constants (by vector capacity) — the
+  // fixed part of a run's memory-budget reservation.
+  std::int64_t ResidentBytes() const;
 
  private:
   std::size_t num_nodes_ = 0;

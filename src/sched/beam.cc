@@ -24,6 +24,22 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
   BeamResult result;
   std::vector<std::vector<core::ReconRecord>> recon(n + 1);
 
+  // Resource governance: a high-water reservation covering the tables, the
+  // two live levels and the reconstruction records, trued up per level
+  // (beam levels are bounded by `width`, so level granularity is tight);
+  // cancellation polled per level and every ~4096 expansions.
+  util::BudgetReservation reservation(options.memory_budget);
+  std::int64_t recon_bytes = 0;
+  const std::int64_t fixed_bytes =
+      tables.ResidentBytes() + static_cast<std::int64_t>(2 * n * 8);
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr && options.cancel->cancelled();
+  };
+  if (!reservation.EnsureAtLeast(fixed_bytes)) {
+    result.status = util::ResourceExhaustedError("beam: budget exhausted");
+    return result;
+  }
+
   core::StateLevel current;
   current.Init(words, 1, 1);
   const std::vector<std::uint64_t> empty(words, 0);
@@ -34,6 +50,10 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
   std::vector<std::int32_t> frontier;
   std::vector<std::uint64_t> child(words);
   for (std::size_t level = 0; level < n; ++level) {
+    if (cancelled()) {
+      result.status = util::CancelledError("beam: cancelled");
+      return result;
+    }
     // Streaming top-`width` level: pruning happens inside InsertBounded, so
     // the transient high-water memory is width + 1 states regardless of how
     // many children the parent level generates — the old seal → copy →
@@ -49,6 +69,10 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
       const std::uint64_t hash = current.hash(s);
       for (const std::int32_t u : frontier) {
         ++result.states_expanded;
+        if ((result.states_expanded & 0xfff) == 0 && cancelled()) {
+          result.status = util::CancelledError("beam: cancelled");
+          return result;
+        }
         const core::ExpansionTables::Transition t = tables.Apply(
             sig, u, footprint, std::numeric_limits<std::int64_t>::max());
         std::copy(sig, sig + words, child.data());
@@ -68,7 +92,14 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
     SERENITY_CHECK_GT(next.size(), 0u) << "graph has a cycle?";
     next.SealBounded();
     recon[level] = current.TakeReconAndRelease();
+    recon_bytes += static_cast<std::int64_t>(recon[level].capacity() *
+                                             sizeof(core::ReconRecord));
     current = std::move(next);
+    if (!reservation.EnsureAtLeast(fixed_bytes + recon_bytes +
+                                   current.ResidentBytes())) {
+      result.status = util::ResourceExhaustedError("beam: budget exhausted");
+      return result;
+    }
   }
 
   // SealBounded orders best-first, so state 0 of the final level is the

@@ -20,14 +20,27 @@
 
 #include "graph/graph.h"
 #include "sched/schedule.h"
+#include "util/cancel_token.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
 
 namespace serenity::sched {
 
 struct BeamOptions {
   int width = 64;  // states retained per level
+  // Byte budget for the beam's own level storage (bounded: ~width states
+  // per level plus the reconstruction records) and cooperative
+  // cancellation, both polled at level granularity and every ~4096
+  // expansions. On denial/cancel the result carries kResourceExhausted /
+  // kCancelled and no schedule. nullptr = ungoverned / not cancellable.
+  util::MemoryBudget* memory_budget = nullptr;
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct BeamResult {
+  // OK unless the memory budget denied a charge (kResourceExhausted) or
+  // the cancel token fired (kCancelled); `schedule` is valid iff OK.
+  util::Status status;
   Schedule schedule;
   std::int64_t peak_bytes = 0;
   std::uint64_t states_expanded = 0;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/crc32.h"
@@ -22,6 +23,20 @@ ExecutionPlan MakePlan(const graph::Graph& graph,
   plan.graph_name = graph.name();
   plan.schedule = schedule;
   plan.arena = alloc::PlanArena(graph, schedule);
+  return plan;
+}
+
+util::StatusOr<ExecutionPlan> MakePlanOr(const graph::Graph& graph,
+                                         const sched::Schedule& schedule,
+                                         util::MemoryBudget* budget) {
+  SERENITY_CHECK(sched::IsTopologicalOrder(graph, schedule));
+  util::StatusOr<alloc::ArenaPlan> arena =
+      alloc::PlanArenaGoverned(graph, schedule, budget);
+  if (!arena.ok()) return arena.status();
+  ExecutionPlan plan;
+  plan.graph_name = graph.name();
+  plan.schedule = schedule;
+  plan.arena = std::move(*arena);
   return plan;
 }
 

@@ -52,6 +52,14 @@ struct ExecutionPlan {
 ExecutionPlan MakePlan(const graph::Graph& graph,
                        const sched::Schedule& schedule);
 
+// MakePlan with the arena-planning pass charged against `budget`
+// (alloc::PlanArenaGoverned): a denied charge surfaces as a clean
+// kResourceExhausted instead of an ungoverned allocation. Null budget ==
+// MakePlan.
+util::StatusOr<ExecutionPlan> MakePlanOr(const graph::Graph& graph,
+                                         const sched::Schedule& schedule,
+                                         util::MemoryBudget* budget);
+
 std::string PlanToText(const ExecutionPlan& plan);
 
 // Appends the trailing `crc` record to a plan body. Exposed for corruption

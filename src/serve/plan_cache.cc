@@ -50,12 +50,23 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(
 
 std::shared_ptr<const CachedPlan> PlanCache::Insert(
     const graph::GraphHash& hash, core::PipelineResult result) {
+  util::StatusOr<std::shared_ptr<const CachedPlan>> inserted =
+      InsertGoverned(hash, std::move(result), nullptr);
+  SERENITY_CHECK(inserted.ok());  // only a governed budget can refuse
+  return std::move(inserted).value();
+}
+
+util::StatusOr<std::shared_ptr<const CachedPlan>> PlanCache::InsertGoverned(
+    const graph::GraphHash& hash, core::PipelineResult result,
+    util::MemoryBudget* budget) {
   SERENITY_CHECK(result.success) << "only successful results are cacheable";
   auto plan = std::make_shared<CachedPlan>();
   plan->hash = hash;
   plan->result = std::move(result);
-  plan->plan = serialize::MakePlan(plan->result.scheduled_graph,
-                                   plan->result.schedule);
+  util::StatusOr<serialize::ExecutionPlan> exec = serialize::MakePlanOr(
+      plan->result.scheduled_graph, plan->result.schedule, budget);
+  if (!exec.ok()) return exec.status();
+  plan->plan = *std::move(exec);
   plan->plan_text = serialize::PlanToText(plan->plan);
   plan->quality = plan->result.quality;
 
@@ -74,7 +85,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Insert(
       std::max<std::int64_t>(0, plan->result.peak_bytes - best_known);
   plan->bytes = CachedPlanBytes(*plan);
   InsertLocked(plan);
-  return plan;
+  return std::shared_ptr<const CachedPlan>(std::move(plan));
 }
 
 void PlanCache::InsertLocked(std::shared_ptr<const CachedPlan> plan) {

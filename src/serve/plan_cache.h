@@ -37,6 +37,7 @@
 #include "core/pipeline.h"
 #include "graph/canonical_hash.h"
 #include "serialize/plan.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 
 namespace serenity::serve {
@@ -99,6 +100,14 @@ class PlanCache {
   // cacheable.
   std::shared_ptr<const CachedPlan> Insert(const graph::GraphHash& hash,
                                            core::PipelineResult result);
+
+  // Insert with the arena-planning pass charged against `budget`
+  // (serialize::MakePlanOr): a denied charge returns kResourceExhausted and
+  // caches nothing — the serving layer sheds the request with a retry hint
+  // instead of allocating past the governor. Null budget == Insert.
+  util::StatusOr<std::shared_ptr<const CachedPlan>> InsertGoverned(
+      const graph::GraphHash& hash, core::PipelineResult result,
+      util::MemoryBudget* budget);
 
   PlanCacheStats stats() const;
   void ResetStats();

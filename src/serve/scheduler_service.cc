@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/analysis.h"
 #include "testing/fault_injection.h"
 #include "util/logging.h"
 
@@ -14,6 +15,18 @@ namespace {
 
 std::chrono::duration<double> Seconds(double s) {
   return std::chrono::duration<double>(s);
+}
+
+// Provable lower bound on the peak of *any* schedule of `graph`: every
+// schedule executes every node, and a node's step footprint is at least
+// its minimum step footprint (operands + output live together).
+std::int64_t ScheduleFloorBytes(const graph::Graph& graph) {
+  const graph::BufferUseTable table = graph::BufferUseTable::Build(graph);
+  std::int64_t floor_bytes = 0;
+  for (const std::int64_t bytes : table.MinStepFootprints()) {
+    floor_bytes = std::max(floor_bytes, bytes);
+  }
+  return floor_bytes;
 }
 
 }  // namespace
@@ -36,10 +49,43 @@ SchedulerService::~SchedulerService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void SchedulerService::AttachWaiter(
+    const std::shared_ptr<FlightState>& state,
+    const std::shared_ptr<util::CancelToken>& waiter) {
+  if (waiter == nullptr) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->pinned += 1;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->live += 1;
+  }
+  // An already-cancelled waiter runs the callback inline: its vote lands
+  // immediately and may cancel the flight on the spot.
+  waiter->OnCancel([state] {
+    bool cancel_flight = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->live -= 1;
+      cancel_flight = state->live == 0 && state->pinned == 0;
+    }
+    if (cancel_flight) state->token.Cancel();
+  });
+}
+
 Submission SchedulerService::Submit(const graph::Graph& graph,
                                     const RequestOptions& request) {
   Submission submission;
   submission.hash = graph::CanonicalGraphHash(graph);
+
+  // Admission lower bound, computed outside the lock (O(|V|+|E|)): a graph
+  // that provably cannot fit under the governor no matter how it is
+  // scheduled must not cost a planning slot.
+  std::int64_t floor_bytes = 0;
+  if (options_.admission_floor_budget_bytes > 0) {
+    floor_bytes = ScheduleFloorBytes(graph);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   SERENITY_CHECK(!stopping_) << "Submit after shutdown began";
@@ -53,7 +99,8 @@ Submission SchedulerService::Submit(const graph::Graph& graph,
   if (flight != in_flight_.end()) {
     ++counters_.coalesced;
     submission.coalesced = true;
-    submission.future = flight->second;
+    submission.future = flight->second.future;
+    AttachWaiter(flight->second.state, request.cancel);
     return submission;
   }
 
@@ -74,6 +121,26 @@ Submission SchedulerService::Submit(const graph::Graph& graph,
     return submission;
   }
 
+  // Admission shed: the graph's schedulable floor exceeds the governor's
+  // cap, so no session could ever execute the plan — refuse now, before a
+  // byte of planning memory is spent. kResourceExhausted carries a retry
+  // hint on the wire, and the server stays healthy for graphs that fit.
+  if (options_.admission_floor_budget_bytes > 0 &&
+      floor_bytes > options_.admission_floor_budget_bytes) {
+    ++counters_.admission_sheds;
+    ++counters_.failures;
+    ServeResult shed;
+    shed.hash = submission.hash;
+    shed.status = util::ResourceExhaustedError(
+        "admission shed: every schedule of this graph peaks at >= " +
+        std::to_string(floor_bytes) + " bytes, over the governor cap of " +
+        std::to_string(options_.admission_floor_budget_bytes));
+    std::promise<ServeResult> ready;
+    ready.set_value(std::move(shed));
+    submission.future = ready.get_future().share();
+    return submission;
+  }
+
   // Path 3: enqueue a planning job and register it for single-flight.
   Job job;
   job.hash = submission.hash;
@@ -81,8 +148,10 @@ Submission SchedulerService::Submit(const graph::Graph& graph,
   job.promise = std::make_shared<std::promise<ServeResult>>();
   job.request = request;
   job.submitted = Clock::now();
+  job.flight = std::make_shared<FlightState>();
+  AttachWaiter(job.flight, request.cancel);
   submission.future = job.promise->get_future().share();
-  in_flight_.emplace(submission.hash, submission.future);
+  in_flight_.emplace(submission.hash, Flight{submission.future, job.flight});
   queue_.push_back(std::move(job));
   work_ready_.notify_one();
   return submission;
@@ -151,13 +220,31 @@ void SchedulerService::RunRequestJob(Job job) {
           std::min(popts.deadline_seconds, std::max(remaining, 0.0));
       popts.degrade_on_deadline = job.request.allow_degraded;
       popts.degraded_beam_width = options_.degraded_beam_width;
+      popts.memory_budget = options_.planning_budget;
+      if (job.flight != nullptr) popts.cancel = &job.flight->token;
       core::PipelineResult planned = core::Pipeline(popts).Run(job.graph);
       if (planned.success) {
         result.quality = planned.quality;
         const bool degraded = planned.degraded;
-        result.plan = cache_.Insert(job.hash, std::move(planned));
-        result.peak_delta_bytes = result.plan->peak_delta_bytes;
-        enqueue_upgrade = degraded && options_.upgrade_degraded_plans;
+        const bool on_memory = planned.memory_exhausted;
+        // Arena planning for the cache entry is governed too: a budget
+        // refusal here sheds the request rather than allocating past the
+        // governor on the way into the cache.
+        util::StatusOr<std::shared_ptr<const CachedPlan>> inserted =
+            cache_.InsertGoverned(job.hash, std::move(planned),
+                                  options_.planning_budget);
+        if (inserted.ok()) {
+          result.plan = std::move(inserted).value();
+          result.peak_delta_bytes = result.plan->peak_delta_bytes;
+          result.degraded_on_memory = degraded && on_memory;
+          enqueue_upgrade = degraded && options_.upgrade_degraded_plans;
+        } else {
+          result.status = inserted.status();
+        }
+      } else if (planned.cancelled) {
+        result.status = util::CancelledError(planned.failure_reason);
+      } else if (planned.memory_exhausted) {
+        result.status = util::ResourceExhaustedError(planned.failure_reason);
       } else if (planned.deadline_exceeded) {
         result.status =
             util::DeadlineExceededError(planned.failure_reason);
@@ -181,8 +268,12 @@ void SchedulerService::RunRequestJob(Job job) {
       if (result.quality != core::PlanQuality::kExact) {
         ++counters_.degraded_plans;
       }
+      if (result.degraded_on_memory) ++counters_.degraded_on_memory;
     } else {
       ++counters_.failures;
+      if (result.status.code() == util::StatusCode::kCancelled) {
+        ++counters_.cancelled;
+      }
     }
     if (enqueue_upgrade && !stopping_) {
       EnqueueUpgradeLocked(job.hash, job.graph);
@@ -212,6 +303,9 @@ void SchedulerService::RunUpgradeJob(Job job) {
     core::PipelineOptions popts = options_.pipeline;
     popts.deadline_seconds = std::numeric_limits<double>::infinity();
     popts.degrade_on_deadline = false;
+    // Upgrades run under the same governor as foreground planning: an
+    // exhausted budget fails the attempt into the retry/backoff path.
+    popts.memory_budget = options_.planning_budget;
     core::PipelineResult planned = core::Pipeline(popts).Run(job.graph);
     if (planned.success && !planned.degraded) {
       const std::shared_ptr<const CachedPlan> current =
@@ -221,10 +315,14 @@ void SchedulerService::RunUpgradeJob(Job job) {
         saved = current->result.peak_bytes - planned.peak_bytes;
       }
       // Replace only while the entry is still degraded (or evicted): a
-      // concurrent exact plan must not be clobbered.
+      // concurrent exact plan must not be clobbered. A governed arena-
+      // planning refusal falls into the retry path like any failure.
       if (current == nullptr ||
           current->quality != core::PlanQuality::kExact) {
-        cache_.Insert(job.hash, std::move(planned));
+        util::StatusOr<std::shared_ptr<const CachedPlan>> upgraded =
+            cache_.InsertGoverned(job.hash, std::move(planned),
+                                  options_.planning_budget);
+        if (!upgraded.ok()) throw std::runtime_error("upgrade refused");
       }
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.upgrades;

@@ -58,6 +58,8 @@
 #include "core/pipeline.h"
 #include "graph/canonical_hash.h"
 #include "serve/plan_cache.h"
+#include "util/cancel_token.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 
 namespace serenity::serve {
@@ -74,6 +76,21 @@ struct ServeOptions {
   double upgrade_backoff_seconds = 0.05;  // doubles per retry
   // Beam width for deadline-degraded plans (0 = greedy only).
   int degraded_beam_width = 64;
+  // Byte budget governing every planning run's search memory (DP levels,
+  // beam levels, arena-planner working set) across the whole worker pool;
+  // typically a child of the server-wide governor. Exhaustion mid-search
+  // rides the degradation ladder like a blown deadline (greedy always
+  // fits); requests that cannot even degrade fail kResourceExhausted.
+  // nullptr = ungoverned.
+  util::MemoryBudget* planning_budget = nullptr;
+  // Admission lower-bound shed: > 0 enables it. Every schedule of a graph
+  // must pass through a step at least as large as the graph's widest
+  // minimum step footprint (graph::BufferUseTable::MinStepFootprints), so
+  // a graph whose floor exceeds this cap provably cannot fit no matter how
+  // well it is scheduled — it is shed at Submit with kResourceExhausted
+  // *before* any planning memory is spent. Wire it to the session-arena
+  // budget limit so unservable graphs never reach the planner.
+  std::int64_t admission_floor_budget_bytes = 0;
 };
 
 // Per-request serving knobs.
@@ -84,6 +101,14 @@ struct RequestOptions {
   // On deadline expiry: true = serve a degraded (beam/greedy) plan tagged
   // with its PlanQuality; false = fail with kDeadlineExceeded.
   bool allow_degraded = true;
+  // Cooperative cancellation: when this token fires (client disconnect,
+  // drain) the request's interest in the planning run lapses. Because
+  // planning is single-flight, the run itself is cancelled only when
+  // *every* attached waiter has cancelled — a requester without a token
+  // pins the flight to completion. A cancelled run fails its waiters with
+  // kCancelled; an identical resubmission replans from scratch and, by the
+  // determinism contract, lands bit-identical to the uncancelled run.
+  std::shared_ptr<util::CancelToken> cancel;
 };
 
 struct ServeResult {
@@ -99,6 +124,9 @@ struct ServeResult {
   // Degradation metadata of the served plan (kExact / 0 when exact).
   core::PlanQuality quality = core::PlanQuality::kExact;
   std::int64_t peak_delta_bytes = 0;
+  // True when the served plan degraded because the memory governor (not
+  // the deadline) cut the exact search.
+  bool degraded_on_memory = false;
 };
 
 // An in-flight submission. `cache_hit`/`coalesced` describe *this*
@@ -124,6 +152,13 @@ struct ServiceStats {
   std::uint64_t upgrade_failures = 0;
   // Total peak-bytes improvement realized by completed upgrades.
   std::int64_t upgrade_saved_bytes = 0;
+  // Resource-governor outcomes: requests failed kCancelled (every waiter
+  // abandoned the flight), requests shed at Submit by the admission lower
+  // bound, and requests answered with a degraded plan because the memory
+  // budget (not the deadline) cut the exact search.
+  std::uint64_t cancelled = 0;
+  std::uint64_t admission_sheds = 0;
+  std::uint64_t degraded_on_memory = 0;
   PlanCacheStats cache;
 };
 
@@ -159,6 +194,23 @@ class SchedulerService {
  private:
   using Clock = std::chrono::steady_clock;
 
+  // Cancellation state shared by one single-flight planning run and every
+  // waiter attached to it. The run observes `token`; waiters vote through
+  // their own RequestOptions::cancel tokens. The flight cancels only when
+  // no waiter still wants the result: every token-carrying waiter has
+  // fired (live == 0) and nobody attached without a token (pinned == 0).
+  struct FlightState {
+    util::CancelToken token;
+    std::mutex mu;
+    int live = 0;    // attached waiters whose token has not fired
+    int pinned = 0;  // attached waiters with no token: pin to completion
+  };
+
+  struct Flight {
+    std::shared_future<ServeResult> future;
+    std::shared_ptr<FlightState> state;
+  };
+
   struct Job {
     graph::GraphHash hash;
     graph::Graph graph;
@@ -166,10 +218,23 @@ class SchedulerService {
     std::shared_ptr<std::promise<ServeResult>> promise;
     RequestOptions request;
     Clock::time_point submitted;
+    // Cancellation aggregate for request jobs; null for upgrades (an
+    // upgrade has no waiters to lose).
+    std::shared_ptr<FlightState> flight;
     bool is_upgrade = false;
     int attempt = 0;                 // upgrade attempts so far
     Clock::time_point not_before{};  // earliest start (upgrade backoff)
   };
+
+  // Registers one waiter's interest in a single-flight planning run. A
+  // waiter without a token pins the flight (it can never be cancelled); a
+  // waiter with one votes: when its token fires and it was the last
+  // uncancelled, unpinned waiter, the flight's own token fires and the
+  // planner unwinds at its next poll. The callback holds the FlightState
+  // alive, so a token firing after the flight finished is a harmless
+  // no-op.
+  static void AttachWaiter(const std::shared_ptr<FlightState>& state,
+                           const std::shared_ptr<util::CancelToken>& waiter);
 
   void WorkerLoop();
   void RunRequestJob(Job job);
@@ -187,8 +252,7 @@ class SchedulerService {
   std::deque<Job> queue_;
   // Upgrade retries waiting out their backoff; moved to queue_ when ripe.
   std::vector<Job> delayed_;
-  std::unordered_map<graph::GraphHash, std::shared_future<ServeResult>,
-                     graph::GraphHashHasher>
+  std::unordered_map<graph::GraphHash, Flight, graph::GraphHashHasher>
       in_flight_;
   // Hashes with a background upgrade pending or running. Deliberately
   // separate from in_flight_: requests arriving during an upgrade must hit

@@ -12,6 +12,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Saturated waits sleep in slices this long so a fired cancel token is
+// noticed promptly even though nothing signals the condition variable.
+constexpr std::chrono::milliseconds kCancelPollSlice{50};
+
 util::Status ShedStatus(const char* why) {
   return util::ResourceExhaustedError(
       std::string("session checkout shed: ") + why);
@@ -29,6 +33,11 @@ SessionPool::~SessionPool() {
   std::lock_guard<std::mutex> lock(mu_);
   SERENITY_CHECK_EQ(leased_, 0u)
       << "SessionPool destroyed with live leases";
+  // Settle the governor ledger: the pool's sessions die with it, so their
+  // bytes go back to the parent budget (which may outlive this pool).
+  if (options_.arena_budget != nullptr && arena_bytes_pooled_ > 0) {
+    options_.arena_budget->Refund(arena_bytes_pooled_);
+  }
 }
 
 SessionPool::Lease& SessionPool::Lease::operator=(Lease&& other) noexcept {
@@ -81,6 +90,9 @@ bool SessionPool::EvictIdleForLocked(const graph::GraphHash& keep,
     victim.idle.pop_back();
     victim.live -= 1;
     arena_bytes_pooled_ -= evicted->arena_bytes();
+    if (options_.arena_budget != nullptr) {
+      options_.arena_budget->Refund(evicted->arena_bytes());
+    }
     counters_.evictions += 1;
     if (victim.idle.empty()) {
       // Keep the LRU node (re-insertion on the next return would allocate);
@@ -93,7 +105,8 @@ bool SessionPool::EvictIdleForLocked(const graph::GraphHash& keep,
 }
 
 util::StatusOr<SessionPool::Lease> SessionPool::Checkout(
-    std::shared_ptr<const CachedPlan> plan, double timeout_seconds) {
+    std::shared_ptr<const CachedPlan> plan, double timeout_seconds,
+    const util::CancelToken* cancel) {
   if (plan == nullptr) {
     return util::InvalidArgumentError("checkout requires a plan");
   }
@@ -141,33 +154,53 @@ util::StatusOr<SessionPool::Lease> SessionPool::Checkout(
     }
 
     // 2. Build a new session if both caps allow (evicting other plans' idle
-    //    sessions to make byte room).
+    //    sessions to make byte room). The governor ledger is charged last:
+    //    a refusal there (planning holds the global budget) is a
+    //    saturation signal like any other, so the checkout waits or sheds
+    //    rather than overrunning the server-wide cap.
     if (pool.live < options_.max_sessions_per_plan &&
         EvictIdleForLocked(plan->hash, need)) {
-      // Account first so concurrent checkouts see the bytes as taken, then
-      // construct outside the lock (arena allocation + weight
-      // materialization are the expensive part).
-      pool.live += 1;
-      arena_bytes_pooled_ += need;
-      lock.unlock();
-      util::StatusOr<InferenceSession> session =
-          InferenceSession::Create(plan, options_.session);
-      lock.lock();
-      if (!session.ok()) {
-        pool.live -= 1;
-        arena_bytes_pooled_ -= need;
-        counters_.sheds += 1;
-        returned_.notify_all();  // the undone bytes may unblock a waiter
-        return session.status();
+      const bool charged =
+          options_.arena_budget == nullptr ||
+          options_.arena_budget->TryCharge(need);
+      if (!charged) {
+        counters_.budget_denials += 1;
+      } else {
+        // Account first so concurrent checkouts see the bytes as taken,
+        // then construct outside the lock (arena allocation + weight
+        // materialization are the expensive part).
+        pool.live += 1;
+        arena_bytes_pooled_ += need;
+        lock.unlock();
+        util::StatusOr<InferenceSession> session =
+            InferenceSession::Create(plan, options_.session);
+        lock.lock();
+        if (!session.ok()) {
+          pool.live -= 1;
+          arena_bytes_pooled_ -= need;
+          if (options_.arena_budget != nullptr) {
+            options_.arena_budget->Refund(need);
+          }
+          counters_.sheds += 1;
+          returned_.notify_all();  // the undone bytes may unblock a waiter
+          return session.status();
+        }
+        leased_ += 1;
+        counters_.checkouts += 1;
+        counters_.creations += 1;
+        return Lease(this,
+                     std::make_unique<InferenceSession>(std::move(*session)));
       }
-      leased_ += 1;
-      counters_.checkouts += 1;
-      counters_.creations += 1;
-      return Lease(this,
-                   std::make_unique<InferenceSession>(std::move(*session)));
     }
 
-    // 3. Saturated: shed or wait for a return, bounded by the deadline.
+    // 3. Saturated: shed or wait for a return, bounded by the deadline and
+    //    abandonable via the cancel token (polled in bounded slices —
+    //    nothing signals the condition variable when a peer disconnects or
+    //    a drain begins).
+    if (cancel != nullptr && cancel->cancelled()) {
+      counters_.cancelled_waits += 1;
+      return util::CancelledError("session checkout cancelled");
+    }
     if (fail_fast) {
       counters_.sheds += 1;
       return ShedStatus("pool saturated and the request had no wait budget");
@@ -176,7 +209,15 @@ util::StatusOr<SessionPool::Lease> SessionPool::Checkout(
       counters_.waits += 1;
       counted_wait = true;
     }
-    if (wait_forever) {
+    if (cancel != nullptr) {
+      const Clock::time_point slice_end =
+          std::min(deadline, Clock::now() + kCancelPollSlice);
+      if (returned_.wait_until(lock, slice_end) == std::cv_status::timeout &&
+          !wait_forever && Clock::now() >= deadline) {
+        counters_.sheds += 1;
+        return ShedStatus("pool saturated past the request deadline");
+      }
+    } else if (wait_forever) {
       returned_.wait(lock);
     } else if (returned_.wait_until(lock, deadline) ==
                std::cv_status::timeout) {

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "serve/inference_session.h"
+#include "util/cancel_token.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 
 namespace serenity::serve {
@@ -45,6 +47,13 @@ struct SessionPoolOptions {
   std::int64_t max_total_arena_bytes = 512ll << 20;
   // Cap on concurrent sessions (idle + leased) per cached plan.
   int max_sessions_per_plan = 4;
+  // Optional governor ledger (typically a child of the server-wide
+  // budget): each session's arena bytes are charged when the session is
+  // built and refunded when it is evicted, so pooled arenas and planning
+  // memory share one global cap. A denied charge is treated like a
+  // saturated pool — the checkout waits for capacity or sheds. nullptr =
+  // only max_total_arena_bytes governs.
+  util::MemoryBudget* arena_budget = nullptr;
   InferenceSessionOptions session;
 };
 
@@ -55,6 +64,8 @@ struct SessionPoolStats {
   std::uint64_t returns = 0;     // leases returned to the pool
   std::uint64_t waits = 0;       // checkouts that blocked for a return
   std::uint64_t sheds = 0;       // checkouts failed with kResourceExhausted
+  std::uint64_t cancelled_waits = 0;  // waits abandoned via the cancel token
+  std::uint64_t budget_denials = 0;   // creations refused by arena_budget
   std::uint64_t evictions = 0;   // idle sessions destroyed to make room
   std::uint64_t sessions_idle = 0;
   std::uint64_t sessions_leased = 0;
@@ -99,9 +110,14 @@ class SessionPool {
   // (infinity = as long as it takes; <= 0 = fail fast, never queue) for
   // capacity when the pool is saturated. Sheds with kResourceExhausted on
   // cap/timeout (retryable: capacity returns when leases do); construction
-  // failures surface as InferenceSession::Create's Status.
+  // failures surface as InferenceSession::Create's Status. A non-null
+  // `cancel` token makes a saturated wait abandonable: it is polled in
+  // bounded slices (~50 ms), and a fired token fails the checkout with
+  // kCancelled instead of holding the connection worker until timeout
+  // (drain and client disconnect both route through here).
   util::StatusOr<Lease> Checkout(std::shared_ptr<const CachedPlan> plan,
-                                 double timeout_seconds);
+                                 double timeout_seconds,
+                                 const util::CancelToken* cancel = nullptr);
 
   SessionPoolStats stats() const;
   const SessionPoolOptions& options() const { return options_; }

@@ -8,7 +8,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -23,6 +26,23 @@ namespace {
 constexpr double kPollSliceSeconds = 0.25;
 // Budget for best-effort shed replies sent outside the worker loop.
 constexpr double kShedWriteSeconds = 1.0;
+// How often a worker blocked on a planning future re-probes the connection
+// for a peer disconnect (and the server for a drain). A dead client's
+// planning run is cancelled within about one slice.
+constexpr std::chrono::milliseconds kPlanProbeSlice{100};
+
+// True when the peer definitively hung up: a zero-byte MSG_PEEK read is an
+// orderly shutdown, a hard error (ECONNRESET & co.) is an abort. Pending
+// bytes (a pipelined request) and EAGAIN both mean the peer is alive.
+bool PeerClosedNow(int fd) {
+  char probe;
+  const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return true;
+  if (n < 0) {
+    return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+  }
+  return false;
+}
 
 util::StatusCode ClampCode(util::StatusCode code) {
   return code == util::StatusCode::kOk ? util::StatusCode::kInternal : code;
@@ -105,6 +125,9 @@ void TcpServer::RequestDrain() {
   // Unblocks the accept loop: on Linux, shutdown on a listening socket
   // makes a blocked accept return with an error.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Unblocks workers parked on a saturated session pool; plan-path workers
+  // notice via their per-request probe loop instead.
+  drain_cancel_.Cancel();
   queue_ready_.notify_all();
 }
 
@@ -266,7 +289,7 @@ void TcpServer::ServeConnection(int fd) {
     }
     if (request.ok()) {
       bump(&TcpServerStats::requests);
-      reply = Handle(*request);
+      reply = Handle(*request, fd);
     } else {
       reply.code = ClampCode(request.status().code());
       reply.message = request.status().message();
@@ -286,7 +309,7 @@ void TcpServer::ServeConnection(int fd) {
   ::close(fd);
 }
 
-wire::Reply TcpServer::Handle(const wire::Request& request) {
+wire::Reply TcpServer::Handle(const wire::Request& request, int fd) {
   wire::Reply reply;
   switch (request.verb) {
     case wire::Verb::kHealth:
@@ -306,7 +329,7 @@ wire::Reply TcpServer::Handle(const wire::Request& request) {
         reply.message = "server draining";
         return reply;
       }
-      return request.verb == wire::Verb::kPlan ? HandlePlan(request)
+      return request.verb == wire::Verb::kPlan ? HandlePlan(request, fd)
                                                : HandleInfer(request);
   }
   reply.code = util::StatusCode::kInvalidArgument;
@@ -314,7 +337,7 @@ wire::Reply TcpServer::Handle(const wire::Request& request) {
   return reply;
 }
 
-wire::Reply TcpServer::HandlePlan(const wire::Request& request) {
+wire::Reply TcpServer::HandlePlan(const wire::Request& request, int fd) {
   wire::Reply reply;
   util::StatusOr<graph::Graph> graph =
       serialize::GraphFromTextOr(request.body);
@@ -328,12 +351,36 @@ wire::Reply TcpServer::HandlePlan(const wire::Request& request) {
     options.deadline_seconds = request.deadline_seconds;
   }
   options.allow_degraded = request.allow_degraded;
-  const ServeResult result = service_.Schedule(*graph, options);
+  // The worker owns this request's cancel token and fires it when the peer
+  // vanishes or a drain begins; because planning is single-flight, the run
+  // itself stops only if no *other* live requester still wants the plan.
+  auto token = std::make_shared<util::CancelToken>();
+  options.cancel = token;
+  const Submission submission = service_.Submit(*graph, options);
+  // Async wait: probe the connection between slices instead of blocking
+  // blind in Schedule — a disconnected client's search must not burn
+  // budgeted memory to completion. After cancelling we keep waiting: the
+  // planner unwinds at its next poll (bounded by the check cadence) and
+  // the future always completes.
+  while (submission.future.wait_for(kPlanProbeSlice) !=
+         std::future_status::ready) {
+    if (!token->cancelled() &&
+        (draining_.load(std::memory_order_acquire) || PeerClosedNow(fd))) {
+      token->Cancel();
+    }
+  }
+  ServeResult result = submission.future.get();
+  result.cache_hit = submission.cache_hit;
+  result.coalesced = submission.coalesced;
   if (result.plan == nullptr) {
     reply.code = ClampCode(result.status.code());
     reply.message = result.status.message();
     if (reply.code == util::StatusCode::kResourceExhausted) {
       reply.retry_after_millis = options_.retry_after_millis;
+    }
+    if (reply.code == util::StatusCode::kCancelled) {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.plan_cancels += 1;
     }
     return reply;
   }
@@ -418,11 +465,14 @@ wire::Reply TcpServer::HandleInfer(const wire::Request& request) {
   }
 
   // The client's budget bounds the checkout wait — a request that cannot
-  // get a session before its deadline is shed now, not served late.
+  // get a session before its deadline is shed now, not served late. The
+  // drain token makes the wait abandonable: a drain fails it kCancelled
+  // within one poll slice instead of holding the worker to the timeout.
   const double wait = request.deadline_seconds > 0
                           ? request.deadline_seconds
                           : options_.default_checkout_wait_seconds;
-  util::StatusOr<SessionPool::Lease> lease = pool_.Checkout(plan, wait);
+  util::StatusOr<SessionPool::Lease> lease =
+      pool_.Checkout(plan, wait, &drain_cancel_);
   if (!lease.ok()) {
     reply.code = ClampCode(lease.status().code());
     reply.message = lease.status().message();
@@ -459,6 +509,7 @@ wire::Reply TcpServer::HandleStats() {
      << "server.bad_frames " << server.bad_frames << "\n"
      << "server.idle_closes " << server.idle_closes << "\n"
      << "server.timeout_closes " << server.timeout_closes << "\n"
+     << "server.plan_cancels " << server.plan_cancels << "\n"
      << "server.draining " << (server.draining ? 1 : 0) << "\n"
      << "pool.checkouts " << pool.checkouts << "\n"
      << "pool.reuses " << pool.reuses << "\n"
@@ -466,6 +517,8 @@ wire::Reply TcpServer::HandleStats() {
      << "pool.returns " << pool.returns << "\n"
      << "pool.waits " << pool.waits << "\n"
      << "pool.sheds " << pool.sheds << "\n"
+     << "pool.cancelled_waits " << pool.cancelled_waits << "\n"
+     << "pool.budget_denials " << pool.budget_denials << "\n"
      << "pool.evictions " << pool.evictions << "\n"
      << "pool.sessions_idle " << pool.sessions_idle << "\n"
      << "pool.sessions_leased " << pool.sessions_leased << "\n"
@@ -476,8 +529,25 @@ wire::Reply TcpServer::HandleStats() {
      << "service.planned " << service.planned << "\n"
      << "service.failures " << service.failures << "\n"
      << "service.degraded_plans " << service.degraded_plans << "\n"
+     << "service.cancelled " << service.cancelled << "\n"
+     << "service.admission_sheds " << service.admission_sheds << "\n"
+     << "service.degraded_on_memory " << service.degraded_on_memory << "\n"
      << "cache.entries " << service.cache.entries << "\n"
      << "cache.bytes_in_use " << service.cache.bytes_in_use << "\n";
+  const auto governor_lines = [&os](const char* name,
+                                    const util::MemoryBudget* budget) {
+    if (budget == nullptr) return;
+    os << "governor." << name << ".limit_bytes " << budget->limit_bytes()
+       << "\n"
+       << "governor." << name << ".used_bytes " << budget->used_bytes()
+       << "\n"
+       << "governor." << name << ".peak_bytes " << budget->peak_bytes()
+       << "\n"
+       << "governor." << name << ".denials " << budget->denials() << "\n";
+  };
+  governor_lines("root", options_.governor);
+  governor_lines("planning", service_.options().planning_budget);
+  governor_lines("sessions", pool_.options().arena_budget);
   reply.body = os.str();
   return reply;
 }

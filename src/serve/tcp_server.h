@@ -43,6 +43,8 @@
 #include "serve/scheduler_service.h"
 #include "serve/session_pool.h"
 #include "serve/wire.h"
+#include "util/cancel_token.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 
 namespace serenity::serve {
@@ -65,6 +67,12 @@ struct TcpServerOptions {
   // Checkout wait for infer requests that carry no deadline of their own.
   double default_checkout_wait_seconds = 5.0;
   std::uint32_t max_frame_bytes = wire::kMaxFrameBytesDefault;
+  // Server-wide resource governor (read-only here): surfaced through the
+  // stats verb so operators see used/peak/denials next to the serving
+  // counters. The planning child is read from the SchedulerService and the
+  // session child from the SessionPool; this is the shared root. nullptr =
+  // ungoverned, the stats lines are omitted.
+  const util::MemoryBudget* governor = nullptr;
 };
 
 struct TcpServerStats {
@@ -79,6 +87,9 @@ struct TcpServerStats {
   std::uint64_t idle_closes = 0;     // connections closed for idleness
   std::uint64_t timeout_closes = 0;  // connections cut mid-frame or on a
                                      // failed reply write
+  // Plan requests whose cancel token fired (peer disconnect mid-planning,
+  // or a drain) and whose planning run ended kCancelled.
+  std::uint64_t plan_cancels = 0;
   bool draining = false;
 };
 
@@ -121,9 +132,10 @@ class TcpServer {
   void WorkerLoop();
   void ServeConnection(int fd);
   // Decodes and executes one request; never throws, never aborts — every
-  // failure is a structured Reply.
-  wire::Reply Handle(const wire::Request& request);
-  wire::Reply HandlePlan(const wire::Request& request);
+  // failure is a structured Reply. `fd` lets the plan path probe the
+  // connection for a peer disconnect while the planning future is pending.
+  wire::Reply Handle(const wire::Request& request, int fd);
+  wire::Reply HandlePlan(const wire::Request& request, int fd);
   wire::Reply HandleInfer(const wire::Request& request);
   wire::Reply HandleStats();
   // Best-effort shed reply (used at admission and drain time, where no
@@ -138,6 +150,10 @@ class TcpServer {
   int listen_fd_ = -1;
   int port_ = -1;
   std::atomic<bool> draining_{false};
+  // Fired by RequestDrain: unblocks saturated session-checkout waits (the
+  // pool polls it in slices) so drain latency is bounded even when every
+  // worker is parked on the pool.
+  util::CancelToken drain_cancel_;
   bool started_ = false;
   bool joined_ = false;
 

@@ -264,7 +264,7 @@ util::StatusOr<Reply> DecodeReply(const std::string& payload) {
   std::uint8_t code = 0;
   Reply reply;
   SERENITY_RETURN_IF_ERROR(reader.ReadU8(&code));
-  if (code > static_cast<std::uint8_t>(util::StatusCode::kInternal)) {
+  if (code > static_cast<std::uint8_t>(util::StatusCode::kCancelled)) {
     return util::InvalidArgumentError("unknown status code " +
                                       std::to_string(code));
   }

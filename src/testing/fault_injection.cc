@@ -16,6 +16,8 @@ const char* ToString(FaultPoint point) {
     case FaultPoint::kSocketTornFrame: return "socket_torn_frame";
     case FaultPoint::kSocketDelayedByte: return "socket_delayed_byte";
     case FaultPoint::kSocketMidStreamClose: return "socket_mid_stream_close";
+    case FaultPoint::kBudgetDenial: return "budget_denial";
+    case FaultPoint::kCancelPoll: return "cancel_poll";
     case FaultPoint::kNumFaultPoints: break;
   }
   return "unknown";

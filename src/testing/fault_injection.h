@@ -53,6 +53,15 @@ enum class FaultPoint : int {
   //     is immediately shut down, so the peer's reply hits a dead
   //     connection (EPIPE path, which must never raise SIGPIPE or abort).
   kSocketMidStreamClose,
+  // util::MemoryBudget::TryCharge denies the Nth charge as if the budget
+  // were exhausted; the charging layer must unwind its reservation and
+  // surface kResourceExhausted (the pipeline then degrades on memory).
+  kBudgetDenial,
+  // The DP runner's cancellation poll behaves as if the request's
+  // CancelToken fired at the Nth check; the run must unwind with
+  // kCancelled. Only polled when a cancel token is attached, so
+  // non-cancellable runs are immune.
+  kCancelPoll,
   kNumFaultPoints,  // sentinel
 };
 

@@ -1,0 +1,84 @@
+#include "util/memory_budget.h"
+
+#include "testing/fault_injection.h"
+#include "util/logging.h"
+
+namespace serenity::util {
+
+bool MemoryBudget::ChargeLocal(std::int64_t bytes) {
+  std::int64_t used = used_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::int64_t next = used + bytes;
+    if (next > limit_bytes_) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      // Ratchet the high-water mark. Lossy interleavings only ever leave
+      // peak_ below a momentary true peak, never above a real charge.
+      std::int64_t peak = peak_.load(std::memory_order_relaxed);
+      while (next > peak &&
+             !peak_.compare_exchange_weak(peak, next,
+                                          std::memory_order_relaxed)) {
+      }
+      charges_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+void MemoryBudget::RefundLocal(std::int64_t bytes) {
+  const std::int64_t after =
+      used_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  SERENITY_CHECK_GE(after, 0) << "MemoryBudget refund exceeds charges";
+}
+
+bool MemoryBudget::TryCharge(std::int64_t bytes) {
+  SERENITY_CHECK_GE(bytes, 0);
+  if (bytes == 0) return true;
+  // Chaos hook: a countdown-armed denial behaves exactly like a full
+  // budget — callers must take the same degrade/unwind path.
+  if (testing::FaultTriggered(testing::FaultPoint::kBudgetDenial)) {
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!ChargeLocal(bytes)) return false;
+  if (parent_ != nullptr && !parent_->TryCharge(bytes)) {
+    RefundLocal(bytes);  // unwind: the global cap refused this charge
+    return false;
+  }
+  return true;
+}
+
+void MemoryBudget::Refund(std::int64_t bytes) {
+  SERENITY_CHECK_GE(bytes, 0);
+  if (bytes == 0) return;
+  RefundLocal(bytes);
+  if (parent_ != nullptr) parent_->Refund(bytes);
+}
+
+bool BudgetReservation::EnsureAtLeast(std::int64_t target_bytes) {
+  if (budget_ == nullptr) return true;
+  std::int64_t reserved = reserved_.load(std::memory_order_relaxed);
+  while (target_bytes > reserved) {
+    const std::int64_t delta = target_bytes - reserved;
+    if (!budget_->TryCharge(delta)) return false;
+    if (reserved_.compare_exchange_strong(reserved, target_bytes,
+                                          std::memory_order_relaxed)) {
+      return true;
+    }
+    // Another thread moved the reservation; give back our delta and
+    // re-evaluate against the new high-water mark.
+    budget_->Refund(delta);
+  }
+  return true;
+}
+
+void BudgetReservation::ReleaseAll() {
+  if (budget_ == nullptr) return;
+  const std::int64_t reserved =
+      reserved_.exchange(0, std::memory_order_relaxed);
+  if (reserved > 0) budget_->Refund(reserved);
+}
+
+}  // namespace serenity::util

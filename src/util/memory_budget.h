@@ -1,0 +1,115 @@
+// MemoryBudget: a thread-safe hierarchical byte ledger for the scheduler's
+// own search memory.
+//
+// The paper's premise is executing irregularly wired networks under a hard
+// memory ceiling — but the *scheduler's* memory (signature arenas, SoA
+// state levels, probe tables) was ungoverned: DpOptions::max_states is a
+// count cap, and state bytes vary with signature width, so count != bytes.
+// A MemoryBudget closes that gap: every layer that allocates proportionally
+// to graph size charges the budget before growing and refunds what it
+// releases, so exhaustion surfaces as a clean kResourceExhausted that the
+// pipeline degrades on (exact -> beam -> greedy) instead of a bad_alloc or
+// an OOM kill taking down every healthy session in the process.
+//
+// Budgets form a tree: a server-wide parent (--mem-budget) with child
+// sub-budgets carved out per subsystem (concurrent plannings, session-pool
+// arenas). A charge must fit every ancestor: TryCharge forwards to the
+// parent and unwinds its own charge when the parent refuses, so the global
+// cap holds across all children while each child still reports its own
+// usage. Charges and refunds are atomic; the ledger is advisory (it bounds
+// what cooperating code *requests*, it does not hook the allocator), which
+// is why resource_chaos_test cross-checks it against operator-new
+// accounting: peak live bytes <= budget + documented slack.
+#ifndef SERENITY_UTIL_MEMORY_BUDGET_H_
+#define SERENITY_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace serenity::util {
+
+class MemoryBudget {
+ public:
+  // A budget enforcing `limit_bytes` for everything charged against it.
+  // When `parent` is non-null every charge must also fit the parent (and
+  // all of its ancestors); the parent must outlive this child.
+  explicit MemoryBudget(std::int64_t limit_bytes,
+                        MemoryBudget* parent = nullptr)
+      : limit_bytes_(limit_bytes), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Charges `bytes` against this budget and every ancestor. Returns false —
+  // with all partial charges unwound — when any level would exceed its
+  // limit. A testing hook (FaultPoint::kBudgetDenial) can force a denial.
+  bool TryCharge(std::int64_t bytes);
+
+  // Returns `bytes` previously charged; propagates to ancestors. Refunding
+  // more than was charged is a programming error (the ledger would go
+  // negative and the global cap would stop meaning anything).
+  void Refund(std::int64_t bytes);
+
+  std::int64_t limit_bytes() const { return limit_bytes_; }
+  std::int64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  // Lifetime counters for the governor's stats surface.
+  std::uint64_t total_charges() const {
+    return charges_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t denials() const {
+    return denials_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool ChargeLocal(std::int64_t bytes);
+  void RefundLocal(std::int64_t bytes);
+
+  const std::int64_t limit_bytes_;
+  MemoryBudget* const parent_;
+  std::atomic<std::int64_t> used_{0};
+  std::atomic<std::int64_t> peak_{0};
+  std::atomic<std::uint64_t> charges_{0};
+  std::atomic<std::uint64_t> denials_{0};
+};
+
+// Monotone high-water reservation against a budget. Search loops don't
+// track individual allocations; they periodically re-estimate their total
+// resident bytes and call EnsureAtLeast — which charges only the delta
+// above the current reservation. The destructor refunds everything, so a
+// run that fails (or is cancelled) mid-level unwinds its whole footprint
+// in one place.
+class BudgetReservation {
+ public:
+  // A null budget means "ungoverned": every Ensure succeeds, nothing is
+  // tracked. This keeps call sites branch-free.
+  explicit BudgetReservation(MemoryBudget* budget) : budget_(budget) {}
+  ~BudgetReservation() { ReleaseAll(); }
+
+  BudgetReservation(const BudgetReservation&) = delete;
+  BudgetReservation& operator=(const BudgetReservation&) = delete;
+
+  // Grows the reservation to at least `target_bytes` (no-op when already
+  // covered). Returns false when the budget denies the delta; the existing
+  // reservation stays intact so the caller can unwind cleanly.
+  bool EnsureAtLeast(std::int64_t target_bytes);
+
+  // Refunds the entire reservation now (idempotent).
+  void ReleaseAll();
+
+  std::int64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MemoryBudget* const budget_;
+  std::atomic<std::int64_t> reserved_{0};
+};
+
+}  // namespace serenity::util
+
+#endif  // SERENITY_UTIL_MEMORY_BUDGET_H_

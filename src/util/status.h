@@ -35,6 +35,7 @@ enum class StatusCode {
   kDataLoss,           // corruption detected: checksum mismatch, truncation
   kUnavailable,        // transient environment failure (I/O), retryable
   kInternal,           // an invariant almost broke; caught at a boundary
+  kCancelled,          // the caller abandoned the request mid-flight
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -48,6 +49,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -102,6 +104,9 @@ inline Status UnavailableError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 // Value-or-error. Construction from T is an OK result; construction from a

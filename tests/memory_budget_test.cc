@@ -1,0 +1,146 @@
+// Ledger semantics of util::MemoryBudget and BudgetReservation: hierarchy
+// (child charges must fit every ancestor, partial charges unwind), peak
+// tracking, denial counters, the kBudgetDenial testing hook, and the
+// monotone high-water reservation (delta charging, wholesale refund).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "testing/fault_injection.h"
+#include "util/memory_budget.h"
+
+namespace serenity::util {
+namespace {
+
+TEST(MemoryBudget, ChargesRefundsAndTracksPeak) {
+  MemoryBudget b(100);
+  EXPECT_EQ(b.limit_bytes(), 100);
+  EXPECT_TRUE(b.TryCharge(60));
+  EXPECT_EQ(b.used_bytes(), 60);
+  EXPECT_TRUE(b.TryCharge(40));
+  EXPECT_EQ(b.used_bytes(), 100);
+  EXPECT_EQ(b.peak_bytes(), 100);
+  EXPECT_FALSE(b.TryCharge(1));  // full
+  EXPECT_EQ(b.denials(), 1u);
+  b.Refund(100);
+  EXPECT_EQ(b.used_bytes(), 0);
+  EXPECT_EQ(b.peak_bytes(), 100);  // peak is a high-water mark
+  EXPECT_EQ(b.total_charges(), 2u);
+}
+
+TEST(MemoryBudget, ZeroByteChargeAlwaysFits) {
+  MemoryBudget b(10);
+  EXPECT_TRUE(b.TryCharge(10));
+  EXPECT_TRUE(b.TryCharge(0));
+  EXPECT_EQ(b.used_bytes(), 10);
+}
+
+TEST(MemoryBudget, ChildChargeMustFitParent) {
+  MemoryBudget parent(100);
+  MemoryBudget child_a(100, &parent);
+  MemoryBudget child_b(100, &parent);
+  EXPECT_TRUE(child_a.TryCharge(70));
+  EXPECT_EQ(parent.used_bytes(), 70);
+  // child_b has local room but the shared parent does not: the charge is
+  // refused and child_b's own ledger is unwound to zero.
+  EXPECT_FALSE(child_b.TryCharge(40));
+  EXPECT_EQ(child_b.used_bytes(), 0);
+  EXPECT_EQ(parent.used_bytes(), 70);
+  EXPECT_TRUE(child_b.TryCharge(30));
+  EXPECT_EQ(parent.used_bytes(), 100);
+  child_a.Refund(70);
+  child_b.Refund(30);
+  EXPECT_EQ(parent.used_bytes(), 0);
+  EXPECT_EQ(parent.peak_bytes(), 100);
+}
+
+TEST(MemoryBudget, ChildLimitBindsEvenWhenParentHasRoom) {
+  MemoryBudget parent(1000);
+  MemoryBudget child(10, &parent);
+  EXPECT_FALSE(child.TryCharge(11));
+  EXPECT_EQ(parent.used_bytes(), 0);  // nothing leaked into the parent
+  EXPECT_EQ(child.denials(), 1u);
+}
+
+TEST(MemoryBudget, ConcurrentChargesNeverOvershootTheLimit) {
+  constexpr std::int64_t kLimit = 1 << 20;
+  constexpr std::int64_t kChunk = 64;
+  MemoryBudget b(kLimit);
+  std::atomic<std::int64_t> held{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        if (b.TryCharge(kChunk)) {
+          held.fetch_add(kChunk, std::memory_order_relaxed);
+          ASSERT_LE(b.used_bytes(), kLimit);
+          if (i % 3 == 0) {
+            b.Refund(kChunk);
+            held.fetch_sub(kChunk, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(b.used_bytes(), held.load());
+  EXPECT_LE(b.peak_bytes(), kLimit);
+  b.Refund(held.load());
+  EXPECT_EQ(b.used_bytes(), 0);
+}
+
+TEST(MemoryBudget, FaultHookForcesDenial) {
+  MemoryBudget b(1 << 30);
+  {
+    testing::ScopedFault fault(testing::FaultPoint::kBudgetDenial);
+    EXPECT_FALSE(b.TryCharge(1));
+    EXPECT_EQ(b.used_bytes(), 0);
+    EXPECT_EQ(b.denials(), 1u);
+  }
+  EXPECT_TRUE(b.TryCharge(1));
+  b.Refund(1);
+}
+
+TEST(BudgetReservation, ChargesDeltasAndRefundsWholesale) {
+  MemoryBudget b(100);
+  {
+    BudgetReservation r(&b);
+    EXPECT_TRUE(r.EnsureAtLeast(30));
+    EXPECT_EQ(b.used_bytes(), 30);
+    EXPECT_TRUE(r.EnsureAtLeast(20));  // below high water: no-op
+    EXPECT_EQ(b.used_bytes(), 30);
+    EXPECT_TRUE(r.EnsureAtLeast(80));  // charges only the 50-byte delta
+    EXPECT_EQ(b.used_bytes(), 80);
+    EXPECT_EQ(r.reserved_bytes(), 80);
+    // A denied growth leaves the existing reservation intact.
+    EXPECT_FALSE(r.EnsureAtLeast(101));
+    EXPECT_EQ(b.used_bytes(), 80);
+    EXPECT_EQ(r.reserved_bytes(), 80);
+  }
+  EXPECT_EQ(b.used_bytes(), 0);  // destructor refunded everything
+}
+
+TEST(BudgetReservation, ReleaseAllIsIdempotent) {
+  MemoryBudget b(100);
+  BudgetReservation r(&b);
+  EXPECT_TRUE(r.EnsureAtLeast(40));
+  r.ReleaseAll();
+  EXPECT_EQ(b.used_bytes(), 0);
+  r.ReleaseAll();
+  EXPECT_EQ(b.used_bytes(), 0);
+  // Reservations can regrow after a release.
+  EXPECT_TRUE(r.EnsureAtLeast(10));
+  EXPECT_EQ(b.used_bytes(), 10);
+}
+
+TEST(BudgetReservation, NullBudgetIsUngoverned) {
+  BudgetReservation r(nullptr);
+  EXPECT_TRUE(r.EnsureAtLeast(std::int64_t{1} << 50));
+  r.ReleaseAll();
+}
+
+}  // namespace
+}  // namespace serenity::util

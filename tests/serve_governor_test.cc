@@ -1,0 +1,174 @@
+// The server-wide resource governor over real loopback sockets: one
+// --mem-budget-style byte cap partitioned across planning and session
+// arenas, with the admission lower bound shedding graphs that provably
+// cannot fit. The adversarial case: a client submits an enormous graph
+// (one tensor far above the cap). The server must shed it at admission —
+// before any planning memory is spent — with a structured
+// kResourceExhausted carrying retry-after, stay healthy for concurrent
+// small requests the whole time, and surface the governor ledgers through
+// the stats verb.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/builder.h"
+#include "models/swiftnet.h"
+#include "serialize/serialize.h"
+#include "serve/tcp_client.h"
+#include "serve/tcp_server.h"
+#include "util/memory_budget.h"
+
+namespace serenity::serve {
+namespace {
+
+// 64 MB shared cap, carved into planning + session children like
+// examples/serenity_serve.cpp does for --mem-budget.
+constexpr std::int64_t kGovernorCap = std::int64_t{64} << 20;
+
+struct GovernedHarness {
+  util::MemoryBudget root{kGovernorCap};
+  util::MemoryBudget planning{kGovernorCap, &root};
+  util::MemoryBudget sessions{kGovernorCap, &root};
+  SchedulerService service;
+  SessionPool pool;
+  TcpServer server;
+
+  static ServeOptions MakeServeOptions(util::MemoryBudget* planning) {
+    ServeOptions options;
+    options.planning_budget = planning;
+    options.admission_floor_budget_bytes = kGovernorCap;
+    options.pipeline.degrade_on_deadline = true;
+    return options;
+  }
+  static SessionPoolOptions MakePoolOptions(util::MemoryBudget* sessions) {
+    SessionPoolOptions options;
+    options.arena_budget = sessions;
+    return options;
+  }
+  static TcpServerOptions MakeServerOptions(
+      const util::MemoryBudget* root) {
+    TcpServerOptions options;
+    options.num_workers = 4;
+    options.governor = root;
+    return options;
+  }
+
+  GovernedHarness()
+      : service(MakeServeOptions(&planning)),
+        pool(MakePoolOptions(&sessions)),
+        server(service, pool, MakeServerOptions(&root)) {
+    const util::Status started = server.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+};
+
+// A two-node graph whose single activation tensor dwarfs the governor cap:
+// every schedule of it must pass through a step holding those bytes, so
+// the admission lower bound proves it unservable without planning it.
+graph::Graph EnormousGraph() {
+  graph::GraphBuilder b("enormous");
+  // 1024 x 1024 x 128 float32 = 512 MB for one buffer, 8x the 64 MB cap.
+  const graph::NodeId in =
+      b.Input(graph::TensorShape{1, 1024, 1024, 128}, "in");
+  (void)b.Relu(in, "relu");
+  return std::move(b).Build();
+}
+
+TEST(ServeGovernor, EnormousGraphShedsAtAdmissionWhileSmallOnesServe) {
+  GovernedHarness h;
+
+  // Concurrent small clients hammer the server with plans + infers for the
+  // whole duration of the adversarial submissions.
+  std::vector<std::string> small_failures(3);
+  std::vector<std::thread> small_clients;
+  for (int c = 0; c < 3; ++c) {
+    small_clients.emplace_back([&h, &small_failures, c] {
+      util::StatusOr<TcpClient> client =
+          TcpClient::Connect(h.server.port());
+      if (!client.ok()) {
+        small_failures[static_cast<std::size_t>(c)] =
+            client.status().ToString();
+        return;
+      }
+      const graph::Graph g = c % 2 == 0 ? models::MakeSwiftNetCellA()
+                                        : models::MakeSwiftNetCellB();
+      for (int r = 0; r < 4; ++r) {
+        util::StatusOr<RemotePlan> plan =
+            client->Plan(serialize::ToText(g));
+        if (!plan.ok()) {
+          small_failures[static_cast<std::size_t>(c)] =
+              plan.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+
+  // The adversary: repeatedly submits the unservable graph.
+  util::StatusOr<TcpClient> adversary =
+      TcpClient::Connect(h.server.port());
+  ASSERT_TRUE(adversary.ok()) << adversary.status().ToString();
+  const std::string enormous_text = serialize::ToText(EnormousGraph());
+  for (int i = 0; i < 4; ++i) {
+    util::StatusOr<RemotePlan> shed = adversary->Plan(enormous_text);
+    ASSERT_FALSE(shed.ok()) << "adversarial graph was planned";
+    EXPECT_EQ(shed.status().code(), util::StatusCode::kResourceExhausted)
+        << shed.status().ToString();
+    EXPECT_GT(adversary->retry_after_millis(), 0u);
+  }
+  for (std::thread& t : small_clients) t.join();
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(small_failures[static_cast<std::size_t>(c)], "")
+        << "small client " << c;
+  }
+
+  // Shed before planning: the sheds are counted, no planning worker ever
+  // touched the enormous graph, and no planning bytes leaked.
+  const ServiceStats stats = h.service.stats();
+  EXPECT_EQ(stats.admission_sheds, 4u);
+  EXPECT_GE(stats.planned, 2u);  // the small cells really were planned
+  EXPECT_EQ(h.planning.used_bytes(), 0);
+  EXPECT_LE(h.root.peak_bytes(), kGovernorCap);
+
+  // The governor ledgers are on the operator surface: stats reports the
+  // root and both children with limits, usage, peaks and denials.
+  util::StatusOr<std::string> text = adversary->Stats();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  for (const char* line :
+       {"governor.root.limit_bytes", "governor.root.peak_bytes",
+        "governor.planning.peak_bytes", "governor.sessions.limit_bytes",
+        "governor.sessions.denials", "service.admission_sheds 4"}) {
+    EXPECT_NE(text->find(line), std::string::npos)
+        << "stats output missing \"" << line << "\":\n"
+        << *text;
+  }
+
+  // After the adversarial barrage the server serves a brand-new small
+  // graph end to end — admission shedding costs the healthy path nothing.
+  util::StatusOr<RemotePlan> after =
+      adversary->Plan(serialize::ToText(models::MakeSwiftNetCellC()));
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+// An ungoverned server (no --mem-budget) must keep the previous behavior:
+// no governor stats lines, no admission floor.
+TEST(ServeGovernor, UngovernedServerOmitsGovernorStats) {
+  SchedulerService service;
+  SessionPool pool;
+  TcpServer server(service, pool);
+  ASSERT_TRUE(server.Start().ok());
+  util::StatusOr<TcpClient> client = TcpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  util::StatusOr<std::string> text = client->Stats();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("governor."), std::string::npos);
+  util::StatusOr<RemotePlan> plan =
+      client->Plan(serialize::ToText(EnormousGraph()));
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+}  // namespace
+}  // namespace serenity::serve

@@ -9,10 +9,14 @@
 // connection verifies both liveness and bit-identity after every fault.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "graph/builder.h"
+#include "graph/canonical_hash.h"
 #include "models/swiftnet.h"
 #include "runtime/executor.h"
 #include "serialize/serialize.h"
@@ -260,6 +264,66 @@ TEST_F(NetChaosTest, ThousandSeededSocketFaultsNoAbortsNoHangs) {
   EXPECT_FALSE(stats.draining);
 
   // Orderly shutdown still works after 1000 faults.
+  server_->RequestDrain();
+  server_->Join();
+}
+
+// Mid-planning disconnect: the client sends a Plan request for a graph
+// whose exact search takes seconds, then vanishes. The server's plan path
+// probes the connection while the planning future is pending, fires the
+// request's cancel token on the disconnect, and the single-flight run
+// unwinds with kCancelled — freeing the worker and the search memory
+// instead of finishing a plan nobody will read. The probe connection
+// verifies the server stayed healthy after every disconnect, and the
+// plan_cancels / service.cancelled counters prove the cancellations
+// really happened (a run that merely finished into a dead socket would
+// not advance them).
+TEST_F(NetChaosTest, MidPlanningDisconnectCancelsTheSearch) {
+  // k parallel conv chains joined by one concat: the DP's level widths are
+  // the product of per-chain positions, so the exact search reliably
+  // outlives the disconnect below while staying well under the state cap.
+  graph::GraphBuilder b("slow_to_plan");
+  const graph::NodeId in = b.Input(graph::TensorShape{1, 8, 8, 4}, "in");
+  std::vector<graph::NodeId> ends;
+  for (int chain = 0; chain < 8; ++chain) {
+    graph::NodeId x = in;
+    for (int hop = 0; hop < 5; ++hop) {
+      x = b.Conv1x1(x, 4, "c" + std::to_string(chain) + "_" +
+                           std::to_string(hop));
+    }
+    ends.push_back(x);
+  }
+  (void)b.Concat(ends, "join");
+  const graph::Graph slow = std::move(b).Build();
+
+  wire::Request request;
+  request.verb = wire::Verb::kPlan;
+  request.body = serialize::ToText(slow);
+  const std::string frame = FrameFor(wire::EncodeRequest(request));
+
+  const ServiceStats before = service_.stats();
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    SCOPED_TRACE("attempt " + std::to_string(attempt));
+    util::StatusOr<TcpClient> client = ChaosClient();
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(
+        wire::SendAll(client->fd(), frame.data(), frame.size(), 1.0).ok());
+    // Give the worker time to decode the frame and enter planning, then
+    // disappear without reading the reply.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    client->Close();
+    ExpectServerHealthy(10000 + attempt);
+  }
+
+  // The disconnects were noticed mid-flight: planning runs were cancelled,
+  // not completed into dead sockets. (Every attempt re-plans — a cancelled
+  // flight never reaches the cache.)
+  const ServiceStats after = service_.stats();
+  EXPECT_GT(after.cancelled, before.cancelled);
+  EXPECT_GT(server_->stats().plan_cancels, 0u);
+  EXPECT_EQ(service_.cache().Lookup(graph::CanonicalGraphHash(slow)),
+            nullptr);
+
   server_->RequestDrain();
   server_->Join();
 }

@@ -17,84 +17,177 @@
 #include <cstdlib>
 #include <new>
 
+#if defined(__GLIBC__)
+#include <malloc.h>  // malloc_usable_size, for live/peak byte tracking
+#endif
+
 namespace serenity::testing {
 
 inline thread_local std::uint64_t g_thread_allocations = 0;
+// Live and peak-live heap bytes as seen by this thread: every replaced
+// operator new adds the block's usable size, every delete subtracts it.
+// Frees of blocks another thread allocated make `live` a per-thread *flow*
+// rather than an exact census, so measurements should run allocation and
+// deallocation on the same thread (the resource-chaos budget harness runs
+// the DP single-threaded for exactly this reason). Without glibc's
+// malloc_usable_size the byte counters stay zero and byte assertions
+// should be skipped.
+inline thread_local std::int64_t g_thread_live_bytes = 0;
+inline thread_local std::int64_t g_thread_peak_live_bytes = 0;
 
 // Allocations performed by the calling thread since process start.
 inline std::uint64_t ThreadAllocationCount() { return g_thread_allocations; }
 
+inline std::int64_t ThreadLiveBytes() { return g_thread_live_bytes; }
+inline std::int64_t ThreadPeakLiveBytes() {
+  return g_thread_peak_live_bytes;
+}
+// Restarts the peak watermark from the current live level (scoped
+// measurements: reset, run, read the peak delta).
+inline void ResetThreadPeakLiveBytes() {
+  g_thread_peak_live_bytes = g_thread_live_bytes;
+}
+inline bool ByteTrackingAvailable() {
+#if defined(__GLIBC__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+inline void NoteAlloc(void* p) {
+  ++g_thread_allocations;
+#if defined(__GLIBC__)
+  if (p != nullptr) {
+    g_thread_live_bytes +=
+        static_cast<std::int64_t>(::malloc_usable_size(p));
+    if (g_thread_live_bytes > g_thread_peak_live_bytes) {
+      g_thread_peak_live_bytes = g_thread_live_bytes;
+    }
+  }
+#else
+  (void)p;
+#endif
+}
+
+inline void NoteFree(void* p) {
+#if defined(__GLIBC__)
+  if (p != nullptr) {
+    g_thread_live_bytes -=
+        static_cast<std::int64_t>(::malloc_usable_size(p));
+  }
+#else
+  (void)p;
+#endif
+}
+
 }  // namespace serenity::testing
 
 void* operator new(std::size_t size) {
-  ++serenity::testing::g_thread_allocations;
-  if (void* p = std::malloc(size ? size : 1)) return p;
+  if (void* p = std::malloc(size ? size : 1)) {
+    serenity::testing::NoteAlloc(p);
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) {
-  ++serenity::testing::g_thread_allocations;
-  if (void* p = std::malloc(size ? size : 1)) return p;
+  if (void* p = std::malloc(size ? size : 1)) {
+    serenity::testing::NoteAlloc(p);
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++serenity::testing::g_thread_allocations;
-  return std::malloc(size ? size : 1);
+  void* p = std::malloc(size ? size : 1);
+  serenity::testing::NoteAlloc(p);
+  return p;
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  ++serenity::testing::g_thread_allocations;
-  return std::malloc(size ? size : 1);
+  void* p = std::malloc(size ? size : 1);
+  serenity::testing::NoteAlloc(p);
+  return p;
 }
 // C++17 over-aligned forms: counted too, so a future alignas-heavy kernel
 // buffer cannot slip past the zero-allocation gate unmeasured.
 // std::aligned_alloc requires the size to be a multiple of the alignment.
 void* operator new(std::size_t size, std::align_val_t align) {
-  ++serenity::testing::g_thread_allocations;
   const std::size_t a = static_cast<std::size_t>(align);
-  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) {
+    serenity::testing::NoteAlloc(p);
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size, std::align_val_t align) {
-  ++serenity::testing::g_thread_allocations;
   const std::size_t a = static_cast<std::size_t>(align);
-  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) {
+    serenity::testing::NoteAlloc(p);
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new(std::size_t size, std::align_val_t align,
                    const std::nothrow_t&) noexcept {
-  ++serenity::testing::g_thread_allocations;
   const std::size_t a = static_cast<std::size_t>(align);
-  return std::aligned_alloc(a, (size + a - 1) / a * a);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  serenity::testing::NoteAlloc(p);
+  return p;
 }
 void* operator new[](std::size_t size, std::align_val_t align,
                      const std::nothrow_t&) noexcept {
-  ++serenity::testing::g_thread_allocations;
   const std::size_t a = static_cast<std::size_t>(align);
-  return std::aligned_alloc(a, (size + a - 1) / a * a);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  serenity::testing::NoteAlloc(p);
+  return p;
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept {
+  serenity::testing::NoteFree(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  serenity::testing::NoteFree(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  serenity::testing::NoteFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  serenity::testing::NoteFree(p);
+  std::free(p);
+}
 void operator delete(void* p, const std::nothrow_t&) noexcept {
+  serenity::testing::NoteFree(p);
   std::free(p);
 }
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  serenity::testing::NoteFree(p);
   std::free(p);
 }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  serenity::testing::NoteFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  serenity::testing::NoteFree(p);
+  std::free(p);
+}
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  serenity::testing::NoteFree(p);
   std::free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  serenity::testing::NoteFree(p);
   std::free(p);
 }
 void operator delete(void* p, std::align_val_t,
                      const std::nothrow_t&) noexcept {
+  serenity::testing::NoteFree(p);
   std::free(p);
 }
 void operator delete[](void* p, std::align_val_t,
                        const std::nothrow_t&) noexcept {
+  serenity::testing::NoteFree(p);
   std::free(p);
 }
 
