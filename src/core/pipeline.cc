@@ -41,6 +41,11 @@ std::int64_t SeedIncumbent(const graph::Graph& segment, int beam_width,
     beam_options.width = beam_width;
     beam_options.memory_budget = budget;
     beam_options.cancel = cancel;
+    // The greedy peak is already achievable, so the beam only needs to
+    // find something strictly better: let it prune against the greedy
+    // bound with the same admissible floors the DP uses. A beam that comes
+    // back NotFound (every path cut) just leaves the greedy seed standing.
+    beam_options.prune_above_bytes = incumbent;
     const sched::BeamResult beam = sched::ScheduleBeam(segment, beam_options);
     if (beam.status.ok()) {
       incumbent = std::min(incumbent, beam.peak_bytes);
@@ -145,6 +150,7 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
           ScheduleWithSoftBudget(segment.subgraph, sb_options);
       result.states_expanded += sb.TotalStates();
       result.states_pruned_by_bound += sb.TotalPrunedByBound();
+      result.pruned += sb.TotalPruned();
       result.max_level_states =
           std::max(result.max_level_states, sb.max_level_states);
       if (sb.status != DpStatus::kSolution) {
@@ -179,6 +185,7 @@ PipelineResult Pipeline::Run(const graph::Graph& graph) const {
       const DpResult dp = ScheduleDp(segment.subgraph, dp_options);
       result.states_expanded += dp.states_expanded;
       result.states_pruned_by_bound += dp.states_pruned_by_bound;
+      result.pruned += dp.pruned;
       result.max_level_states =
           std::max(result.max_level_states, dp.max_level_states);
       if (dp.status != DpStatus::kSolution) {

@@ -139,6 +139,10 @@ struct PipelineResult {
   // Search-space cut by the branch-and-bound incumbent, summed like
   // states_expanded (0 when bound pruning is disabled).
   std::uint64_t states_pruned_by_bound = 0;
+  // The same cut attributed per bound (incumbent / residual / frontier
+  // floor / two-step lookahead / cross-attempt dominance), summed across
+  // segments and attempts; pruned.Total() == states_pruned_by_bound.
+  PruneBreakdown pruned;
   // Widest sealed DP level across segments/attempts (shard-count
   // invariant); what the adaptive-parallelism threshold compares against.
   std::uint64_t max_level_states = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/state_store.h"
 #include "sched/baselines.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -42,17 +43,37 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
         std::min(options.incumbent_bytes, result.tau_max);
   }
 
+  // Cross-attempt dominance: one table outlives every attempt (and the
+  // fallback), keyed on the meta-search's fixed incumbent — that fixity is
+  // what makes a dead signature from one τ sound under every other τ
+  // (DESIGN.md "Admissible bounds & dominance"). Later attempts re-walk
+  // mostly the same lattice prefix, so the table pays for itself on the
+  // first re-search.
+  DominanceTable dominance;
+  if (options.enable_bound_pruning && options.enable_dominance &&
+      options.dominance_max_entries > 0) {
+    dominance.Init(
+        (static_cast<std::size_t>(graph.num_nodes()) + 63) / 64,
+        dp_options.incumbent_bytes, options.dominance_max_entries);
+    dp_options.dominance = &dominance;
+  }
+
   // Wall-clock guard: seconds left before the caller's deadline. Checked
   // between attempts and clamped onto each attempt's per-level timeout, so
   // overshoot is bounded by one level granule.
   const auto remaining = [&] {
     return options.deadline_seconds - clock.ElapsedSeconds();
   };
+  // Every exit path reports how big the shared table got.
+  const auto finish = [&]() -> SoftBudgetResult& {
+    result.dominance_entries = dominance.size();
+    result.total_seconds = clock.ElapsedSeconds();
+    return result;
+  };
 
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     if (remaining() <= 0) {
-      result.total_seconds = clock.ElapsedSeconds();
-      return result;  // status stays kTimeout; caller may degrade
+      return finish();  // status stays kTimeout; caller may degrade
     }
     dp_options.budget_bytes = tau;
     dp_options.step_timeout_seconds =
@@ -63,20 +84,19 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
     result.attempts.push_back(BudgetAttempt{tau, attempt.status,
                                             attempt.states_expanded,
                                             attempt.states_pruned_by_bound,
+                                            attempt.pruned,
                                             attempt.seconds});
     if (attempt.status == DpStatus::kSolution) {
       result.status = DpStatus::kSolution;
       result.schedule = attempt.schedule;
       result.peak_bytes = attempt.peak_bytes;
       result.tau_final = tau;
-      result.total_seconds = clock.ElapsedSeconds();
-      return result;
+      return finish();
     }
     if (attempt.status == DpStatus::kCancelled) {
       // The caller abandoned the request: stop the meta-search on the spot.
       result.status = DpStatus::kCancelled;
-      result.total_seconds = clock.ElapsedSeconds();
-      return result;
+      return finish();
     }
     if (attempt.status == DpStatus::kTimeout ||
         attempt.status == DpStatus::kResourceExhausted) {
@@ -99,8 +119,7 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   // the caller sees kTimeout (the paper's "N/A: infeasible within practical
   // time").
   if (remaining() <= 0) {
-    result.total_seconds = clock.ElapsedSeconds();
-    return result;  // deadline expired: skip the uncapped fallback run
+    return finish();  // deadline expired: skip the uncapped fallback run
   }
   result.used_fallback = true;
   DpOptions fallback;
@@ -114,6 +133,9 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   fallback.incumbent_bytes = dp_options.incumbent_bytes;
   fallback.memory_budget = options.memory_budget;
   fallback.cancel = options.cancel;
+  // The fallback profits from everything the failed attempts learned: its
+  // incumbent equals theirs, so the shared table's entries stay sound.
+  fallback.dominance = dp_options.dominance;
   // The fallback must never cost more than the attempts that failed: the
   // caller's state cap (a memory guard) and byte budget govern it too. The
   // historical escalation to max(attempts*4, 4M) states let a "degraded"
@@ -125,6 +147,7 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
   result.attempts.push_back(BudgetAttempt{result.tau_max, final_run.status,
                                           final_run.states_expanded,
                                           final_run.states_pruned_by_bound,
+                                          final_run.pruned,
                                           final_run.seconds});
   result.status = final_run.status;
   if (final_run.status == DpStatus::kSolution) {
@@ -132,8 +155,7 @@ SoftBudgetResult ScheduleWithSoftBudget(const graph::Graph& graph,
     result.peak_bytes = final_run.peak_bytes;
     result.tau_final = result.tau_max;
   }
-  result.total_seconds = clock.ElapsedSeconds();
-  return result;
+  return finish();
 }
 
 }  // namespace serenity::core

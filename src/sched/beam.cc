@@ -47,8 +47,15 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
                         0, 0, -1, -1);
   current.Seal();
 
+  // Branch-and-bound cut (see BeamOptions::prune_above_bytes). `bounding`
+  // is loop-invariant, so the default path pays one predictable branch.
+  const std::int64_t bound = options.prune_above_bytes;
+  const bool bounding =
+      bound != std::numeric_limits<std::int64_t>::max();
+
   std::vector<std::int32_t> frontier;
   std::vector<std::uint64_t> child(words);
+  core::ExpansionTables::FrontierAllocs allocs;
   for (std::size_t level = 0; level < n; ++level) {
     if (cancelled()) {
       result.status = util::CancelledError("beam: cancelled");
@@ -63,10 +70,21 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
     for (std::size_t s = 0; s < current.size(); ++s) {
       const std::uint64_t* sig = current.signature(s);
       frontier.clear();
-      tables.AppendFrontier(sig, &frontier);
+      std::int64_t residual = 0;
+      tables.AppendFrontier(sig, &frontier, bounding ? &residual : nullptr);
       const std::int64_t footprint = current.footprint(s);
       const std::int64_t peak = current.peak(s);
       const std::uint64_t hash = current.hash(s);
+      if (bounding) {
+        // The DP's parent-side admissible cuts, streamed: residual bound,
+        // then the one-step frontier-alloc floor.
+        if (std::max(peak, residual) > bound) continue;
+        tables.ComputeFrontierAllocs(sig, frontier, &allocs);
+        if (allocs.min1 != core::ExpansionTables::kNoAlloc &&
+            footprint + allocs.min1 > bound) {
+          continue;
+        }
+      }
       for (const std::int32_t u : frontier) {
         ++result.states_expanded;
         if ((result.states_expanded & 0xfff) == 0 && cancelled()) {
@@ -74,7 +92,9 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
           return result;
         }
         const core::ExpansionTables::Transition t = tables.Apply(
-            sig, u, footprint, std::numeric_limits<std::int64_t>::max());
+            sig, u, footprint,
+            bounding ? bound : std::numeric_limits<std::int64_t>::max());
+        if (bounding && t.step_peak > bound) continue;
         std::copy(sig, sig + words, child.data());
         util::SpanSetBit(child.data(), static_cast<std::size_t>(u));
         // Dedup signatures within the level exactly as in the DP (beam =
@@ -88,6 +108,13 @@ BeamResult ScheduleBeam(const graph::Graph& graph,
                                hash, static_cast<std::size_t>(u)),
                            static_cast<std::int32_t>(s), u);
       }
+    }
+    if (bounding && next.size() == 0) {
+      // Every width-limited continuation exceeded the caller's bound; the
+      // incumbent that bound came from is already at least as good.
+      result.status =
+          util::NotFoundError("beam: every path exceeded prune_above_bytes");
+      return result;
     }
     SERENITY_CHECK_GT(next.size(), 0u) << "graph has a cycle?";
     next.SealBounded();

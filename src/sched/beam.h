@@ -17,6 +17,7 @@
 #define SERENITY_SCHED_BEAM_H_
 
 #include <cstdint>
+#include <limits>
 
 #include "graph/graph.h"
 #include "sched/schedule.h"
@@ -35,6 +36,17 @@ struct BeamOptions {
   // kCancelled and no schedule. nullptr = ungoverned / not cancellable.
   util::MemoryBudget* memory_budget = nullptr;
   const util::CancelToken* cancel = nullptr;
+  // Branch-and-bound cut against a peak already known achievable (e.g. the
+  // greedy baseline, when the beam runs as an incumbent refiner in
+  // core/pipeline): parents and transitions whose admissible lower bound —
+  // best peak, residual, one-step frontier floor, or step peak — STRICTLY
+  // exceeds this value are skipped before they compete for beam slots; the
+  // same floors the DP consults, streamed (satellite: `sched/beam` streamed
+  // levels consult the same floors). If the cut empties a level the beam
+  // reports NotFound — every width-limited path exceeded the bound, so the
+  // caller's existing incumbent already wins. The default (max) disables
+  // the cut entirely, keeping plain beam results bit-identical.
+  std::int64_t prune_above_bytes = std::numeric_limits<std::int64_t>::max();
 };
 
 struct BeamResult {

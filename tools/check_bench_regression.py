@@ -18,7 +18,13 @@ Deterministic vs timing is decided by field name: anything containing
 "seconds", "per_sec", "speedup", "wall", "rps", "p50", "p99" or "latency"
 is a timing; every other numeric field must match the baseline exactly
 (1e-9 relative tolerance for float formatting). String fields identify rows
-and must match exactly.
+and must match exactly. Fields starting with "states_" — the search-space
+counters, including the per-bound prune attribution
+(states_pruned_by_{incumbent,residual,frontier_floor,lookahead,dominance})
+— are ALWAYS deterministic, marker matches notwithstanding: they are exact
+state counts of a deterministic search, identical across machines and
+thread counts, and any drift is a behavior change that must be
+re-baselined deliberately.
 
 Usage:
   tools/check_bench_regression.py --baselines bench/baselines --fresh . \
@@ -35,9 +41,16 @@ import sys
 TIMING_MARKERS = ("seconds", "per_sec", "speedup", "wall", "rps", "p50",
                   "p99", "latency")
 
+# Exact state counts of the deterministic search (states_expanded,
+# states_pruned_by_bound and its per-bound breakdown). Deterministic no
+# matter what timing markers a future field name happens to contain.
+DETERMINISTIC_PREFIXES = ("states_",)
+
 
 def is_timing_field(name):
     lowered = name.lower()
+    if any(lowered.startswith(prefix) for prefix in DETERMINISTIC_PREFIXES):
+        return False
     return any(marker in lowered for marker in TIMING_MARKERS)
 
 
